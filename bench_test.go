@@ -1,0 +1,151 @@
+package nfvxai
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// prints the artifact's rows, so
+//
+//	go test -bench=. -benchmem ./... | tee bench_output.txt
+//
+// doubles as the reproduction record. By default each experiment uses
+// NFVXAI_BENCH_HOURS (default 6) virtual hours of telemetry; set it to 24
+// for the full-size record used in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"nfvxai/internal/core"
+)
+
+func benchConfig() core.ExpConfig {
+	hours := 6.0
+	if v := os.Getenv("NFVXAI_BENCH_HOURS"); v != "" {
+		if h, err := strconv.ParseFloat(v, 64); err == nil && h > 0 {
+			hours = h
+		}
+	}
+	return core.ExpConfig{SimHours: hours, Explained: 50, ShapSamples: 1024, Seed: 1}
+}
+
+// printOnce ensures each artifact is printed a single time even if the
+// benchmark harness reruns the function with larger b.N.
+var printed sync.Map
+
+func emit(id string, s fmt.Stringer) {
+	if _, loaded := printed.LoadOrStore(id, true); !loaded {
+		fmt.Printf("\n%s\n", s.String())
+	}
+}
+
+func BenchmarkTable1ModelAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Table1ModelAccuracy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("t1", res)
+	}
+}
+
+func BenchmarkTable2ViolationClassifiers(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Table2ViolationClassifiers(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("t2", res)
+	}
+}
+
+func BenchmarkTable3ExplanationFidelity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Table3ExplanationFidelity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("t3", res)
+	}
+}
+
+func BenchmarkTable4Counterfactuals(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Table4Counterfactuals(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("t4", res)
+	}
+}
+
+func BenchmarkFigure1GlobalImportance(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Figure1GlobalImportance(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("f1", res)
+	}
+}
+
+func BenchmarkFigure2ExplanationLatency(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Figure2ExplanationLatency(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("f2", res)
+	}
+}
+
+func BenchmarkFigure3DeletionCurve(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Figure3DeletionCurve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("f3", res)
+	}
+}
+
+func BenchmarkFigure4CleverHans(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Figure4CleverHans(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("f4", res)
+	}
+}
+
+func BenchmarkFigure5Stability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Figure5Stability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("f5", res)
+	}
+}
+
+func BenchmarkFigure6Autoscaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Figure6Autoscaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("f6", res)
+	}
+}

@@ -1,0 +1,91 @@
+// Command explaind serves a trained NFV predictor with its explanations
+// over HTTP (see internal/serve for the API). On startup it simulates the
+// chosen scenario, trains the model, and listens.
+//
+//	explaind -addr :8080 -scenario web -model rf -hours 24
+//
+// Endpoints: GET /healthz /schema /importance; POST /predict /explain /whatif.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		scenario = flag.String("scenario", "web", "scenario: web | nat")
+		model    = flag.String("model", "rf", "model: linear | cart | rf | gbt | mlp")
+		target   = flag.String("target", "util", "target: util | latency | violation")
+		hours    = flag.Float64("hours", 24, "virtual hours of training telemetry")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var sc core.Scenario
+	switch *scenario {
+	case "web":
+		sc = core.WebScenario()
+	case "nat":
+		sc = core.NATScenario()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	var kind telemetry.TargetKind
+	switch *target {
+	case "util":
+		kind = telemetry.TargetBottleneckUtil
+	case "latency":
+		kind = telemetry.TargetChainLatency
+	case "violation":
+		kind = telemetry.TargetViolation
+	default:
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
+		os.Exit(2)
+	}
+	var mk core.ModelKind
+	switch *model {
+	case "linear":
+		mk = core.ModelLinear
+	case "cart":
+		mk = core.ModelTree
+	case "rf":
+		mk = core.ModelForest
+	case "gbt":
+		mk = core.ModelGBT
+	case "mlp":
+		mk = core.ModelMLP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	log.Printf("simulating %s for %.0fh of telemetry...", sc.Name, *hours)
+	ds, err := sc.GenerateDataset(*seed, *hours, kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("training %s on %d rows × %d features...", *model, ds.Len(), ds.NumFeatures())
+	p, err := core.NewPipeline(mk, ds, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ds.Task.String() == "regression" {
+		rep := p.EvaluateRegression()
+		log.Printf("test MAE %.4f RMSE %.4f R2 %.4f", rep.MAE, rep.RMSE, rep.R2)
+	} else {
+		rep := p.EvaluateClassification()
+		log.Printf("test acc %.4f F1 %.4f AUC %.4f", rep.Accuracy, rep.F1, rep.AUC)
+	}
+	log.Printf("explaind listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, serve.New(p)))
+}

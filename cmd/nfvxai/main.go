@@ -1,0 +1,99 @@
+// Command nfvxai runs the paper's experiment suite and prints each table
+// and figure as text. It is the one-stop reproduction entry point:
+//
+//	nfvxai -exp all                 # every table and figure (full size)
+//	nfvxai -exp t1,f4 -hours 4      # selected experiments, reduced size
+//	nfvxai -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nfvxai/internal/core"
+)
+
+type experiment struct {
+	id, desc string
+	run      func(core.ExpConfig) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](fn func(core.ExpConfig) (T, error)) func(core.ExpConfig) (fmt.Stringer, error) {
+	return func(cfg core.ExpConfig) (fmt.Stringer, error) {
+		res, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"t1", "Table 1: VNF CPU prediction accuracy", wrap(core.Table1ModelAccuracy)},
+		{"t2", "Table 2: SLO violation classification", wrap(core.Table2ViolationClassifiers)},
+		{"t3", "Table 3: explanation fidelity", wrap(core.Table3ExplanationFidelity)},
+		{"t4", "Table 4: counterfactual remediation", wrap(core.Table4Counterfactuals)},
+		{"f1", "Figure 1: global feature importance", wrap(core.Figure1GlobalImportance)},
+		{"f2", "Figure 2: explanation latency", wrap(core.Figure2ExplanationLatency)},
+		{"f3", "Figure 3: deletion curves", wrap(core.Figure3DeletionCurve)},
+		{"f4", "Figure 4: Clever Hans audit", wrap(core.Figure4CleverHans)},
+		{"f5", "Figure 5: attribution stability", wrap(core.Figure5Stability)},
+		{"f6", "Figure 6: autoscaling outcomes", wrap(core.Figure6Autoscaling)},
+	}
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		hours   = flag.Float64("hours", 24, "virtual hours of telemetry per dataset")
+		seed    = flag.Int64("seed", 1, "global seed")
+		explain = flag.Int("explained", 100, "instances explained per experiment")
+		samples = flag.Int("shap-samples", 1024, "KernelSHAP coalition budget")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	all := experiments()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	cfg := core.ExpConfig{
+		SimHours:    *hours,
+		Seed:        *seed,
+		Explained:   *explain,
+		ShapSamples: *samples,
+	}
+	ran := 0
+	for _, e := range all {
+		if *exp != "all" && !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("### %s — %s\n", e.id, e.desc)
+		start := time.Now()
+		res, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

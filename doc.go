@@ -1,0 +1,15 @@
+// Package nfvxai is an explainable-AI toolkit for NFV management,
+// reproducing "Towards explainable artificial intelligence for network
+// function virtualization" (CoNEXT 2020) — see DESIGN.md for the scope
+// note and system inventory.
+//
+// The implementation lives under internal/: the NFV substrate
+// (internal/nfv/...), the from-scratch ML models (internal/ml/...), the
+// explanation methods (internal/xai/...), and the pipeline tying them
+// together (internal/core). Executables are under cmd/, runnable examples
+// under examples/, and the benchmarks in bench_test.go regenerate every
+// table and figure of the evaluation.
+package nfvxai
+
+// Version identifies the reproduction snapshot.
+const Version = "1.0.0"

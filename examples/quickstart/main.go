@@ -1,0 +1,59 @@
+// Quickstart: simulate an NFV service chain, train a CPU-demand
+// predictor, and explain one of its predictions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+)
+
+func main() {
+	// 1. Simulate the canonical web service chain (firewall → IDS → load
+	//    balancer) for four virtual hours and extract telemetry.
+	scenario := core.WebScenario()
+	ds, err := scenario.GenerateDataset(1 /* seed */, 4 /* hours */, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("telemetry dataset: %d epochs × %d features\n", ds.Len(), ds.NumFeatures())
+
+	// 2. Train a random forest to predict the next epoch's bottleneck CPU
+	//    utilization.
+	p, err := core.NewPipeline(core.ModelForest, ds, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := p.EvaluateRegression()
+	fmt.Printf("held-out accuracy: MAE %.4f, RMSE %.4f, R² %.4f\n\n", rep.MAE, rep.RMSE, rep.R2)
+
+	// 3. Explain the prediction for one test epoch: which telemetry
+	//    signals push the forecast up or down?
+	x := p.Test.X[0]
+	attr, method, err := p.ExplainInstance(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.OperatorReport("why is the CPU forecast what it is?", attr, method, 5))
+
+	// 4. Global view: which features matter across the whole test set?
+	shapImp, _, err := p.GlobalImportance(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nglobal importance (mean |SHAP| over 30 epochs):")
+	fmt.Print(core.ImportanceTable(ds.Names, shapImp, 8))
+
+	// 5. Sanity: does the model respond to offered load the way queueing
+	//    physics requires (more load → more CPU)?
+	checks, err := p.SanityChecks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(core.SanityReport(checks))
+}

@@ -1,0 +1,69 @@
+// SLA violation triage: train an SLO-violation classifier on a NAT edge
+// chain, explain why an epoch is predicted to violate, and ask the
+// counterfactual engine what would have to change to stay healthy.
+//
+//	go run ./examples/slaviolation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai/counterfactual"
+)
+
+func main() {
+	scenario := core.NATScenario()
+	fmt.Printf("scenario %s, SLO %v\n", scenario.Name, scenario.SLO)
+
+	ds, err := scenario.GenerateDataset(3, 24, telemetry.TargetViolation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d epochs, violation base rate %.3f\n", ds.Len(), ds.ClassBalance())
+
+	p, err := core.NewPipeline(core.ModelGBT, ds, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := p.EvaluateClassification()
+	fmt.Printf("classifier: acc %.3f, F1 %.3f, AUC %.3f\n\n", rep.Accuracy, rep.F1, rep.AUC)
+
+	// Find the most confident predicted violation in the test split.
+	best, bestProb := -1, 0.0
+	for i, x := range p.Test.X {
+		if prob := p.Model.Predict(x); prob > bestProb {
+			best, bestProb = i, prob
+		}
+	}
+	if best < 0 || bestProb < 0.5 {
+		fmt.Println("no predicted violations in this test split")
+		return
+	}
+	x := p.Test.X[best]
+	fmt.Printf("epoch with P(violation) = %.2f — why?\n", bestProb)
+	attr, method, err := p.ExplainInstance(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.OperatorReport("violation risk drivers", attr, method, 5))
+
+	// Remediation: what is the smallest telemetry change that would bring
+	// the violation probability under 30%? Time-of-day is immutable.
+	target := counterfactual.Target{Op: "<=", Value: 0.3}
+	cf, err := p.WhatIf(x, target, []string{"hour_sin", "hour_cos"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(core.WhatIfReport(cf, p.Train.Names, x, target))
+
+	// Playbook rule: a reusable condition under which the model keeps
+	// predicting a violation (anchor explanation).
+	if _, rule, err := p.PlaybookRule(x, 0.9); err == nil {
+		fmt.Println("\nplaybook condition for this verdict:")
+		fmt.Println("  " + rule)
+	}
+}

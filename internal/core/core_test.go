@@ -1,0 +1,562 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai/counterfactual"
+)
+
+// smallCfg keeps integration tests fast: 2 virtual hours, few instances.
+func smallCfg() ExpConfig {
+	return ExpConfig{SimHours: 2, Explained: 10, ShapSamples: 256, Seed: 1}
+}
+
+func TestScenarioDatasetGeneration(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(1, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() < 500 {
+		t.Fatalf("rows %d", ds.Len())
+	}
+	if ds.NumFeatures() != len(telemetry.FeatureNames([]string{"fw", "ids", "lb"})) {
+		t.Fatalf("features %d", ds.NumFeatures())
+	}
+	// Utilization target must vary (not constant).
+	lo, hi := ds.Y[0], ds.Y[0]
+	for _, y := range ds.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi-lo < 0.1 {
+		t.Fatalf("target range too small: %v..%v", lo, hi)
+	}
+}
+
+func TestZooTrainsAllKinds(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(2, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := SplitDataset(ds, 3)
+	for _, kind := range ZooKinds() {
+		model, err := TrainModel(kind, train, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		p := model.Predict(test.X[0])
+		if p != p { // NaN check
+			t.Fatalf("%v predicts NaN", kind)
+		}
+		if kind.String() == "" || strings.Contains(kind.String(), "ModelKind") {
+			t.Fatalf("missing name for %d", kind)
+		}
+	}
+	if _, err := TrainModel(ModelKind(99), train, 0); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestPipelineExplainsItsOwnPrediction(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(4, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(ModelForest, ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.EvaluateRegression()
+	if rep.R2 < 0.5 {
+		t.Fatalf("forest R2 = %v; telemetry should be learnable", rep.R2)
+	}
+	x := p.Test.X[0]
+	attr, method, err := p.ExplainInstance(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "treeshap" {
+		t.Fatalf("method = %s want treeshap for forest", method)
+	}
+	if attr.AdditivityError() > 1e-6 {
+		t.Fatalf("additivity error %v", attr.AdditivityError())
+	}
+	if len(attr.Phi) != ds.NumFeatures() {
+		t.Fatal("attribution width mismatch")
+	}
+	report := OperatorReport("epoch 17", attr, method, 5)
+	if !strings.Contains(report, "prediction") || !strings.Contains(report, "1.") && !strings.Contains(report, "0.") {
+		t.Fatalf("report rendering: %q", report)
+	}
+}
+
+func TestPipelineGlobalImportanceFindsLoadFeatures(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(6, 2, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(ModelForest, ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapImp, permImp, err := p.GlobalImportance(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapImp) != ds.NumFeatures() || len(permImp) != ds.NumFeatures() {
+		t.Fatal("importance width mismatch")
+	}
+	// A load-derived feature must outrank the hour encoding: find the max
+	// shap feature and assert it is one of the load/utilization family.
+	maxJ := 0
+	for j, v := range shapImp {
+		if v > shapImp[maxJ] {
+			maxJ = j
+		}
+	}
+	top := ds.Names[maxJ]
+	loadFamily := []string{"pps", "bps", "fps", "active", "util", "ewma", "lag", "latency", "loss", "state"}
+	found := false
+	for _, frag := range loadFamily {
+		if strings.Contains(top, frag) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("top global feature %q is not load-derived (imp %v)", top, shapImp[maxJ])
+	}
+	tbl := ImportanceTable(ds.Names, shapImp, 5)
+	if len(strings.Split(strings.TrimSpace(tbl), "\n")) != 5 {
+		t.Fatalf("importance table rows: %q", tbl)
+	}
+}
+
+func TestCleverHansAuditDetectsStrongLeak(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(8, 2, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := CleverHansAudit(ModelForest, ds, 0.95, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.ArtifactRank != 1 {
+		t.Fatalf("strong leak rank %d want 1", strong.ArtifactRank)
+	}
+	if !strong.Detected {
+		t.Fatalf("strong leak not detected: %+v", strong)
+	}
+	if strong.TrainR2-strong.TestR2 < 0.15 {
+		t.Fatalf("expected generalization gap: %+v", strong)
+	}
+	if strong.RepairedTestR2 <= strong.TestR2 {
+		t.Fatalf("repair did not improve test score: %+v", strong)
+	}
+	// No leak: artifact is noise, must not rank first nor be detected.
+	clean, err := CleverHansAudit(ModelForest, ds, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Detected {
+		t.Fatalf("false positive on clean data: %+v", clean)
+	}
+}
+
+func TestWhatIfReducesPrediction(t *testing.T) {
+	ds, err := NATScenario().GenerateDataset(10, 2, telemetry.TargetViolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ClassBalance() < 0.02 {
+		t.Fatalf("violation rate too low to test: %v", ds.ClassBalance())
+	}
+	p, err := NewPipeline(ModelForest, ds, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a predicted violation.
+	var x []float64
+	for _, row := range p.Test.X {
+		if p.Model.Predict(row) >= 0.6 {
+			x = row
+			break
+		}
+	}
+	if x == nil {
+		t.Skip("no high-probability violation in small test split")
+	}
+	target := counterfactual.Target{Op: "<=", Value: 0.3}
+	cf, err := p.WhatIf(x, target, []string{"hour_sin", "hour_cos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Valid && cf.Prediction > 0.3 {
+		t.Fatalf("invalid counterfactual marked valid: %+v", cf)
+	}
+	if cf.Valid {
+		report := WhatIfReport(cf, p.Train.Names, x, target)
+		if !strings.Contains(report, "->") {
+			t.Fatalf("what-if report: %q", report)
+		}
+		// Immutable features unchanged.
+		hs := p.Train.FeatureIndex("hour_sin")
+		if cf.X[hs] != x[hs] {
+			t.Fatal("immutable feature changed")
+		}
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	res, err := Table1ModelAccuracy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // baseline + 5 models
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	baseline := res.Rows[0]
+	best := baseline.RMSE
+	for _, r := range res.Rows[1:] {
+		if r.RMSE < best {
+			best = r.RMSE
+		}
+	}
+	if best >= baseline.RMSE {
+		t.Fatalf("no model beat the baseline: %+v", res.Rows)
+	}
+	if !strings.Contains(res.String(), "Table 1") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SimHours = 6 // violations need a few diurnal swings to learn
+	res, err := Table2ViolationClassifiers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// At least one model must classify well above chance.
+	bestAUC := 0.0
+	for _, r := range res.Rows {
+		if r.AUC > bestAUC {
+			bestAUC = r.AUC
+		}
+	}
+	if bestAUC < 0.8 {
+		t.Fatalf("best AUC %v; violations should be predictable", bestAUC)
+	}
+	if !strings.Contains(res.String(), "Table 2") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestTable3SmallRun(t *testing.T) {
+	res, err := Table3ExplanationFidelity(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TreeAdditivityErr > 1e-6 {
+		t.Fatalf("treeshap additivity %v", res.TreeAdditivityErr)
+	}
+	if v, ok := res.KernelAdditivityErr["mlp"]; !ok || v > 1e-6 {
+		t.Fatalf("kernelshap additivity %v (ok=%v)", v, ok)
+	}
+	if res.SurrogateFidelity[5] <= res.SurrogateFidelity[1] {
+		t.Fatalf("surrogate fidelity not improving with depth: %+v", res.SurrogateFidelity)
+	}
+	if res.LimeLocalR2["rf"] <= 0 {
+		t.Fatalf("lime local R2 %v", res.LimeLocalR2["rf"])
+	}
+	if !strings.Contains(res.String(), "Table 3") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestTable4SmallRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SimHours = 3 // need enough violations
+	res, err := Table4Counterfactuals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queried == 0 {
+		t.Fatal("no counterfactual queries")
+	}
+	if res.ValidFraction <= 0 {
+		t.Fatalf("no valid counterfactuals: %+v", res)
+	}
+	if res.MeanSparsity <= 0 || res.MeanSparsity > 3 {
+		t.Fatalf("sparsity %v outside (0, MaxChanges]", res.MeanSparsity)
+	}
+	if !strings.Contains(res.String(), "Table 4") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFigure1SmallRun(t *testing.T) {
+	res, err := Figure1GlobalImportance(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spearman < 0.2 {
+		t.Fatalf("attribution/permutation rankings disagree: %v", res.Spearman)
+	}
+	if !strings.Contains(res.String(), "Figure 1") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFigure3SmallRun(t *testing.T) {
+	res, err := Figure3DeletionCurve(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GuidedDrop[0] != 1 || res.RandomDrop[0] != 1 {
+		t.Fatalf("curves not normalized: %v %v", res.GuidedDrop[0], res.RandomDrop[0])
+	}
+	// Early deletion: guided curve must fall at least as fast as random on
+	// average over the first quarter.
+	q := len(res.GuidedDrop) / 4
+	var g, r float64
+	for k := 1; k <= q; k++ {
+		g += res.GuidedDrop[k]
+		r += res.RandomDrop[k]
+	}
+	if g >= r {
+		t.Fatalf("guided deletion no faster than random: %v vs %v", g, r)
+	}
+	if !strings.Contains(res.String(), "Figure 3") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFigure2SmallRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SimHours = 1
+	res, err := Figure2ExplanationLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 treeshap + 4 kernelshap + 1 lime for rf; 4 kernelshap + 1 lime
+	// for mlp.
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	var ks []float64
+	for _, r := range res.Rows {
+		if r.MsPer < 0 {
+			t.Fatalf("negative latency %+v", r)
+		}
+		if r.Method == "kernelshap" && r.Model == "rf" {
+			ks = append(ks, r.MsPer)
+		}
+	}
+	// KernelSHAP cost must grow with the coalition budget.
+	if len(ks) != 4 || ks[3] <= ks[0] {
+		t.Fatalf("kernelshap sweep not increasing: %v", ks)
+	}
+	if !strings.Contains(res.String(), "Figure 2") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFigure4SmallRun(t *testing.T) {
+	res, err := Figure4CleverHans(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// The strongest leak must rank first and be detected; the clean run
+	// must not be.
+	strongest := res.Rows[len(res.Rows)-1]
+	if strongest.ArtifactRank != 1 || !strongest.Detected {
+		t.Fatalf("strong leak not caught: %+v", strongest)
+	}
+	if res.Rows[0].Detected {
+		t.Fatalf("clean run false positive: %+v", res.Rows[0])
+	}
+	if !strings.Contains(res.String(), "Figure 4") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFigure5SmallRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SimHours = 1
+	res, err := Figure5Stability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shap) != len(res.Sigmas) || len(res.Lime) != len(res.Sigmas) {
+		t.Fatal("series lengths")
+	}
+	// Stability at tiny noise must exceed stability at huge noise for SHAP.
+	if res.Shap[0] <= res.Shap[len(res.Shap)-1]-0.05 {
+		t.Fatalf("shap stability not degrading sensibly: %v", res.Shap)
+	}
+	if !strings.Contains(res.String(), "Figure 5") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestFigure6SmallRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SimHours = 4
+	res, err := Figure6Autoscaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("policies %d", len(res.Rows))
+	}
+	byName := map[string]PolicyOutcome{}
+	for _, r := range res.Rows {
+		byName[r.Policy] = r
+	}
+	if byName["static"].Decisions != 0 {
+		t.Fatal("static policy made decisions")
+	}
+	if byName["threshold"].Decisions == 0 {
+		t.Fatal("threshold policy never acted")
+	}
+	// Scalers must beat static on violations (they add capacity at peak).
+	if byName["threshold"].ViolationRate >= byName["static"].ViolationRate &&
+		byName["predictive"].ViolationRate >= byName["static"].ViolationRate {
+		t.Fatalf("no scaler beat static: %+v", res.Rows)
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestPlaybookRule(t *testing.T) {
+	ds, err := NATScenario().GenerateDataset(16, 3, telemetry.TargetViolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(ModelForest, ds, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor a confidently healthy epoch (plentiful in the base rate).
+	var x []float64
+	for _, row := range p.Test.X {
+		if p.Model.Predict(row) < 0.05 {
+			x = row
+			break
+		}
+	}
+	if x == nil {
+		t.Skip("no confident prediction in small split")
+	}
+	a, text, err := p.PlaybookRule(x, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precision < 0.9 {
+		t.Fatalf("playbook precision %v", a.Precision)
+	}
+	if !strings.Contains(text, "IF ") || !strings.Contains(text, "precision") {
+		t.Fatalf("playbook text %q", text)
+	}
+}
+
+func TestSanityChecks(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(18, 2, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(ModelForest, ds, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := p.SanityChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("checks %d want 3", len(results))
+	}
+	// A correctly trained CPU predictor must respond *upward* to every
+	// offered-load feature; correlated features share the signal, so only
+	// some marginals are strongly monotone.
+	passed := 0
+	for _, r := range results {
+		if r.Pass {
+			passed++
+		}
+		if !r.Increasing {
+			t.Fatalf("load feature %s has a decreasing CPU response", r.Feature)
+		}
+		if r.Range < 0 {
+			t.Fatal("negative PDP range")
+		}
+	}
+	if passed < 1 {
+		t.Fatalf("no sanity check passed: %+v", results)
+	}
+	report := SanityReport(results)
+	if !strings.Contains(report, "pps") || !strings.Contains(report, "PASS") {
+		t.Fatalf("report %q", report)
+	}
+}
+
+func TestExplainChoosesMethodByModel(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(12, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := SplitDataset(ds, 13)
+	bg := train.X[:10]
+	for _, tc := range []struct {
+		kind ModelKind
+		want string
+	}{
+		{ModelTree, "treeshap"},
+		{ModelForest, "treeshap"},
+		{ModelGBT, "treeshap"},
+		{ModelLinear, "kernelshap"},
+		{ModelMLP, "kernelshap"},
+	} {
+		model, err := TrainModel(tc.kind, train, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, method := Explain(model, bg, train.Names, 128, 13)
+		if method != tc.want {
+			t.Fatalf("%v routed to %s want %s", tc.kind, method, tc.want)
+		}
+	}
+}
+
+func TestClassificationGBTUsesKernelShap(t *testing.T) {
+	ds, err := NATScenario().GenerateDataset(14, 1, telemetry.TargetViolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := SplitDataset(ds, 15)
+	model, err := TrainModel(ModelGBT, train, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, method := Explain(model, train.X[:5], train.Names, 64, 15)
+	if method != "kernelshap" {
+		t.Fatalf("classification GBT routed to %s", method)
+	}
+	if train.Task != dataset.Classification {
+		t.Fatal("dataset task")
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/metrics"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/counterfactual"
+	"nfvxai/internal/xai/evalx"
+	"nfvxai/internal/xai/lime"
+	"nfvxai/internal/xai/surrogate"
+)
+
+// ExpConfig scales the experiment suite: full-size for the reproduction
+// record, reduced for unit tests and quick benches.
+type ExpConfig struct {
+	// SimHours is the virtual time simulated to build datasets (default 24).
+	SimHours float64
+	// Explained is the number of test instances explained where applicable
+	// (default 100).
+	Explained int
+	// ShapSamples bounds KernelSHAP coalitions (default 1024).
+	ShapSamples int
+	// Seed drives everything.
+	Seed int64
+}
+
+func (c ExpConfig) withDefaults() ExpConfig {
+	if c.SimHours <= 0 {
+		c.SimHours = 24
+	}
+	if c.Explained <= 0 {
+		c.Explained = 100
+	}
+	if c.ShapSamples <= 0 {
+		c.ShapSamples = 1024
+	}
+	return c
+}
+
+// Table1Result is one row of Table 1 (VNF CPU prediction accuracy).
+type Table1Result struct {
+	Rows []metrics.RegressionReport
+	// DatasetRows / Features describe the generated data.
+	DatasetRows, Features int
+}
+
+// String renders the table.
+func (t Table1Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: next-epoch bottleneck CPU prediction (%d rows, %d features)\n", t.DatasetRows, t.Features)
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s\n", "model", "MAE", "RMSE", "R2", "MAPE")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s %8.4f %8.4f %8.4f %8.4f\n", r.Model, r.MAE, r.RMSE, r.R2, r.MAPE)
+	}
+	return sb.String()
+}
+
+// Table1ModelAccuracy regenerates Table 1: all zoo models on the
+// bottleneck-utilization regression task, plus the mean-predictor baseline.
+func Table1ModelAccuracy(cfg ExpConfig) (Table1Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	out := Table1Result{DatasetRows: ds.Len(), Features: ds.NumFeatures()}
+	train, test := SplitDataset(ds, cfg.Seed)
+
+	// Baseline: predict the training mean.
+	var mean float64
+	for _, y := range train.Y {
+		mean += y
+	}
+	mean /= float64(train.Len())
+	basePred := make([]float64, test.Len())
+	for i := range basePred {
+		basePred[i] = mean
+	}
+	out.Rows = append(out.Rows, metrics.EvalRegression("baseline", basePred, test.Y))
+
+	for _, kind := range ZooKinds() {
+		model, err := TrainModel(kind, train, cfg.Seed)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		pred := ml.PredictBatch(model, test.X)
+		out.Rows = append(out.Rows, metrics.EvalRegression(kind.String(), pred, test.Y))
+	}
+	return out, nil
+}
+
+// Table2Result is Table 2 (SLO-violation classification).
+type Table2Result struct {
+	Rows []metrics.ClassificationReport
+	// PositiveRate is the violation base rate in the dataset.
+	PositiveRate float64
+	DatasetRows  int
+}
+
+// String renders the table.
+func (t Table2Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: next-epoch SLO violation classification (%d rows, base rate %.3f)\n", t.DatasetRows, t.PositiveRate)
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %8s\n", "model", "acc", "prec", "recall", "F1", "AUC")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s %8.4f %8.4f %8.4f %8.4f %8.4f\n", r.Model, r.Accuracy, r.Precision, r.Recall, r.F1, r.AUC)
+	}
+	return sb.String()
+}
+
+// Table2ViolationClassifiers regenerates Table 2 on the NAT edge scenario
+// (flow-table pressure violations).
+func Table2ViolationClassifiers(cfg ExpConfig) (Table2Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := NATScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetViolation)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	out := Table2Result{DatasetRows: ds.Len(), PositiveRate: ds.ClassBalance()}
+	train, test := SplitDataset(ds, cfg.Seed)
+	for _, kind := range ZooKinds() {
+		model, err := TrainModel(kind, train, cfg.Seed)
+		if err != nil {
+			return Table2Result{}, err
+		}
+		prob := ml.PredictBatch(model, test.X)
+		out.Rows = append(out.Rows, metrics.EvalClassification(kind.String(), prob, test.Y))
+	}
+	return out, nil
+}
+
+// Table3Result is Table 3 (explanation fidelity).
+type Table3Result struct {
+	// LimeLocalR2 per model kind.
+	LimeLocalR2 map[string]float64
+	// KernelAdditivityErr / TreeAdditivityErr are mean |base+Σφ−f(x)|.
+	KernelAdditivityErr map[string]float64
+	TreeAdditivityErr   float64
+	// SurrogateFidelity maps depth → R² (RF model).
+	SurrogateFidelity map[int]float64
+	Explained         int
+}
+
+// String renders the table.
+func (t Table3Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3: explanation fidelity (%d instances)\n", t.Explained)
+	for _, m := range sortedKeys(t.LimeLocalR2) {
+		fmt.Fprintf(&sb, "LIME local R2 [%s]          %8.4f\n", m, t.LimeLocalR2[m])
+	}
+	for _, m := range sortedKeys(t.KernelAdditivityErr) {
+		fmt.Fprintf(&sb, "KernelSHAP additivity [%s]  %8.2e\n", m, t.KernelAdditivityErr[m])
+	}
+	fmt.Fprintf(&sb, "TreeSHAP additivity [rf]      %8.2e\n", t.TreeAdditivityErr)
+	for d := 1; d <= 8; d++ {
+		if v, ok := t.SurrogateFidelity[d]; ok {
+			fmt.Fprintf(&sb, "surrogate fidelity depth=%d    %8.4f\n", d, v)
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
+// Table3ExplanationFidelity regenerates Table 3 on the CPU-prediction
+// task: local fidelity of LIME, additivity of the SHAP family, and global
+// surrogate fidelity by depth.
+func Table3ExplanationFidelity(cfg ExpConfig) (Table3Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	out := Table3Result{
+		LimeLocalR2:         map[string]float64{},
+		KernelAdditivityErr: map[string]float64{},
+		SurrogateFidelity:   map[int]float64{},
+		Explained:           cfg.Explained,
+	}
+	for _, kind := range []ModelKind{ModelForest, ModelMLP} {
+		p, err := NewPipeline(kind, ds, cfg.Seed)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		n := cfg.Explained
+		if n > p.Test.Len() {
+			n = p.Test.Len()
+		}
+		// LIME local fidelity.
+		le := &lime.Explainer{
+			Model: p.Model, Background: p.Background,
+			NumSamples: 600, Seed: cfg.Seed, Names: p.Train.Names,
+		}
+		var r2sum float64
+		for i := 0; i < n; i++ {
+			res, err := le.ExplainDetailed(p.Test.X[i])
+			if err != nil {
+				return Table3Result{}, err
+			}
+			r2sum += res.LocalR2
+		}
+		out.LimeLocalR2[kind.String()] = r2sum / float64(n)
+
+		// KernelSHAP additivity (enforced by construction; measure it).
+		ke, method := Explain(p.Model, p.Background, p.Train.Names, cfg.ShapSamples, cfg.Seed)
+		var attrs []xai.Attribution
+		for i := 0; i < n; i++ {
+			a, err := ke.Explain(p.Test.X[i])
+			if err != nil {
+				return Table3Result{}, err
+			}
+			attrs = append(attrs, a)
+		}
+		sum := evalx.SummarizeFidelity(attrs)
+		if method == "treeshap" {
+			out.TreeAdditivityErr = sum.MeanAdditivityErr
+		} else {
+			out.KernelAdditivityErr[kind.String()] = sum.MeanAdditivityErr
+		}
+
+		// Surrogate sweep only for the forest (the paper's global-audit model).
+		if kind == ModelForest {
+			sweep, err := surrogate.DepthSweep(p.Model, p.Train, p.Test, 5)
+			if err != nil {
+				return Table3Result{}, err
+			}
+			for _, r := range sweep {
+				out.SurrogateFidelity[r.Depth] = r.FidelityR2
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table4Result is Table 4 (counterfactual what-if quality).
+type Table4Result struct {
+	Queried       int
+	ValidFraction float64
+	MeanSparsity  float64
+	MeanProximity float64
+	// ExampleReport is one rendered remediation narrative.
+	ExampleReport string
+}
+
+// String renders the table.
+func (t Table4Result) String() string {
+	return fmt.Sprintf("Table 4: counterfactual remediation (n=%d)\nvalid %.2f  sparsity %.2f  proximity %.2f sd\n%s",
+		t.Queried, t.ValidFraction, t.MeanSparsity, t.MeanProximity, t.ExampleReport)
+}
+
+// Table4Counterfactuals regenerates Table 4: for violating epochs, find
+// minimal telemetry changes that bring the violation probability under
+// 0.3, holding time-of-day fixed (operators cannot change the clock).
+func Table4Counterfactuals(cfg ExpConfig) (Table4Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := NATScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetViolation)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	p, err := NewPipeline(ModelForest, ds, cfg.Seed)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	target := counterfactual.Target{Op: "<=", Value: 0.3}
+	immutable := []string{"hour_sin", "hour_cos"}
+	out := Table4Result{}
+	var sparsity, proximity float64
+	valid := 0
+	for i := 0; i < p.Test.Len() && out.Queried < cfg.Explained; i++ {
+		x := p.Test.X[i]
+		if p.Model.Predict(x) < 0.5 {
+			continue // not a predicted violation
+		}
+		out.Queried++
+		cf, err := p.WhatIf(x, target, immutable)
+		if err != nil {
+			return Table4Result{}, err
+		}
+		if cf.Valid {
+			valid++
+			sparsity += float64(cf.Sparsity)
+			proximity += cf.Proximity
+			if out.ExampleReport == "" {
+				out.ExampleReport = WhatIfReport(cf, p.Train.Names, x, target)
+			}
+		}
+	}
+	if out.Queried == 0 {
+		return out, fmt.Errorf("core: no predicted violations to query")
+	}
+	out.ValidFraction = float64(valid) / float64(out.Queried)
+	if valid > 0 {
+		out.MeanSparsity = sparsity / float64(valid)
+		out.MeanProximity = proximity / float64(valid)
+	}
+	return out, nil
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/nfv/orch"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/evalx"
+	"nfvxai/internal/xai/lime"
+	"nfvxai/internal/xai/shap"
+)
+
+// Figure1Result is the global feature-importance profile (Figure 1).
+type Figure1Result struct {
+	Names     []string
+	ShapImp   []float64
+	PermImp   []float64
+	Spearman  float64
+	Top5Match float64
+}
+
+// String renders the figure data.
+func (f Figure1Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1: global importance (|SHAP| vs permutation), Spearman %.3f, top5 overlap %.2f\n",
+		f.Spearman, f.Top5Match)
+	sb.WriteString("top features by mean |SHAP|:\n")
+	sb.WriteString(ImportanceTable(f.Names, f.ShapImp, 10))
+	sb.WriteString("top features by permutation importance:\n")
+	sb.WriteString(ImportanceTable(f.Names, f.PermImp, 10))
+	return sb.String()
+}
+
+// Figure1GlobalImportance regenerates Figure 1 on the CPU predictor.
+func Figure1GlobalImportance(cfg ExpConfig) (Figure1Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	p, err := NewPipeline(ModelForest, ds, cfg.Seed)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	shapImp, permImp, err := p.GlobalImportance(cfg.Explained)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	return Figure1Result{
+		Names:     ds.Names,
+		ShapImp:   shapImp,
+		PermImp:   permImp,
+		Spearman:  evalx.RankAgreement(shapImp, permImp),
+		Top5Match: evalx.TopKIntersection(shapImp, permImp, 5),
+	}, nil
+}
+
+// LatencyRow is one point of Figure 2.
+type LatencyRow struct {
+	Method string
+	Model  string
+	Param  int // coalition samples / neighborhood size; 0 for treeshap
+	MsPer  float64
+}
+
+// Figure2Result is the explanation-latency sweep (Figure 2).
+type Figure2Result struct {
+	Rows []LatencyRow
+}
+
+// String renders the figure data.
+func (f Figure2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: explanation latency (ms/instance)\n")
+	fmt.Fprintf(&sb, "%-12s %-8s %8s %12s\n", "method", "model", "param", "ms")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-12s %-8s %8d %12.3f\n", r.Method, r.Model, r.Param, r.MsPer)
+	}
+	return sb.String()
+}
+
+// Figure2ExplanationLatency regenerates Figure 2: cost per explanation for
+// TreeSHAP, KernelSHAP (sample sweep) and LIME, on the forest and MLP.
+func Figure2ExplanationLatency(cfg ExpConfig) (Figure2Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	out := Figure2Result{}
+	reps := 5
+	for _, kind := range []ModelKind{ModelForest, ModelMLP} {
+		p, err := NewPipeline(kind, ds, cfg.Seed)
+		if err != nil {
+			return Figure2Result{}, err
+		}
+		x := p.Test.X[0]
+		if kind == ModelForest {
+			e, _ := Explain(p.Model, p.Background, nil, 0, cfg.Seed)
+			out.Rows = append(out.Rows, LatencyRow{
+				Method: "treeshap", Model: kind.String(),
+				MsPer: timeIt(reps*10, func() { mustExplain(e, x) }),
+			})
+		}
+		for _, samples := range []int{128, 256, 512, 1024} {
+			k := &shap.Kernel{Model: p.Model, Background: p.Background, NumSamples: samples, Seed: cfg.Seed}
+			out.Rows = append(out.Rows, LatencyRow{
+				Method: "kernelshap", Model: kind.String(), Param: samples,
+				MsPer: timeIt(reps, func() { mustExplain(k, x) }),
+			})
+		}
+		le := &lime.Explainer{Model: p.Model, Background: p.Background, NumSamples: 1000, Seed: cfg.Seed}
+		out.Rows = append(out.Rows, LatencyRow{
+			Method: "lime", Model: kind.String(), Param: 1000,
+			MsPer: timeIt(reps, func() { mustExplain(le, x) }),
+		})
+	}
+	return out, nil
+}
+
+func mustExplain(e xai.Explainer, x []float64) {
+	if _, err := e.Explain(x); err != nil {
+		panic(err)
+	}
+}
+
+func timeIt(reps int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Milliseconds()) / float64(reps)
+}
+
+// Figure3Result is the deletion-curve comparison (Figure 3).
+type Figure3Result struct {
+	// GuidedDrop[k] / RandomDrop[k] is the mean |prediction − fully
+	// deleted prediction| after removing k features (normalized to start
+	// at 1).
+	GuidedDrop, RandomDrop []float64
+	MeanGap                float64
+	Instances              int
+}
+
+// String renders the figure data.
+func (f Figure3Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: deletion curves over %d instances (mean gap %.4f)\n", f.Instances, f.MeanGap)
+	fmt.Fprintf(&sb, "%4s %10s %10s\n", "k", "guided", "random")
+	for k := range f.GuidedDrop {
+		fmt.Fprintf(&sb, "%4d %10.4f %10.4f\n", k, f.GuidedDrop[k], f.RandomDrop[k])
+	}
+	return sb.String()
+}
+
+// Figure3DeletionCurve regenerates Figure 3: attribution-guided deletion
+// collapses the CPU prediction toward baseline faster than random
+// deletion.
+func Figure3DeletionCurve(cfg ExpConfig) (Figure3Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	p, err := NewPipeline(ModelForest, ds, cfg.Seed)
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	e, _ := p.Explainer()
+	n := cfg.Explained
+	if n > p.Test.Len() {
+		n = p.Test.Len()
+	}
+	d := ds.NumFeatures()
+	guided := make([]float64, d+1)
+	random := make([]float64, d+1)
+	var gapSum float64
+	for i := 0; i < n; i++ {
+		x := p.Test.X[i]
+		attr, err := e.Explain(x)
+		if err != nil {
+			return Figure3Result{}, err
+		}
+		gc, err := evalx.Deletion(p.Model, x, attr.Ranking(), p.Background)
+		if err != nil {
+			return Figure3Result{}, err
+		}
+		gap, err := evalx.DeletionGap(p.Model, x, attr, p.Background, 8, cfg.Seed+int64(i))
+		if err != nil {
+			return Figure3Result{}, err
+		}
+		gapSum += gap
+		// Random-order curve (single draw per instance, seeded).
+		order := randomOrder(d, cfg.Seed+int64(i))
+		rc, err := evalx.Deletion(p.Model, x, order, p.Background)
+		if err != nil {
+			return Figure3Result{}, err
+		}
+		final := gc.Pred[len(gc.Pred)-1]
+		for k := 0; k <= d; k++ {
+			guided[k] += abs(gc.Pred[k] - final)
+			random[k] += abs(rc.Pred[k] - rc.Pred[len(rc.Pred)-1])
+		}
+	}
+	// Normalize both curves to start at 1.
+	if guided[0] > 0 {
+		g0, r0 := guided[0], random[0]
+		for k := range guided {
+			guided[k] /= g0
+			random[k] /= r0
+		}
+	}
+	return Figure3Result{
+		GuidedDrop: guided,
+		RandomDrop: random,
+		MeanGap:    gapSum / float64(n),
+		Instances:  n,
+	}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func randomOrder(d int, seed int64) []int {
+	// Small deterministic permutation via splitmix-style stepping.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	s := uint64(seed)*0x9E3779B9 + 1
+	for i := d - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Figure4Result is the Clever Hans sweep (Figure 4).
+type Figure4Result struct {
+	Rows []CleverHansResult
+}
+
+// String renders the figure data.
+func (f Figure4Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: Clever Hans audit (train-only telemetry artifact)\n")
+	fmt.Fprintf(&sb, "%8s %6s %8s %8s %10s %9s\n", "leak", "rank", "trainR2", "testR2", "repairedR2", "detected")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%8.2f %6d %8.4f %8.4f %10.4f %9v\n",
+			r.LeakStrength, r.ArtifactRank, r.TrainR2, r.TestR2, r.RepairedTestR2, r.Detected)
+	}
+	return sb.String()
+}
+
+// Figure4CleverHans regenerates Figure 4: the artifact's attribution rank
+// and the accuracy collapse/recovery across leak strengths.
+func Figure4CleverHans(cfg ExpConfig) (Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	out := Figure4Result{}
+	for _, strength := range []float64{0, 0.5, 0.8, 0.95} {
+		r, err := CleverHansAudit(ModelForest, ds, strength, cfg.Seed)
+		if err != nil {
+			return Figure4Result{}, err
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// Figure5Result is the stability comparison (Figure 5).
+type Figure5Result struct {
+	Sigmas []float64
+	Shap   []float64
+	Lime   []float64
+}
+
+// String renders the figure data.
+func (f Figure5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: attribution stability under input noise (Spearman to clean)\n")
+	fmt.Fprintf(&sb, "%8s %8s %8s\n", "sigma", "shap", "lime")
+	for i := range f.Sigmas {
+		fmt.Fprintf(&sb, "%8.2f %8.4f %8.4f\n", f.Sigmas[i], f.Shap[i], f.Lime[i])
+	}
+	return sb.String()
+}
+
+// Figure5Stability regenerates Figure 5: rank stability of SHAP vs LIME as
+// input noise grows (noise scaled per-feature by training std).
+func Figure5Stability(cfg ExpConfig) (Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := WebScenario().GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	p, err := NewPipeline(ModelForest, ds, cfg.Seed)
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	stds := featureStds(p.Train.X)
+	se, _ := p.Explainer()
+	le := &lime.Explainer{Model: p.Model, Background: p.Background, NumSamples: 600, Seed: cfg.Seed}
+	out := Figure5Result{Sigmas: []float64{0.01, 0.05, 0.1, 0.25, 0.5}}
+	nInst := 10
+	if nInst > p.Test.Len() {
+		nInst = p.Test.Len()
+	}
+	for _, sigma := range out.Sigmas {
+		var sSum, lSum float64
+		for i := 0; i < nInst; i++ {
+			x := p.Test.X[i]
+			sv, err := evalx.StabilityScaled(se, x, scaled(stds, sigma), 3, cfg.Seed+int64(i))
+			if err != nil {
+				return Figure5Result{}, err
+			}
+			lv, err := evalx.StabilityScaled(le, x, scaled(stds, sigma), 3, cfg.Seed+int64(i))
+			if err != nil {
+				return Figure5Result{}, err
+			}
+			sSum += sv
+			lSum += lv
+		}
+		out.Shap = append(out.Shap, sSum/float64(nInst))
+		out.Lime = append(out.Lime, lSum/float64(nInst))
+	}
+	return out, nil
+}
+
+func featureStds(X [][]float64) []float64 {
+	d := len(X[0])
+	mean := make([]float64, d)
+	for _, r := range X {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(X))
+	}
+	std := make([]float64, d)
+	for _, r := range X {
+		for j, v := range r {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(X)))
+	}
+	return std
+}
+
+func scaled(stds []float64, sigma float64) []float64 {
+	out := make([]float64, len(stds))
+	for j, s := range stds {
+		out[j] = s * sigma
+	}
+	return out
+}
+
+// PolicyOutcome is one row of Figure 6.
+type PolicyOutcome struct {
+	Policy        string
+	ViolationRate float64
+	MeanCores     float64
+	Decisions     int
+}
+
+// Figure6Result is the autoscaling comparison (Figure 6).
+type Figure6Result struct {
+	Rows []PolicyOutcome
+	// PredictorR2 is the forecast model's held-out accuracy.
+	PredictorR2 float64
+}
+
+// String renders the figure data.
+func (f Figure6Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6: autoscaling outcomes (forecast model R2 %.3f)\n", f.PredictorR2)
+	fmt.Fprintf(&sb, "%-20s %12s %10s %10s\n", "policy", "violations", "cores", "decisions")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-20s %12.4f %10.2f %10d\n", r.Policy, r.ViolationRate, r.MeanCores, r.Decisions)
+	}
+	return sb.String()
+}
+
+// Figure6Autoscaling regenerates Figure 6: static vs reactive-threshold vs
+// ML-predictive vs explanation-pruned predictive scaling on the web
+// scenario (fresh traffic seed for the evaluation day).
+func Figure6Autoscaling(cfg ExpConfig) (Figure6Result, error) {
+	cfg = cfg.withDefaults()
+	sc := WebScenario()
+
+	// Train the forecast model on a historical day.
+	ds, err := sc.GenerateDataset(cfg.Seed, cfg.SimHours, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	p, err := NewPipeline(ModelForest, ds, cfg.Seed)
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	out := Figure6Result{PredictorR2: p.EvaluateRegression().R2}
+
+	// Explanation-pruned forecast: keep only the top-8 features by |SHAP|.
+	shapImp, _, err := p.GlobalImportance(30)
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	keepIdx := xai.Attribution{Phi: shapImp}.TopK(8)
+	keepNames := make([]string, len(keepIdx))
+	for i, j := range keepIdx {
+		keepNames[i] = ds.Names[j]
+	}
+	prunedTrain := p.Train.SelectFeatures(keepNames...)
+	prunedModel, err := TrainModel(ModelForest, prunedTrain, cfg.Seed)
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	prunedPredictor := ml.PredictorFunc(func(x []float64) float64 {
+		sub := make([]float64, len(keepIdx))
+		for i, j := range keepIdx {
+			sub[i] = x[j]
+		}
+		return prunedModel.Predict(sub)
+	})
+
+	evalSeed := cfg.Seed + 1000 // a different traffic day
+	// The evaluation always covers one full diurnal day so every policy
+	// faces the peak, regardless of how much history trained the model.
+	const evalHours = 24.0
+	policies := []struct {
+		name   string
+		scaler orch.Scaler
+	}{
+		{"static", orch.Static{}},
+		{"threshold", &orch.Threshold{UpUtil: 0.8, DownUtil: 0.3}},
+		{"predictive", &orch.Predictive{Model: p.Model}},
+		{"predictive-pruned", &orch.Predictive{Model: prunedPredictor}},
+	}
+	for _, pol := range policies {
+		w, h, err := sc.BuildWorld(evalSeed, pol.scaler)
+		if err != nil {
+			return Figure6Result{}, err
+		}
+		w.Run(evalHours * 3600)
+		out.Rows = append(out.Rows, PolicyOutcome{
+			Policy:        pol.name,
+			ViolationRate: h.Tracker.ViolationRate(),
+			MeanCores:     h.Tracker.CoreSeconds() / (evalHours * 3600),
+			Decisions:     len(h.Decisions()),
+		})
+	}
+	return out, nil
+}

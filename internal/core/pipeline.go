@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/metrics"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/anchors"
+	"nfvxai/internal/xai/counterfactual"
+	"nfvxai/internal/xai/perm"
+	"nfvxai/internal/xai/shap"
+)
+
+// Pipeline is the end-to-end explainable NFV analytics workflow: a trained
+// predictor plus everything needed to explain it (background data, feature
+// names, seeded explainers).
+type Pipeline struct {
+	Kind  ModelKind
+	Model ml.Predictor
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+	// Background is the reference sample for SHAP/LIME/counterfactuals.
+	Background [][]float64
+	// ShapSamples bounds KernelSHAP coalitions (default 1024).
+	ShapSamples int
+	Seed        int64
+}
+
+// NewPipeline trains the model kind on ds (seeded 80/20 split) and
+// prepares a background sample.
+func NewPipeline(kind ModelKind, ds *dataset.Dataset, seed int64) (*Pipeline, error) {
+	train, test := SplitDataset(ds, seed)
+	model, err := TrainModel(kind, train, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 17))
+	return &Pipeline{
+		Kind:        kind,
+		Model:       model,
+		Train:       train,
+		Test:        test,
+		Background:  shap.SampleBackground(rng, train.X, 60),
+		ShapSamples: 1024,
+		Seed:        seed,
+	}, nil
+}
+
+// EvaluateRegression reports test-set regression metrics.
+func (p *Pipeline) EvaluateRegression() metrics.RegressionReport {
+	pred := ml.PredictBatch(p.Model, p.Test.X)
+	return metrics.EvalRegression(p.Kind.String(), pred, p.Test.Y)
+}
+
+// EvaluateClassification reports test-set classification metrics.
+func (p *Pipeline) EvaluateClassification() metrics.ClassificationReport {
+	prob := ml.PredictBatch(p.Model, p.Test.X)
+	return metrics.EvalClassification(p.Kind.String(), prob, p.Test.Y)
+}
+
+// Explainer returns the preferred explainer for the pipeline's model and
+// the method name chosen.
+func (p *Pipeline) Explainer() (xai.Explainer, string) {
+	samples := p.ShapSamples
+	if samples <= 0 {
+		samples = 1024
+	}
+	return Explain(p.Model, p.Background, p.Train.Names, samples, p.Seed)
+}
+
+// ExplainInstance attributes the model's prediction at x.
+func (p *Pipeline) ExplainInstance(x []float64) (xai.Attribution, string, error) {
+	e, method := p.Explainer()
+	attr, err := e.Explain(x)
+	return attr, method, err
+}
+
+// GlobalImportance aggregates |SHAP| over n test instances into a global
+// profile, alongside permutation importance for cross-validation of the
+// ranking.
+func (p *Pipeline) GlobalImportance(n int) (shapImp, permImp []float64, err error) {
+	if n <= 0 || n > p.Test.Len() {
+		n = p.Test.Len()
+	}
+	e, _ := p.Explainer()
+	attrs := make([]xai.Attribution, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := e.Explain(p.Test.X[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: explaining instance %d: %w", i, err)
+		}
+		attrs = append(attrs, a)
+	}
+	shapImp = xai.MeanAbs(attrs)
+	permImp, err = perm.Importance(p.Model, p.Test, perm.Config{Repeats: 3, Seed: p.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return shapImp, permImp, nil
+}
+
+// WhatIf finds the smallest telemetry change that brings the model's
+// prediction to the target — the operator's remediation query.
+func (p *Pipeline) WhatIf(x []float64, target counterfactual.Target, immutable []string) (counterfactual.Counterfactual, error) {
+	var immutableIdx []int
+	for _, name := range immutable {
+		if j := p.Train.FeatureIndex(name); j >= 0 {
+			immutableIdx = append(immutableIdx, j)
+		}
+	}
+	return counterfactual.Search(p.Model, x, p.Background, counterfactual.Config{
+		Target:    target,
+		Immutable: immutableIdx,
+		Seed:      p.Seed,
+	})
+}
+
+// PlaybookRule finds an anchor rule for the model's verdict at x: a
+// reusable "if these telemetry conditions hold, the model will (almost)
+// always say the same thing" statement, rendered with feature names.
+func (p *Pipeline) PlaybookRule(x []float64, threshold float64) (anchors.Anchor, string, error) {
+	a, err := anchors.Explain(p.Model, x, p.Background, anchors.Config{
+		Threshold: threshold,
+		Seed:      p.Seed,
+	})
+	if err != nil {
+		return anchors.Anchor{}, "", err
+	}
+	text := fmt.Sprintf("IF %s THEN verdict holds (precision %.2f, coverage %.2f)",
+		a.Format(p.Train.Names), a.Precision, a.Coverage)
+	return a, text, nil
+}
+
+// ImportanceTable renders an importance vector as a ranked table.
+func ImportanceTable(names []string, imp []float64, topK int) string {
+	type row struct {
+		name string
+		v    float64
+	}
+	rows := make([]row, len(imp))
+	for i, v := range imp {
+		name := fmt.Sprintf("f%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		rows[i] = row{name, v}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	if topK > 0 && topK < len(rows) {
+		rows = rows[:topK]
+	}
+	var sb strings.Builder
+	for i, r := range rows {
+		fmt.Fprintf(&sb, "%2d. %-24s %.5f\n", i+1, r.name, r.v)
+	}
+	return sb.String()
+}

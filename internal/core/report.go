@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/counterfactual"
+)
+
+// OperatorReport renders an attribution as the operator-facing incident
+// narrative the paper advocates: what the model predicted, which telemetry
+// drove the prediction up or down, and in plain terms.
+func OperatorReport(title string, attr xai.Attribution, method string, topK int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	fmt.Fprintf(&sb, "prediction: %.4g (baseline %.4g, method %s)\n", attr.Value, attr.Base, method)
+	delta := attr.Value - attr.Base
+	dir := "above"
+	if delta < 0 {
+		dir = "below"
+	}
+	fmt.Fprintf(&sb, "the prediction is %.4g %s the fleet baseline; top drivers:\n", math.Abs(delta), dir)
+	if topK <= 0 {
+		topK = 5
+	}
+	for i, j := range attr.TopK(topK) {
+		verb := "pushes the prediction up"
+		if attr.Phi[j] < 0 {
+			verb = "pulls the prediction down"
+		}
+		fmt.Fprintf(&sb, "  %d. %-24s %s by %.4g\n", i+1, attr.Name(j), verb, math.Abs(attr.Phi[j]))
+	}
+	return sb.String()
+}
+
+// WhatIfReport renders a counterfactual as a remediation suggestion.
+func WhatIfReport(cf counterfactual.Counterfactual, names []string, original []float64, target counterfactual.Target) string {
+	var sb strings.Builder
+	if !cf.Valid {
+		fmt.Fprintf(&sb, "no feasible change found to reach prediction %s %.4g\n", target.Op, target.Value)
+		return sb.String()
+	}
+	if cf.Sparsity == 0 {
+		sb.WriteString("prediction already satisfies the target; no change needed\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "to reach prediction %s %.4g (now %.4g), change %d feature(s):\n",
+		target.Op, target.Value, cf.Prediction, cf.Sparsity)
+	for _, j := range cf.Changed {
+		name := fmt.Sprintf("f%d", j)
+		if j < len(names) {
+			name = names[j]
+		}
+		fmt.Fprintf(&sb, "  %-24s %.4g -> %.4g\n", name, original[j], cf.X[j])
+	}
+	fmt.Fprintf(&sb, "resulting prediction: %.4g (distance %.2f sd)\n", cf.Prediction, cf.Proximity)
+	return sb.String()
+}

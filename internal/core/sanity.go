@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nfvxai/internal/xai/pdp"
+)
+
+// SanityResult is one feature's partial-dependence check.
+type SanityResult struct {
+	Feature string
+	// MonotoneFraction is the fraction of PDP grid steps moving in the
+	// majority direction (1 = perfectly monotone).
+	MonotoneFraction float64
+	// Range is max−min of the PDP curve (0 = the model ignores the
+	// feature).
+	Range float64
+	// Increasing reports the majority direction.
+	Increasing bool
+	// Pass is true when the response satisfies the domain expectation
+	// (responsive and predominantly increasing).
+	Pass bool
+}
+
+// SanityChecks validates the model's physics against operator
+// expectations: CPU-demand predictions must respond to the offered-load
+// features and respond *upward* — a predictor that says "more packets,
+// less CPU" has learned something wrong even if its test error looks
+// fine. Returns one result per checked feature that exists in the schema.
+func (p *Pipeline) SanityChecks() ([]SanityResult, error) {
+	// Load features with an expected monotone-increasing CPU response.
+	expectIncreasing := []string{"pps", "fps", "active_flows_k"}
+	var out []SanityResult
+	for _, name := range expectIncreasing {
+		j := p.Train.FeatureIndex(name)
+		if j < 0 {
+			continue
+		}
+		curve, err := pdp.Compute(p.Model, p.Background, j, pdp.Config{GridSize: 15})
+		if err != nil {
+			return nil, fmt.Errorf("core: sanity pdp for %s: %w", name, err)
+		}
+		increasing := len(curve.Mean) >= 2 && curve.Mean[len(curve.Mean)-1] >= curve.Mean[0]
+		r := SanityResult{
+			Feature:          name,
+			MonotoneFraction: curve.MonotoneFraction(),
+			Range:            curve.Range(),
+			Increasing:       increasing,
+		}
+		// Pass when the model responds, responds upward, and is mostly
+		// monotone. Correlated telemetry features share the signal, so a
+		// modest monotone fraction on a small-range marginal is normal.
+		r.Pass = r.Range > 0 && increasing && r.MonotoneFraction >= 0.55
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SanityReport renders the checks as an operator-facing summary.
+func SanityReport(results []SanityResult) string {
+	var sb strings.Builder
+	sb.WriteString("model sanity checks (partial dependence):\n")
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		dir := "increasing"
+		if !r.Increasing {
+			dir = "decreasing"
+		}
+		fmt.Fprintf(&sb, "  [%s] %-16s %s response, monotone %.0f%%, range %.4g\n",
+			status, r.Feature, dir, r.MonotoneFraction*100, r.Range)
+	}
+	return sb.String()
+}

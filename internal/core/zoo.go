@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/forest"
+	"nfvxai/internal/ml/linear"
+	"nfvxai/internal/ml/nn"
+	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/shap"
+	"nfvxai/internal/xai/treeshap"
+)
+
+// ModelKind enumerates the model zoo used across experiments.
+type ModelKind int
+
+// Zoo members.
+const (
+	ModelLinear ModelKind = iota
+	ModelTree
+	ModelForest
+	ModelGBT
+	ModelMLP
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelLinear:
+		return "linear"
+	case ModelTree:
+		return "cart"
+	case ModelForest:
+		return "rf"
+	case ModelGBT:
+		return "gbt"
+	case ModelMLP:
+		return "mlp"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// ZooKinds lists all zoo members in report order.
+func ZooKinds() []ModelKind {
+	return []ModelKind{ModelLinear, ModelTree, ModelForest, ModelGBT, ModelMLP}
+}
+
+// TrainModel fits a fresh model of the given kind with the repository's
+// default hyperparameters. For classification datasets, ModelLinear means
+// logistic regression.
+func TrainModel(kind ModelKind, train *dataset.Dataset, seed int64) (ml.Predictor, error) {
+	var model ml.Trainable
+	switch kind {
+	case ModelLinear:
+		if train.Task == dataset.Classification {
+			model = &linear.Logistic{LR: 0.05, Epochs: 150, BatchSize: 64, Seed: seed}
+		} else {
+			// Telemetry features are collinear (rates, lags, EWMAs) and
+			// span wildly different scales; standardized ridge keeps the
+			// solve well posed.
+			model = &linear.Regression{Ridge: 1e-2}
+		}
+	case ModelTree:
+		model = tree.New(tree.Config{Task: train.Task, MaxDepth: 8, MinLeaf: 5, Seed: seed})
+	case ModelForest:
+		model = &forest.RandomForest{NumTrees: 40, MaxDepth: 10, MinLeaf: 3, Task: train.Task, Seed: seed}
+	case ModelGBT:
+		model = &forest.GradientBoosting{NumRounds: 120, LearningRate: 0.1, MaxDepth: 4, Task: train.Task, Seed: seed}
+	case ModelMLP:
+		model = &nn.MLP{Hidden: []int{48, 24}, Epochs: 60, BatchSize: 64, Task: train.Task, Seed: seed}
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %d", int(kind))
+	}
+	if err := model.Fit(normalizeFor(kind, train)); err != nil {
+		return nil, fmt.Errorf("core: training %v: %w", kind, err)
+	}
+	if needsScaling(kind) {
+		// Scale-sensitive models see standardized inputs; wrap so the
+		// public Predict accepts raw telemetry vectors.
+		sc := dataset.FitStandard(train)
+		inner := model
+		return ml.PredictorFunc(func(x []float64) float64 {
+			return inner.Predict(sc.Transform(x))
+		}), nil
+	}
+	return model, nil
+}
+
+// needsScaling reports whether the model kind trains on standardized
+// inputs (gradient-trained or ridge-penalized); tree models consume raw
+// features.
+func needsScaling(kind ModelKind) bool {
+	return kind == ModelMLP || kind == ModelLinear
+}
+
+// normalizeFor standardizes inputs for scale-sensitive models.
+func normalizeFor(kind ModelKind, train *dataset.Dataset) *dataset.Dataset {
+	if needsScaling(kind) {
+		return dataset.Apply(train, dataset.FitStandard(train))
+	}
+	return train
+}
+
+// Explain builds the preferred local explainer for the model: exact
+// TreeSHAP for tree ensembles, KernelSHAP otherwise.
+func Explain(model ml.Predictor, background [][]float64, names []string, samples int, seed int64) (xai.Explainer, string) {
+	switch m := model.(type) {
+	case *tree.Tree:
+		return &treeshap.Explainer{Model: treeshap.Single(m), Names: names}, "treeshap"
+	case *forest.RandomForest:
+		return &treeshap.Explainer{Model: m, Names: names}, "treeshap"
+	case *forest.GradientBoosting:
+		if m.Task == dataset.Regression {
+			return &treeshap.Explainer{Model: m, Names: names}, "treeshap"
+		}
+		// Classification GBT: TreeSHAP explains the margin; to explain the
+		// probability output uniformly we fall back to KernelSHAP.
+		return &shap.Kernel{Model: model, Background: background, NumSamples: samples, Seed: seed, Names: names}, "kernelshap"
+	default:
+		return &shap.Kernel{Model: model, Background: background, NumSamples: samples, Seed: seed, Names: names}, "kernelshap"
+	}
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV encodes the dataset with a header row; the target is written as
+// the final column named "target".
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), d.Names...), "target")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a dataset written by WriteCSV. The final column must be
+// named "target".
+func ReadCSV(r io.Reader, task Task) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: need at least one feature and a target, got %d columns", len(header))
+	}
+	if header[len(header)-1] != "target" {
+		return nil, fmt.Errorf("dataset: final column is %q, want \"target\"", header[len(header)-1])
+	}
+	d := New(task, header[:len(header)-1]...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, len(rec)-1)
+		for j := range row {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", line, j, err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", line, err)
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	return d, nil
+}

@@ -1,0 +1,424 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// machine-learning and explanation packages. It is deliberately minimal:
+// row-major dense matrices, the factorizations needed for least squares
+// (Cholesky, QR), and the handful of BLAS-1/2/3 style operations the rest
+// of the repository needs. Everything is float64 and single-goroutine.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len == rows*cols
+}
+
+// NewDense allocates a rows×cols zero matrix. It panics if either dimension
+// is non-positive.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseData wraps data (len must be rows*cols) without copying.
+func NewDenseData(rows, cols int, data []float64) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Dense) *Dense {
+	checkSameDims(a, b, "Add")
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Dense) *Dense {
+	checkSameDims(a, b, "Sub")
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Dense) Scale(s float64) *Dense {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+func checkSameDims(a, b *Dense, op string) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+	}
+	return sb.String()
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between a
+// and b; useful in tests.
+func MaxAbsDiff(a, b *Dense) float64 {
+	checkSameDims(a, b, "MaxAbsDiff")
+	var max float64
+	for i := range a.data {
+		if d := math.Abs(a.data[i] - b.data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ---- vector helpers ----
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// VecClone returns a copy of x.
+func VecClone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// ---- factorizations & solvers ----
+
+// ErrSingular is returned when a factorization encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular or not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L*Lᵀ for a
+// symmetric positive-definite A.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		panic("mat: Cholesky of non-square matrix")
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A*x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Dense, b []float64) []float64 {
+	n := l.rows
+	if len(b) != n {
+		panic("mat: SolveCholesky dimension mismatch")
+	}
+	// Forward substitution: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A*x = b for symmetric positive-definite A.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b), nil
+}
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+// The lower trapezoid of qr stores the Householder vectors (including the
+// head at the diagonal); the strict upper triangle stores R; rdiag stores
+// R's diagonal separately.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+	m, n  int
+}
+
+// QRFactor computes the QR factorization of a (m >= n required).
+func QRFactor(a *Dense) *QR {
+	m, n := a.rows, a.cols
+	if m < n {
+		panic("mat: QRFactor requires rows >= cols")
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k at and below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the transformation to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -norm
+	}
+	return &QR{qr: qr, rdiag: rdiag, m: m, n: n}
+}
+
+// Solve solves the least-squares problem min ||A*x - b||₂ using the stored
+// factorization. It returns ErrSingular if R has a (near-)zero diagonal.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic("mat: QR.Solve dimension mismatch")
+	}
+	y := VecClone(b)
+	// Apply the Householder reflections to b, computing Qᵀb.
+	for k := 0; k < f.n; k++ {
+		if f.rdiag[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R*x = y[:n]; R's off-diagonal lives in qr's upper
+	// triangle, its diagonal in rdiag.
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		d := f.rdiag[i]
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LstSq solves min ||A*x - b||₂ via QR.
+func LstSq(a *Dense, b []float64) ([]float64, error) {
+	return QRFactor(a).Solve(b)
+}
+
+// SolveRidge solves the ridge-regularized least squares
+// (AᵀA + lambda*I) x = Aᵀ b. lambda must be >= 0; with lambda == 0 it is
+// ordinary least squares via the normal equations.
+func SolveRidge(a *Dense, b []float64, lambda float64) ([]float64, error) {
+	at := a.T()
+	ata := Mul(at, a)
+	n := ata.rows
+	for i := 0; i < n; i++ {
+		ata.data[i*n+i] += lambda
+	}
+	atb := at.MulVec(b)
+	x, err := SolveSPD(ata, atb)
+	if err != nil {
+		// Fall back to QR on the augmented system for near-singular AᵀA.
+		return LstSq(a, b)
+	}
+	return x, nil
+}
+
+// SolveWeightedRidge solves the weighted ridge regression
+// (Aᵀ W A + lambda*I) x = Aᵀ W b where W = diag(w). Used by LIME and
+// KernelSHAP. Weights must be non-negative.
+func SolveWeightedRidge(a *Dense, b, w []float64, lambda float64) ([]float64, error) {
+	if len(w) != a.rows || len(b) != a.rows {
+		panic("mat: SolveWeightedRidge dimension mismatch")
+	}
+	// Scale rows of A and entries of b by sqrt(w), then ridge-solve.
+	scaled := a.Clone()
+	sb := make([]float64, len(b))
+	for i := 0; i < a.rows; i++ {
+		sw := math.Sqrt(w[i])
+		row := scaled.Row(i)
+		for j := range row {
+			row[j] *= sw
+		}
+		sb[i] = b[i] * sw
+	}
+	return SolveRidge(scaled, sb, lambda)
+}

@@ -1,0 +1,393 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d want 3,4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("zero matrix has %v at (%d,%d)", m.At(i, j), i, j)
+			}
+		}
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDense(0, 3) },
+		func() { NewDense(3, -1) },
+		func() { NewDenseData(2, 2, []float64{1, 2, 3}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetAtRowCol(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At = %v want 7.5", got)
+	}
+	if got := m.Row(1)[2]; got != 7.5 {
+		t.Fatalf("Row = %v want 7.5", got)
+	}
+	if got := m.Col(2)[1]; got != 7.5 {
+		t.Fatalf("Col = %v want 7.5", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tt := m.T()
+	r, c := tt.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims %dx%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewDense(4, 4)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	if d := MaxAbsDiff(Mul(a, Identity(4)), a); d > 1e-15 {
+		t.Fatalf("A*I != A, diff %g", d)
+	}
+	if d := MaxAbsDiff(Mul(Identity(4), a), a); d > 1e-15 {
+		t.Fatalf("I*A != A, diff %g", d)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewDenseData(2, 2, []float64{58, 64, 139, 154})
+	if d := MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("Mul wrong, diff %g:\n%v", d, got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 0, -1, 2, 3, 4})
+	got := a.MulVec([]float64{1, 2, 3})
+	if got[0] != -2 || got[1] != 20 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	if got := Add(a, b).At(1, 1); got != 12 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).At(0, 0); got != 4 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2).At(1, 0); got != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 5 {
+		t.Fatal("operands mutated")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		// Build SPD A = BᵀB + n*I.
+		b := NewDense(n, n)
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		a := Mul(b.T(), b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed: %v", err)
+		}
+		if d := MaxAbsDiff(Mul(l, l.T()), a); d > 1e-9 {
+			t.Fatalf("L*Lᵀ != A, diff %g", d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{4, 1, 1, 3})
+	x, err := SolveSPD(a, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual.
+	r := a.MulVec(x)
+	if !almostEq(r[0], 1, 1e-12) || !almostEq(r[1], 2, 1e-12) {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square well-conditioned system: QR should recover x exactly.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewDense(n, n)
+		for i := range a.data {
+			a.data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+3) // diagonal dominance-ish
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := LstSq(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d]=%g want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQRLeastSquaresNormalEquations(t *testing.T) {
+	// Overdetermined: QR solution must satisfy Aᵀ(Ax-b)=0.
+	rng := rand.New(rand.NewSource(11))
+	a := NewDense(30, 5)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LstSq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	grad := a.T().MulVec(res)
+	for i, g := range grad {
+		if math.Abs(g) > 1e-9 {
+			t.Fatalf("normal equations violated: grad[%d]=%g", i, g)
+		}
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	// Rank-deficient matrix: duplicate column.
+	a := NewDenseData(3, 2, []float64{1, 1, 2, 2, 3, 3})
+	if _, err := LstSq(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewDense(40, 4)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 3
+	}
+	x0, err := SolveRidge(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := SolveRidge(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x1) >= Norm2(x0) {
+		t.Fatalf("ridge did not shrink: ||x0||=%g ||x1||=%g", Norm2(x0), Norm2(x1))
+	}
+}
+
+func TestSolveWeightedRidgeZeroWeightIgnoresRow(t *testing.T) {
+	// Two inconsistent observations of a constant; weights pick one.
+	a := NewDenseData(2, 1, []float64{1, 1})
+	b := []float64{10, 20}
+	x, err := SolveWeightedRidge(a, b, []float64{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 10, 1e-8) {
+		t.Fatalf("weighted solve = %v want 10", x)
+	}
+	x, err = SolveWeightedRidge(a, b, []float64{1, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mean (10 + 3*20)/4 = 17.5.
+	if !almostEq(x[0], 17.5, 1e-8) {
+		t.Fatalf("weighted solve = %v want 17.5", x)
+	}
+}
+
+func TestPropertyTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewDense(r, c)
+		for i := range m.data {
+			m.data[i] = rng.NormFloat64()
+		}
+		return MaxAbsDiff(m.T().T(), m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulAssociativeWithVec(t *testing.T) {
+	// (A*B)x == A*(Bx)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := NewDense(m, k)
+		b := NewDense(k, n)
+		for i := range a.data {
+			a.data[i] = rng.NormFloat64()
+		}
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		lhs := Mul(a, b).MulVec(x)
+		rhs := a.MulVec(b.MulVec(x))
+		for i := range lhs {
+			if !almostEq(lhs[i], rhs[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDotSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		return almostEq(Dot(a, b), Dot(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	if got := m.String(); got != "1 2\n3 4" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewDense(64, 64)
+	c := NewDense(64, 64)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+		c.data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, c)
+	}
+}
+
+func BenchmarkCholesky32(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 32
+	base := NewDense(n, n)
+	for i := range base.data {
+		base.data[i] = rng.NormFloat64()
+	}
+	a := Mul(base.T(), base)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml/metrics"
+)
+
+func TestRegressionRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.New(dataset.Regression, "x1", "x2", "x3")
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y := 3*x[0] - 2*x[1] + 0.5*x[2] + 7
+		d.Add(x, y)
+	}
+	var m Regression
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -2, 0.5}
+	for j, w := range want {
+		if math.Abs(m.Weights[j]-w) > 1e-8 {
+			t.Fatalf("w[%d] = %v want %v", j, m.Weights[j], w)
+		}
+	}
+	if math.Abs(m.Intercept-7) > 1e-8 {
+		t.Fatalf("intercept = %v", m.Intercept)
+	}
+}
+
+func TestRegressionWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := dataset.New(dataset.Regression, "x1", "x2")
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d.Add(x, 2*x[0]-x[1]+rng.NormFloat64()*0.1)
+	}
+	var m Regression
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 0.02 || math.Abs(m.Weights[1]+1) > 0.02 {
+		t.Fatalf("weights = %v", m.Weights)
+	}
+	pred := make([]float64, d.Len())
+	for i, x := range d.X {
+		pred[i] = m.Predict(x)
+	}
+	if r2 := metrics.R2(pred, d.Y); r2 < 0.99 {
+		t.Fatalf("R2 = %v", r2)
+	}
+}
+
+func TestRegressionRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.New(dataset.Regression, "x1", "x2")
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d.Add(x, 5*x[0]+5*x[1])
+	}
+	m0 := Regression{}
+	m1 := Regression{Ridge: 1000}
+	if err := m0.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	n0 := math.Hypot(m0.Weights[0], m0.Weights[1])
+	n1 := math.Hypot(m1.Weights[0], m1.Weights[1])
+	if n1 >= n0 {
+		t.Fatalf("ridge did not shrink: %v vs %v", n1, n0)
+	}
+}
+
+func TestRegressionCollinearFallback(t *testing.T) {
+	// Duplicate columns: OLS normal equations are singular, but the ridge
+	// path or QR fallback should still error out cleanly rather than panic.
+	d := dataset.New(dataset.Regression, "a", "b")
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		v := rng.NormFloat64()
+		d.Add([]float64{v, v}, 2*v)
+	}
+	var m Regression
+	err := m.Fit(d)
+	if err == nil {
+		// If a solution is produced it must at least predict well.
+		pred := make([]float64, d.Len())
+		for i, x := range d.X {
+			pred[i] = m.Predict(x)
+		}
+		if r2 := metrics.R2(pred, d.Y); r2 < 0.99 {
+			t.Fatalf("collinear fit bad R2 %v", r2)
+		}
+	}
+	// Ridge always solves it.
+	mr := Regression{Ridge: 0.1}
+	if err := mr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegressionEmptyError(t *testing.T) {
+	var m Regression
+	if err := m.Fit(dataset.New(dataset.Regression, "x")); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestLogisticSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := dataset.New(dataset.Classification, "x1", "x2")
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := 0.0
+		if x[0]+x[1] > 0 {
+			y = 1
+		}
+		d.Add(x, y)
+	}
+	m := Logistic{LR: 0.1, Epochs: 150, BatchSize: 64}
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	prob := make([]float64, d.Len())
+	for i, x := range d.X {
+		prob[i] = m.Predict(x)
+	}
+	rep := metrics.EvalClassification("logit", prob, d.Y)
+	if rep.Accuracy < 0.97 {
+		t.Fatalf("accuracy = %v", rep.Accuracy)
+	}
+	if rep.AUC < 0.99 {
+		t.Fatalf("AUC = %v", rep.AUC)
+	}
+}
+
+func TestLogisticProbabilityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := dataset.New(dataset.Classification, "x")
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64()
+		y := 0.0
+		if x > 0 {
+			y = 1
+		}
+		d.Add([]float64{x}, y)
+	}
+	m := Logistic{Epochs: 100}
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-100, -1, 0, 1, 100} {
+		p := m.Predict([]float64{v})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("P(%v) = %v out of range", v, p)
+		}
+	}
+	// Monotone in the informative feature.
+	if m.Predict([]float64{-3}) >= m.Predict([]float64{3}) {
+		t.Fatal("logistic not monotone in informative feature")
+	}
+}
+
+func TestLogisticL2Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := dataset.New(dataset.Classification, "x")
+	for i := 0; i < 300; i++ {
+		x := rng.NormFloat64()
+		y := 0.0
+		if x > 0 {
+			y = 1
+		}
+		d.Add([]float64{x}, y)
+	}
+	m0 := Logistic{Epochs: 300}
+	m1 := Logistic{Epochs: 300, L2: 1}
+	if err := m0.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.Weights[0]) >= math.Abs(m0.Weights[0]) {
+		t.Fatalf("L2 did not shrink: %v vs %v", m1.Weights[0], m0.Weights[0])
+	}
+}
+
+func TestLogisticDeterministicSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := dataset.New(dataset.Classification, "x1", "x2")
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := 0.0
+		if x[0] > x[1] {
+			y = 1
+		}
+		d.Add(x, y)
+	}
+	a := Logistic{Seed: 42, Epochs: 50, BatchSize: 16}
+	b := Logistic{Seed: 42, Epochs: 50, BatchSize: 16}
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Weights {
+		if a.Weights[j] != b.Weights[j] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func TestLogisticEmptyError(t *testing.T) {
+	var m Logistic
+	if err := m.Fit(dataset.New(dataset.Classification, "x")); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if v := sigmoid(1000); v != 1 {
+		t.Fatalf("sigmoid(1000) = %v", v)
+	}
+	if v := sigmoid(-1000); v != 0 {
+		t.Fatalf("sigmoid(-1000) = %v", v)
+	}
+	if v := sigmoid(0); v != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", v)
+	}
+	// Symmetry: sigmoid(-z) == 1 - sigmoid(z).
+	for _, z := range []float64{0.1, 1, 5, 20} {
+		if math.Abs(sigmoid(-z)-(1-sigmoid(z))) > 1e-15 {
+			t.Fatalf("sigmoid asymmetric at %v", z)
+		}
+	}
+}

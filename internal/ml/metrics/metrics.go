@@ -1,0 +1,251 @@
+// Package metrics implements the regression and binary-classification
+// evaluation metrics reported in the paper's tables: MAE/RMSE/R² for the
+// resource-prediction models and accuracy/precision/recall/F1/ROC-AUC for
+// the SLO-violation classifiers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MSE returns the mean squared error between predictions and truth.
+func MSE(pred, truth []float64) float64 {
+	checkLen(pred, truth)
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, truth []float64) float64 { return math.Sqrt(MSE(pred, truth)) }
+
+// MAE returns the mean absolute error.
+func MAE(pred, truth []float64) float64 {
+	checkLen(pred, truth)
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination. A constant-truth input
+// yields R² of 0 (no variance to explain).
+func R2(pred, truth []float64) float64 {
+	checkLen(pred, truth)
+	var mean float64
+	for _, v := range truth {
+		mean += v
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		d := truth[i] - pred[i]
+		ssRes += d * d
+		t := truth[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MAPE returns the mean absolute percentage error, skipping zero-truth
+// entries; reported as a fraction (0.1 == 10%).
+func MAPE(pred, truth []float64) float64 {
+	checkLen(pred, truth)
+	var s float64
+	n := 0
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs((pred[i] - truth[i]) / truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse builds a confusion matrix from probability predictions
+// thresholded at thresh and binary truth labels.
+func Confuse(prob, truth []float64, thresh float64) Confusion {
+	checkLen(prob, truth)
+	var c Confusion
+	for i := range prob {
+		predPos := prob[i] >= thresh
+		truePos := truth[i] >= 0.5
+		switch {
+		case predPos && truePos:
+			c.TP++
+		case predPos && !truePos:
+			c.FP++
+		case !predPos && truePos:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positive labels.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d", c.TP, c.FP, c.TN, c.FN)
+}
+
+// ROCAUC returns the area under the ROC curve for probability scores and
+// binary labels, computed via the rank statistic (equivalent to the
+// Mann-Whitney U), with proper tie handling. Returns 0.5 when either class
+// is absent.
+func ROCAUC(prob, truth []float64) float64 {
+	checkLen(prob, truth)
+	n := len(prob)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return prob[idx[a]] < prob[idx[b]] })
+	// Fractional ranks with tie averaging.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && prob[idx[j+1]] == prob[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var rankSumPos float64
+	nPos, nNeg := 0, 0
+	for i := range truth {
+		if truth[i] >= 0.5 {
+			rankSumPos += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// LogLoss returns the mean binary cross-entropy with probability clipping.
+func LogLoss(prob, truth []float64) float64 {
+	checkLen(prob, truth)
+	const eps = 1e-12
+	var s float64
+	for i := range prob {
+		p := math.Min(math.Max(prob[i], eps), 1-eps)
+		if truth[i] >= 0.5 {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	return s / float64(len(prob))
+}
+
+// RegressionReport bundles the regression metrics for one model, as
+// printed in Table 1.
+type RegressionReport struct {
+	Model         string
+	MAE, RMSE, R2 float64
+	MAPE          float64
+}
+
+// EvalRegression computes a RegressionReport.
+func EvalRegression(model string, pred, truth []float64) RegressionReport {
+	return RegressionReport{
+		Model: model,
+		MAE:   MAE(pred, truth),
+		RMSE:  RMSE(pred, truth),
+		R2:    R2(pred, truth),
+		MAPE:  MAPE(pred, truth),
+	}
+}
+
+// ClassificationReport bundles the classification metrics for one model,
+// as printed in Table 2.
+type ClassificationReport struct {
+	Model               string
+	Accuracy, Precision float64
+	Recall, F1, AUC     float64
+	LogLoss             float64
+}
+
+// EvalClassification computes a ClassificationReport at threshold 0.5.
+func EvalClassification(model string, prob, truth []float64) ClassificationReport {
+	c := Confuse(prob, truth, 0.5)
+	return ClassificationReport{
+		Model:     model,
+		Accuracy:  c.Accuracy(),
+		Precision: c.Precision(),
+		Recall:    c.Recall(),
+		F1:        c.F1(),
+		AUC:       ROCAUC(prob, truth),
+		LogLoss:   LogLoss(prob, truth),
+	}
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		panic("metrics: empty input")
+	}
+}

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSEAndRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 5}
+	if got := MSE(pred, truth); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := RMSE(pred, truth); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, -1}, []float64{0, 0}); got != 1 {
+		t.Fatalf("MAE = %v", got)
+	}
+}
+
+func TestR2(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if got := R2(truth, truth); got != 1 {
+		t.Fatalf("perfect R2 = %v", got)
+	}
+	// Mean predictor has R2 exactly 0.
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(mean, truth); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean-predictor R2 = %v", got)
+	}
+	// Constant truth: defined as 0.
+	if got := R2([]float64{1, 2}, []float64{5, 5}); got != 0 {
+		t.Fatalf("constant-truth R2 = %v", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE([]float64{110, 90}, []float64{100, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v", got)
+	}
+	// Zero-truth entries skipped.
+	if got := MAPE([]float64{1, 110}, []float64{0, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE with zero truth = %v", got)
+	}
+	if got := MAPE([]float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("all-zero-truth MAPE = %v", got)
+	}
+}
+
+func TestConfusionCounts(t *testing.T) {
+	prob := []float64{0.9, 0.8, 0.3, 0.2, 0.6}
+	truth := []float64{1, 0, 1, 0, 1}
+	c := Confuse(prob, truth, 0.5)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("f1 = %v", got)
+	}
+	if !strings.Contains(c.String(), "TP=2") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion should report zeros")
+	}
+}
+
+func TestROCAUCPerfectAndRandom(t *testing.T) {
+	prob := []float64{0.1, 0.2, 0.8, 0.9}
+	truth := []float64{0, 0, 1, 1}
+	if got := ROCAUC(prob, truth); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	inverted := []float64{0.9, 0.8, 0.2, 0.1}
+	if got := ROCAUC(inverted, truth); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// Single class present: defined as 0.5.
+	if got := ROCAUC([]float64{0.1, 0.9}, []float64{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+func TestROCAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 under tie averaging.
+	prob := []float64{0.5, 0.5, 0.5, 0.5}
+	truth := []float64{1, 0, 1, 0}
+	if got := ROCAUC(prob, truth); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+}
+
+func TestROCAUCMatchesPairCount(t *testing.T) {
+	// AUC equals the fraction of (pos, neg) pairs ranked correctly.
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	prob := make([]float64, n)
+	truth := make([]float64, n)
+	for i := range prob {
+		truth[i] = float64(rng.Intn(2))
+		prob[i] = 0.3*truth[i] + rng.Float64()*0.8
+	}
+	var correct, total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if truth[i] >= 0.5 && truth[j] < 0.5 {
+				total++
+				switch {
+				case prob[i] > prob[j]:
+					correct++
+				case prob[i] == prob[j]:
+					correct += 0.5
+				}
+			}
+		}
+	}
+	want := correct / total
+	if got := ROCAUC(prob, truth); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("AUC = %v want %v", got, want)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Confident-correct has low loss, confident-wrong high loss.
+	low := LogLoss([]float64{0.99, 0.01}, []float64{1, 0})
+	high := LogLoss([]float64{0.01, 0.99}, []float64{1, 0})
+	if low >= high {
+		t.Fatalf("logloss ordering: %v vs %v", low, high)
+	}
+	// Clipping keeps extreme probabilities finite.
+	if v := LogLoss([]float64{0, 1}, []float64{1, 0}); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("logloss not clipped: %v", v)
+	}
+}
+
+func TestEvalReports(t *testing.T) {
+	r := EvalRegression("m", []float64{1, 2}, []float64{1, 3})
+	if r.Model != "m" || r.MAE != 0.5 {
+		t.Fatalf("regression report %+v", r)
+	}
+	c := EvalClassification("c", []float64{0.9, 0.1}, []float64{1, 0})
+	if c.Accuracy != 1 || c.AUC != 1 || c.F1 != 1 {
+		t.Fatalf("classification report %+v", c)
+	}
+}
+
+func TestCheckLenPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { MSE([]float64{1}, []float64{1, 2}) },
+		func() { MAE(nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPropertyAUCInvariantToMonotoneTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		prob := make([]float64, n)
+		truth := make([]float64, n)
+		pos := false
+		neg := false
+		for i := range prob {
+			prob[i] = rng.Float64()
+			truth[i] = float64(rng.Intn(2))
+			if truth[i] == 1 {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos || !neg {
+			return true
+		}
+		transformed := make([]float64, n)
+		for i, p := range prob {
+			transformed[i] = math.Exp(3 * p) // strictly monotone
+		}
+		return math.Abs(ROCAUC(prob, truth)-ROCAUC(transformed, truth)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyR2UpperBound(t *testing.T) {
+	// R² never exceeds 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		pred := make([]float64, n)
+		truth := make([]float64, n)
+		for i := range pred {
+			pred[i], truth[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		return R2(pred, truth) <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Package ml defines the model interfaces shared by the learning packages
+// (linear, tree, forest, nn) and consumed by the explanation packages in
+// internal/xai. Explainers are model-agnostic: they only require Predictor.
+//
+// Convention: for regression models Predict returns the predicted value;
+// for binary classification models Predict returns P(y = 1 | x). This
+// uniform real-valued output is exactly what attribution methods explain.
+package ml
+
+import "nfvxai/internal/dataset"
+
+// Predictor is the minimal model interface the explainers consume.
+type Predictor interface {
+	// Predict returns the model output for a single feature vector.
+	Predict(x []float64) float64
+}
+
+// Trainable is a model that can be fitted to a dataset.
+type Trainable interface {
+	Predictor
+	// Fit trains the model on d, replacing any previous state.
+	Fit(d *dataset.Dataset) error
+}
+
+// PredictorFunc adapts a plain function to the Predictor interface.
+type PredictorFunc func(x []float64) float64
+
+// Predict implements Predictor.
+func (f PredictorFunc) Predict(x []float64) float64 { return f(x) }
+
+// PredictBatch applies m to every row of X.
+func PredictBatch(m Predictor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Classify thresholds a probability-output model at 0.5.
+func Classify(m Predictor, x []float64) float64 {
+	if m.Predict(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// ClassifyBatch thresholds predictions for every row of X.
+func ClassifyBatch(m Predictor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = Classify(m, x)
+	}
+	return out
+}

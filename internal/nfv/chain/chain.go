@@ -1,0 +1,181 @@
+// Package chain composes VNFs into service function chains (SFCs): an
+// ordered sequence of horizontally scalable VNF groups that traffic
+// traverses hop by hop. Per-hop drops thin the load seen downstream;
+// chain latency is the sum of per-hop sojourn times plus propagation.
+package chain
+
+import (
+	"fmt"
+
+	"nfvxai/internal/nfv/traffic"
+	"nfvxai/internal/nfv/vnf"
+)
+
+// Group is one chain position: a horizontally scaled set of identical VNF
+// instances behind an (assumed flow-hash, uniform) load balancer.
+type Group struct {
+	Name string
+	Kind vnf.Kind
+	// CoresPerInstance is the size of each replica.
+	CoresPerInstance int
+
+	instances []*vnf.Instance
+}
+
+// NewGroup builds a group with the given initial replica count.
+func NewGroup(name string, kind vnf.Kind, replicas, coresPer int) *Group {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if coresPer < 1 {
+		coresPer = 1
+	}
+	g := &Group{Name: name, Kind: kind, CoresPerInstance: coresPer}
+	for i := 0; i < replicas; i++ {
+		g.instances = append(g.instances, vnf.New(kind, coresPer))
+	}
+	return g
+}
+
+// Replicas returns the current instance count.
+func (g *Group) Replicas() int { return len(g.instances) }
+
+// Instances exposes the replicas (for placement by the infrastructure).
+func (g *Group) Instances() []*vnf.Instance { return g.instances }
+
+// TotalCores returns the aggregate core allocation.
+func (g *Group) TotalCores() int { return len(g.instances) * g.CoresPerInstance }
+
+// Scale adds (delta > 0) or removes (delta < 0) replicas, never dropping
+// below one. It returns the actual change applied.
+func (g *Group) Scale(delta int) int {
+	before := len(g.instances)
+	target := before + delta
+	if target < 1 {
+		target = 1
+	}
+	for len(g.instances) < target {
+		g.instances = append(g.instances, vnf.New(g.Kind, g.CoresPerInstance))
+	}
+	if len(g.instances) > target {
+		g.instances = g.instances[:target]
+	}
+	return len(g.instances) - before
+}
+
+// GroupResult is one epoch of processing at a group.
+type GroupResult struct {
+	Name        string
+	Kind        vnf.Kind
+	Replicas    int
+	Utilization float64 // mean across replicas
+	LatencyMs   float64 // mean across replicas
+	ServedPPS   float64
+	LossRate    float64
+	StateFactor float64
+}
+
+// Process serves demand for one epoch: the offered load and active flows
+// split uniformly across replicas.
+func (g *Group) Process(d traffic.Demand, activeFlows float64) GroupResult {
+	n := float64(len(g.instances))
+	share := d
+	share.PPS /= n
+	share.BPS /= n
+	share.NewFlows = int(float64(d.NewFlows) / n)
+	perFlow := activeFlows / n
+
+	res := GroupResult{Name: g.Name, Kind: g.Kind, Replicas: len(g.instances)}
+	for _, in := range g.instances {
+		r := in.Process(share, perFlow)
+		res.Utilization += r.Utilization
+		res.LatencyMs += r.LatencyMs
+		res.ServedPPS += r.ServedPPS
+		res.LossRate += r.LossRate
+		res.StateFactor += r.StateFactor
+	}
+	res.Utilization /= n
+	res.LatencyMs /= n
+	res.LossRate /= n
+	res.StateFactor /= n
+	return res
+}
+
+// Chain is an ordered SFC.
+type Chain struct {
+	Name string
+	// PropagationMs is the per-hop link latency.
+	PropagationMs float64
+
+	Groups []*Group
+}
+
+// New builds a chain from groups.
+func New(name string, propagationMs float64, groups ...*Group) *Chain {
+	return &Chain{Name: name, PropagationMs: propagationMs, Groups: groups}
+}
+
+// Result is one epoch of chain processing.
+type Result struct {
+	PerGroup []GroupResult
+	// LatencyMs is the end-to-end mean latency (hops + propagation).
+	LatencyMs float64
+	// LossRate is 1 − (egress PPS / ingress PPS).
+	LossRate float64
+	// Bottleneck is the index of the highest-utilization group.
+	Bottleneck int
+}
+
+// Process pushes one epoch of demand through the chain. Load that a hop
+// drops is not offered to later hops.
+func (c *Chain) Process(d traffic.Demand, activeFlows float64) Result {
+	if len(c.Groups) == 0 {
+		return Result{}
+	}
+	res := Result{PerGroup: make([]GroupResult, 0, len(c.Groups))}
+	ingress := d.PPS
+	cur := d
+	maxUtil := -1.0
+	for i, g := range c.Groups {
+		gr := g.Process(cur, activeFlows)
+		res.PerGroup = append(res.PerGroup, gr)
+		res.LatencyMs += gr.LatencyMs + c.PropagationMs
+		if gr.Utilization > maxUtil {
+			maxUtil = gr.Utilization
+			res.Bottleneck = i
+		}
+		// Thin the demand for the next hop: keep packet mix and flow
+		// profile, reduce rates by the served fraction.
+		if cur.PPS > 0 {
+			frac := gr.ServedPPS / cur.PPS
+			cur.PPS = gr.ServedPPS
+			cur.BPS *= frac
+		}
+	}
+	if ingress > 0 {
+		res.LossRate = 1 - cur.PPS/ingress
+		if res.LossRate < 0 {
+			res.LossRate = 0
+		}
+	}
+	return res
+}
+
+// TotalCores returns the chain's aggregate core allocation.
+func (c *Chain) TotalCores() int {
+	total := 0
+	for _, g := range c.Groups {
+		total += g.TotalCores()
+	}
+	return total
+}
+
+// Group returns the group with the given name, or an error.
+func (c *Chain) Group(name string) (*Group, error) {
+	for _, g := range c.Groups {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("chain %s: no group %q", c.Name, name)
+}

@@ -1,0 +1,119 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"nfvxai/internal/nfv/traffic"
+	"nfvxai/internal/nfv/vnf"
+)
+
+func demand(pps float64, avgPkt float64, flows int) traffic.Demand {
+	return traffic.Demand{PPS: pps, BPS: pps * avgPkt, AvgPktBytes: avgPkt, NewFlows: flows}
+}
+
+func TestGroupScaleBounds(t *testing.T) {
+	g := NewGroup("fw", vnf.Firewall, 2, 2)
+	if g.Replicas() != 2 || g.TotalCores() != 4 {
+		t.Fatalf("initial %d replicas %d cores", g.Replicas(), g.TotalCores())
+	}
+	if got := g.Scale(3); got != 3 || g.Replicas() != 5 {
+		t.Fatalf("scale up: %d, replicas %d", got, g.Replicas())
+	}
+	if got := g.Scale(-10); got != -4 || g.Replicas() != 1 {
+		t.Fatalf("scale down floor: %d, replicas %d", got, g.Replicas())
+	}
+	// Constructor floors.
+	if NewGroup("x", vnf.NAT, 0, 0).Replicas() != 1 {
+		t.Fatal("constructor floor")
+	}
+}
+
+func TestGroupScalingReducesUtilization(t *testing.T) {
+	d := demand(2e5, 400, 500)
+	small := NewGroup("ids", vnf.IDS, 1, 2)
+	big := NewGroup("ids", vnf.IDS, 4, 2)
+	ru := small.Process(d, 1e4).Utilization
+	rb := big.Process(d, 1e4).Utilization
+	if rb >= ru/2 {
+		t.Fatalf("4x replicas should quarter utilization: %v vs %v", ru, rb)
+	}
+}
+
+func TestChainLatencyAccumulates(t *testing.T) {
+	c := New("web", 0.1,
+		NewGroup("fw", vnf.Firewall, 2, 2),
+		NewGroup("nat", vnf.NAT, 2, 2),
+		NewGroup("lb", vnf.LoadBalancer, 2, 2),
+	)
+	res := c.Process(demand(5e4, 400, 100), 5000)
+	if len(res.PerGroup) != 3 {
+		t.Fatalf("groups processed %d", len(res.PerGroup))
+	}
+	var sum float64
+	for _, gr := range res.PerGroup {
+		sum += gr.LatencyMs
+	}
+	want := sum + 3*0.1
+	if math.Abs(res.LatencyMs-want) > 1e-9 {
+		t.Fatalf("latency %v want %v", res.LatencyMs, want)
+	}
+}
+
+func TestChainDropThinning(t *testing.T) {
+	// First hop deliberately overloaded: downstream hops see less load.
+	c := New("thin", 0,
+		NewGroup("dpi", vnf.DPI, 1, 1), // expensive, will saturate
+		NewGroup("fw", vnf.Firewall, 4, 2),
+	)
+	res := c.Process(demand(2e6, 1000, 1000), 1e4)
+	if res.PerGroup[0].LossRate <= 0 {
+		t.Fatal("first hop should drop under this load")
+	}
+	if res.LossRate <= 0 {
+		t.Fatal("chain loss rate should be positive")
+	}
+	// Second hop offered only what the first served.
+	if res.PerGroup[1].ServedPPS > res.PerGroup[0].ServedPPS+1 {
+		t.Fatal("downstream hop served more than upstream egress")
+	}
+	if res.Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d want 0", res.Bottleneck)
+	}
+}
+
+func TestChainNoLossWhenProvisioned(t *testing.T) {
+	c := New("ok", 0.05,
+		NewGroup("fw", vnf.Firewall, 4, 2),
+		NewGroup("mon", vnf.Monitor, 2, 2),
+	)
+	res := c.Process(demand(5e4, 400, 100), 2000)
+	if res.LossRate != 0 {
+		t.Fatalf("loss %v on provisioned chain", res.LossRate)
+	}
+}
+
+func TestChainTotalCoresAndGroupLookup(t *testing.T) {
+	c := New("x", 0,
+		NewGroup("fw", vnf.Firewall, 2, 3),
+		NewGroup("nat", vnf.NAT, 1, 2),
+	)
+	if c.TotalCores() != 8 {
+		t.Fatalf("total cores %d", c.TotalCores())
+	}
+	g, err := c.Group("nat")
+	if err != nil || g.Kind != vnf.NAT {
+		t.Fatalf("Group lookup: %v", err)
+	}
+	if _, err := c.Group("missing"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	c := New("empty", 0)
+	res := c.Process(demand(1e4, 400, 10), 100)
+	if res.LossRate != 0 || res.LatencyMs != 0 {
+		t.Fatalf("empty chain result %+v", res)
+	}
+}

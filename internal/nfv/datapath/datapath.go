@@ -1,0 +1,258 @@
+// Package datapath implements byte-level reference datapaths for two
+// VNFs — a stateful firewall and a source NAT — operating on real packet
+// bytes via the packet and flowtable substrates. The analytic models in
+// internal/nfv/vnf abstract these paths for simulation scale; the
+// datapaths here pin down the concrete per-packet semantics (and their
+// tests double as executable specifications).
+package datapath
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nfvxai/internal/nfv/flowtable"
+	"nfvxai/internal/nfv/packet"
+)
+
+// Verdict is the outcome of processing one packet.
+type Verdict int
+
+// Verdicts.
+const (
+	Accept Verdict = iota
+	Drop
+	Malformed
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case Drop:
+		return "drop"
+	case Malformed:
+		return "malformed"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Rule is a firewall match rule over the five-tuple. Zero fields match
+// everything (a wildcard).
+type Rule struct {
+	// SrcPrefix/DstPrefix match the leading PrefixLen bits of the IPv4
+	// address (PrefixLen 0 = any).
+	SrcPrefix, DstPrefix       [4]byte
+	SrcPrefixLen, DstPrefixLen int
+	// Proto 0 matches any protocol.
+	Proto uint8
+	// DstPort 0 matches any port.
+	DstPort uint16
+	// Allow decides the verdict when the rule matches.
+	Allow bool
+}
+
+// Matches reports whether the rule matches the tuple.
+func (r Rule) Matches(ft packet.FiveTuple) bool {
+	if r.Proto != 0 && r.Proto != ft.Proto {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != ft.DstPort {
+		return false
+	}
+	if !prefixMatch(r.SrcPrefix, r.SrcPrefixLen, ft.Src) {
+		return false
+	}
+	if !prefixMatch(r.DstPrefix, r.DstPrefixLen, ft.Dst) {
+		return false
+	}
+	return true
+}
+
+func prefixMatch(prefix [4]byte, bits int, addr [4]byte) bool {
+	if bits <= 0 {
+		return true
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	p := binary.BigEndian.Uint32(prefix[:])
+	a := binary.BigEndian.Uint32(addr[:])
+	shift := uint(32 - bits)
+	return p>>shift == a>>shift
+}
+
+// Firewall is a stateful L3/L4 firewall: the first packet of a flow is
+// checked against the rule chain (first match wins; default deny), and
+// the decision is cached in a symmetric flow table so reply traffic is
+// accepted without re-evaluating rules.
+type Firewall struct {
+	Rules []Rule
+
+	table *flowtable.Table[bool]
+	// Counters.
+	Accepted, Dropped, Bad uint64
+}
+
+// NewFirewall builds a firewall with the given flow-table capacity.
+func NewFirewall(rules []Rule, tableCap int) *Firewall {
+	return &Firewall{Rules: rules, table: flowtable.New[bool](tableCap, true)}
+}
+
+// Process decides one packet given the current virtual time.
+func (f *Firewall) Process(data []byte, now float64) Verdict {
+	p := packet.Decode(data)
+	ft, ok := p.FiveTuple()
+	if p.Err() != nil || !ok {
+		f.Bad++
+		return Malformed
+	}
+	if allow, ok := f.table.Lookup(ft, now); ok {
+		return f.count(verdictOf(allow))
+	}
+	allow := false
+	for _, r := range f.Rules {
+		if r.Matches(ft) {
+			allow = r.Allow
+			break
+		}
+	}
+	f.table.Insert(ft, allow, now)
+	return f.count(verdictOf(allow))
+}
+
+func verdictOf(allow bool) Verdict {
+	if allow {
+		return Accept
+	}
+	return Drop
+}
+
+func (f *Firewall) count(v Verdict) Verdict {
+	if v == Accept {
+		f.Accepted++
+	} else {
+		f.Dropped++
+	}
+	return v
+}
+
+// TableStats exposes the flow-table counters.
+func (f *Firewall) TableStats() flowtable.Stats { return f.table.Stats() }
+
+// NAT is a source NAT: outbound packets have their source rewritten to
+// the public address and an allocated port; the reverse mapping restores
+// inbound replies. Mappings live in an asymmetric flow table.
+type NAT struct {
+	// Public is the external address.
+	Public [4]byte
+
+	nextPort uint16
+	outbound *flowtable.Table[uint16]    // original tuple -> public port
+	inbound  map[uint16]packet.FiveTuple // public port -> original tuple
+	// Counters.
+	Translated, Restored, Missed uint64
+}
+
+// NewNAT builds a NAT with the given mapping capacity.
+func NewNAT(public [4]byte, tableCap int) *NAT {
+	return &NAT{
+		Public:   public,
+		nextPort: 20000,
+		outbound: flowtable.New[uint16](tableCap, false),
+		inbound:  make(map[uint16]packet.FiveTuple, tableCap),
+	}
+}
+
+// ProcessOutbound rewrites the packet in place (source address and port)
+// and returns the verdict. The IPv4 header checksum is recomputed so the
+// result remains a valid packet.
+func (n *NAT) ProcessOutbound(data []byte, now float64) Verdict {
+	p := packet.Decode(data)
+	ft, ok := p.FiveTuple()
+	if p.Err() != nil || !ok {
+		return Malformed
+	}
+	port, ok := n.outbound.Lookup(ft, now)
+	if !ok {
+		port = n.allocPort()
+		if evicted := n.outbound.Insert(ft, port, now); evicted {
+			// The evicted reverse mapping is now stale; drop it lazily on
+			// the inbound path (it will miss).
+		}
+		n.inbound[port] = ft
+	}
+	rewriteSrc(data, n.Public, port)
+	n.Translated++
+	return Accept
+}
+
+// ProcessInbound restores the original destination for a reply to the
+// public address; packets without a mapping are dropped.
+func (n *NAT) ProcessInbound(data []byte, now float64) Verdict {
+	p := packet.Decode(data)
+	ft, ok := p.FiveTuple()
+	if p.Err() != nil || !ok {
+		return Malformed
+	}
+	orig, ok := n.inbound[ft.DstPort]
+	if !ok || ft.Dst != n.Public {
+		n.Missed++
+		return Drop
+	}
+	// Verify the mapping is still resident (not evicted).
+	if _, live := n.outbound.Lookup(orig, now); !live {
+		delete(n.inbound, ft.DstPort)
+		n.Missed++
+		return Drop
+	}
+	rewriteDst(data, orig.Src, orig.SrcPort)
+	n.Restored++
+	return Accept
+}
+
+func (n *NAT) allocPort() uint16 {
+	for {
+		n.nextPort++
+		if n.nextPort < 20000 {
+			n.nextPort = 20000
+		}
+		if _, taken := n.inbound[n.nextPort]; !taken {
+			return n.nextPort
+		}
+	}
+}
+
+// rewriteSrc replaces the source IP and L4 source port in place and fixes
+// the IPv4 header checksum.
+func rewriteSrc(data []byte, ip [4]byte, port uint16) {
+	ihl := int(data[14]&0x0F) * 4
+	copy(data[14+12:14+16], ip[:])
+	l4 := 14 + ihl
+	binary.BigEndian.PutUint16(data[l4:l4+2], port)
+	fixIPChecksum(data)
+}
+
+// rewriteDst replaces the destination IP and L4 destination port.
+func rewriteDst(data []byte, ip [4]byte, port uint16) {
+	ihl := int(data[14]&0x0F) * 4
+	copy(data[14+16:14+20], ip[:])
+	l4 := 14 + ihl
+	binary.BigEndian.PutUint16(data[l4+2:l4+4], port)
+	fixIPChecksum(data)
+}
+
+func fixIPChecksum(data []byte) {
+	ihl := int(data[14]&0x0F) * 4
+	hdr := data[14 : 14+ihl]
+	hdr[10], hdr[11] = 0, 0
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	binary.BigEndian.PutUint16(hdr[10:12], ^uint16(sum))
+}

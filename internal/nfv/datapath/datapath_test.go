@@ -1,0 +1,248 @@
+package datapath
+
+import (
+	"strings"
+	"testing"
+
+	"nfvxai/internal/nfv/packet"
+)
+
+func builder(srcLast, dstLast byte) *packet.Builder {
+	return &packet.Builder{
+		SrcIP: [4]byte{10, 0, 0, srcLast},
+		DstIP: [4]byte{203, 0, 113, dstLast},
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Accept.String() != "accept" || Drop.String() != "drop" || Malformed.String() != "malformed" {
+		t.Fatal("verdict strings")
+	}
+	if !strings.Contains(Verdict(9).String(), "9") {
+		t.Fatal("unknown verdict")
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	r := Rule{
+		SrcPrefix:    [4]byte{10, 0, 0, 0},
+		SrcPrefixLen: 8,
+		Proto:        packet.IPProtoTCP,
+		DstPort:      443,
+		Allow:        true,
+	}
+	ft := packet.FiveTuple{
+		Src: [4]byte{10, 9, 9, 9}, Dst: [4]byte{1, 2, 3, 4},
+		Proto: packet.IPProtoTCP, SrcPort: 5555, DstPort: 443,
+	}
+	if !r.Matches(ft) {
+		t.Fatal("should match")
+	}
+	other := ft
+	other.Src = [4]byte{11, 0, 0, 1}
+	if r.Matches(other) {
+		t.Fatal("prefix mismatch should not match")
+	}
+	udp := ft
+	udp.Proto = packet.IPProtoUDP
+	if r.Matches(udp) {
+		t.Fatal("proto mismatch should not match")
+	}
+	port := ft
+	port.DstPort = 80
+	if r.Matches(port) {
+		t.Fatal("port mismatch should not match")
+	}
+	// Wildcard rule matches anything.
+	if !(Rule{Allow: true}).Matches(ft) {
+		t.Fatal("wildcard rule")
+	}
+}
+
+func TestPrefixMatchEdges(t *testing.T) {
+	p := [4]byte{192, 168, 1, 0}
+	if !prefixMatch(p, 24, [4]byte{192, 168, 1, 200}) {
+		t.Fatal("/24 match")
+	}
+	if prefixMatch(p, 24, [4]byte{192, 168, 2, 1}) {
+		t.Fatal("/24 non-match")
+	}
+	if !prefixMatch(p, 0, [4]byte{1, 1, 1, 1}) {
+		t.Fatal("/0 matches all")
+	}
+	if !prefixMatch([4]byte{192, 168, 1, 7}, 40, [4]byte{192, 168, 1, 7}) {
+		t.Fatal("overlong prefix clamps to /32")
+	}
+}
+
+func TestFirewallFirstMatchWinsDefaultDeny(t *testing.T) {
+	fw := NewFirewall([]Rule{
+		{DstPort: 22, Allow: false},                           // block ssh
+		{Proto: packet.IPProtoTCP, DstPort: 443, Allow: true}, // allow https
+	}, 128)
+	b := builder(1, 1)
+	https := b.BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443, SYN: true}, nil)
+	ssh := b.BuildTCP(packet.TCPOpts{SrcPort: 40001, DstPort: 22, SYN: true}, nil)
+	dns := b.BuildUDP(40002, 53, nil)
+	if v := fw.Process(https, 0); v != Accept {
+		t.Fatalf("https %v", v)
+	}
+	if v := fw.Process(ssh, 1); v != Drop {
+		t.Fatalf("ssh %v", v)
+	}
+	if v := fw.Process(dns, 2); v != Drop {
+		t.Fatalf("default deny: %v", v)
+	}
+	if fw.Accepted != 1 || fw.Dropped != 2 {
+		t.Fatalf("counters %d/%d", fw.Accepted, fw.Dropped)
+	}
+}
+
+func TestFirewallStatefulReplyPath(t *testing.T) {
+	// Reply traffic (reversed tuple) must be accepted from the flow table
+	// even though no rule matches it.
+	fw := NewFirewall([]Rule{
+		{SrcPrefix: [4]byte{10, 0, 0, 0}, SrcPrefixLen: 8, Allow: true},
+	}, 128)
+	out := builder(1, 1).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443, SYN: true}, nil)
+	if v := fw.Process(out, 0); v != Accept {
+		t.Fatalf("outbound %v", v)
+	}
+	// Build the reply: swap addresses and ports.
+	reply := (&packet.Builder{
+		SrcIP: [4]byte{203, 0, 113, 1},
+		DstIP: [4]byte{10, 0, 0, 1},
+	}).BuildTCP(packet.TCPOpts{SrcPort: 443, DstPort: 40000, ACK: true}, nil)
+	if v := fw.Process(reply, 1); v != Accept {
+		t.Fatalf("reply dropped: %v", v)
+	}
+	st := fw.TableStats()
+	if st.Hits != 1 {
+		t.Fatalf("reply should hit the flow table: %+v", st)
+	}
+}
+
+func TestFirewallMalformed(t *testing.T) {
+	fw := NewFirewall(nil, 16)
+	if v := fw.Process([]byte{1, 2, 3}, 0); v != Malformed {
+		t.Fatalf("truncated packet verdict %v", v)
+	}
+	if fw.Bad != 1 {
+		t.Fatal("malformed counter")
+	}
+}
+
+func TestFirewallCachedVerdictSkipsRules(t *testing.T) {
+	fw := NewFirewall([]Rule{{Allow: true}}, 16)
+	pkt := builder(2, 2).BuildTCP(packet.TCPOpts{SrcPort: 1, DstPort: 2}, nil)
+	fw.Process(pkt, 0)
+	missesAfterFirst := fw.TableStats().Misses
+	fw.Process(pkt, 1)
+	if fw.TableStats().Misses != missesAfterFirst {
+		t.Fatal("second packet of flow should not miss")
+	}
+}
+
+func TestNATOutboundRewritesAndStaysValid(t *testing.T) {
+	public := [4]byte{198, 51, 100, 1}
+	nat := NewNAT(public, 128)
+	data := builder(5, 9).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443}, []byte("x"))
+	if v := nat.ProcessOutbound(data, 0); v != Accept {
+		t.Fatalf("outbound %v", v)
+	}
+	// The rewritten packet must decode cleanly (checksum fixed) with the
+	// public source.
+	p := packet.Decode(data)
+	if p.Err() != nil {
+		t.Fatalf("rewritten packet invalid: %v", p.Err())
+	}
+	ft, _ := p.FiveTuple()
+	if ft.Src != public {
+		t.Fatalf("source not translated: %v", ft.Src)
+	}
+	if ft.SrcPort == 40000 {
+		t.Fatal("source port not translated")
+	}
+	if ft.DstPort != 443 {
+		t.Fatal("destination port must be untouched")
+	}
+	if nat.Translated != 1 {
+		t.Fatal("translation counter")
+	}
+}
+
+func TestNATRoundTrip(t *testing.T) {
+	public := [4]byte{198, 51, 100, 1}
+	nat := NewNAT(public, 128)
+	orig := builder(5, 9).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443}, nil)
+	out := append([]byte(nil), orig...)
+	if v := nat.ProcessOutbound(out, 0); v != Accept {
+		t.Fatal("outbound")
+	}
+	oft, _ := packet.Decode(out).FiveTuple()
+
+	// Synthesize the reply to the public endpoint.
+	reply := (&packet.Builder{SrcIP: oft.Dst, DstIP: oft.Src}).BuildTCP(
+		packet.TCPOpts{SrcPort: oft.DstPort, DstPort: oft.SrcPort, ACK: true}, nil)
+	if v := nat.ProcessInbound(reply, 1); v != Accept {
+		t.Fatalf("inbound %v", v)
+	}
+	rft, _ := packet.Decode(reply).FiveTuple()
+	// The restored destination must equal the original private endpoint.
+	if rft.Dst != [4]byte{10, 0, 0, 5} || rft.DstPort != 40000 {
+		t.Fatalf("restore failed: %+v", rft)
+	}
+	if nat.Restored != 1 {
+		t.Fatal("restore counter")
+	}
+}
+
+func TestNATSameFlowReusesMapping(t *testing.T) {
+	nat := NewNAT([4]byte{198, 51, 100, 1}, 128)
+	p1 := builder(5, 9).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443}, nil)
+	p2 := builder(5, 9).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443}, nil)
+	nat.ProcessOutbound(p1, 0)
+	nat.ProcessOutbound(p2, 1)
+	f1, _ := packet.Decode(p1).FiveTuple()
+	f2, _ := packet.Decode(p2).FiveTuple()
+	if f1.SrcPort != f2.SrcPort {
+		t.Fatalf("same flow mapped to different ports: %d vs %d", f1.SrcPort, f2.SrcPort)
+	}
+	// Distinct flows get distinct ports.
+	p3 := builder(6, 9).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443}, nil)
+	nat.ProcessOutbound(p3, 2)
+	f3, _ := packet.Decode(p3).FiveTuple()
+	if f3.SrcPort == f1.SrcPort {
+		t.Fatal("distinct flows share a mapping")
+	}
+}
+
+func TestNATInboundUnknownDropped(t *testing.T) {
+	nat := NewNAT([4]byte{198, 51, 100, 1}, 16)
+	stray := (&packet.Builder{
+		SrcIP: [4]byte{8, 8, 8, 8},
+		DstIP: [4]byte{198, 51, 100, 1},
+	}).BuildTCP(packet.TCPOpts{SrcPort: 443, DstPort: 55555}, nil)
+	if v := nat.ProcessInbound(stray, 0); v != Drop {
+		t.Fatalf("stray inbound %v", v)
+	}
+	if nat.Missed != 1 {
+		t.Fatal("missed counter")
+	}
+	if v := nat.ProcessInbound([]byte{0}, 0); v != Malformed {
+		t.Fatal("malformed inbound")
+	}
+}
+
+func BenchmarkFirewallProcess(b *testing.B) {
+	fw := NewFirewall([]Rule{
+		{DstPort: 22},
+		{Proto: packet.IPProtoTCP, DstPort: 443, Allow: true},
+	}, 4096)
+	pkt := builder(1, 1).BuildTCP(packet.TCPOpts{SrcPort: 40000, DstPort: 443}, make([]byte, 256))
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.Process(pkt, float64(i))
+	}
+}

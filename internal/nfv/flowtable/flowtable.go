@@ -1,0 +1,157 @@
+// Package flowtable implements the per-VNF connection-state table: a
+// bounded LRU map keyed by the canonical five-tuple, with hit/miss/
+// eviction accounting and optional idle expiry. Table pressure is what
+// the analytic VNF cost models (internal/nfv/vnf) charge for; this is the
+// concrete data structure a byte-level datapath uses.
+package flowtable
+
+import (
+	"container/list"
+
+	"nfvxai/internal/nfv/packet"
+)
+
+// Stats counts table activity.
+type Stats struct {
+	Hits, Misses, Evictions, Expiries uint64
+}
+
+// Table is a bounded LRU flow table. Zero value is not usable; call New.
+// Not safe for concurrent use (datapaths shard by flow hash instead).
+type Table[V any] struct {
+	capacity int
+	// Symmetric folds a flow and its reverse onto one entry (stateful
+	// firewalls do; NATs keyed per direction do not).
+	symmetric bool
+
+	lru     *list.List // front = most recent; holds *entry[V]
+	entries map[packet.FiveTuple]*list.Element
+	stats   Stats
+}
+
+type entry[V any] struct {
+	key      packet.FiveTuple
+	value    V
+	lastSeen float64
+}
+
+// New builds a table with the given capacity (minimum 1).
+func New[V any](capacity int, symmetric bool) *Table[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Table[V]{
+		capacity:  capacity,
+		symmetric: symmetric,
+		lru:       list.New(),
+		entries:   make(map[packet.FiveTuple]*list.Element, capacity),
+	}
+}
+
+func (t *Table[V]) canonical(key packet.FiveTuple) packet.FiveTuple {
+	if !t.symmetric {
+		return key
+	}
+	rev := key.Reverse()
+	// Deterministic direction normalization: pick the lexicographically
+	// smaller representation.
+	if less(rev, key) {
+		return rev
+	}
+	return key
+}
+
+func less(a, b packet.FiveTuple) bool {
+	for i := 0; i < 4; i++ {
+		if a.Src[i] != b.Src[i] {
+			return a.Src[i] < b.Src[i]
+		}
+	}
+	return a.SrcPort < b.SrcPort
+}
+
+// Len returns the resident entry count.
+func (t *Table[V]) Len() int { return t.lru.Len() }
+
+// Stats returns the activity counters.
+func (t *Table[V]) Stats() Stats { return t.stats }
+
+// Lookup returns the value for the flow and refreshes its recency.
+func (t *Table[V]) Lookup(key packet.FiveTuple, now float64) (V, bool) {
+	k := t.canonical(key)
+	el, ok := t.entries[k]
+	if !ok {
+		t.stats.Misses++
+		var zero V
+		return zero, false
+	}
+	t.stats.Hits++
+	e := el.Value.(*entry[V])
+	e.lastSeen = now
+	t.lru.MoveToFront(el)
+	return e.value, true
+}
+
+// Insert adds or replaces the flow's state, evicting the least recently
+// used entry when full. It reports whether an eviction happened.
+func (t *Table[V]) Insert(key packet.FiveTuple, value V, now float64) (evicted bool) {
+	k := t.canonical(key)
+	if el, ok := t.entries[k]; ok {
+		e := el.Value.(*entry[V])
+		e.value = value
+		e.lastSeen = now
+		t.lru.MoveToFront(el)
+		return false
+	}
+	if t.lru.Len() >= t.capacity {
+		oldest := t.lru.Back()
+		if oldest != nil {
+			e := oldest.Value.(*entry[V])
+			delete(t.entries, e.key)
+			t.lru.Remove(oldest)
+			t.stats.Evictions++
+			evicted = true
+		}
+	}
+	el := t.lru.PushFront(&entry[V]{key: k, value: value, lastSeen: now})
+	t.entries[k] = el
+	return evicted
+}
+
+// Delete removes the flow's entry if present.
+func (t *Table[V]) Delete(key packet.FiveTuple) bool {
+	k := t.canonical(key)
+	el, ok := t.entries[k]
+	if !ok {
+		return false
+	}
+	delete(t.entries, k)
+	t.lru.Remove(el)
+	return true
+}
+
+// ExpireIdle removes entries idle longer than maxIdle seconds at time now
+// and returns the number removed.
+func (t *Table[V]) ExpireIdle(now, maxIdle float64) int {
+	removed := 0
+	for {
+		oldest := t.lru.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry[V])
+		if now-e.lastSeen <= maxIdle {
+			break
+		}
+		delete(t.entries, e.key)
+		t.lru.Remove(oldest)
+		t.stats.Expiries++
+		removed++
+	}
+	return removed
+}
+
+// Utilization returns Len()/capacity.
+func (t *Table[V]) Utilization() float64 {
+	return float64(t.lru.Len()) / float64(t.capacity)
+}

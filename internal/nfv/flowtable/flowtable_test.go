@@ -1,0 +1,151 @@
+package flowtable
+
+import (
+	"testing"
+
+	"nfvxai/internal/nfv/packet"
+)
+
+func tuple(lastOctet byte, srcPort uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:     [4]byte{10, 0, 0, lastOctet},
+		Dst:     [4]byte{192, 168, 0, 1},
+		Proto:   packet.IPProtoTCP,
+		SrcPort: srcPort,
+		DstPort: 443,
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tb := New[string](4, false)
+	tb.Insert(tuple(1, 1000), "a", 0)
+	v, ok := tb.Lookup(tuple(1, 1000), 1)
+	if !ok || v != "a" {
+		t.Fatalf("lookup = %q, %v", v, ok)
+	}
+	if _, ok := tb.Lookup(tuple(2, 1000), 1); ok {
+		t.Fatal("phantom entry")
+	}
+	s := tb.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := New[int](2, false)
+	tb.Insert(tuple(1, 1), 1, 0)
+	tb.Insert(tuple(2, 2), 2, 1)
+	// Touch entry 1 so entry 2 becomes LRU.
+	tb.Lookup(tuple(1, 1), 2)
+	if ev := tb.Insert(tuple(3, 3), 3, 3); !ev {
+		t.Fatal("expected eviction")
+	}
+	if _, ok := tb.Lookup(tuple(2, 2), 4); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if _, ok := tb.Lookup(tuple(1, 1), 4); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if tb.Stats().Evictions != 1 {
+		t.Fatalf("evictions %d", tb.Stats().Evictions)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len %d", tb.Len())
+	}
+}
+
+func TestInsertReplaceDoesNotEvict(t *testing.T) {
+	tb := New[int](1, false)
+	tb.Insert(tuple(1, 1), 1, 0)
+	if ev := tb.Insert(tuple(1, 1), 2, 1); ev {
+		t.Fatal("replacement should not evict")
+	}
+	v, _ := tb.Lookup(tuple(1, 1), 2)
+	if v != 2 {
+		t.Fatalf("replace failed: %d", v)
+	}
+}
+
+func TestSymmetricTableFoldsDirections(t *testing.T) {
+	tb := New[string](4, true)
+	ft := tuple(1, 1000)
+	tb.Insert(ft, "state", 0)
+	v, ok := tb.Lookup(ft.Reverse(), 1)
+	if !ok || v != "state" {
+		t.Fatal("reverse direction not folded")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("symmetric table has %d entries", tb.Len())
+	}
+	// Asymmetric table keeps directions separate.
+	ta := New[string](4, false)
+	ta.Insert(ft, "fwd", 0)
+	if _, ok := ta.Lookup(ft.Reverse(), 1); ok {
+		t.Fatal("asymmetric table folded directions")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := New[int](4, false)
+	tb.Insert(tuple(1, 1), 1, 0)
+	if !tb.Delete(tuple(1, 1)) {
+		t.Fatal("delete failed")
+	}
+	if tb.Delete(tuple(1, 1)) {
+		t.Fatal("double delete succeeded")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestExpireIdle(t *testing.T) {
+	tb := New[int](8, false)
+	tb.Insert(tuple(1, 1), 1, 0)
+	tb.Insert(tuple(2, 2), 2, 5)
+	tb.Insert(tuple(3, 3), 3, 9)
+	// At t=10 with maxIdle 4: entries last seen before t=6 expire.
+	if n := tb.ExpireIdle(10, 4); n != 2 {
+		t.Fatalf("expired %d want 2", n)
+	}
+	if _, ok := tb.Lookup(tuple(3, 3), 10); !ok {
+		t.Fatal("fresh entry expired")
+	}
+	if tb.Stats().Expiries != 2 {
+		t.Fatalf("expiry stat %d", tb.Stats().Expiries)
+	}
+}
+
+func TestExpireRefreshedByLookup(t *testing.T) {
+	tb := New[int](4, false)
+	tb.Insert(tuple(1, 1), 1, 0)
+	tb.Lookup(tuple(1, 1), 8) // refresh
+	if n := tb.ExpireIdle(10, 4); n != 0 {
+		t.Fatalf("refreshed entry expired (%d)", n)
+	}
+}
+
+func TestUtilizationAndCapacityFloor(t *testing.T) {
+	tb := New[int](0, false) // floors to 1
+	tb.Insert(tuple(1, 1), 1, 0)
+	if u := tb.Utilization(); u != 1 {
+		t.Fatalf("utilization %v", u)
+	}
+	tb.Insert(tuple(2, 2), 2, 1)
+	if tb.Len() != 1 {
+		t.Fatal("capacity floor violated")
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tb := New[int](1024, true)
+	for i := 0; i < 1024; i++ {
+		tb.Insert(tuple(byte(i), uint16(i)), i, 0)
+	}
+	key := tuple(7, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(key, float64(i))
+	}
+}

@@ -1,0 +1,112 @@
+package infra
+
+import (
+	"math"
+	"testing"
+
+	"nfvxai/internal/nfv/traffic"
+	"nfvxai/internal/nfv/vnf"
+)
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	c := NewCluster(3, 8)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Place(vnf.New(vnf.Firewall, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.PlacedCores() != 4 {
+			t.Fatalf("node %d has %d cores placed, want balanced 4", n.ID, n.PlacedCores())
+		}
+	}
+	if got := c.Utilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("cluster utilization %v", got)
+	}
+}
+
+func TestPlacementRejectsOversize(t *testing.T) {
+	c := NewCluster(2, 4)
+	if _, err := c.Place(vnf.New(vnf.Firewall, 8)); err == nil {
+		t.Fatal("expected placement failure")
+	}
+	if _, err := (&Cluster{}).Place(vnf.New(vnf.Firewall, 1)); err == nil {
+		t.Fatal("expected empty-cluster error")
+	}
+}
+
+func TestPlacementFillsUp(t *testing.T) {
+	c := NewCluster(2, 4)
+	placed := 0
+	for i := 0; i < 10; i++ {
+		if _, err := c.Place(vnf.New(vnf.NAT, 2)); err == nil {
+			placed++
+		}
+	}
+	if placed != 4 {
+		t.Fatalf("placed %d instances, want 4 (2 nodes × 4 cores / 2)", placed)
+	}
+}
+
+func TestUnplace(t *testing.T) {
+	c := NewCluster(1, 8)
+	in := vnf.New(vnf.Firewall, 2)
+	if _, err := c.Place(in); err != nil {
+		t.Fatal(err)
+	}
+	c.Unplace(in)
+	if c.Nodes[0].PlacedCores() != 0 {
+		t.Fatal("unplace failed")
+	}
+	c.Unplace(in) // double-unplace is a no-op
+}
+
+func TestContentionSlowsOversubscribedNode(t *testing.T) {
+	c := NewCluster(1, 4)
+	a := vnf.New(vnf.DPI, 2)
+	b := vnf.New(vnf.DPI, 2)
+	if _, err := c.Place(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	// Demand exceeding the node: each instance wants 3 cores' worth.
+	heavy := func(*vnf.Instance) float64 { return 3 * 2.4e9 }
+	c.ApplyContention(heavy)
+	if a.CapScale >= 1 || b.CapScale >= 1 {
+		t.Fatalf("contention not applied: %v %v", a.CapScale, b.CapScale)
+	}
+	want := c.Nodes[0].CapacityCycles() / (6 * 2.4e9)
+	if math.Abs(a.CapScale-want) > 1e-9 {
+		t.Fatalf("cap scale %v want %v", a.CapScale, want)
+	}
+	// Light demand resets to 1.
+	light := func(*vnf.Instance) float64 { return 1e6 }
+	c.ApplyContention(light)
+	if a.CapScale != 1 || b.CapScale != 1 {
+		t.Fatal("contention not cleared")
+	}
+}
+
+func TestDemandFn(t *testing.T) {
+	in := vnf.New(vnf.Firewall, 2)
+	d := traffic.Demand{PPS: 1e4, BPS: 4e6, NewFlows: 100}
+	fn := DemandFn(d, 1000)
+	if got, want := fn(in), in.DemandCycles(d, 1000); got != want {
+		t.Fatalf("DemandFn %v want %v", got, want)
+	}
+}
+
+func TestContentionRaisesVNFUtilization(t *testing.T) {
+	// End-to-end: a contended instance reports higher utilization for the
+	// same offered load.
+	in := vnf.New(vnf.Firewall, 2)
+	d := traffic.Demand{PPS: 5e4, BPS: 2e7, AvgPktBytes: 400, NewFlows: 100}
+	free := in.Process(d, 1000).Utilization
+	in.CapScale = 0.5
+	contended := in.Process(d, 1000).Utilization
+	if math.Abs(contended-2*free) > 1e-9 {
+		t.Fatalf("contended util %v want %v", contended, 2*free)
+	}
+}

@@ -1,0 +1,209 @@
+// Package orch implements the management-plane scalers the paper
+// compares: a reactive threshold autoscaler (scale when observed CPU
+// crosses a bound) and a predictive autoscaler driven by an ML forecast
+// of next-epoch bottleneck utilization — the model whose decisions the
+// XAI layer explains to operators.
+package orch
+
+import (
+	"fmt"
+	"math"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/nfv/chain"
+	"nfvxai/internal/nfv/telemetry"
+)
+
+// Decision is one scaling action.
+type Decision struct {
+	Group  string
+	Delta  int
+	Reason string
+}
+
+// Scaler decides replica changes from the telemetry window.
+type Scaler interface {
+	Decide(win *telemetry.Window, c *chain.Chain) []Decision
+}
+
+// Static never scales; it is the fixed-allocation baseline.
+type Static struct{}
+
+// Decide implements Scaler.
+func (Static) Decide(*telemetry.Window, *chain.Chain) []Decision { return nil }
+
+// Threshold is the classic reactive autoscaler: scale a group up when its
+// observed utilization crosses UpUtil, down when below DownUtil, with a
+// per-group cooldown.
+type Threshold struct {
+	// UpUtil/DownUtil default to 0.8 / 0.3.
+	UpUtil, DownUtil float64
+	// CooldownEpochs suppresses consecutive actions on a group (default 3).
+	CooldownEpochs int
+
+	cool map[string]int
+}
+
+// Decide implements Scaler.
+func (t *Threshold) Decide(win *telemetry.Window, c *chain.Chain) []Decision {
+	if win.Len() == 0 {
+		return nil
+	}
+	up := t.UpUtil
+	if up <= 0 {
+		up = 0.8
+	}
+	down := t.DownUtil
+	if down <= 0 {
+		down = 0.3
+	}
+	cooldown := t.CooldownEpochs
+	if cooldown <= 0 {
+		cooldown = 3
+	}
+	if t.cool == nil {
+		t.cool = map[string]int{}
+	}
+	last := win.Last()
+	var out []Decision
+	for _, gr := range last.Chain.PerGroup {
+		if t.cool[gr.Name] > 0 {
+			t.cool[gr.Name]--
+			continue
+		}
+		switch {
+		case gr.Utilization > up:
+			out = append(out, Decision{
+				Group:  gr.Name,
+				Delta:  1,
+				Reason: fmt.Sprintf("observed util %.2f > %.2f", gr.Utilization, up),
+			})
+			t.cool[gr.Name] = cooldown
+		case gr.Utilization < down && gr.Replicas > 1:
+			out = append(out, Decision{
+				Group:  gr.Name,
+				Delta:  -1,
+				Reason: fmt.Sprintf("observed util %.2f < %.2f", gr.Utilization, down),
+			})
+			t.cool[gr.Name] = cooldown
+		}
+	}
+	return out
+}
+
+// Predictive scales ahead of demand using an ML forecast of the next
+// epoch's bottleneck utilization (at the current allocation).
+type Predictive struct {
+	// Model predicts next-epoch bottleneck utilization from the telemetry
+	// feature vector (see telemetry.Features).
+	Model ml.Predictor
+	// TargetUtil is the post-scaling utilization goal (default 0.6).
+	TargetUtil float64
+	// UpUtil triggers scale-up when the forecast exceeds it (default 0.8);
+	// DownUtil triggers scale-down (default 0.35).
+	UpUtil, DownUtil float64
+	// CooldownEpochs suppresses consecutive actions (default 2).
+	CooldownEpochs int
+	// MaxStep bounds replicas added per decision (default 3).
+	MaxStep int
+	// MaxReplicas caps any group's size (default 12): the forecast model
+	// extrapolates outside its training distribution at large replica
+	// counts, and the cap bounds the damage of a runaway forecast.
+	MaxReplicas int
+
+	cool int
+	// LastForecast exposes the most recent prediction (for explanation).
+	LastForecast float64
+	// LastFeatures exposes the feature vector behind it.
+	LastFeatures []float64
+}
+
+// Decide implements Scaler: it forecasts the bottleneck group's next-epoch
+// utilization and resizes that group toward TargetUtil.
+func (p *Predictive) Decide(win *telemetry.Window, c *chain.Chain) []Decision {
+	if win.Len() == 0 || p.Model == nil {
+		return nil
+	}
+	target := p.TargetUtil
+	if target <= 0 {
+		target = 0.6
+	}
+	up := p.UpUtil
+	if up <= 0 {
+		up = 0.8
+	}
+	down := p.DownUtil
+	if down <= 0 {
+		down = 0.35
+	}
+	maxStep := p.MaxStep
+	if maxStep <= 0 {
+		maxStep = 3
+	}
+	maxReplicas := p.MaxReplicas
+	if maxReplicas <= 0 {
+		maxReplicas = 12
+	}
+	cooldown := p.CooldownEpochs
+	if cooldown <= 0 {
+		cooldown = 2
+	}
+	feats := telemetry.Features(win)
+	p.LastFeatures = feats
+	forecast := p.Model.Predict(feats)
+	p.LastForecast = forecast
+	if p.cool > 0 {
+		p.cool--
+		return nil
+	}
+	last := win.Last()
+	if len(last.Chain.PerGroup) == 0 {
+		return nil
+	}
+	bn := last.Chain.PerGroup[last.Chain.Bottleneck]
+	g, err := c.Group(bn.Name)
+	if err != nil {
+		return nil
+	}
+	// For downscaling decisions, trust whichever of forecast and observed
+	// utilization is higher: when the allocation has drifted far from the
+	// training distribution, the observed signal keeps an extrapolating
+	// forecast from pinning the group at peak size forever.
+	utilEst := math.Max(forecast, bn.Utilization)
+	switch {
+	case forecast > up && g.Replicas() < maxReplicas:
+		// Replicas needed so forecast util falls to target.
+		needed := int(math.Ceil(float64(g.Replicas()) * forecast / target))
+		delta := needed - g.Replicas()
+		if delta < 1 {
+			delta = 1
+		}
+		if delta > maxStep {
+			delta = maxStep
+		}
+		if g.Replicas()+delta > maxReplicas {
+			delta = maxReplicas - g.Replicas()
+		}
+		p.cool = cooldown
+		return []Decision{{
+			Group:  bn.Name,
+			Delta:  delta,
+			Reason: fmt.Sprintf("forecast util %.2f > %.2f", forecast, up),
+		}}
+	case utilEst < down && g.Replicas() > 1:
+		// Only release a replica if the post-scaling utilization estimate
+		// still clears the target with headroom — prevents the thrash
+		// where a night-time scale-down causes burst violations.
+		r := float64(g.Replicas())
+		if utilEst*r/(r-1) >= target {
+			return nil
+		}
+		p.cool = cooldown
+		return []Decision{{
+			Group:  bn.Name,
+			Delta:  -1,
+			Reason: fmt.Sprintf("estimated util %.2f < %.2f", utilEst, down),
+		}}
+	}
+	return nil
+}

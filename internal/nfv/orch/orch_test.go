@@ -1,0 +1,152 @@
+package orch
+
+import (
+	"testing"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/nfv/chain"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/nfv/traffic"
+	"nfvxai/internal/nfv/vnf"
+)
+
+func winWithUtil(util float64, replicas int) (*telemetry.Window, *chain.Chain) {
+	c := chain.New("c", 0, chain.NewGroup("fw", vnf.Firewall, replicas, 1))
+	w := telemetry.NewWindow(8)
+	w.Push(telemetry.Record{
+		Demand: traffic.Demand{PPS: 1000, BPS: 5e5, AvgPktBytes: 500},
+		Chain: chain.Result{
+			PerGroup: []chain.GroupResult{{Name: "fw", Replicas: replicas, Utilization: util}},
+		},
+		TotalCores: replicas,
+	})
+	return w, c
+}
+
+func TestStaticNeverScales(t *testing.T) {
+	w, c := winWithUtil(0.99, 1)
+	if got := (Static{}).Decide(w, c); got != nil {
+		t.Fatalf("static scaled: %v", got)
+	}
+}
+
+func TestThresholdScalesUp(t *testing.T) {
+	s := &Threshold{UpUtil: 0.8, DownUtil: 0.3}
+	w, c := winWithUtil(0.95, 1)
+	dec := s.Decide(w, c)
+	if len(dec) != 1 || dec[0].Delta != 1 || dec[0].Group != "fw" {
+		t.Fatalf("decisions %v", dec)
+	}
+	if dec[0].Reason == "" {
+		t.Fatal("empty reason")
+	}
+}
+
+func TestThresholdScalesDownButNotBelowOne(t *testing.T) {
+	s := &Threshold{UpUtil: 0.8, DownUtil: 0.3}
+	w, c := winWithUtil(0.1, 3)
+	dec := s.Decide(w, c)
+	if len(dec) != 1 || dec[0].Delta != -1 {
+		t.Fatalf("decisions %v", dec)
+	}
+	// Single replica: no scale-down offered.
+	w1, c1 := winWithUtil(0.1, 1)
+	if got := (&Threshold{}).Decide(w1, c1); got != nil {
+		t.Fatalf("scale-down below 1 offered: %v", got)
+	}
+}
+
+func TestThresholdCooldown(t *testing.T) {
+	s := &Threshold{UpUtil: 0.8, CooldownEpochs: 2}
+	w, c := winWithUtil(0.95, 1)
+	if len(s.Decide(w, c)) != 1 {
+		t.Fatal("first decision missing")
+	}
+	if len(s.Decide(w, c)) != 0 || len(s.Decide(w, c)) != 0 {
+		t.Fatal("cooldown not applied")
+	}
+	if len(s.Decide(w, c)) != 1 {
+		t.Fatal("cooldown did not expire")
+	}
+}
+
+func TestThresholdEmptyWindow(t *testing.T) {
+	c := chain.New("c", 0, chain.NewGroup("fw", vnf.Firewall, 1, 1))
+	if got := (&Threshold{}).Decide(telemetry.NewWindow(4), c); got != nil {
+		t.Fatalf("decisions on empty window: %v", got)
+	}
+}
+
+func TestPredictiveScalesOnForecast(t *testing.T) {
+	// Model always forecasts 1.2 bottleneck util → scale up toward 0.6.
+	s := &Predictive{
+		Model:      ml.PredictorFunc(func([]float64) float64 { return 1.2 }),
+		TargetUtil: 0.6,
+	}
+	w, c := winWithUtil(0.7, 2)
+	dec := s.Decide(w, c)
+	if len(dec) != 1 || dec[0].Delta < 1 {
+		t.Fatalf("decisions %v", dec)
+	}
+	// ceil(2 * 1.2/0.6) − 2 = 2.
+	if dec[0].Delta != 2 {
+		t.Fatalf("delta %d want 2", dec[0].Delta)
+	}
+	if s.LastForecast != 1.2 || len(s.LastFeatures) == 0 {
+		t.Fatal("forecast not recorded")
+	}
+}
+
+func TestPredictiveScaleDown(t *testing.T) {
+	s := &Predictive{
+		Model: ml.PredictorFunc(func([]float64) float64 { return 0.1 }),
+	}
+	w, c := winWithUtil(0.2, 3)
+	dec := s.Decide(w, c)
+	if len(dec) != 1 || dec[0].Delta != -1 {
+		t.Fatalf("decisions %v", dec)
+	}
+	// At one replica, no scale-down.
+	w1, c1 := winWithUtil(0.2, 1)
+	s2 := &Predictive{Model: ml.PredictorFunc(func([]float64) float64 { return 0.1 })}
+	if got := s2.Decide(w1, c1); got != nil {
+		t.Fatalf("scale below 1: %v", got)
+	}
+}
+
+func TestPredictiveMaxStep(t *testing.T) {
+	s := &Predictive{
+		Model:   ml.PredictorFunc(func([]float64) float64 { return 10 }),
+		MaxStep: 2,
+	}
+	w, c := winWithUtil(0.9, 1)
+	dec := s.Decide(w, c)
+	if len(dec) != 1 || dec[0].Delta != 2 {
+		t.Fatalf("max step not applied: %v", dec)
+	}
+}
+
+func TestPredictiveCooldownAndNilModel(t *testing.T) {
+	s := &Predictive{
+		Model:          ml.PredictorFunc(func([]float64) float64 { return 2 }),
+		CooldownEpochs: 2,
+	}
+	w, c := winWithUtil(0.9, 1)
+	if len(s.Decide(w, c)) != 1 {
+		t.Fatal("first decision missing")
+	}
+	if len(s.Decide(w, c)) != 0 {
+		t.Fatal("cooldown not applied")
+	}
+	if got := (&Predictive{}).Decide(w, c); got != nil {
+		t.Fatalf("nil model decisions: %v", got)
+	}
+}
+
+func TestPredictiveMidbandHolds(t *testing.T) {
+	s := &Predictive{Model: ml.PredictorFunc(func([]float64) float64 { return 0.6 })}
+	w, c := winWithUtil(0.6, 2)
+	if got := s.Decide(w, c); got != nil {
+		t.Fatalf("mid-band forecast should hold: %v", got)
+	}
+}

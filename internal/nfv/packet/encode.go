@@ -1,0 +1,102 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Builder assembles valid packet bytes layer by layer; it is the inverse
+// of Decode and is used by the traffic synthesizer and tests.
+type Builder struct {
+	SrcMAC, DstMAC [6]byte
+	SrcIP, DstIP   [4]byte
+	TTL            uint8
+	TOS            uint8
+	ID             uint16
+}
+
+// TCPOpts carries the TCP header fields for BuildTCP.
+type TCPOpts struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	SYN, ACK, FIN    bool
+	RST, PSH, URG    bool
+	Window           uint16
+}
+
+// BuildTCP returns Ethernet+IPv4+TCP+payload bytes.
+func (b *Builder) BuildTCP(o TCPOpts, payload []byte) []byte {
+	tcp := make([]byte, 20+len(payload))
+	binary.BigEndian.PutUint16(tcp[0:2], o.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], o.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], o.Seq)
+	binary.BigEndian.PutUint32(tcp[8:12], o.Ack)
+	tcp[12] = 5 << 4 // data offset: 5 words
+	var flags byte
+	if o.FIN {
+		flags |= 0x01
+	}
+	if o.SYN {
+		flags |= 0x02
+	}
+	if o.RST {
+		flags |= 0x04
+	}
+	if o.PSH {
+		flags |= 0x08
+	}
+	if o.ACK {
+		flags |= 0x10
+	}
+	if o.URG {
+		flags |= 0x20
+	}
+	tcp[13] = flags
+	win := o.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(tcp[14:16], win)
+	copy(tcp[20:], payload)
+	return b.wrapIP(IPProtoTCP, tcp)
+}
+
+// BuildUDP returns Ethernet+IPv4+UDP+payload bytes.
+func (b *Builder) BuildUDP(srcPort, dstPort uint16, payload []byte) []byte {
+	udp := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], dstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(8+len(payload)))
+	copy(udp[8:], payload)
+	return b.wrapIP(IPProtoUDP, udp)
+}
+
+// wrapIP prepends IPv4 and Ethernet headers around an L4 segment.
+func (b *Builder) wrapIP(proto uint8, l4 []byte) []byte {
+	total := 20 + len(l4)
+	if total > 0xFFFF {
+		panic(fmt.Sprintf("packet: payload too large (%d bytes)", total))
+	}
+	buf := make([]byte, 14+total)
+	// Ethernet.
+	copy(buf[0:6], b.DstMAC[:])
+	copy(buf[6:12], b.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+	// IPv4.
+	ip := buf[14:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = b.TOS
+	binary.BigEndian.PutUint16(ip[2:4], uint16(total))
+	binary.BigEndian.PutUint16(ip[4:6], b.ID)
+	ttl := b.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip[8] = ttl
+	ip[9] = proto
+	copy(ip[12:16], b.SrcIP[:])
+	copy(ip[16:20], b.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], headerChecksum(ip[:20]))
+	copy(ip[20:], l4)
+	return buf
+}

@@ -1,0 +1,108 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// EndpointType discriminates endpoint address families.
+type EndpointType uint8
+
+// Endpoint kinds.
+const (
+	EndpointIPv4 EndpointType = iota
+	EndpointTCPPort
+	EndpointUDPPort
+	EndpointMAC
+)
+
+// Endpoint is a hashable, comparable representation of one side of a flow.
+// It can be used directly as a map key.
+type Endpoint struct {
+	typ EndpointType
+	raw [8]byte
+	n   uint8
+}
+
+// IPEndpoint builds an IPv4 endpoint.
+func IPEndpoint(ip [4]byte) Endpoint {
+	var e Endpoint
+	e.typ = EndpointIPv4
+	copy(e.raw[:], ip[:])
+	e.n = 4
+	return e
+}
+
+// PortEndpoint builds a TCP or UDP port endpoint.
+func PortEndpoint(t EndpointType, port uint16) Endpoint {
+	var e Endpoint
+	e.typ = t
+	binary.BigEndian.PutUint16(e.raw[:2], port)
+	e.n = 2
+	return e
+}
+
+// MACEndpoint builds a link-layer endpoint.
+func MACEndpoint(mac [6]byte) Endpoint {
+	var e Endpoint
+	e.typ = EndpointMAC
+	copy(e.raw[:], mac[:])
+	e.n = 6
+	return e
+}
+
+// Type returns the endpoint's address family.
+func (e Endpoint) Type() EndpointType { return e.typ }
+
+// Raw returns the raw address bytes.
+func (e Endpoint) Raw() []byte { return e.raw[:e.n] }
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string {
+	switch e.typ {
+	case EndpointIPv4:
+		return net.IP(e.raw[:4]).String()
+	case EndpointTCPPort, EndpointUDPPort:
+		return fmt.Sprintf("%d", binary.BigEndian.Uint16(e.raw[:2]))
+	case EndpointMAC:
+		return net.HardwareAddr(e.raw[:6]).String()
+	default:
+		return fmt.Sprintf("endpoint(%d)", e.typ)
+	}
+}
+
+// FastHash returns a non-cryptographic hash of the endpoint.
+func (e Endpoint) FastHash() uint64 {
+	return mix(uint64(e.typ)<<56 ^ binary.BigEndian.Uint64(e.raw[:]))
+}
+
+// Flow is a (src, dst) endpoint pair; comparable and map-key usable.
+type Flow struct {
+	src, dst Endpoint
+}
+
+// NewFlow builds a flow from two endpoints of the same type.
+func NewFlow(src, dst Endpoint) Flow { return Flow{src: src, dst: dst} }
+
+// Endpoints returns the (src, dst) pair.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.src, f.dst }
+
+// Src returns the source endpoint.
+func (f Flow) Src() Endpoint { return f.src }
+
+// Dst returns the destination endpoint.
+func (f Flow) Dst() Endpoint { return f.dst }
+
+// Reverse returns the flow with endpoints swapped.
+func (f Flow) Reverse() Flow { return Flow{src: f.dst, dst: f.src} }
+
+// String implements fmt.Stringer.
+func (f Flow) String() string { return f.src.String() + "->" + f.dst.String() }
+
+// FastHash returns a symmetric hash: f.FastHash() == f.Reverse().FastHash(),
+// so both directions of a conversation shard identically.
+func (f Flow) FastHash() uint64 {
+	a, b := f.src.FastHash(), f.dst.FastHash()
+	return mix(a^b) ^ mix(a+b)
+}

@@ -1,0 +1,431 @@
+// Package packet implements byte-level packet encoding and decoding for
+// the NFV substrate, following the gopacket idioms: packets decompose into
+// Layers, known layers are reachable through NetworkLayer/TransportLayer
+// accessors, and protocol-independent Flow/Endpoint values (comparable,
+// usable as map keys, with a symmetric FastHash for load balancing) carry
+// the "from A to B" relation. Supported layers: Ethernet, IPv4, TCP, UDP,
+// and opaque payload.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType int
+
+// Known layer types.
+const (
+	LayerTypeEthernet LayerType = iota
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypePayload
+)
+
+// String implements fmt.Stringer.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	LayerType() LayerType
+	// LayerContents returns the header bytes of this layer.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries.
+	LayerPayload() []byte
+}
+
+// EtherType values understood by the decoder.
+const EtherTypeIPv4 = 0x0800
+
+// IP protocol numbers understood by the decoder.
+const (
+	IPProtoTCP = 6
+	IPProtoUDP = 17
+)
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	SrcMAC, DstMAC [6]byte
+	EtherType      uint16
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerContents implements Layer.
+func (e *Ethernet) LayerContents() []byte { return e.contents }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// IPv4 is a decoded IPv4 header (options unsupported, IHL must be 5).
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length including header
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	SrcIP    [4]byte
+	DstIP    [4]byte
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerContents implements Layer.
+func (ip *IPv4) LayerContents() []byte { return ip.contents }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// NetworkFlow returns the IPv4 endpoint pair.
+func (ip *IPv4) NetworkFlow() Flow {
+	return Flow{src: IPEndpoint(ip.SrcIP), dst: IPEndpoint(ip.DstIP)}
+}
+
+// TCP is a decoded TCP header (options retained opaquely in contents).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	SYN, ACK, FIN    bool
+	RST, PSH, URG    bool
+	Window           uint16
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerContents implements Layer.
+func (t *TCP) LayerContents() []byte { return t.contents }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// TransportFlow returns the TCP port endpoint pair.
+func (t *TCP) TransportFlow() Flow {
+	return Flow{src: PortEndpoint(EndpointTCPPort, t.SrcPort), dst: PortEndpoint(EndpointTCPPort, t.DstPort)}
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// LayerContents implements Layer.
+func (u *UDP) LayerContents() []byte { return u.contents }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// TransportFlow returns the UDP port endpoint pair.
+func (u *UDP) TransportFlow() Flow {
+	return Flow{src: PortEndpoint(EndpointUDPPort, u.SrcPort), dst: PortEndpoint(EndpointUDPPort, u.DstPort)}
+}
+
+// Payload is an opaque application layer.
+type Payload []byte
+
+// LayerType implements Layer.
+func (p Payload) LayerType() LayerType { return LayerTypePayload }
+
+// LayerContents implements Layer.
+func (p Payload) LayerContents() []byte { return p }
+
+// LayerPayload implements Layer.
+func (p Payload) LayerPayload() []byte { return nil }
+
+// Packet is a fully decoded packet. Decoding is eager, so a Packet is safe
+// for concurrent reads (unlike lazy decoders).
+type Packet struct {
+	data   []byte
+	layers []Layer
+	err    error
+}
+
+// Decode parses data starting at the Ethernet layer. Decoding stops at the
+// first malformed layer; already-decoded layers remain available and Err
+// reports the failure.
+func Decode(data []byte) *Packet {
+	p := &Packet{data: data}
+	p.decodeEthernet(data)
+	return p
+}
+
+// Data returns the raw bytes the packet was decoded from.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns all decoded layers in order.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Err returns the first decoding error, if any.
+func (p *Packet) Err() error { return p.err }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// NetworkLayer returns the IPv4 layer, or nil.
+func (p *Packet) NetworkLayer() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// TransportLayer returns the TCP or UDP layer, or nil.
+func (p *Packet) TransportLayer() Layer {
+	if l := p.Layer(LayerTypeTCP); l != nil {
+		return l
+	}
+	if l := p.Layer(LayerTypeUDP); l != nil {
+		return l
+	}
+	return nil
+}
+
+// ApplicationPayload returns the innermost payload bytes (nil if none).
+func (p *Packet) ApplicationPayload() []byte {
+	if l := p.Layer(LayerTypePayload); l != nil {
+		return l.LayerContents()
+	}
+	return nil
+}
+
+// FiveTuple returns the canonical (src ip, dst ip, proto, src port, dst
+// port) flow key, and false when the packet has no IPv4+TCP/UDP layers.
+func (p *Packet) FiveTuple() (FiveTuple, bool) {
+	ip := p.NetworkLayer()
+	if ip == nil {
+		return FiveTuple{}, false
+	}
+	switch tl := p.TransportLayer().(type) {
+	case *TCP:
+		return FiveTuple{Src: ip.SrcIP, Dst: ip.DstIP, Proto: IPProtoTCP, SrcPort: tl.SrcPort, DstPort: tl.DstPort}, true
+	case *UDP:
+		return FiveTuple{Src: ip.SrcIP, Dst: ip.DstIP, Proto: IPProtoUDP, SrcPort: tl.SrcPort, DstPort: tl.DstPort}, true
+	default:
+		return FiveTuple{}, false
+	}
+}
+
+func (p *Packet) decodeEthernet(data []byte) {
+	if len(data) < 14 {
+		p.err = fmt.Errorf("packet: ethernet header truncated (%d bytes)", len(data))
+		return
+	}
+	eth := &Ethernet{
+		EtherType: binary.BigEndian.Uint16(data[12:14]),
+		contents:  data[:14],
+		payload:   data[14:],
+	}
+	copy(eth.DstMAC[:], data[0:6])
+	copy(eth.SrcMAC[:], data[6:12])
+	p.layers = append(p.layers, eth)
+	if eth.EtherType == EtherTypeIPv4 {
+		p.decodeIPv4(eth.payload)
+	} else if len(eth.payload) > 0 {
+		p.layers = append(p.layers, Payload(eth.payload))
+	}
+}
+
+func (p *Packet) decodeIPv4(data []byte) {
+	if len(data) < 20 {
+		p.err = fmt.Errorf("packet: ipv4 header truncated (%d bytes)", len(data))
+		return
+	}
+	if v := data[0] >> 4; v != 4 {
+		p.err = fmt.Errorf("packet: ipv4 version %d", v)
+		return
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl != 20 {
+		p.err = fmt.Errorf("packet: ipv4 options unsupported (ihl %d)", ihl)
+		return
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl || total > len(data) {
+		p.err = fmt.Errorf("packet: ipv4 total length %d out of range", total)
+		return
+	}
+	ip := &IPv4{
+		TOS:      data[1],
+		Length:   uint16(total),
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		TTL:      data[8],
+		Protocol: data[9],
+		Checksum: binary.BigEndian.Uint16(data[10:12]),
+		contents: data[:ihl],
+		payload:  data[ihl:total],
+	}
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+	if got := headerChecksum(data[:ihl]); got != 0 {
+		p.layers = append(p.layers, ip)
+		p.err = fmt.Errorf("packet: ipv4 checksum mismatch")
+		return
+	}
+	p.layers = append(p.layers, ip)
+	switch ip.Protocol {
+	case IPProtoTCP:
+		p.decodeTCP(ip.payload)
+	case IPProtoUDP:
+		p.decodeUDP(ip.payload)
+	default:
+		if len(ip.payload) > 0 {
+			p.layers = append(p.layers, Payload(ip.payload))
+		}
+	}
+}
+
+func (p *Packet) decodeTCP(data []byte) {
+	if len(data) < 20 {
+		p.err = fmt.Errorf("packet: tcp header truncated (%d bytes)", len(data))
+		return
+	}
+	off := int(data[12]>>4) * 4
+	if off < 20 || off > len(data) {
+		p.err = fmt.Errorf("packet: tcp data offset %d out of range", off)
+		return
+	}
+	flags := data[13]
+	t := &TCP{
+		SrcPort:    binary.BigEndian.Uint16(data[0:2]),
+		DstPort:    binary.BigEndian.Uint16(data[2:4]),
+		Seq:        binary.BigEndian.Uint32(data[4:8]),
+		Ack:        binary.BigEndian.Uint32(data[8:12]),
+		DataOffset: data[12] >> 4,
+		FIN:        flags&0x01 != 0,
+		SYN:        flags&0x02 != 0,
+		RST:        flags&0x04 != 0,
+		PSH:        flags&0x08 != 0,
+		ACK:        flags&0x10 != 0,
+		URG:        flags&0x20 != 0,
+		Window:     binary.BigEndian.Uint16(data[14:16]),
+		contents:   data[:off],
+		payload:    data[off:],
+	}
+	p.layers = append(p.layers, t)
+	if len(t.payload) > 0 {
+		p.layers = append(p.layers, Payload(t.payload))
+	}
+}
+
+func (p *Packet) decodeUDP(data []byte) {
+	if len(data) < 8 {
+		p.err = fmt.Errorf("packet: udp header truncated (%d bytes)", len(data))
+		return
+	}
+	length := binary.BigEndian.Uint16(data[4:6])
+	if int(length) < 8 || int(length) > len(data) {
+		p.err = fmt.Errorf("packet: udp length %d out of range", length)
+		return
+	}
+	u := &UDP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Length:   length,
+		contents: data[:8],
+		payload:  data[8:length],
+	}
+	p.layers = append(p.layers, u)
+	if len(u.payload) > 0 {
+		p.layers = append(p.layers, Payload(u.payload))
+	}
+}
+
+// headerChecksum computes the RFC 791 ones-complement header checksum;
+// over a header with a correct checksum field it returns 0.
+func headerChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// FiveTuple is the canonical connection key.
+type FiveTuple struct {
+	Src, Dst         [4]byte
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the tuple with direction swapped.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: f.Dst, Dst: f.Src, Proto: f.Proto, SrcPort: f.DstPort, DstPort: f.SrcPort}
+}
+
+// String implements fmt.Stringer.
+func (f FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%d",
+		net.IP(f.Src[:]).String(), f.SrcPort, net.IP(f.Dst[:]).String(), f.DstPort, f.Proto)
+}
+
+// Hash returns a direction-symmetric FNV-style hash: a flow and its
+// reverse hash identically, so bidirectional traffic shards to the same
+// worker (the gopacket FastHash property).
+func (f FiveTuple) Hash() uint64 {
+	a := endpointKey(f.Src, f.SrcPort)
+	b := endpointKey(f.Dst, f.DstPort)
+	// Combine symmetrically, then mix in the protocol.
+	h := mix(a^b) ^ mix(a+b)
+	return mix(h ^ uint64(f.Proto))
+}
+
+func endpointKey(ip [4]byte, port uint16) uint64 {
+	return uint64(binary.BigEndian.Uint32(ip[:]))<<16 | uint64(port)
+}
+
+func mix(x uint64) uint64 {
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

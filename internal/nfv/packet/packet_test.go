@@ -1,0 +1,326 @@
+package packet
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testBuilder() *Builder {
+	return &Builder{
+		SrcMAC: [6]byte{0x02, 0, 0, 0, 0, 1},
+		DstMAC: [6]byte{0x02, 0, 0, 0, 0, 2},
+		SrcIP:  [4]byte{10, 0, 0, 1},
+		DstIP:  [4]byte{10, 0, 0, 2},
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	b := testBuilder()
+	data := b.BuildTCP(TCPOpts{SrcPort: 443, DstPort: 51000, Seq: 7, Ack: 9, SYN: true, ACK: true}, []byte("hello"))
+	p := Decode(data)
+	if p.Err() != nil {
+		t.Fatalf("decode error: %v", p.Err())
+	}
+	eth := p.Layer(LayerTypeEthernet).(*Ethernet)
+	if eth.SrcMAC != b.SrcMAC || eth.DstMAC != b.DstMAC || eth.EtherType != EtherTypeIPv4 {
+		t.Fatalf("ethernet fields wrong: %+v", eth)
+	}
+	ip := p.NetworkLayer()
+	if ip == nil || ip.SrcIP != b.SrcIP || ip.DstIP != b.DstIP || ip.Protocol != IPProtoTCP {
+		t.Fatalf("ip fields wrong: %+v", ip)
+	}
+	tcp, ok := p.TransportLayer().(*TCP)
+	if !ok {
+		t.Fatal("no TCP layer")
+	}
+	if tcp.SrcPort != 443 || tcp.DstPort != 51000 || tcp.Seq != 7 || tcp.Ack != 9 {
+		t.Fatalf("tcp fields wrong: %+v", tcp)
+	}
+	if !tcp.SYN || !tcp.ACK || tcp.FIN || tcp.RST {
+		t.Fatalf("tcp flags wrong: %+v", tcp)
+	}
+	if string(p.ApplicationPayload()) != "hello" {
+		t.Fatalf("payload = %q", p.ApplicationPayload())
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	b := testBuilder()
+	data := b.BuildUDP(53, 33000, []byte("dns?"))
+	p := Decode(data)
+	if p.Err() != nil {
+		t.Fatalf("decode error: %v", p.Err())
+	}
+	udp, ok := p.TransportLayer().(*UDP)
+	if !ok {
+		t.Fatal("no UDP layer")
+	}
+	if udp.SrcPort != 53 || udp.DstPort != 33000 || udp.Length != 12 {
+		t.Fatalf("udp fields wrong: %+v", udp)
+	}
+	if string(p.ApplicationPayload()) != "dns?" {
+		t.Fatalf("payload = %q", p.ApplicationPayload())
+	}
+}
+
+func TestFiveTuple(t *testing.T) {
+	b := testBuilder()
+	p := Decode(b.BuildTCP(TCPOpts{SrcPort: 80, DstPort: 1234}, nil))
+	ft, ok := p.FiveTuple()
+	if !ok {
+		t.Fatal("no five-tuple")
+	}
+	if ft.SrcPort != 80 || ft.DstPort != 1234 || ft.Proto != IPProtoTCP {
+		t.Fatalf("five-tuple wrong: %+v", ft)
+	}
+	rev := ft.Reverse()
+	if rev.SrcPort != 1234 || rev.Src != ft.Dst {
+		t.Fatalf("reverse wrong: %+v", rev)
+	}
+	if !strings.Contains(ft.String(), "10.0.0.1:80") {
+		t.Fatalf("String = %q", ft.String())
+	}
+}
+
+func TestFiveTupleHashSymmetric(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16, proto uint8) bool {
+		var src, dst [4]byte
+		src[0], src[1], src[2], src[3] = byte(a>>24), byte(a>>16), byte(a>>8), byte(a)
+		dst[0], dst[1], dst[2], dst[3] = byte(b>>24), byte(b>>16), byte(b>>8), byte(b)
+		ft := FiveTuple{Src: src, Dst: dst, Proto: proto, SrcPort: sp, DstPort: dp}
+		return ft.Hash() == ft.Reverse().Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiveTupleHashSpreads(t *testing.T) {
+	// Hash must spread distinct flows across shards reasonably evenly.
+	rng := rand.New(rand.NewSource(1))
+	const shards = 8
+	counts := make([]int, shards)
+	for i := 0; i < 8000; i++ {
+		ft := FiveTuple{
+			Src:     [4]byte{10, 0, byte(rng.Intn(256)), byte(rng.Intn(256))},
+			Dst:     [4]byte{10, 1, byte(rng.Intn(256)), byte(rng.Intn(256))},
+			Proto:   IPProtoTCP,
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: 443,
+		}
+		counts[ft.Hash()%shards]++
+	}
+	for s, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("shard %d has %d of 8000 flows", s, c)
+		}
+	}
+}
+
+func TestTruncatedPackets(t *testing.T) {
+	b := testBuilder()
+	full := b.BuildTCP(TCPOpts{SrcPort: 1, DstPort: 2}, []byte("xyz"))
+	for _, n := range []int{0, 5, 13, 20, 33, 40, 53} {
+		if n >= len(full) {
+			continue
+		}
+		p := Decode(full[:n])
+		if p.Err() == nil {
+			t.Fatalf("truncation at %d bytes not detected", n)
+		}
+	}
+}
+
+func TestChecksumValidation(t *testing.T) {
+	b := testBuilder()
+	data := b.BuildTCP(TCPOpts{SrcPort: 1, DstPort: 2}, nil)
+	// Corrupt one IP header byte (TTL) without fixing the checksum.
+	data[14+8] ^= 0xFF
+	p := Decode(data)
+	if p.Err() == nil || !strings.Contains(p.Err().Error(), "checksum") {
+		t.Fatalf("checksum corruption not detected: %v", p.Err())
+	}
+	// The IPv4 layer is still surfaced for inspection.
+	if p.NetworkLayer() == nil {
+		t.Fatal("corrupted IPv4 layer not retained")
+	}
+}
+
+func TestNonIPv4EtherType(t *testing.T) {
+	b := testBuilder()
+	data := b.BuildUDP(1, 2, nil)
+	data[12], data[13] = 0x86, 0xDD // pretend IPv6
+	p := Decode(data)
+	if p.Err() != nil {
+		t.Fatalf("unknown ethertype should not error: %v", p.Err())
+	}
+	if p.NetworkLayer() != nil {
+		t.Fatal("no IPv4 layer expected")
+	}
+	if p.Layer(LayerTypePayload) == nil {
+		t.Fatal("payload layer expected for unknown ethertype")
+	}
+}
+
+func TestLayersOrder(t *testing.T) {
+	b := testBuilder()
+	p := Decode(b.BuildTCP(TCPOpts{SrcPort: 9, DstPort: 10}, []byte("z")))
+	want := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeTCP, LayerTypePayload}
+	layers := p.Layers()
+	if len(layers) != len(want) {
+		t.Fatalf("layer count %d want %d", len(layers), len(want))
+	}
+	for i, l := range layers {
+		if l.LayerType() != want[i] {
+			t.Fatalf("layer %d = %v want %v", i, l.LayerType(), want[i])
+		}
+	}
+}
+
+func TestLayerContentsAndPayloadPartition(t *testing.T) {
+	// Each layer's contents+payload must tile the enclosing layer payload.
+	b := testBuilder()
+	p := Decode(b.BuildUDP(5, 6, []byte("abcdef")))
+	ip := p.NetworkLayer()
+	udp := p.TransportLayer().(*UDP)
+	if len(ip.LayerContents())+len(ip.LayerPayload()) != int(ip.Length) {
+		t.Fatal("ipv4 contents+payload != total length")
+	}
+	if len(udp.LayerContents())+len(udp.LayerPayload()) != int(udp.Length) {
+		t.Fatal("udp contents+payload != length")
+	}
+}
+
+func TestEndpointsAndFlows(t *testing.T) {
+	ip1 := IPEndpoint([4]byte{192, 168, 0, 1})
+	ip2 := IPEndpoint([4]byte{192, 168, 0, 2})
+	f := NewFlow(ip1, ip2)
+	src, dst := f.Endpoints()
+	if src != ip1 || dst != ip2 {
+		t.Fatal("Endpoints mismatch")
+	}
+	if f.Reverse().Src() != ip2 {
+		t.Fatal("Reverse mismatch")
+	}
+	if f.FastHash() != f.Reverse().FastHash() {
+		t.Fatal("flow FastHash not symmetric")
+	}
+	if f.String() != "192.168.0.1->192.168.0.2" {
+		t.Fatalf("String = %q", f.String())
+	}
+	// Endpoints must be valid map keys.
+	m := map[Endpoint]int{ip1: 1, ip2: 2}
+	if m[IPEndpoint([4]byte{192, 168, 0, 1})] != 1 {
+		t.Fatal("endpoint map lookup failed")
+	}
+	mf := map[Flow]string{f: "x"}
+	if mf[NewFlow(ip1, ip2)] != "x" {
+		t.Fatal("flow map lookup failed")
+	}
+}
+
+func TestEndpointStrings(t *testing.T) {
+	if got := IPEndpoint([4]byte{1, 2, 3, 4}).String(); got != "1.2.3.4" {
+		t.Fatalf("ip endpoint = %q", got)
+	}
+	if got := PortEndpoint(EndpointTCPPort, 8080).String(); got != "8080" {
+		t.Fatalf("port endpoint = %q", got)
+	}
+	mac := MACEndpoint([6]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF})
+	if got := mac.String(); got != "aa:bb:cc:dd:ee:ff" {
+		t.Fatalf("mac endpoint = %q", got)
+	}
+	if mac.Type() != EndpointMAC || len(mac.Raw()) != 6 {
+		t.Fatal("mac endpoint metadata")
+	}
+}
+
+func TestTransportFlows(t *testing.T) {
+	b := testBuilder()
+	p := Decode(b.BuildTCP(TCPOpts{SrcPort: 80, DstPort: 443}, nil))
+	tf := p.TransportLayer().(*TCP).TransportFlow()
+	if tf.Src().String() != "80" || tf.Dst().String() != "443" {
+		t.Fatalf("transport flow = %v", tf)
+	}
+	nf := p.NetworkLayer().NetworkFlow()
+	if nf.Src().String() != "10.0.0.1" {
+		t.Fatalf("network flow = %v", nf)
+	}
+	u := Decode(b.BuildUDP(1000, 500, nil))
+	uf := u.TransportLayer().(*UDP).TransportFlow()
+	if uf.Src().Type() != EndpointUDPPort {
+		t.Fatal("udp endpoint type")
+	}
+}
+
+func TestPropertyTCPRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := &Builder{
+			SrcIP: [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			DstIP: [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+		}
+		payload := make([]byte, rng.Intn(1200))
+		for i := range payload {
+			payload[i] = byte(rng.Intn(256))
+		}
+		sp, dp := uint16(rng.Intn(65536)), uint16(rng.Intn(65536))
+		p := Decode(b.BuildTCP(TCPOpts{SrcPort: sp, DstPort: dp}, payload))
+		if p.Err() != nil {
+			return false
+		}
+		ft, ok := p.FiveTuple()
+		if !ok || ft.SrcPort != sp || ft.DstPort != dp {
+			return false
+		}
+		got := p.ApplicationPayload()
+		if len(got) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerTypeStrings(t *testing.T) {
+	for lt, want := range map[LayerType]string{
+		LayerTypeEthernet: "Ethernet", LayerTypeIPv4: "IPv4",
+		LayerTypeTCP: "TCP", LayerTypeUDP: "UDP", LayerTypePayload: "Payload",
+	} {
+		if lt.String() != want {
+			t.Fatalf("String(%d) = %q", lt, lt.String())
+		}
+	}
+	if !strings.Contains(LayerType(99).String(), "99") {
+		t.Fatal("unknown layer type string")
+	}
+}
+
+func BenchmarkDecodeTCP(b *testing.B) {
+	data := testBuilder().BuildTCP(TCPOpts{SrcPort: 443, DstPort: 51000}, make([]byte, 512))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := Decode(data)
+		if p.Err() != nil {
+			b.Fatal(p.Err())
+		}
+	}
+}
+
+func BenchmarkFiveTupleHash(b *testing.B) {
+	ft := FiveTuple{Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}, Proto: 6, SrcPort: 443, DstPort: 51000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ft.Hash()
+	}
+}

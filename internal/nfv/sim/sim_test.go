@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"testing"
+
+	"nfvxai/internal/nfv/chain"
+	"nfvxai/internal/nfv/infra"
+	"nfvxai/internal/nfv/orch"
+	"nfvxai/internal/nfv/sla"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/nfv/traffic"
+	"nfvxai/internal/nfv/vnf"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineRunStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5, func() { fired = true })
+	e.Run(4)
+	if fired {
+		t.Fatal("event beyond boundary fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.Run(6)
+	if !fired {
+		t.Fatal("event not fired after extending run")
+	}
+}
+
+func TestEngineSelfRescheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	e.Run(10.5)
+	if count != 10 {
+		t.Fatalf("ticks %d want 10", count)
+	}
+}
+
+func TestEnginePanicsOnPast(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func webChain() *chain.Chain {
+	return chain.New("web", 0.05,
+		chain.NewGroup("fw", vnf.Firewall, 2, 2),
+		chain.NewGroup("ids", vnf.IDS, 2, 2),
+		chain.NewGroup("lb", vnf.LoadBalancer, 1, 2),
+	)
+}
+
+func TestWorldProducesTelemetry(t *testing.T) {
+	w := NewWorld(5)
+	h, err := w.AddChain(ChainSpec{
+		Chain:   webChain(),
+		Traffic: traffic.Profile{BaseFPS: 300, DiurnalAmplitude: 0.5, PeakHour: 12, Seed: 1},
+		SLO:     sla.SLO{MaxLatencyMs: 10, MaxLossRate: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := telemetry.NewExtractor(telemetry.TargetBottleneckUtil, 0, []string{"fw", "ids", "lb"})
+	h.AttachExtractor(ext)
+	epochs := 0
+	h.OnEpoch(func(telemetry.Record) { epochs++ })
+
+	w.Run(600) // 2 minutes of epochs at 5 s → 120 epochs
+	if epochs != 120 {
+		t.Fatalf("epochs %d want 120", epochs)
+	}
+	if h.Tracker.Epochs() != 120 {
+		t.Fatalf("tracker epochs %d", h.Tracker.Epochs())
+	}
+	// Extractor has one fewer row than epochs (needs next-epoch target).
+	if got := ext.Dataset().Len(); got != 119 {
+		t.Fatalf("dataset rows %d want 119", got)
+	}
+	if h.Window.Len() == 0 {
+		t.Fatal("empty telemetry window")
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	run := func() []float64 {
+		w := NewWorld(5)
+		h, err := w.AddChain(ChainSpec{
+			Chain:   webChain(),
+			Traffic: traffic.Profile{BaseFPS: 200, BurstRatio: 4, Seed: 42},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var utils []float64
+		h.OnEpoch(func(r telemetry.Record) {
+			utils = append(utils, r.Chain.PerGroup[0].Utilization)
+		})
+		w.Run(300)
+		return utils
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at epoch %d", i)
+		}
+	}
+}
+
+func TestWorldThresholdScalerReactsToOverload(t *testing.T) {
+	w := NewWorld(5)
+	c := chain.New("hot", 0.05, chain.NewGroup("ids", vnf.IDS, 1, 1))
+	h, err := w.AddChain(ChainSpec{
+		Chain:   c,
+		Traffic: traffic.Profile{BaseFPS: 40000, Seed: 7}, // heavy load for 1 small IDS
+		SLO:     sla.SLO{MaxLatencyMs: 5, MaxLossRate: 0.01},
+		Scaler:  &orch.Threshold{UpUtil: 0.8, DownUtil: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(900)
+	if len(h.Decisions()) == 0 {
+		t.Fatal("scaler never acted under overload")
+	}
+	g, _ := c.Group("ids")
+	if g.Replicas() <= 1 {
+		t.Fatalf("replicas did not grow: %d", g.Replicas())
+	}
+}
+
+func TestWorldClusterPlacementLimitsScaling(t *testing.T) {
+	w := NewWorld(5)
+	w.Cluster = infra.NewCluster(1, 4) // tiny cluster: 4 cores total
+	c := chain.New("limited", 0, chain.NewGroup("ids", vnf.IDS, 1, 2))
+	_, err := w.AddChain(ChainSpec{
+		Chain:   c,
+		Traffic: traffic.Profile{BaseFPS: 60000, Seed: 8},
+		Scaler:  &orch.Threshold{UpUtil: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(600)
+	g, _ := c.Group("ids")
+	// 4-core node can hold at most 2 instances of 2 cores.
+	if g.Replicas() > 2 {
+		t.Fatalf("scaled beyond cluster capacity: %d replicas", g.Replicas())
+	}
+	if w.Cluster.Utilization() > 1 {
+		t.Fatalf("cluster oversubscribed: %v", w.Cluster.Utilization())
+	}
+}
+
+func TestWorldAddChainErrors(t *testing.T) {
+	w := NewWorld(5)
+	if _, err := w.AddChain(ChainSpec{}); err == nil {
+		t.Fatal("expected nil-chain error")
+	}
+	w.Cluster = infra.NewCluster(1, 1)
+	big := chain.New("big", 0, chain.NewGroup("ids", vnf.IDS, 1, 8))
+	if _, err := w.AddChain(ChainSpec{Chain: big, Traffic: traffic.Profile{BaseFPS: 1}}); err == nil {
+		t.Fatal("expected placement error")
+	}
+}
+
+func TestWorldDiurnalLoadVariesUtilization(t *testing.T) {
+	w := NewWorld(30)
+	h, err := w.AddChain(ChainSpec{
+		Chain:   webChain(),
+		Traffic: traffic.Profile{BaseFPS: 400, DiurnalAmplitude: 0.9, PeakHour: 12, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peakU, troughU []float64
+	h.OnEpoch(func(r telemetry.Record) {
+		u := r.Chain.PerGroup[r.Chain.Bottleneck].Utilization
+		switch {
+		case r.HourOfDay >= 11 && r.HourOfDay < 13:
+			peakU = append(peakU, u)
+		case r.HourOfDay >= 23 || r.HourOfDay < 1:
+			troughU = append(troughU, u)
+		}
+	})
+	w.Run(24 * 3600)
+	if len(peakU) == 0 || len(troughU) == 0 {
+		t.Fatal("no samples in peak/trough windows")
+	}
+	if mean(peakU) < 2*mean(troughU) {
+		t.Fatalf("diurnal effect missing: peak %v trough %v", mean(peakU), mean(troughU))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

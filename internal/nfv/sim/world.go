@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+
+	"nfvxai/internal/nfv/chain"
+	"nfvxai/internal/nfv/infra"
+	"nfvxai/internal/nfv/orch"
+	"nfvxai/internal/nfv/sla"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/nfv/traffic"
+	"nfvxai/internal/nfv/vnf"
+)
+
+// ChainSpec declares one tenant chain: its composition, workload, and SLO.
+type ChainSpec struct {
+	Chain   *chain.Chain
+	Traffic traffic.Profile
+	SLO     sla.SLO
+	// Scaler is optional (nil = static allocation).
+	Scaler orch.Scaler
+}
+
+// ChainHandle exposes a running chain's observability surfaces.
+type ChainHandle struct {
+	Spec    ChainSpec
+	Window  *telemetry.Window
+	Tracker *sla.Tracker
+
+	gen        *traffic.Generator
+	extractors []*telemetry.Extractor
+	onEpoch    []func(telemetry.Record)
+	decisions  []orch.Decision
+}
+
+// AttachExtractor registers a feature extractor fed every epoch.
+func (h *ChainHandle) AttachExtractor(e *telemetry.Extractor) { h.extractors = append(h.extractors, e) }
+
+// OnEpoch registers a callback invoked with every epoch record.
+func (h *ChainHandle) OnEpoch(fn func(telemetry.Record)) { h.onEpoch = append(h.onEpoch, fn) }
+
+// Decisions returns all scaling decisions taken so far.
+func (h *ChainHandle) Decisions() []orch.Decision { return h.decisions }
+
+// World wires the full substrate together and advances it in epochs.
+type World struct {
+	Engine *Engine
+	// Cluster is optional; when set, instances are placed on nodes and
+	// host contention applies.
+	Cluster *infra.Cluster
+	// EpochSec is the telemetry/scaling period (default 5 s).
+	EpochSec float64
+
+	chains  []*ChainHandle
+	started bool
+}
+
+// NewWorld builds a world with the given epoch length.
+func NewWorld(epochSec float64) *World {
+	if epochSec <= 0 {
+		epochSec = 5
+	}
+	return &World{Engine: NewEngine(), EpochSec: epochSec}
+}
+
+// AddChain registers a chain; with a cluster present all its instances are
+// placed immediately.
+func (w *World) AddChain(spec ChainSpec) (*ChainHandle, error) {
+	if spec.Chain == nil {
+		return nil, fmt.Errorf("sim: nil chain")
+	}
+	if w.Cluster != nil {
+		for _, g := range spec.Chain.Groups {
+			for _, in := range g.Instances() {
+				if _, err := w.Cluster.Place(in); err != nil {
+					return nil, fmt.Errorf("sim: placing %s: %w", g.Name, err)
+				}
+			}
+		}
+	}
+	h := &ChainHandle{
+		Spec:    spec,
+		Window:  telemetry.NewWindow(16),
+		Tracker: &sla.Tracker{SLO: spec.SLO},
+		gen:     traffic.NewGenerator(spec.Traffic),
+	}
+	w.chains = append(w.chains, h)
+	return h, nil
+}
+
+// Run advances the world for durationSec of virtual time.
+func (w *World) Run(durationSec float64) {
+	if !w.started {
+		w.started = true
+		w.Engine.After(w.EpochSec, w.epoch)
+	}
+	w.Engine.Run(w.Engine.Now() + durationSec)
+}
+
+// epoch advances every chain by one epoch and reschedules itself. Demand
+// is generated for all chains first so host contention couples co-located
+// tenants within the same epoch.
+func (w *World) epoch() {
+	demands := make([]traffic.Demand, len(w.chains))
+	for i, h := range w.chains {
+		demands[i] = h.gen.Next(w.EpochSec)
+	}
+	// Host contention: aggregate every instance's unthrottled demand
+	// across all chains, then scale capacities on oversubscribed nodes.
+	if w.Cluster != nil {
+		perInstance := map[*vnf.Instance]float64{}
+		for i, h := range w.chains {
+			d := demands[i]
+			active := float64(d.ActiveFlows)
+			for _, g := range h.Spec.Chain.Groups {
+				n := float64(g.Replicas())
+				share := d
+				share.PPS /= n
+				share.BPS /= n
+				share.NewFlows = int(float64(d.NewFlows) / n)
+				for _, in := range g.Instances() {
+					perInstance[in] = in.DemandCycles(share, active/n)
+				}
+			}
+		}
+		w.Cluster.ApplyContention(func(in *vnf.Instance) float64 { return perInstance[in] })
+	}
+	for i, h := range w.chains {
+		w.stepChain(h, demands[i])
+	}
+	w.Engine.After(w.EpochSec, w.epoch)
+}
+
+func (w *World) stepChain(h *ChainHandle, d traffic.Demand) {
+	active := float64(d.ActiveFlows)
+	res := h.Spec.Chain.Process(d, active)
+	rec := telemetry.Record{
+		TimeSec:    w.Engine.Now(),
+		HourOfDay:  d.HourOfDay,
+		Demand:     d,
+		Chain:      res,
+		TotalCores: h.Spec.Chain.TotalCores(),
+	}
+	h.Window.Push(rec)
+	h.Tracker.Observe(res, rec.TotalCores, w.EpochSec)
+	for _, e := range h.extractors {
+		e.Push(rec)
+	}
+	for _, fn := range h.onEpoch {
+		fn(rec)
+	}
+	if h.Spec.Scaler != nil {
+		for _, dec := range h.Spec.Scaler.Decide(h.Window, h.Spec.Chain) {
+			if w.applyDecision(h.Spec.Chain, dec) {
+				h.decisions = append(h.decisions, dec)
+			}
+		}
+	}
+}
+
+// applyDecision scales a group, keeping cluster placement consistent.
+// It reports whether any change was applied.
+func (w *World) applyDecision(c *chain.Chain, dec orch.Decision) bool {
+	g, err := c.Group(dec.Group)
+	if err != nil {
+		return false
+	}
+	if w.Cluster == nil {
+		return g.Scale(dec.Delta) != 0
+	}
+	if dec.Delta >= 0 {
+		before := g.Replicas()
+		applied := g.Scale(dec.Delta)
+		placed := 0
+		for _, in := range g.Instances()[before:] {
+			if _, err := w.Cluster.Place(in); err != nil {
+				break
+			}
+			placed++
+		}
+		if placed < applied {
+			// Roll back replicas that could not be placed.
+			g.Scale(placed - applied)
+		}
+		return placed > 0
+	}
+	// Scale down: unplace the removed tail.
+	before := append([]*vnf.Instance(nil), g.Instances()...)
+	applied := g.Scale(dec.Delta)
+	for _, in := range before[len(before)+applied:] {
+		w.Cluster.Unplace(in)
+	}
+	return applied != 0
+}
+
+// Chains returns the registered chain handles.
+func (w *World) Chains() []*ChainHandle { return w.chains }

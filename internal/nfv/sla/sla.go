@@ -1,0 +1,81 @@
+// Package sla defines service level objectives for chains and the
+// violation accounting the paper's classifiers predict: a chain epoch
+// violates its SLO when end-to-end latency exceeds the bound or loss
+// exceeds the budget.
+package sla
+
+import (
+	"fmt"
+
+	"nfvxai/internal/nfv/chain"
+)
+
+// SLO is a per-chain objective.
+type SLO struct {
+	// MaxLatencyMs bounds the epoch mean end-to-end latency.
+	MaxLatencyMs float64
+	// MaxLossRate bounds the epoch loss fraction.
+	MaxLossRate float64
+}
+
+// Violated reports whether the chain epoch result breaks the SLO.
+func (s SLO) Violated(r chain.Result) bool {
+	if s.MaxLatencyMs > 0 && r.LatencyMs > s.MaxLatencyMs {
+		return true
+	}
+	if r.LossRate > s.MaxLossRate {
+		return true
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (s SLO) String() string {
+	return fmt.Sprintf("SLO{latency<=%.1fms, loss<=%.3f}", s.MaxLatencyMs, s.MaxLossRate)
+}
+
+// Tracker accumulates violation statistics over a run.
+type Tracker struct {
+	SLO SLO
+
+	epochs     int
+	violations int
+	// CoreSeconds accumulates allocated cores × epoch duration, the
+	// resource-cost denominator in the autoscaling comparison.
+	coreSeconds float64
+}
+
+// Observe folds one epoch: the chain result, its core allocation, and the
+// epoch length.
+func (t *Tracker) Observe(r chain.Result, cores int, dtSec float64) {
+	t.epochs++
+	if t.SLO.Violated(r) {
+		t.violations++
+	}
+	t.coreSeconds += float64(cores) * dtSec
+}
+
+// Epochs returns the number of observed epochs.
+func (t *Tracker) Epochs() int { return t.epochs }
+
+// Violations returns the violating epoch count.
+func (t *Tracker) Violations() int { return t.violations }
+
+// ViolationRate returns violations/epochs (0 when empty).
+func (t *Tracker) ViolationRate() float64 {
+	if t.epochs == 0 {
+		return 0
+	}
+	return float64(t.violations) / float64(t.epochs)
+}
+
+// MeanCores returns the time-averaged core allocation.
+func (t *Tracker) MeanCores() float64 {
+	if t.epochs == 0 {
+		return 0
+	}
+	return t.coreSeconds / float64(t.epochs) // per unit epoch (dt folded in)
+}
+
+// CoreSeconds returns the raw accumulated core-seconds.
+func (t *Tracker) CoreSeconds() float64 { return t.coreSeconds }

@@ -1,0 +1,56 @@
+package sla
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nfvxai/internal/nfv/chain"
+)
+
+func TestViolated(t *testing.T) {
+	s := SLO{MaxLatencyMs: 10, MaxLossRate: 0.01}
+	if s.Violated(chain.Result{LatencyMs: 5, LossRate: 0}) {
+		t.Fatal("healthy epoch flagged")
+	}
+	if !s.Violated(chain.Result{LatencyMs: 15, LossRate: 0}) {
+		t.Fatal("latency violation missed")
+	}
+	if !s.Violated(chain.Result{LatencyMs: 5, LossRate: 0.05}) {
+		t.Fatal("loss violation missed")
+	}
+	// Zero latency bound disables the latency check.
+	open := SLO{MaxLossRate: 0.5}
+	if open.Violated(chain.Result{LatencyMs: 1e9, LossRate: 0}) {
+		t.Fatal("disabled latency bound applied")
+	}
+	if !strings.Contains(s.String(), "10.0ms") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestTrackerAccounting(t *testing.T) {
+	tr := Tracker{SLO: SLO{MaxLatencyMs: 10, MaxLossRate: 0.01}}
+	tr.Observe(chain.Result{LatencyMs: 5}, 8, 5)
+	tr.Observe(chain.Result{LatencyMs: 20}, 10, 5)
+	tr.Observe(chain.Result{LatencyMs: 5}, 12, 5)
+	if tr.Epochs() != 3 || tr.Violations() != 1 {
+		t.Fatalf("epochs %d violations %d", tr.Epochs(), tr.Violations())
+	}
+	if math.Abs(tr.ViolationRate()-1.0/3) > 1e-12 {
+		t.Fatalf("rate %v", tr.ViolationRate())
+	}
+	if tr.CoreSeconds() != (8+10+12)*5 {
+		t.Fatalf("core-seconds %v", tr.CoreSeconds())
+	}
+	if math.Abs(tr.MeanCores()-50) > 1e-12 {
+		t.Fatalf("mean cores %v", tr.MeanCores())
+	}
+}
+
+func TestTrackerEmpty(t *testing.T) {
+	var tr Tracker
+	if tr.ViolationRate() != 0 || tr.MeanCores() != 0 {
+		t.Fatal("empty tracker stats")
+	}
+}

@@ -1,0 +1,297 @@
+// Package telemetry implements the monitoring plane of the NFV substrate:
+// atomic counters and gauges that data-plane components bump and a
+// collector polls periodically (the XDP/eBPF counter-map pattern), plus
+// the per-epoch Record structure and the feature extraction that turns a
+// telemetry window into the tabular rows consumed by the ML models.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/nfv/chain"
+	"nfvxai/internal/nfv/traffic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry names counters and gauges. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns all metric values by name (counters as float64).
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Names returns all metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Record is the telemetry of one chain over one epoch — the raw material
+// for both dashboards and training data.
+type Record struct {
+	TimeSec   float64
+	HourOfDay float64
+
+	Demand traffic.Demand
+	Chain  chain.Result
+
+	// TotalCores is the chain's allocation during the epoch.
+	TotalCores int
+}
+
+// Window is a bounded sliding window of records.
+type Window struct {
+	cap  int
+	recs []Record
+}
+
+// NewWindow returns a window holding up to n records.
+func NewWindow(n int) *Window {
+	if n < 1 {
+		n = 1
+	}
+	return &Window{cap: n}
+}
+
+// Push appends a record, evicting the oldest beyond capacity.
+func (w *Window) Push(r Record) {
+	w.recs = append(w.recs, r)
+	if len(w.recs) > w.cap {
+		w.recs = w.recs[1:]
+	}
+}
+
+// Len returns the number of buffered records.
+func (w *Window) Len() int { return len(w.recs) }
+
+// At returns the i-th oldest record.
+func (w *Window) At(i int) Record { return w.recs[i] }
+
+// Last returns the most recent record; it panics on an empty window.
+func (w *Window) Last() Record { return w.recs[len(w.recs)-1] }
+
+// FeatureNames returns the feature schema produced by Features for a
+// chain with the given group names, in order.
+func FeatureNames(groupNames []string) []string {
+	names := []string{
+		"pps", "bps_mbit", "fps", "active_flows_k", "avg_pkt_bytes", "burst",
+		"hour_sin", "hour_cos",
+		"pps_lag1", "pps_delta", "pps_ewma",
+		"loss_rate", "chain_latency_ms", "total_cores",
+	}
+	for _, g := range groupNames {
+		names = append(names,
+			"util_"+g,
+			"lat_ms_"+g,
+			"replicas_"+g,
+			"state_factor_"+g,
+		)
+	}
+	return names
+}
+
+// Features extracts the feature vector for the most recent record in the
+// window (using earlier records for lags). The window must be non-empty;
+// missing lags fall back to the current value.
+func Features(w *Window) []float64 {
+	last := w.Last()
+	d := last.Demand
+	ppsLag1 := d.PPS
+	if w.Len() >= 2 {
+		ppsLag1 = w.At(w.Len() - 2).Demand.PPS
+	}
+	// Short EWMA over the window.
+	alpha := 0.4
+	ewma := 0.0
+	for i := 0; i < w.Len(); i++ {
+		v := w.At(i).Demand.PPS
+		if i == 0 {
+			ewma = v
+			continue
+		}
+		ewma = alpha*v + (1-alpha)*ewma
+	}
+	out := []float64{
+		d.PPS,
+		d.BPS * 8 / 1e6,
+		float64(d.NewFlows),
+		float64(d.ActiveFlows) / 1000,
+		d.AvgPktBytes,
+		d.Burst,
+		math.Sin(2 * math.Pi * last.HourOfDay / 24),
+		math.Cos(2 * math.Pi * last.HourOfDay / 24),
+		ppsLag1,
+		d.PPS - ppsLag1,
+		ewma,
+		last.Chain.LossRate,
+		last.Chain.LatencyMs,
+		float64(last.TotalCores),
+	}
+	for _, gr := range last.Chain.PerGroup {
+		out = append(out, gr.Utilization, gr.LatencyMs, float64(gr.Replicas), gr.StateFactor)
+	}
+	return out
+}
+
+// TargetKind selects what the extracted dataset predicts.
+type TargetKind int
+
+// Supported prediction targets.
+const (
+	// TargetBottleneckUtil is the next epoch's highest group utilization.
+	TargetBottleneckUtil TargetKind = iota
+	// TargetChainLatency is the next epoch's end-to-end latency (ms).
+	TargetChainLatency
+	// TargetViolation is 1 when the next epoch violates the given SLO
+	// latency bound.
+	TargetViolation
+)
+
+// Extractor accumulates (features, next-epoch target) pairs as records
+// stream in.
+type Extractor struct {
+	Target TargetKind
+	// SLOLatencyMs is the violation threshold for TargetViolation.
+	SLOLatencyMs float64
+	// WindowLen is the feature lag window (default 8).
+	WindowLen int
+
+	win     *Window
+	pending []float64 // features awaiting next-epoch target
+	ds      *dataset.Dataset
+	groups  []string
+}
+
+// NewExtractor builds an extractor for a chain with the given group names.
+func NewExtractor(target TargetKind, sloMs float64, groupNames []string) *Extractor {
+	task := dataset.Regression
+	if target == TargetViolation {
+		task = dataset.Classification
+	}
+	e := &Extractor{
+		Target:       target,
+		SLOLatencyMs: sloMs,
+		WindowLen:    8,
+		groups:       append([]string(nil), groupNames...),
+	}
+	e.win = NewWindow(e.WindowLen)
+	e.ds = dataset.New(task, FeatureNames(groupNames)...)
+	return e
+}
+
+// Push feeds one epoch record. When a previous epoch's features are
+// pending, the new record supplies their target and the pair is added to
+// the dataset.
+func (e *Extractor) Push(r Record) {
+	if e.pending != nil {
+		e.ds.Add(e.pending, e.targetOf(r))
+	}
+	e.win.Push(r)
+	e.pending = Features(e.win)
+}
+
+func (e *Extractor) targetOf(r Record) float64 {
+	switch e.Target {
+	case TargetChainLatency:
+		return r.Chain.LatencyMs
+	case TargetViolation:
+		if r.Chain.LatencyMs > e.SLOLatencyMs || r.Chain.LossRate > 0.01 {
+			return 1
+		}
+		return 0
+	default: // TargetBottleneckUtil
+		maxU := 0.0
+		for _, g := range r.Chain.PerGroup {
+			if g.Utilization > maxU {
+				maxU = g.Utilization
+			}
+		}
+		return maxU
+	}
+}
+
+// Dataset returns the accumulated dataset.
+func (e *Extractor) Dataset() *dataset.Dataset { return e.ds }
+
+// String summarizes the extractor state.
+func (e *Extractor) String() string {
+	return fmt.Sprintf("extractor(target=%d rows=%d)", int(e.Target), e.ds.Len())
+}

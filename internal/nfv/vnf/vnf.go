@@ -1,0 +1,212 @@
+// Package vnf models virtual network functions as queueing stations with
+// cycle-accurate cost models: each packet costs CPU cycles (per packet,
+// per byte, per new flow), flow-state tables overflow with a cache-miss
+// penalty, and latency follows a Kingman-style G/G/1 approximation that
+// grows nonlinearly with utilization and burstiness. These couplings are
+// what make NFV resource prediction a genuine ML problem — and what the
+// explanation layer must surface back to the operator.
+package vnf
+
+import (
+	"fmt"
+	"math"
+
+	"nfvxai/internal/nfv/traffic"
+)
+
+// Kind enumerates the supported VNF types.
+type Kind int
+
+// VNF kinds.
+const (
+	Firewall Kind = iota
+	NAT
+	IDS
+	LoadBalancer
+	RateLimiter
+	Monitor
+	DPI
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Firewall:
+		return "firewall"
+	case NAT:
+		return "nat"
+	case IDS:
+		return "ids"
+	case LoadBalancer:
+		return "lb"
+	case RateLimiter:
+		return "ratelimiter"
+	case Monitor:
+		return "monitor"
+	case DPI:
+		return "dpi"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all supported VNF kinds.
+func Kinds() []Kind {
+	return []Kind{Firewall, NAT, IDS, LoadBalancer, RateLimiter, Monitor, DPI}
+}
+
+// CostModel declares the CPU cost structure of a VNF implementation.
+type CostModel struct {
+	// CyclesPerPacket is the fixed header-processing cost.
+	CyclesPerPacket float64
+	// CyclesPerByte is the payload-touching cost (large for DPI/IDS).
+	CyclesPerByte float64
+	// CyclesPerNewFlow is the flow-setup cost (state insertion).
+	CyclesPerNewFlow float64
+	// StateEntries is the per-instance flow-table capacity; 0 = stateless.
+	StateEntries int
+	// OverflowPenalty multiplies the per-packet cost when active flows
+	// exceed the table (evictions + lookups miss cache).
+	OverflowPenalty float64
+}
+
+// DefaultCost returns a representative cost model per kind, loosely
+// calibrated to published software-middlebox measurements (order of
+// magnitude: simple L3/L4 functions cost hundreds of cycles per packet,
+// payload-inspecting functions cost thousands plus per-byte work).
+func DefaultCost(k Kind) CostModel {
+	switch k {
+	case Firewall:
+		return CostModel{CyclesPerPacket: 800, CyclesPerByte: 0.5, CyclesPerNewFlow: 2000, StateEntries: 65536, OverflowPenalty: 1.8}
+	case NAT:
+		return CostModel{CyclesPerPacket: 600, CyclesPerByte: 0.2, CyclesPerNewFlow: 3000, StateEntries: 65536, OverflowPenalty: 2.0}
+	case IDS:
+		return CostModel{CyclesPerPacket: 2200, CyclesPerByte: 4.5, CyclesPerNewFlow: 4000, StateEntries: 32768, OverflowPenalty: 2.5}
+	case LoadBalancer:
+		return CostModel{CyclesPerPacket: 400, CyclesPerByte: 0.1, CyclesPerNewFlow: 1500, StateEntries: 131072, OverflowPenalty: 1.5}
+	case RateLimiter:
+		return CostModel{CyclesPerPacket: 300, CyclesPerByte: 0.05, CyclesPerNewFlow: 500, StateEntries: 262144, OverflowPenalty: 1.2}
+	case Monitor:
+		return CostModel{CyclesPerPacket: 250, CyclesPerByte: 0.1, CyclesPerNewFlow: 800, StateEntries: 131072, OverflowPenalty: 1.3}
+	case DPI:
+		return CostModel{CyclesPerPacket: 2800, CyclesPerByte: 6.0, CyclesPerNewFlow: 5000, StateEntries: 32768, OverflowPenalty: 2.5}
+	default:
+		return CostModel{CyclesPerPacket: 500, CyclesPerByte: 0.2, CyclesPerNewFlow: 1000}
+	}
+}
+
+// Instance is one running replica of a VNF.
+type Instance struct {
+	Kind Kind
+	Cost CostModel
+	// Cores is the vCPU allocation; CoreHz the per-core clock (default
+	// 2.4 GHz); Efficiency the fraction of cycles usable for packet work
+	// after framework overhead (default 0.85).
+	Cores      int
+	CoreHz     float64
+	Efficiency float64
+	// CapScale is a transient capacity multiplier in (0, 1] set by the
+	// infrastructure layer to model host contention (0 means 1).
+	CapScale float64
+}
+
+// New returns an instance of kind k with the default cost model.
+func New(k Kind, cores int) *Instance {
+	return &Instance{Kind: k, Cost: DefaultCost(k), Cores: cores}
+}
+
+func (in *Instance) coreHz() float64 {
+	if in.CoreHz <= 0 {
+		return 2.4e9
+	}
+	return in.CoreHz
+}
+
+func (in *Instance) efficiency() float64 {
+	if in.Efficiency <= 0 || in.Efficiency > 1 {
+		return 0.85
+	}
+	return in.Efficiency
+}
+
+// CapacityCycles returns usable cycles/sec after any contention scaling.
+func (in *Instance) CapacityCycles() float64 {
+	scale := in.CapScale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return float64(in.Cores) * in.coreHz() * in.efficiency() * scale
+}
+
+// DemandCycles returns the cycles/sec needed to fully serve demand d with
+// activeFlows flows resident (per instance, after load balancing).
+func (in *Instance) DemandCycles(d traffic.Demand, activeFlows float64) float64 {
+	perPkt := in.Cost.CyclesPerPacket * in.stateFactor(activeFlows)
+	fps := float64(d.NewFlows) // new flows this epoch ≈ flows/sec at 1 s epochs
+	return d.PPS*perPkt + d.BPS*in.Cost.CyclesPerByte + fps*in.Cost.CyclesPerNewFlow
+}
+
+// stateFactor returns the per-packet cost multiplier from flow-table
+// pressure: 1 when the table fits, rising linearly to OverflowPenalty at
+// 2× capacity and saturating there.
+func (in *Instance) stateFactor(activeFlows float64) float64 {
+	if in.Cost.StateEntries <= 0 || activeFlows <= float64(in.Cost.StateEntries) {
+		return 1
+	}
+	over := activeFlows/float64(in.Cost.StateEntries) - 1
+	if over > 1 {
+		over = 1
+	}
+	return 1 + over*(in.Cost.OverflowPenalty-1)
+}
+
+// Result reports one epoch of processing at this instance.
+type Result struct {
+	// Utilization is offered cycles / capacity (can exceed 1).
+	Utilization float64
+	// ServedPPS and DroppedPPS partition the offered packet rate.
+	ServedPPS, DroppedPPS float64
+	// LossRate is DroppedPPS / offered PPS (0 when no load).
+	LossRate float64
+	// LatencyMs is the mean per-packet sojourn time (service + queueing).
+	LatencyMs float64
+	// StateFactor is the applied table-pressure multiplier.
+	StateFactor float64
+}
+
+// Process serves demand d (the per-instance share) for one epoch and
+// returns the station's performance. burst is the epoch's burstiness
+// indicator in [0, 1]; it inflates queueing delay via the arrival-process
+// variability term of Kingman's formula.
+func (in *Instance) Process(d traffic.Demand, activeFlows float64) Result {
+	capacity := in.CapacityCycles()
+	demand := in.DemandCycles(d, activeFlows)
+	util := 0.0
+	if capacity > 0 {
+		util = demand / capacity
+	}
+	res := Result{Utilization: util, StateFactor: in.stateFactor(activeFlows)}
+	if d.PPS <= 0 {
+		return res
+	}
+	served := d.PPS
+	if util > 1 {
+		served = d.PPS / util
+		res.DroppedPPS = d.PPS - served
+	}
+	res.ServedPPS = served
+	res.LossRate = res.DroppedPPS / d.PPS
+
+	// Service time per packet (ms).
+	svcMs := (demand / d.PPS) / in.coreHz() * 1000 / math.Max(1, float64(in.Cores))
+	// Kingman G/G/1 waiting time: W ≈ ρ/(1−ρ) · (Ca²+Cs²)/2 · S, with
+	// arrival variability rising with the burst indicator. Clamp ρ below 1
+	// so overload yields a large-but-finite queueing estimate (drops are
+	// accounted separately).
+	rho := math.Min(util, 0.99)
+	ca2 := 1 + 4*d.Burst // Poisson (1) to bursty (5)
+	const cs2 = 1.0
+	waitMs := rho / (1 - rho) * (ca2 + cs2) / 2 * svcMs
+	res.LatencyMs = svcMs + waitMs
+	return res
+}

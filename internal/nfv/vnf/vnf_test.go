@@ -1,0 +1,185 @@
+package vnf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nfvxai/internal/nfv/traffic"
+)
+
+func demand(pps, avgPkt float64, newFlows int, burst float64) traffic.Demand {
+	return traffic.Demand{
+		PPS:         pps,
+		BPS:         pps * avgPkt,
+		AvgPktBytes: avgPkt,
+		NewFlows:    newFlows,
+		Burst:       burst,
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Fatalf("kind %d missing name", k)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestDefaultCostsOrdering(t *testing.T) {
+	// Payload-inspecting functions must cost more than header-only ones.
+	if DefaultCost(DPI).CyclesPerByte <= DefaultCost(Firewall).CyclesPerByte {
+		t.Fatal("DPI should cost more per byte than firewall")
+	}
+	if DefaultCost(IDS).CyclesPerPacket <= DefaultCost(RateLimiter).CyclesPerPacket {
+		t.Fatal("IDS should cost more per packet than rate limiter")
+	}
+	for _, k := range Kinds() {
+		c := DefaultCost(k)
+		if c.CyclesPerPacket <= 0 || c.CyclesPerNewFlow < 0 {
+			t.Fatalf("%v: nonsensical cost %+v", k, c)
+		}
+	}
+}
+
+func TestCapacityScalesWithCores(t *testing.T) {
+	a := New(Firewall, 1)
+	b := New(Firewall, 4)
+	if b.CapacityCycles() != 4*a.CapacityCycles() {
+		t.Fatal("capacity not linear in cores")
+	}
+}
+
+func TestUtilizationMonotoneInLoad(t *testing.T) {
+	in := New(Firewall, 2)
+	prev := -1.0
+	for _, pps := range []float64{1e3, 1e4, 1e5, 1e6} {
+		r := in.Process(demand(pps, 500, 100, 0), 1000)
+		if r.Utilization <= prev {
+			t.Fatalf("utilization not monotone at %v pps", pps)
+		}
+		prev = r.Utilization
+	}
+}
+
+func TestNoDropsBelowCapacity(t *testing.T) {
+	in := New(Firewall, 4)
+	r := in.Process(demand(1e4, 500, 50, 0), 1000)
+	if r.Utilization >= 1 {
+		t.Fatalf("test demand unexpectedly saturates: util %v", r.Utilization)
+	}
+	if r.DroppedPPS != 0 || r.LossRate != 0 {
+		t.Fatalf("drops below capacity: %+v", r)
+	}
+	if r.ServedPPS != 1e4 {
+		t.Fatalf("served %v want all", r.ServedPPS)
+	}
+}
+
+func TestOverloadDropsProportionally(t *testing.T) {
+	in := New(DPI, 1)
+	// Find a demand that overloads: DPI at 1500B packets is expensive.
+	r := in.Process(demand(2e6, 1500, 1000, 0), 1000)
+	if r.Utilization <= 1 {
+		t.Fatalf("expected overload, util %v", r.Utilization)
+	}
+	if r.DroppedPPS <= 0 {
+		t.Fatal("no drops under overload")
+	}
+	// served + dropped = offered, served ≈ offered/util.
+	if math.Abs(r.ServedPPS+r.DroppedPPS-2e6) > 1 {
+		t.Fatal("served+dropped != offered")
+	}
+	if math.Abs(r.ServedPPS-2e6/r.Utilization) > 1 {
+		t.Fatal("served != offered/util")
+	}
+}
+
+func TestLatencyKneeNearSaturation(t *testing.T) {
+	in := New(Firewall, 1)
+	low := in.Process(demand(1e4, 200, 10, 0), 100)
+	// Pick a demand near (but below) capacity.
+	capPPS := in.CapacityCycles() / (in.Cost.CyclesPerPacket + 200*in.Cost.CyclesPerByte)
+	high := in.Process(demand(0.95*capPPS, 200, 10, 0), 100)
+	if low.Utilization > 0.2 {
+		t.Fatalf("low-load case not low: %v", low.Utilization)
+	}
+	if high.LatencyMs < 5*low.LatencyMs {
+		t.Fatalf("no queueing knee: low %v ms, high %v ms", low.LatencyMs, high.LatencyMs)
+	}
+}
+
+func TestBurstinessInflatesLatency(t *testing.T) {
+	in := New(Firewall, 1)
+	capPPS := in.CapacityCycles() / (in.Cost.CyclesPerPacket + 200*in.Cost.CyclesPerByte)
+	smooth := in.Process(demand(0.8*capPPS, 200, 10, 0), 100)
+	bursty := in.Process(demand(0.8*capPPS, 200, 10, 1), 100)
+	if bursty.LatencyMs <= smooth.LatencyMs {
+		t.Fatalf("burstiness did not inflate latency: %v vs %v", bursty.LatencyMs, smooth.LatencyMs)
+	}
+}
+
+func TestStateTableOverflowPenalty(t *testing.T) {
+	in := New(NAT, 2)
+	fits := in.Process(demand(1e5, 300, 100, 0), float64(in.Cost.StateEntries)/2)
+	over := in.Process(demand(1e5, 300, 100, 0), float64(in.Cost.StateEntries)*2)
+	if fits.StateFactor != 1 {
+		t.Fatalf("in-table state factor %v", fits.StateFactor)
+	}
+	if over.StateFactor != in.Cost.OverflowPenalty {
+		t.Fatalf("overflow factor %v want %v", over.StateFactor, in.Cost.OverflowPenalty)
+	}
+	if over.Utilization <= fits.Utilization {
+		t.Fatal("table overflow did not raise utilization")
+	}
+	// Stateless VNF: no penalty ever.
+	stateless := &Instance{Kind: Monitor, Cost: CostModel{CyclesPerPacket: 100}, Cores: 1}
+	if f := stateless.stateFactor(1e9); f != 1 {
+		t.Fatalf("stateless factor %v", f)
+	}
+}
+
+func TestZeroLoad(t *testing.T) {
+	in := New(Firewall, 1)
+	r := in.Process(demand(0, 0, 0, 0), 0)
+	if r.Utilization != 0 || r.LatencyMs != 0 || r.LossRate != 0 {
+		t.Fatalf("zero-load result %+v", r)
+	}
+}
+
+func TestPerByteCostMatters(t *testing.T) {
+	// Same PPS, bigger packets → higher utilization (per-byte work).
+	in := New(IDS, 2)
+	small := in.Process(demand(5e4, 64, 100, 0), 1000)
+	big := in.Process(demand(5e4, 1500, 100, 0), 1000)
+	if big.Utilization <= small.Utilization*1.5 {
+		t.Fatalf("per-byte cost not visible: %v vs %v", big.Utilization, small.Utilization)
+	}
+}
+
+func TestNewFlowCostMatters(t *testing.T) {
+	in := New(NAT, 2)
+	few := in.Process(demand(5e4, 300, 10, 0), 1000)
+	many := in.Process(demand(5e4, 300, 100000, 0), 1000)
+	if many.Utilization <= few.Utilization {
+		t.Fatal("flow-setup cost not visible")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	in := &Instance{Kind: Firewall, Cost: DefaultCost(Firewall), Cores: 1}
+	if in.coreHz() != 2.4e9 {
+		t.Fatalf("default CoreHz %v", in.coreHz())
+	}
+	if in.efficiency() != 0.85 {
+		t.Fatalf("default efficiency %v", in.efficiency())
+	}
+	in.CoreHz = 3e9
+	in.Efficiency = 0.5
+	if in.coreHz() != 3e9 || in.efficiency() != 0.5 {
+		t.Fatal("explicit values ignored")
+	}
+}

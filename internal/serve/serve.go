@@ -1,0 +1,229 @@
+// Package serve implements the explanation service: a JSON-over-HTTP API
+// exposing a trained NFV predictor together with its explanations —
+// per-prediction attributions, global importance, and counterfactual
+// what-if queries. This is the integration point an operator dashboard
+// would consume.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/xai/counterfactual"
+)
+
+// Server wraps a trained pipeline behind an http.Handler.
+type Server struct {
+	mu sync.RWMutex
+	p  *core.Pipeline
+
+	mux *http.ServeMux
+}
+
+// New builds a server over the pipeline.
+func New(p *core.Pipeline) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /schema", s.handleSchema)
+	s.mux.HandleFunc("GET /importance", s.handleImportance)
+	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) pipeline() *core.Pipeline {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.p
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "model": s.pipeline().Kind.String()})
+}
+
+// SchemaResponse describes the feature vector the other endpoints expect.
+type SchemaResponse struct {
+	Model    string   `json:"model"`
+	Task     string   `json:"task"`
+	Features []string `json:"features"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	p := s.pipeline()
+	writeJSON(w, http.StatusOK, SchemaResponse{
+		Model:    p.Kind.String(),
+		Task:     p.Train.Task.String(),
+		Features: p.Train.Names,
+	})
+}
+
+// featureRequest is the shared request body carrying one feature vector.
+type featureRequest struct {
+	Features []float64 `json:"features"`
+	TopK     int       `json:"topk,omitempty"`
+}
+
+func (s *Server) decodeFeatures(w http.ResponseWriter, r *http.Request) (featureRequest, bool) {
+	var req featureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return req, false
+	}
+	if want := s.pipeline().Train.NumFeatures(); len(req.Features) != want {
+		writeError(w, http.StatusBadRequest, "need %d features, got %d", want, len(req.Features))
+		return req, false
+	}
+	return req, true
+}
+
+// PredictResponse is the /predict reply.
+type PredictResponse struct {
+	Prediction float64 `json:"prediction"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeFeatures(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Prediction: s.pipeline().Model.Predict(req.Features)})
+}
+
+// Contribution is one feature's share of an explanation.
+type Contribution struct {
+	Feature string  `json:"feature"`
+	Phi     float64 `json:"phi"`
+}
+
+// ExplainResponse is the /explain reply.
+type ExplainResponse struct {
+	Prediction    float64        `json:"prediction"`
+	Base          float64        `json:"base"`
+	Method        string         `json:"method"`
+	Contributions []Contribution `json:"contributions"`
+	Report        string         `json:"report"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeFeatures(w, r)
+	if !ok {
+		return
+	}
+	p := s.pipeline()
+	attr, method, err := p.ExplainInstance(req.Features)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	resp := ExplainResponse{
+		Prediction: attr.Value,
+		Base:       attr.Base,
+		Method:     method,
+		Report:     core.OperatorReport("prediction explanation", attr, method, topK),
+	}
+	for _, j := range attr.TopK(topK) {
+		resp.Contributions = append(resp.Contributions, Contribution{Feature: attr.Name(j), Phi: attr.Phi[j]})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// WhatIfRequest is the /whatif request body.
+type WhatIfRequest struct {
+	Features  []float64 `json:"features"`
+	Op        string    `json:"op"`    // "<=" or ">="
+	Value     float64   `json:"value"` // prediction target
+	Immutable []string  `json:"immutable,omitempty"`
+}
+
+// Change is one modified feature of a counterfactual.
+type Change struct {
+	Feature string  `json:"feature"`
+	From    float64 `json:"from"`
+	To      float64 `json:"to"`
+}
+
+// WhatIfResponse is the /whatif reply.
+type WhatIfResponse struct {
+	Valid      bool     `json:"valid"`
+	Prediction float64  `json:"prediction"`
+	Changes    []Change `json:"changes"`
+	Report     string   `json:"report"`
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req WhatIfRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	p := s.pipeline()
+	if want := p.Train.NumFeatures(); len(req.Features) != want {
+		writeError(w, http.StatusBadRequest, "need %d features, got %d", want, len(req.Features))
+		return
+	}
+	if req.Op != "<=" && req.Op != ">=" {
+		writeError(w, http.StatusBadRequest, "op must be <= or >=")
+		return
+	}
+	target := counterfactual.Target{Op: req.Op, Value: req.Value}
+	cf, err := p.WhatIf(req.Features, target, req.Immutable)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "whatif: %v", err)
+		return
+	}
+	resp := WhatIfResponse{
+		Valid:      cf.Valid,
+		Prediction: cf.Prediction,
+		Report:     core.WhatIfReport(cf, p.Train.Names, req.Features, target),
+	}
+	for _, j := range cf.Changed {
+		name := fmt.Sprintf("f%d", j)
+		if j < len(p.Train.Names) {
+			name = p.Train.Names[j]
+		}
+		resp.Changes = append(resp.Changes, Change{Feature: name, From: req.Features[j], To: cf.X[j]})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ImportanceResponse is the /importance reply.
+type ImportanceResponse struct {
+	Features []string  `json:"features"`
+	Shap     []float64 `json:"shap"`
+	Perm     []float64 `json:"perm"`
+}
+
+func (s *Server) handleImportance(w http.ResponseWriter, _ *http.Request) {
+	p := s.pipeline()
+	shapImp, permImp, err := p.GlobalImportance(30)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "importance: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ImportanceResponse{
+		Features: p.Train.Names,
+		Shap:     shapImp,
+		Perm:     permImp,
+	})
+}

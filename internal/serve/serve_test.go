@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+)
+
+var (
+	testPipeline     *core.Pipeline
+	testPipelineOnce sync.Once
+)
+
+func pipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	testPipelineOnce.Do(func() {
+		ds, err := core.WebScenario().GenerateDataset(1, 1, telemetry.TargetBottleneckUtil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewPipeline(core.ModelForest, ds, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ShapSamples = 128
+		testPipeline = p
+	})
+	return testPipeline
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHealthAndSchema(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	health := decode[map[string]string](t, resp)
+	if health["status"] != "ok" || health["model"] != "rf" {
+		t.Fatalf("health %v", health)
+	}
+
+	resp, err = http.Get(srv.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := decode[SchemaResponse](t, resp)
+	if len(schema.Features) != pipeline(t).Train.NumFeatures() {
+		t.Fatalf("schema features %d", len(schema.Features))
+	}
+	if schema.Task != "regression" {
+		t.Fatalf("task %q", schema.Task)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	x := p.Test.X[0]
+	resp := postJSON(t, srv, "/predict", map[string]any{"features": x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decode[PredictResponse](t, resp)
+	if want := p.Model.Predict(x); got.Prediction != want {
+		t.Fatalf("prediction %v want %v", got.Prediction, want)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	// Wrong width.
+	resp := postJSON(t, srv, "/predict", map[string]any{"features": []float64{1, 2}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d want 400", resp.StatusCode)
+	}
+	errBody := decode[map[string]string](t, resp)
+	if !strings.Contains(errBody["error"], "features") {
+		t.Fatalf("error %q", errBody["error"])
+	}
+	// Malformed JSON.
+	resp2, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed status %d", resp2.StatusCode)
+	}
+	// Wrong method.
+	resp3, err := http.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict status %d", resp3.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	x := p.Test.X[1]
+	resp := postJSON(t, srv, "/explain", map[string]any{"features": x, "topk": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decode[ExplainResponse](t, resp)
+	if got.Method != "treeshap" {
+		t.Fatalf("method %q", got.Method)
+	}
+	if len(got.Contributions) != 3 {
+		t.Fatalf("contributions %d", len(got.Contributions))
+	}
+	if got.Contributions[0].Feature == "" {
+		t.Fatal("unnamed contribution")
+	}
+	if !strings.Contains(got.Report, "prediction") {
+		t.Fatalf("report %q", got.Report)
+	}
+	if diff := got.Prediction - p.Model.Predict(x); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("explained prediction mismatch: %v", diff)
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	// Find a high-utilization instance to push down.
+	var x []float64
+	for _, row := range p.Test.X {
+		if p.Model.Predict(row) > 0.8 {
+			x = row
+			break
+		}
+	}
+	if x == nil {
+		x = p.Test.X[0]
+	}
+	resp := postJSON(t, srv, "/whatif", WhatIfRequest{
+		Features:  x,
+		Op:        "<=",
+		Value:     0.4,
+		Immutable: []string{"hour_sin", "hour_cos"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decode[WhatIfResponse](t, resp)
+	if got.Valid && got.Prediction > 0.4 {
+		t.Fatalf("valid counterfactual above target: %+v", got)
+	}
+	if got.Report == "" {
+		t.Fatal("empty report")
+	}
+	// Bad op rejected.
+	bad := postJSON(t, srv, "/whatif", WhatIfRequest{Features: x, Op: "!=", Value: 1})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op status %d", bad.StatusCode)
+	}
+	bad.Body.Close()
+	// Wrong width rejected.
+	short := postJSON(t, srv, "/whatif", WhatIfRequest{Features: []float64{1}, Op: "<=", Value: 1})
+	if short.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short features status %d", short.StatusCode)
+	}
+	short.Body.Close()
+}
+
+func TestImportanceEndpoint(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/importance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decode[ImportanceResponse](t, resp)
+	d := p.Train.NumFeatures()
+	if len(got.Shap) != d || len(got.Perm) != d || len(got.Features) != d {
+		t.Fatalf("importance widths %d/%d/%d want %d", len(got.Shap), len(got.Perm), len(got.Features), d)
+	}
+	var total float64
+	for _, v := range got.Shap {
+		if v < 0 {
+			t.Fatal("negative |SHAP| importance")
+		}
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("all-zero importance")
+	}
+}

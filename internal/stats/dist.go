@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws random variates. All distribution types in this package
+// implement it against an explicit PRNG for reproducibility.
+type Sampler interface {
+	Sample(rng *rand.Rand) float64
+}
+
+// Exponential is an exponential distribution with the given rate (λ > 0).
+type Exponential struct {
+	Rate float64
+}
+
+// Sample draws a variate.
+func (d Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / d.Rate
+}
+
+// Mean returns the distribution mean 1/λ.
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+// Pareto is a Pareto (Type I) distribution with scale Xm > 0 and shape
+// Alpha > 0. Heavy-tailed flow sizes use Alpha in (1, 2).
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample draws a variate via inverse transform.
+func (d Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return d.Xm / math.Pow(u, 1/d.Alpha)
+}
+
+// Mean returns the distribution mean (Inf when Alpha <= 1).
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// LogNormal is a log-normal distribution parameterized by the mean Mu and
+// standard deviation Sigma of the underlying normal.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample draws a variate.
+func (d LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+
+// Mean returns the distribution mean exp(mu + sigma²/2).
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Normal is a normal distribution.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Sample draws a variate.
+func (d Normal) Sample(rng *rand.Rand) float64 {
+	return d.Mu + d.Sigma*rng.NormFloat64()
+}
+
+// Uniform is a uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a variate.
+func (d Uniform) Sample(rng *rand.Rand) float64 {
+	return d.Lo + (d.Hi-d.Lo)*rng.Float64()
+}
+
+// Deterministic always returns Value; useful to disable randomness in tests.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns the fixed value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// Poisson draws a Poisson-distributed count with the given mean. It uses
+// Knuth's product method for small means and a normal approximation above
+// 30 (adequate for workload synthesis).
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool { return rng.Float64() < p }
+
+// Categorical draws an index from the (unnormalized, non-negative) weight
+// vector w. It panics if all weights are zero or any is negative.
+func Categorical(rng *rand.Rand, w []float64) int {
+	var total float64
+	for _, v := range w {
+		if v < 0 {
+			panic("stats: Categorical negative weight")
+		}
+		total += v
+	}
+	if total == 0 {
+		panic("stats: Categorical zero total weight")
+	}
+	u := rng.Float64() * total
+	for i, v := range w {
+		u -= v
+		if u < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// MMPP2 is a two-state Markov-modulated Poisson process: a bursty arrival
+// process that alternates between a low-rate and a high-rate state. It is
+// the standard parsimonious model for bursty packet/flow arrivals.
+type MMPP2 struct {
+	RateLow, RateHigh float64 // arrival rates in each state (events/sec)
+	ToHigh, ToLow     float64 // state transition rates (1/sec)
+
+	state   int     // 0 = low, 1 = high
+	residue float64 // time left in the current state
+}
+
+// NewMMPP2 returns an MMPP starting in the low state.
+func NewMMPP2(rateLow, rateHigh, toHigh, toLow float64) *MMPP2 {
+	return &MMPP2{RateLow: rateLow, RateHigh: rateHigh, ToHigh: toHigh, ToLow: toLow}
+}
+
+// Rate returns the arrival rate of the current state.
+func (m *MMPP2) Rate() float64 {
+	if m.state == 1 {
+		return m.RateHigh
+	}
+	return m.RateLow
+}
+
+// Arrivals returns the number of arrivals during the next dt seconds,
+// advancing the modulating chain. The interval is split at state changes so
+// bursts shorter than dt are still represented.
+func (m *MMPP2) Arrivals(rng *rand.Rand, dt float64) int {
+	total := 0
+	remaining := dt
+	for remaining > 0 {
+		if m.residue <= 0 {
+			// Draw the sojourn time of the current state.
+			rate := m.ToHigh
+			if m.state == 1 {
+				rate = m.ToLow
+			}
+			if rate <= 0 {
+				m.residue = math.Inf(1)
+			} else {
+				m.residue = rng.ExpFloat64() / rate
+			}
+		}
+		step := remaining
+		if m.residue < step {
+			step = m.residue
+		}
+		total += Poisson(rng, m.Rate()*step)
+		m.residue -= step
+		remaining -= step
+		if m.residue <= 0 {
+			m.state = 1 - m.state
+		}
+	}
+	return total
+}
+
+// State reports the current modulating state (0 low, 1 high).
+func (m *MMPP2) State() int { return m.state }

@@ -1,0 +1,188 @@
+package anchors
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nfvxai/internal/ml"
+)
+
+func uniformBackground(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestAnchorFindsDecisiveFeature(t *testing.T) {
+	// Model: class 1 iff x0 > 0.75. The anchor for a deep positive
+	// instance should pin feature 0 (top quantile bin) and reach high
+	// precision; other features are irrelevant.
+	rng := rand.New(rand.NewSource(1))
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		if x[0] > 0.75 {
+			return 1
+		}
+		return 0
+	})
+	bg := uniformBackground(rng, 400, 3)
+	x := []float64{0.9, 0.5, 0.5}
+	a, err := Explain(model, x, bg, Config{Threshold: 0.95, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precision < 0.95 {
+		t.Fatalf("precision %v below threshold", a.Precision)
+	}
+	if len(a.Predicates) != 1 || a.Predicates[0].Feature != 0 {
+		t.Fatalf("anchor should pin feature 0 only: %+v", a.Predicates)
+	}
+	if a.Coverage <= 0 || a.Coverage > 0.5 {
+		t.Fatalf("coverage %v implausible for top-quartile rule", a.Coverage)
+	}
+	if !strings.Contains(a.Format([]string{"util", "b", "c"}), "util") {
+		t.Fatalf("format: %q", a.Format([]string{"util", "b", "c"}))
+	}
+}
+
+func TestAnchorConjunction(t *testing.T) {
+	// Class 1 iff BOTH x0 and x1 are high: the anchor needs two predicates.
+	rng := rand.New(rand.NewSource(3))
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		if x[0] > 0.7 && x[1] > 0.7 {
+			return 1
+		}
+		return 0
+	})
+	bg := uniformBackground(rng, 500, 4)
+	x := []float64{0.9, 0.9, 0.2, 0.2}
+	a, err := Explain(model, x, bg, Config{Threshold: 0.9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precision < 0.9 {
+		t.Fatalf("precision %v", a.Precision)
+	}
+	feats := map[int]bool{}
+	for _, p := range a.Predicates {
+		feats[p.Feature] = true
+	}
+	if !feats[0] || !feats[1] {
+		t.Fatalf("anchor missing a decisive feature: %+v", a.Predicates)
+	}
+}
+
+func TestAnchorNegativeClass(t *testing.T) {
+	// Anchors also explain "predicted healthy" verdicts.
+	rng := rand.New(rand.NewSource(5))
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		if x[0] > 0.9 {
+			return 1
+		}
+		return 0
+	})
+	bg := uniformBackground(rng, 300, 2)
+	x := []float64{0.1, 0.5} // deep in class 0
+	a, err := Explain(model, x, bg, Config{Threshold: 0.9, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precision < 0.9 {
+		t.Fatalf("negative-class anchor precision %v", a.Precision)
+	}
+}
+
+func TestAnchorRespectsMaxPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		if s > 3 {
+			return 1
+		}
+		return 0
+	})
+	bg := uniformBackground(rng, 300, 6)
+	x := []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
+	a, err := Explain(model, x, bg, Config{Threshold: 0.999, MaxPredicates: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Predicates) > 2 {
+		t.Fatalf("rule length %d exceeds bound", len(a.Predicates))
+	}
+}
+
+func TestAnchorErrors(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
+	if _, err := Explain(model, nil, uniformBackground(rand.New(rand.NewSource(1)), 10, 1), Config{}); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+	if _, err := Explain(model, []float64{1}, [][]float64{{1}}, Config{}); err == nil {
+		t.Fatal("expected small-background error")
+	}
+}
+
+func TestPredicateMatching(t *testing.T) {
+	p := Predicate{Feature: 0, Lo: 0.5, Hi: 1.0}
+	if !p.Matches([]float64{0.5}) || !p.Matches([]float64{0.99}) {
+		t.Fatal("inclusive lo / exclusive hi wrong")
+	}
+	if p.Matches([]float64{1.0}) || p.Matches([]float64{0.49}) {
+		t.Fatal("bounds not enforced")
+	}
+	open := Predicate{Feature: 0, LoOpen: true, HiOpen: true}
+	if !open.Matches([]float64{123}) {
+		t.Fatal("open predicate must match everything")
+	}
+	if got := open.Format("x"); got != "x = any" {
+		t.Fatalf("format %q", got)
+	}
+	lo := Predicate{Feature: 0, Lo: 2, HiOpen: true}
+	if got := lo.Format("x"); got != "x >= 2" {
+		t.Fatalf("format %q", got)
+	}
+	hi := Predicate{Feature: 0, Hi: 2, LoOpen: true}
+	if got := hi.Format("x"); got != "x < 2" {
+		t.Fatalf("format %q", got)
+	}
+}
+
+func TestBinOfPartitionsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bg := uniformBackground(rng, 1000, 1)
+	// Every value must fall into the bin predicate built around it.
+	for trial := 0; trial < 50; trial++ {
+		v := rng.Float64()
+		p := binOf(bg, 0, v, 4)
+		if !p.Matches([]float64{v}) {
+			t.Fatalf("value %v not in own bin %+v", v, p)
+		}
+	}
+	// Extremes get one-sided predicates.
+	pLow := binOf(bg, 0, -10, 4)
+	if !pLow.HiOpen == false && !pLow.LoOpen {
+		t.Fatalf("low extreme predicate %+v", pLow)
+	}
+	if !pLow.Matches([]float64{-10}) {
+		t.Fatal("low extreme not matched")
+	}
+	pHigh := binOf(bg, 0, 10, 4)
+	if !pHigh.Matches([]float64{10}) {
+		t.Fatal("high extreme not matched")
+	}
+}
+
+func TestEmptyAnchorFormat(t *testing.T) {
+	if got := (Anchor{}).Format(nil); !strings.Contains(got, "TRUE") {
+		t.Fatalf("empty anchor format %q", got)
+	}
+}

@@ -1,0 +1,253 @@
+// Package counterfactual implements counterfactual explanation search
+// (Wachter et al., 2017 style): given an instance x and a prediction
+// target ("what is the smallest change to this chain's telemetry that
+// would bring the predicted latency under its SLO?"), find a nearby x′
+// meeting the target while changing as few features as little as
+// possible. The search is a random-restart greedy coordinate descent over
+// background-derived candidate values, which is robust for the tabular,
+// low-dimensional telemetry vectors used in NFV management.
+package counterfactual
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nfvxai/internal/ml"
+)
+
+// Target is the goal predicate for the counterfactual prediction.
+type Target struct {
+	// Op is "<=" or ">=".
+	Op string
+	// Value is the prediction threshold to reach.
+	Value float64
+}
+
+// Met reports whether prediction p satisfies the target.
+func (t Target) Met(p float64) bool {
+	if t.Op == ">=" {
+		return p >= t.Value
+	}
+	return p <= t.Value
+}
+
+// gap returns how far p is from satisfying the target (0 when met).
+func (t Target) gap(p float64) float64 {
+	if t.Met(p) {
+		return 0
+	}
+	return math.Abs(p - t.Value)
+}
+
+// Config controls the search.
+type Config struct {
+	// Target is the prediction goal.
+	Target Target
+	// Immutable lists feature indices the search must not change (e.g.
+	// time-of-day: an operator cannot change the clock).
+	Immutable []int
+	// MaxChanges caps the number of features modified (default 3).
+	MaxChanges int
+	// Restarts is the number of greedy restarts (default 8).
+	Restarts int
+	// CandidatesPerFeature is how many values are tried per feature per
+	// step, drawn from background quantiles (default 7).
+	CandidatesPerFeature int
+	// Seed drives the restarts.
+	Seed int64
+}
+
+// Counterfactual is a found explanation.
+type Counterfactual struct {
+	// X is the counterfactual input.
+	X []float64
+	// Prediction is the model output at X.
+	Prediction float64
+	// Changed lists the modified feature indices.
+	Changed []int
+	// Sparsity is len(Changed); Proximity is the L2 distance to the
+	// original in background-std units.
+	Sparsity  int
+	Proximity float64
+	// Valid reports whether the target was met.
+	Valid bool
+}
+
+// Search finds a counterfactual for x against the model, using background
+// rows to derive plausible candidate values per feature.
+func Search(model ml.Predictor, x []float64, background [][]float64, cfg Config) (Counterfactual, error) {
+	d := len(x)
+	if d == 0 {
+		return Counterfactual{}, errors.New("counterfactual: empty input")
+	}
+	if len(background) == 0 {
+		return Counterfactual{}, errors.New("counterfactual: empty background")
+	}
+	maxChanges := cfg.MaxChanges
+	if maxChanges <= 0 {
+		maxChanges = 3
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	nCand := cfg.CandidatesPerFeature
+	if nCand <= 0 {
+		nCand = 7
+	}
+	immutable := map[int]bool{}
+	for _, j := range cfg.Immutable {
+		immutable[j] = true
+	}
+	candidates := candidateGrid(background, nCand)
+	std := featureStd(background)
+	rng := rand.New(rand.NewSource(cfg.Seed + 0xCF))
+
+	best := Counterfactual{X: append([]float64(nil), x...), Prediction: model.Predict(x)}
+	best.Valid = cfg.Target.Met(best.Prediction)
+	if best.Valid {
+		return best, nil // already satisfies the target; no change needed
+	}
+	bestScore := math.Inf(1)
+
+	order := make([]int, d)
+	for j := range order {
+		order[j] = j
+	}
+	for r := 0; r < restarts; r++ {
+		cur := append([]float64(nil), x...)
+		changed := map[int]bool{}
+		pred := model.Predict(cur)
+		for len(changed) < maxChanges && !cfg.Target.Met(pred) {
+			// Greedy: over mutable features (in random order), pick the
+			// single (feature, value) move that most reduces the gap,
+			// breaking gap ties by distance from the original value so
+			// counterfactuals stay as close to x as possible.
+			rng.Shuffle(d, func(a, b int) { order[a], order[b] = order[b], order[a] })
+			curGap := cfg.Target.gap(pred)
+			bestGap, bestDist := math.Inf(1), math.Inf(1)
+			bestJ, bestV := -1, 0.0
+			for _, j := range order {
+				if immutable[j] {
+					continue
+				}
+				orig := cur[j]
+				for _, v := range candidates[j] {
+					if v == orig {
+						continue
+					}
+					cur[j] = v
+					g := cfg.Target.gap(model.Predict(cur))
+					dist := math.Abs(v-x[j]) / std[j]
+					if g >= curGap-1e-12 {
+						continue // must strictly improve on the current state
+					}
+					if g < bestGap-1e-12 || (math.Abs(g-bestGap) <= 1e-12 && dist < bestDist) {
+						bestGap, bestDist, bestJ, bestV = g, dist, j, v
+					}
+				}
+				cur[j] = orig
+			}
+			if bestJ < 0 {
+				break
+			}
+			cur[bestJ] = bestV
+			changed[bestJ] = true
+			pred = model.Predict(cur)
+		}
+		valid := cfg.Target.Met(pred)
+		prox := proximity(x, cur, std)
+		// Prefer valid, then fewer changes, then closer.
+		score := prox + 10*float64(len(changed))
+		if !valid {
+			score += 1e6 + cfg.Target.gap(pred)
+		}
+		if score < bestScore {
+			bestScore = score
+			cs := make([]int, 0, len(changed))
+			for j := range changed {
+				cs = append(cs, j)
+			}
+			sort.Ints(cs)
+			best = Counterfactual{
+				X:          append([]float64(nil), cur...),
+				Prediction: pred,
+				Changed:    cs,
+				Sparsity:   len(cs),
+				Proximity:  prox,
+				Valid:      valid,
+			}
+		}
+	}
+	return best, nil
+}
+
+// candidateGrid returns per-feature candidate values at the background
+// quantiles.
+func candidateGrid(background [][]float64, n int) [][]float64 {
+	d := len(background[0])
+	out := make([][]float64, d)
+	col := make([]float64, len(background))
+	for j := 0; j < d; j++ {
+		for i, row := range background {
+			col[i] = row[j]
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		vals := make([]float64, 0, n)
+		for k := 0; k < n; k++ {
+			q := float64(k) / float64(n-1)
+			pos := q * float64(len(sorted)-1)
+			lo := int(pos)
+			hi := lo
+			if lo+1 < len(sorted) {
+				hi = lo + 1
+			}
+			frac := pos - float64(lo)
+			v := sorted[lo]*(1-frac) + sorted[hi]*frac
+			if len(vals) == 0 || v != vals[len(vals)-1] {
+				vals = append(vals, v)
+			}
+		}
+		out[j] = vals
+	}
+	return out
+}
+
+func featureStd(rows [][]float64) []float64 {
+	d := len(rows[0])
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(rows))
+	}
+	std := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(rows)))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return std
+}
+
+func proximity(a, b, std []float64) float64 {
+	var s float64
+	for j := range a {
+		dv := (a[j] - b[j]) / std[j]
+		s += dv * dv
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,169 @@
+package counterfactual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/ml"
+)
+
+func background1D(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestSearchFindsSparseFlip(t *testing.T) {
+	// Model depends only on feature 0; the counterfactual should change
+	// exactly that one feature.
+	rng := rand.New(rand.NewSource(1))
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
+	bg := background1D(rng, 100, 3)
+	x := []float64{9, 5, 5} // prediction 9; want <= 2
+	cf, err := Search(model, x, bg, Config{Target: Target{Op: "<=", Value: 2}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.Valid {
+		t.Fatalf("no valid counterfactual found: %+v", cf)
+	}
+	if cf.Sparsity != 1 || cf.Changed[0] != 0 {
+		t.Fatalf("expected single change to feature 0, got %+v", cf)
+	}
+	if cf.Prediction > 2 {
+		t.Fatalf("target not met: %v", cf.Prediction)
+	}
+	// Untouched features unchanged.
+	if cf.X[1] != 5 || cf.X[2] != 5 {
+		t.Fatalf("untouched features modified: %v", cf.X)
+	}
+}
+
+func TestSearchRespectsImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] + 0.1*x[1] })
+	bg := background1D(rng, 100, 2)
+	x := []float64{9, 9}
+	cf, err := Search(model, x, bg, Config{
+		Target:    Target{Op: "<=", Value: 5},
+		Immutable: []int{0},
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.X[0] != 9 {
+		t.Fatalf("immutable feature changed: %v", cf.X)
+	}
+	// Feature 1 alone can only reach 9 + 0.1*0 = 9 > 5: must be invalid.
+	if cf.Valid {
+		t.Fatalf("impossible target reported valid: %+v", cf)
+	}
+}
+
+func TestSearchAlreadySatisfied(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
+	bg := background1D(rng, 50, 1)
+	cf, err := Search(model, []float64{1}, bg, Config{Target: Target{Op: "<=", Value: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.Valid || cf.Sparsity != 0 {
+		t.Fatalf("already-valid instance should need no changes: %+v", cf)
+	}
+}
+
+func TestSearchGreaterEqualTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] + x[1] })
+	bg := background1D(rng, 100, 2)
+	cf, err := Search(model, []float64{1, 1}, bg, Config{Target: Target{Op: ">=", Value: 15}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.Valid {
+		t.Fatalf("no counterfactual for reachable >= target: %+v", cf)
+	}
+	if cf.Prediction < 15 {
+		t.Fatalf("prediction %v below target", cf.Prediction)
+	}
+}
+
+func TestSearchMaxChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Each feature contributes 1; flipping k features moves prediction by
+	// at most ~10k, so MaxChanges=1 bounds the achievable change.
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v
+		}
+		return s
+	})
+	bg := background1D(rng, 100, 4)
+	x := []float64{9, 9, 9, 9} // prediction 36
+	cf, err := Search(model, x, bg, Config{Target: Target{Op: "<=", Value: 5}, MaxChanges: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Sparsity > 1 {
+		t.Fatalf("exceeded MaxChanges: %+v", cf)
+	}
+	if cf.Valid {
+		t.Fatal("target unreachable with one change but reported valid")
+	}
+}
+
+func TestSearchProximityPrefersClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
+	bg := background1D(rng, 200, 1)
+	x := []float64{9}
+	cf, err := Search(model, x, bg, Config{Target: Target{Op: "<=", Value: 6}, Seed: 11, Restarts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.Valid {
+		t.Fatal("expected valid counterfactual")
+	}
+	// Candidates near 6 exist (background uniform over 0..10); the chosen
+	// value should not be far below the threshold.
+	if cf.X[0] < 3 {
+		t.Fatalf("counterfactual unnecessarily far: %v", cf.X[0])
+	}
+	if math.Abs(cf.Proximity) < 1e-9 {
+		t.Fatal("proximity should be positive for a changed instance")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
+	if _, err := Search(model, nil, [][]float64{{1}}, Config{}); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+	if _, err := Search(model, []float64{1}, nil, Config{}); err == nil {
+		t.Fatal("expected empty-background error")
+	}
+}
+
+func TestTargetMet(t *testing.T) {
+	le := Target{Op: "<=", Value: 5}
+	ge := Target{Op: ">=", Value: 5}
+	if !le.Met(5) || !le.Met(4) || le.Met(6) {
+		t.Fatal("<= semantics wrong")
+	}
+	if !ge.Met(5) || !ge.Met(6) || ge.Met(4) {
+		t.Fatal(">= semantics wrong")
+	}
+	if le.gap(4) != 0 || le.gap(7) != 2 {
+		t.Fatal("gap wrong")
+	}
+}

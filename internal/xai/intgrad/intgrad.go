@@ -1,0 +1,83 @@
+// Package intgrad implements Integrated Gradients (Sundararajan, Taly &
+// Yan, ICML 2017): attribution by integrating the model's input gradient
+// along the straight path from a baseline to the input. IG satisfies the
+// completeness axiom — attributions sum exactly to f(x) − f(baseline) in
+// the limit of fine integration — making it the gradient-based
+// counterpart to SHAP for differentiable models like the repository's
+// MLP.
+package intgrad
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvxai/internal/xai"
+)
+
+// GradModel is a differentiable predictor.
+type GradModel interface {
+	Predict(x []float64) float64
+	// Gradient returns ∂Predict/∂x at x.
+	Gradient(x []float64) []float64
+}
+
+// Explainer computes integrated-gradients attributions.
+type Explainer struct {
+	Model GradModel
+	// Baseline is the reference input (e.g. feature means); required.
+	Baseline []float64
+	// Steps is the Riemann resolution (default 64).
+	Steps int
+	// Names are optional feature names copied into attributions.
+	Names []string
+}
+
+// Explain implements xai.Explainer.
+func (e *Explainer) Explain(x []float64) (xai.Attribution, error) {
+	if len(x) == 0 {
+		return xai.Attribution{}, errors.New("intgrad: empty input")
+	}
+	if len(e.Baseline) != len(x) {
+		return xai.Attribution{}, fmt.Errorf("intgrad: baseline width %d != input %d", len(e.Baseline), len(x))
+	}
+	steps := e.Steps
+	if steps <= 0 {
+		steps = 64
+	}
+	d := len(x)
+	avg := make([]float64, d)
+	z := make([]float64, d)
+	// Midpoint rule over alpha in (0, 1): markedly lower error than the
+	// left Riemann sum at equal steps.
+	for s := 0; s < steps; s++ {
+		alpha := (float64(s) + 0.5) / float64(steps)
+		for j := range z {
+			z[j] = e.Baseline[j] + alpha*(x[j]-e.Baseline[j])
+		}
+		g := e.Model.Gradient(z)
+		for j := range avg {
+			avg[j] += g[j]
+		}
+	}
+	phi := make([]float64, d)
+	for j := range phi {
+		phi[j] = (x[j] - e.Baseline[j]) * avg[j] / float64(steps)
+	}
+	return xai.Attribution{
+		Names: e.Names,
+		Phi:   phi,
+		Base:  e.Model.Predict(e.Baseline),
+		Value: e.Model.Predict(x),
+	}, nil
+}
+
+// Saliency returns the plain input-gradient attribution g(x) ⊙ x−baseline
+// (a single-step approximation, for comparison in ablations).
+func Saliency(m GradModel, x, baseline []float64) []float64 {
+	g := m.Gradient(x)
+	out := make([]float64, len(x))
+	for j := range out {
+		out[j] = g[j] * (x[j] - baseline[j])
+	}
+	return out
+}

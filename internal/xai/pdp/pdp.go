@@ -1,0 +1,139 @@
+// Package pdp implements partial dependence (PDP) and individual
+// conditional expectation (ICE) curves: the model's average response as
+// one feature sweeps a grid while the others stay at observed values.
+// Operators use these to sanity-check monotonicity assumptions, e.g. "CPU
+// prediction should rise with offered load".
+package pdp
+
+import (
+	"errors"
+	"sort"
+
+	"nfvxai/internal/ml"
+)
+
+// Curve is a partial-dependence result for one feature.
+type Curve struct {
+	Feature int
+	Grid    []float64 // swept feature values
+	Mean    []float64 // PDP: average prediction at each grid point
+	// ICE[i][g] is the prediction for background row i at grid point g;
+	// nil unless requested.
+	ICE [][]float64
+}
+
+// Config controls curve computation.
+type Config struct {
+	// GridSize is the number of grid points (default 20), spread over the
+	// feature's observed quantiles.
+	GridSize int
+	// WithICE requests per-instance curves in addition to the mean.
+	WithICE bool
+}
+
+// Compute returns the PDP (and optionally ICE) curve for the given feature
+// over the rows of X.
+func Compute(model ml.Predictor, X [][]float64, feature int, cfg Config) (Curve, error) {
+	if len(X) == 0 {
+		return Curve{}, errors.New("pdp: empty data")
+	}
+	if feature < 0 || feature >= len(X[0]) {
+		return Curve{}, errors.New("pdp: feature index out of range")
+	}
+	gs := cfg.GridSize
+	if gs <= 0 {
+		gs = 20
+	}
+	grid := quantileGrid(X, feature, gs)
+	curve := Curve{Feature: feature, Grid: grid, Mean: make([]float64, len(grid))}
+	if cfg.WithICE {
+		curve.ICE = make([][]float64, len(X))
+		for i := range curve.ICE {
+			curve.ICE[i] = make([]float64, len(grid))
+		}
+	}
+	x := make([]float64, len(X[0]))
+	for g, v := range grid {
+		var sum float64
+		for i, row := range X {
+			copy(x, row)
+			x[feature] = v
+			p := model.Predict(x)
+			sum += p
+			if cfg.WithICE {
+				curve.ICE[i][g] = p
+			}
+		}
+		curve.Mean[g] = sum / float64(len(X))
+	}
+	return curve, nil
+}
+
+// Range returns max(Mean) − min(Mean), a scalar summary of how much the
+// model responds to the feature (flat PDP ⇒ irrelevant feature).
+func (c Curve) Range() float64 {
+	if len(c.Mean) == 0 {
+		return 0
+	}
+	lo, hi := c.Mean[0], c.Mean[0]
+	for _, v := range c.Mean[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// MonotoneFraction returns the fraction of adjacent grid steps that move
+// in the majority direction; 1.0 means a perfectly monotone response.
+func (c Curve) MonotoneFraction() float64 {
+	if len(c.Mean) < 2 {
+		return 1
+	}
+	up, down := 0, 0
+	for i := 1; i < len(c.Mean); i++ {
+		switch {
+		case c.Mean[i] > c.Mean[i-1]:
+			up++
+		case c.Mean[i] < c.Mean[i-1]:
+			down++
+		}
+	}
+	total := up + down
+	if total == 0 {
+		return 1
+	}
+	if up > down {
+		return float64(up) / float64(total)
+	}
+	return float64(down) / float64(total)
+}
+
+// quantileGrid builds a grid over the observed quantiles of the feature,
+// deduplicating repeated values.
+func quantileGrid(X [][]float64, feature, gs int) []float64 {
+	vals := make([]float64, len(X))
+	for i, row := range X {
+		vals[i] = row[feature]
+	}
+	sort.Float64s(vals)
+	grid := make([]float64, 0, gs)
+	for g := 0; g < gs; g++ {
+		q := float64(g) / float64(gs-1)
+		pos := q * float64(len(vals)-1)
+		lo := int(pos)
+		hi := lo
+		if lo+1 < len(vals) {
+			hi = lo + 1
+		}
+		frac := pos - float64(lo)
+		v := vals[lo]*(1-frac) + vals[hi]*frac
+		if len(grid) == 0 || v != grid[len(grid)-1] {
+			grid = append(grid, v)
+		}
+	}
+	return grid
+}

@@ -1,0 +1,116 @@
+package pdp
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/ml"
+)
+
+func grid2D(rng *rand.Rand, n int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.NormFloat64()}
+	}
+	return X
+}
+
+func TestPDPMonotoneModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X := grid2D(rng, 300)
+	model := ml.PredictorFunc(func(x []float64) float64 { return 3*x[0] + x[1] })
+	c, err := Compute(model, X, 0, Config{GridSize: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MonotoneFraction() != 1 {
+		t.Fatalf("linear PDP not monotone: %v", c.Mean)
+	}
+	// Slope recoverable from endpoints: Δmean/Δgrid ≈ 3.
+	slope := (c.Mean[len(c.Mean)-1] - c.Mean[0]) / (c.Grid[len(c.Grid)-1] - c.Grid[0])
+	if slope < 2.9 || slope > 3.1 {
+		t.Fatalf("PDP slope = %v want 3", slope)
+	}
+}
+
+func TestPDPFlatForIrrelevantFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X := grid2D(rng, 200)
+	model := ml.PredictorFunc(func(x []float64) float64 { return 5 * x[0] })
+	c, err := Compute(model, X, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Range() != 0 {
+		t.Fatalf("irrelevant feature PDP range = %v", c.Range())
+	}
+}
+
+func TestICECurves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X := grid2D(rng, 50)
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] * x[1] })
+	c, err := Compute(model, X, 0, Config{GridSize: 5, WithICE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ICE) != 50 {
+		t.Fatalf("ICE rows = %d", len(c.ICE))
+	}
+	// PDP must be the mean of ICE curves.
+	for g := range c.Grid {
+		var mean float64
+		for i := range c.ICE {
+			mean += c.ICE[i][g]
+		}
+		mean /= float64(len(c.ICE))
+		if diff := mean - c.Mean[g]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("PDP != mean(ICE) at grid %d", g)
+		}
+	}
+}
+
+func TestPDPNonMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X := make([][]float64, 400)
+	for i := range X {
+		X[i] = []float64{rng.Float64()*4 - 2}
+	}
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] * x[0] })
+	c, err := Compute(model, X, 0, Config{GridSize: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MonotoneFraction() > 0.8 {
+		t.Fatalf("quadratic PDP reported monotone: %v", c.MonotoneFraction())
+	}
+	if c.Range() < 1 {
+		t.Fatalf("quadratic PDP range too small: %v", c.Range())
+	}
+}
+
+func TestPDPErrors(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
+	if _, err := Compute(model, nil, 0, Config{}); err == nil {
+		t.Fatal("expected empty-data error")
+	}
+	if _, err := Compute(model, [][]float64{{1}}, 5, Config{}); err == nil {
+		t.Fatal("expected feature-range error")
+	}
+}
+
+func TestGridDeduplicates(t *testing.T) {
+	// Constant column must produce a single grid point, not GridSize copies.
+	X := [][]float64{{7}, {7}, {7}}
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
+	c, err := Compute(model, X, 0, Config{GridSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Grid) != 1 {
+		t.Fatalf("grid = %v", c.Grid)
+	}
+	if c.MonotoneFraction() != 1 {
+		t.Fatal("single-point curve should be trivially monotone")
+	}
+}

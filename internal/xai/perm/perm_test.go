@@ -1,0 +1,111 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/linear"
+)
+
+func TestImportanceRanksInformativeFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.New(dataset.Regression, "big", "small", "noise")
+	for i := 0; i < 800; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		d.Add(x, 10*x[0]+x[1])
+	}
+	var m linear.Regression
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Importance(&m, d, Config{Repeats: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(imp[0] > imp[1] && imp[1] > imp[2]) {
+		t.Fatalf("importance ordering wrong: %v", imp)
+	}
+	// Noise importance near zero; dominant ~100x the weak one (w²-scaled).
+	if imp[2] > imp[1]*0.5 {
+		t.Fatalf("noise importance too high: %v", imp)
+	}
+}
+
+func TestImportanceClassificationUsesAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.New(dataset.Classification, "signal", "noise")
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := 0.0
+		if x[0] > 0 {
+			y = 1
+		}
+		d.Add(x, y)
+	}
+	m := linear.Logistic{Epochs: 100}
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Importance(&m, d, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0] < 0.2 {
+		t.Fatalf("signal importance %v too low", imp[0])
+	}
+	if imp[1] > 0.05 {
+		t.Fatalf("noise importance %v too high", imp[1])
+	}
+}
+
+func TestImportanceCustomLoss(t *testing.T) {
+	d := dataset.New(dataset.Regression, "x")
+	for i := 0; i < 50; i++ {
+		d.Add([]float64{float64(i)}, float64(i))
+	}
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
+	calls := 0
+	loss := func(pred, truth []float64) float64 {
+		calls++
+		return 0
+	}
+	if _, err := Importance(model, d, Config{Repeats: 2, Loss: loss}); err != nil {
+		t.Fatal(err)
+	}
+	// 1 baseline + 2 repeats × 1 feature.
+	if calls != 3 {
+		t.Fatalf("loss called %d times want 3", calls)
+	}
+}
+
+func TestImportanceEmptyError(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
+	if _, err := Importance(model, dataset.New(dataset.Regression, "x"), Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestImportanceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := dataset.New(dataset.Regression, "a", "b")
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d.Add(x, x[0])
+	}
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
+	i1, err := Importance(model, d, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := Importance(model, d, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range i1 {
+		if i1[j] != i2[j] {
+			t.Fatal("same seed differs")
+		}
+	}
+}

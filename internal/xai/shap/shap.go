@@ -1,0 +1,315 @@
+// Package shap implements SHAP (SHapley Additive exPlanations) for
+// arbitrary black-box models: the KernelSHAP weighted-least-squares
+// estimator of Lundberg & Lee (NIPS 2017) plus an exact exponential-time
+// Shapley computation used as a correctness oracle on small feature
+// counts. Feature removal is interventional: absent features are replaced
+// by values drawn from a background dataset, and the value of a coalition
+// is the mean model output over the background replacements.
+package shap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nfvxai/internal/mat"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
+)
+
+// Kernel is a KernelSHAP explainer. Background must be non-empty; its
+// rows define the reference distribution for absent features and the base
+// value (mean prediction over background).
+type Kernel struct {
+	Model ml.Predictor
+	// Background rows are reference inputs; 50–200 rows is typical.
+	Background [][]float64
+	// NumSamples bounds the number of coalitions evaluated (default 2048).
+	// When 2^d−2 fits in the budget, all coalitions are enumerated and the
+	// estimator is exact (for the given background).
+	NumSamples int
+	// Ridge regularizes the WLS solve (default 1e-9, numerical only).
+	Ridge float64
+	// Seed drives coalition sampling.
+	Seed int64
+	// Names are optional feature names copied into attributions.
+	Names []string
+}
+
+// Explain computes the SHAP attribution of the model at x.
+func (k *Kernel) Explain(x []float64) (xai.Attribution, error) {
+	d := len(x)
+	if d == 0 {
+		return xai.Attribution{}, errors.New("shap: empty input")
+	}
+	if len(k.Background) == 0 {
+		return xai.Attribution{}, errors.New("shap: empty background")
+	}
+	for i, b := range k.Background {
+		if len(b) != d {
+			return xai.Attribution{}, fmt.Errorf("shap: background row %d has %d features, want %d", i, len(b), d)
+		}
+	}
+	base := k.baseValue()
+	fx := k.Model.Predict(x)
+
+	if d == 1 {
+		// Single feature: the entire gap is its contribution.
+		return xai.Attribution{Names: k.Names, Phi: []float64{fx - base}, Base: base, Value: fx}, nil
+	}
+
+	budget := k.NumSamples
+	if budget <= 0 {
+		budget = 2048
+	}
+	var masks [][]bool
+	var weights []float64
+	if total := (1 << uint(d)) - 2; d <= 20 && total <= budget {
+		masks, weights = enumerateCoalitions(d)
+	} else {
+		masks, weights = sampleCoalitions(d, budget, k.Seed)
+	}
+
+	// Evaluate the value function for every coalition.
+	vals := make([]float64, len(masks))
+	for i, m := range masks {
+		vals[i] = k.coalitionValue(x, m)
+	}
+
+	// Solve the constrained WLS: eliminate phi[d-1] via the efficiency
+	// constraint Σ phi = fx − base, regress on the remaining d−1 columns.
+	a := mat.NewDense(len(masks), d-1)
+	b := make([]float64, len(masks))
+	for i, m := range masks {
+		zd := 0.0
+		if m[d-1] {
+			zd = 1
+		}
+		row := a.Row(i)
+		for j := 0; j < d-1; j++ {
+			zj := 0.0
+			if m[j] {
+				zj = 1
+			}
+			row[j] = zj - zd
+		}
+		b[i] = vals[i] - base - zd*(fx-base)
+	}
+	ridge := k.Ridge
+	if ridge <= 0 {
+		ridge = 1e-9
+	}
+	sol, err := mat.SolveWeightedRidge(a, b, weights, ridge)
+	if err != nil {
+		return xai.Attribution{}, fmt.Errorf("shap: WLS solve: %w", err)
+	}
+	phi := make([]float64, d)
+	copy(phi, sol)
+	var sum float64
+	for _, p := range sol {
+		sum += p
+	}
+	phi[d-1] = (fx - base) - sum
+	return xai.Attribution{Names: k.Names, Phi: phi, Base: base, Value: fx}, nil
+}
+
+func (k *Kernel) baseValue() float64 {
+	var s float64
+	for _, b := range k.Background {
+		s += k.Model.Predict(b)
+	}
+	return s / float64(len(k.Background))
+}
+
+// coalitionValue returns E_b[f(z)] where z takes x on mask-true features
+// and the background row elsewhere.
+func (k *Kernel) coalitionValue(x []float64, mask []bool) float64 {
+	z := make([]float64, len(x))
+	var s float64
+	for _, bg := range k.Background {
+		for j := range z {
+			if mask[j] {
+				z[j] = x[j]
+			} else {
+				z[j] = bg[j]
+			}
+		}
+		s += k.Model.Predict(z)
+	}
+	return s / float64(len(k.Background))
+}
+
+// shapleyKernelWeight is the KernelSHAP weight for a coalition of size s
+// out of d features: (d−1) / (C(d,s) · s · (d−s)).
+func shapleyKernelWeight(d, s int) float64 {
+	return float64(d-1) / (binom(d, s) * float64(s) * float64(d-s))
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// enumerateCoalitions returns every non-trivial mask with its Shapley
+// kernel weight.
+func enumerateCoalitions(d int) ([][]bool, []float64) {
+	total := (1 << uint(d)) - 2
+	masks := make([][]bool, 0, total)
+	weights := make([]float64, 0, total)
+	for bits := 1; bits < (1<<uint(d))-1; bits++ {
+		m := make([]bool, d)
+		s := 0
+		for j := 0; j < d; j++ {
+			if bits&(1<<uint(j)) != 0 {
+				m[j] = true
+				s++
+			}
+		}
+		masks = append(masks, m)
+		weights = append(weights, shapleyKernelWeight(d, s))
+	}
+	return masks, weights
+}
+
+// sampleCoalitions draws masks from the size distribution induced by the
+// Shapley kernel (paired with their complements for variance reduction);
+// sampled masks carry uniform weight since the kernel is absorbed into the
+// sampling distribution.
+func sampleCoalitions(d, budget int, seed int64) ([][]bool, []float64) {
+	rng := rand.New(rand.NewSource(seed + 0x9E3779B9))
+	// Size distribution p(s) ∝ (d−1)/(s(d−s)) for s in 1..d−1.
+	sizeW := make([]float64, d)
+	for s := 1; s < d; s++ {
+		sizeW[s] = float64(d-1) / (float64(s) * float64(d-s))
+	}
+	masks := make([][]bool, 0, budget)
+	weights := make([]float64, 0, budget)
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	for len(masks) < budget {
+		// Draw a size.
+		u := rng.Float64() * sum(sizeW)
+		s := 1
+		for ; s < d-1; s++ {
+			u -= sizeW[s]
+			if u < 0 {
+				break
+			}
+		}
+		rng.Shuffle(d, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		m := make([]bool, d)
+		for _, j := range perm[:s] {
+			m[j] = true
+		}
+		masks = append(masks, m)
+		weights = append(weights, 1)
+		if len(masks) < budget {
+			// Paired (antithetic) complement.
+			c := make([]bool, d)
+			for j := range c {
+				c[j] = !m[j]
+			}
+			masks = append(masks, c)
+			weights = append(weights, 1)
+		}
+	}
+	return masks, weights
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Exact computes Shapley values by full subset enumeration (O(2^d) value
+// evaluations, each averaging over the background). It is the correctness
+// oracle for the estimators; keep d small (≤ 12).
+func Exact(model ml.Predictor, background [][]float64, x []float64) (xai.Attribution, error) {
+	d := len(x)
+	if d == 0 || d > 20 {
+		return xai.Attribution{}, fmt.Errorf("shap: Exact supports 1..20 features, got %d", d)
+	}
+	if len(background) == 0 {
+		return xai.Attribution{}, errors.New("shap: empty background")
+	}
+	k := &Kernel{Model: model, Background: background}
+	// Precompute v(S) for all subsets.
+	n := 1 << uint(d)
+	vals := make([]float64, n)
+	mask := make([]bool, d)
+	for bits := 0; bits < n; bits++ {
+		for j := 0; j < d; j++ {
+			mask[j] = bits&(1<<uint(j)) != 0
+		}
+		vals[bits] = k.coalitionValue(x, mask)
+	}
+	phi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		bit := 1 << uint(j)
+		for bits := 0; bits < n; bits++ {
+			if bits&bit != 0 {
+				continue
+			}
+			s := popcount(bits)
+			w := fact(s) * fact(d-s-1) / fact(d)
+			phi[j] += w * (vals[bits|bit] - vals[bits])
+		}
+	}
+	return xai.Attribution{Phi: phi, Base: vals[0], Value: vals[n-1]}, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func fact(n int) float64 {
+	r := 1.0
+	for i := 2; i <= n; i++ {
+		r *= float64(i)
+	}
+	return r
+}
+
+// SampleBackground draws up to n rows from X to serve as a background set.
+func SampleBackground(rng *rand.Rand, X [][]float64, n int) [][]float64 {
+	if n >= len(X) {
+		out := make([][]float64, len(X))
+		copy(out, X)
+		return out
+	}
+	idx := rng.Perm(len(X))[:n]
+	out := make([][]float64, n)
+	for i, j := range idx {
+		out[i] = X[j]
+	}
+	return out
+}
+
+// meanPrediction is exposed for tests that need the background mean.
+func meanPrediction(model ml.Predictor, X [][]float64) float64 {
+	var s float64
+	for _, x := range X {
+		s += model.Predict(x)
+	}
+	return s / math.Max(1, float64(len(X)))
+}

@@ -1,0 +1,276 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/ml"
+)
+
+// linearModel is a deterministic test model with known exact Shapley
+// values: for f(x) = Σ w_j x_j + c with an interventional background B,
+// phi_j = w_j (x_j − mean_B(x_j)).
+type linearModel struct {
+	w []float64
+	c float64
+}
+
+func (m linearModel) Predict(x []float64) float64 {
+	s := m.c
+	for j, v := range x {
+		s += m.w[j] * v
+	}
+	return s
+}
+
+func randomBackground(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestKernelMatchesLinearClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 5
+	m := linearModel{w: []float64{2, -1, 0.5, 3, 0}, c: 4}
+	bg := randomBackground(rng, 50, d)
+	x := []float64{1, 2, -1, 0.5, 3}
+	k := &Kernel{Model: m, Background: bg, NumSamples: 4096}
+	attr, err := k.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form.
+	for j := 0; j < d; j++ {
+		var mean float64
+		for _, b := range bg {
+			mean += b[j]
+		}
+		mean /= float64(len(bg))
+		want := m.w[j] * (x[j] - mean)
+		if math.Abs(attr.Phi[j]-want) > 1e-6 {
+			t.Fatalf("phi[%d] = %v want %v", j, attr.Phi[j], want)
+		}
+	}
+}
+
+func TestKernelMatchesExactOnNonlinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := 6
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		return x[0]*x[1] + math.Sin(x[2]) + 2*x[3] - x[4]*x[4] + 0.3*x[5]*x[0]
+	})
+	bg := randomBackground(rng, 20, d)
+	x := []float64{1, -0.5, 0.7, 2, -1, 0.3}
+	exact, err := Exact(model, bg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full enumeration (2^6−2 = 62 coalitions < budget): estimator is the
+	// exact WLS solution, which equals Shapley values.
+	k := &Kernel{Model: model, Background: bg, NumSamples: 4096}
+	attr, err := k.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d; j++ {
+		if math.Abs(attr.Phi[j]-exact.Phi[j]) > 1e-6 {
+			t.Fatalf("phi[%d] = %v exact %v", j, attr.Phi[j], exact.Phi[j])
+		}
+	}
+}
+
+func TestKernelAdditivity(t *testing.T) {
+	// Efficiency axiom: base + Σ phi == f(x), enforced by construction,
+	// must hold even in the sampled regime.
+	rng := rand.New(rand.NewSource(3))
+	d := 14 // forces sampling at small budgets
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		var s float64
+		for j, v := range x {
+			s += v * float64(j%3)
+			if j > 0 {
+				s += 0.1 * v * x[j-1]
+			}
+		}
+		return s
+	})
+	bg := randomBackground(rng, 10, d)
+	x := make([]float64, d)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	k := &Kernel{Model: model, Background: bg, NumSamples: 300, Seed: 4}
+	attr, err := k.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := attr.AdditivityError(); e > 1e-9 {
+		t.Fatalf("additivity error %v", e)
+	}
+}
+
+func TestKernelSymmetryAxiom(t *testing.T) {
+	// Two features that enter the model identically and have identical
+	// values and background distribution must get equal attributions.
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] + x[1] + 5*x[2] })
+	bg := [][]float64{{0, 0, 0}, {1, 1, 1}, {0.5, 0.5, 0.2}} // cols 0,1 identical
+	x := []float64{2, 2, 1}
+	k := &Kernel{Model: model, Background: bg, NumSamples: 4096}
+	attr, err := k.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(attr.Phi[0]-attr.Phi[1]) > 1e-8 {
+		t.Fatalf("symmetric features differ: %v vs %v", attr.Phi[0], attr.Phi[1])
+	}
+}
+
+func TestKernelDummyAxiom(t *testing.T) {
+	// A feature the model ignores must get zero attribution.
+	model := ml.PredictorFunc(func(x []float64) float64 { return 3*x[0] - x[2] })
+	rng := rand.New(rand.NewSource(5))
+	bg := randomBackground(rng, 30, 3)
+	x := []float64{1, 99, 2}
+	k := &Kernel{Model: model, Background: bg, NumSamples: 4096}
+	attr, err := k.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(attr.Phi[1]) > 1e-8 {
+		t.Fatalf("dummy feature attribution %v", attr.Phi[1])
+	}
+}
+
+func TestKernelSingleFeature(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 2 * x[0] })
+	bg := [][]float64{{1}, {3}}
+	k := &Kernel{Model: model, Background: bg}
+	attr, err := k.Explain([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base = mean(2, 6) = 4; phi = 10 − 4 = 6.
+	if attr.Base != 4 || attr.Phi[0] != 6 {
+		t.Fatalf("single feature: %+v", attr)
+	}
+}
+
+func TestKernelSampledApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := 11
+	model := ml.PredictorFunc(func(x []float64) float64 {
+		var s float64
+		for j := 0; j < d-1; j++ {
+			s += x[j] * x[j+1]
+		}
+		return s
+	})
+	bg := randomBackground(rng, 8, d)
+	x := make([]float64, d)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	exact, err := Exact(model, bg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &Kernel{Model: model, Background: bg, NumSamples: 1200, Seed: 7}
+	attr, err := k.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled estimator should be close; tolerance reflects Monte Carlo.
+	for j := 0; j < d; j++ {
+		if math.Abs(attr.Phi[j]-exact.Phi[j]) > 0.15 {
+			t.Fatalf("phi[%d] = %v exact %v", j, attr.Phi[j], exact.Phi[j])
+		}
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
+	if _, err := (&Kernel{Model: model}).Explain([]float64{1}); err == nil {
+		t.Fatal("expected empty-background error")
+	}
+	if _, err := (&Kernel{Model: model, Background: [][]float64{{1, 2}}}).Explain([]float64{1}); err == nil {
+		t.Fatal("expected width-mismatch error")
+	}
+	if _, err := (&Kernel{Model: model, Background: [][]float64{{1}}}).Explain(nil); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+	if _, err := Exact(model, nil, []float64{1}); err == nil {
+		t.Fatal("expected Exact empty-background error")
+	}
+	if _, err := Exact(model, [][]float64{{1}}, make([]float64, 25)); err == nil {
+		t.Fatal("expected Exact dimension error")
+	}
+}
+
+func TestShapleyKernelWeightSymmetry(t *testing.T) {
+	// w(s) == w(d−s) and weights are positive.
+	d := 9
+	for s := 1; s < d; s++ {
+		w1 := shapleyKernelWeight(d, s)
+		w2 := shapleyKernelWeight(d, d-s)
+		if w1 <= 0 || math.Abs(w1-w2) > 1e-15 {
+			t.Fatalf("kernel weight asymmetry at s=%d: %v vs %v", s, w1, w2)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {5, 7, 0}, {5, -1, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Fatalf("binom(%d,%d) = %v want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSampleBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	small := SampleBackground(rng, X, 3)
+	if len(small) != 3 {
+		t.Fatalf("len = %d", len(small))
+	}
+	all := SampleBackground(rng, X, 99)
+	if len(all) != 5 {
+		t.Fatalf("len = %d", len(all))
+	}
+	seen := map[float64]bool{}
+	for _, r := range small {
+		if seen[r[0]] {
+			t.Fatal("duplicate row in sample without replacement")
+		}
+		seen[r[0]] = true
+	}
+}
+
+func TestExactEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	model := ml.PredictorFunc(func(x []float64) float64 { return x[0]*x[1] - x[2] })
+	bg := randomBackground(rng, 15, 3)
+	x := []float64{1, 2, 3}
+	attr, err := Exact(model, bg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := attr.AdditivityError(); e > 1e-10 {
+		t.Fatalf("exact efficiency violated: %v", e)
+	}
+	if math.Abs(attr.Base-meanPrediction(model, bg)) > 1e-12 {
+		t.Fatalf("base %v != mean prediction", attr.Base)
+	}
+}

@@ -1,0 +1,89 @@
+// Package surrogate implements global surrogate explanation: a shallow
+// CART tree is trained to mimic the black-box model's *predictions* (not
+// the original labels), and its fidelity — how much of the model's
+// behaviour the interpretable tree captures — is reported. High-fidelity
+// shallow surrogates give operators a global, auditable picture of an NFV
+// predictor's policy ("if packet_rate > 41k and dpi_enabled then scale").
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/metrics"
+	"nfvxai/internal/ml/tree"
+)
+
+// Result is a fitted surrogate with fidelity diagnostics.
+type Result struct {
+	Tree *tree.Tree
+	// FidelityR2 is the R² of the surrogate against the model's
+	// predictions on held-out data (regression view, also meaningful for
+	// probability outputs).
+	FidelityR2 float64
+	// Agreement is the fraction of held-out rows where thresholded
+	// surrogate and model predictions agree; only set for classification.
+	Agreement float64
+	// Depth and Leaves describe surrogate complexity.
+	Depth, Leaves int
+}
+
+// Fit trains a surrogate of the model. train supplies the inputs the
+// surrogate learns from; test measures fidelity (pass distinct rows to
+// avoid optimistic estimates). maxDepth bounds surrogate complexity.
+func Fit(model ml.Predictor, train, test *dataset.Dataset, maxDepth int) (Result, error) {
+	if train.Len() == 0 || test.Len() == 0 {
+		return Result{}, errors.New("surrogate: empty train or test split")
+	}
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	// Relabel the training inputs with the model's own predictions.
+	mimic := &dataset.Dataset{
+		Names: train.Names,
+		X:     train.X,
+		Y:     ml.PredictBatch(model, train.X),
+		Task:  dataset.Regression, // always regress on the model output
+	}
+	tr := tree.New(tree.Config{Task: dataset.Regression, MaxDepth: maxDepth, MinLeaf: 5})
+	if err := tr.Fit(mimic); err != nil {
+		return Result{}, fmt.Errorf("surrogate: fit: %w", err)
+	}
+	modelPred := ml.PredictBatch(model, test.X)
+	surrPred := ml.PredictBatch(tr, test.X)
+	res := Result{
+		Tree:       tr,
+		FidelityR2: metrics.R2(surrPred, modelPred),
+		Depth:      tr.Depth(),
+		Leaves:     tr.NumLeaves(),
+	}
+	if train.Task == dataset.Classification {
+		agree := 0
+		for i := range modelPred {
+			if (modelPred[i] >= 0.5) == (surrPred[i] >= 0.5) {
+				agree++
+			}
+		}
+		res.Agreement = float64(agree) / float64(len(modelPred))
+	}
+	return res, nil
+}
+
+// DepthSweep fits surrogates at increasing depth and reports fidelity per
+// depth — the paper's "fidelity vs complexity" trade-off curve.
+func DepthSweep(model ml.Predictor, train, test *dataset.Dataset, maxDepth int) ([]Result, error) {
+	if maxDepth <= 0 {
+		maxDepth = 6
+	}
+	out := make([]Result, 0, maxDepth)
+	for depth := 1; depth <= maxDepth; depth++ {
+		r, err := Fit(model, train, test, depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package surrogate
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/forest"
+)
+
+func splitData(n int, seed int64, task dataset.Task) (*dataset.Dataset, *dataset.Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(task, "a", "b", "c")
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64(), rng.NormFloat64()}
+		y := 0.0
+		if task == dataset.Classification {
+			if x[0] > 5 {
+				y = 1
+			}
+		} else {
+			if x[0] > 5 {
+				y = 20
+			}
+			y += x[1]
+		}
+		d.Add(x, y)
+	}
+	return d.Split(rng, 0.7)
+}
+
+func TestSurrogateMimicsTreeFriendlyModel(t *testing.T) {
+	train, test := splitData(1000, 1, dataset.Regression)
+	f := forest.RandomForest{NumTrees: 20, MaxDepth: 6, Task: dataset.Regression, Seed: 2}
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fit(&f, train, test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FidelityR2 < 0.9 {
+		t.Fatalf("fidelity R2 = %v", res.FidelityR2)
+	}
+	if res.Depth > 3 {
+		t.Fatalf("surrogate depth %d exceeds bound", res.Depth)
+	}
+}
+
+func TestSurrogateClassificationAgreement(t *testing.T) {
+	train, test := splitData(1000, 3, dataset.Classification)
+	f := forest.RandomForest{NumTrees: 20, MaxDepth: 6, Task: dataset.Classification, Seed: 4}
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fit(&f, train, test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agreement < 0.95 {
+		t.Fatalf("agreement = %v", res.Agreement)
+	}
+}
+
+func TestSurrogateExplainsModelNotLabels(t *testing.T) {
+	// The surrogate must mimic the model even when the model is wrong
+	// about the labels: fit a constant-ish model and check the surrogate
+	// tracks it, not the ground truth.
+	train, test := splitData(500, 5, dataset.Regression)
+	constModel := ml.PredictorFunc(func(x []float64) float64 { return 7 })
+	res, err := Fit(constModel, train, test, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surrogate of a constant model is a stump predicting 7.
+	if res.Leaves != 1 {
+		t.Fatalf("constant model surrogate has %d leaves", res.Leaves)
+	}
+	if got := res.Tree.Predict(test.X[0]); got != 7 {
+		t.Fatalf("surrogate predicts %v want 7", got)
+	}
+}
+
+func TestDepthSweepFidelityNondecreasing(t *testing.T) {
+	train, test := splitData(800, 6, dataset.Regression)
+	f := forest.RandomForest{NumTrees: 15, MaxDepth: 8, Task: dataset.Regression, Seed: 7}
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := DepthSweep(&f, train, test, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 5 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	// Fidelity should broadly improve with depth; require the last depth
+	// to beat the first.
+	if sweep[4].FidelityR2 <= sweep[0].FidelityR2 {
+		t.Fatalf("fidelity did not improve with depth: %v vs %v", sweep[0].FidelityR2, sweep[4].FidelityR2)
+	}
+}
+
+func TestSurrogateErrors(t *testing.T) {
+	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
+	empty := dataset.New(dataset.Regression, "x")
+	full := dataset.New(dataset.Regression, "x")
+	full.Add([]float64{1}, 1)
+	if _, err := Fit(model, empty, full, 3); err == nil {
+		t.Fatal("expected error for empty train")
+	}
+	if _, err := Fit(model, full, empty, 3); err == nil {
+		t.Fatal("expected error for empty test")
+	}
+}

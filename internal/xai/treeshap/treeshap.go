@@ -1,0 +1,204 @@
+// Package treeshap implements the path-dependent TreeSHAP algorithm
+// (Lundberg, Erion & Lee, 2018): exact Shapley values for CART trees and
+// tree ensembles in O(leaves · depth²) per tree, using per-node training
+// covers to define the conditional expectations. The attribution explains
+// the ensemble's additive raw score (for gradient boosting that is the
+// margin/log-odds).
+package treeshap
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/xai"
+)
+
+// Ensemble is the additive tree-model contract: a weighted sum of CART
+// trees plus a constant base offset. forest.RandomForest and
+// forest.GradientBoosting implement it.
+type Ensemble interface {
+	ComponentTrees() (trees []*tree.Tree, weights []float64, base float64)
+}
+
+// singleTree adapts one CART tree to the Ensemble interface.
+type singleTree struct{ t *tree.Tree }
+
+func (s singleTree) ComponentTrees() ([]*tree.Tree, []float64, float64) {
+	return []*tree.Tree{s.t}, []float64{1}, 0
+}
+
+// Single wraps a lone CART tree as an Ensemble.
+func Single(t *tree.Tree) Ensemble { return singleTree{t} }
+
+// Explainer computes TreeSHAP attributions for an additive tree ensemble.
+type Explainer struct {
+	Model Ensemble
+	// Names are optional feature names copied into attributions.
+	Names []string
+}
+
+// Explain returns the exact (path-dependent) Shapley attribution at x.
+func (e *Explainer) Explain(x []float64) (xai.Attribution, error) {
+	trees, weights, base := e.Model.ComponentTrees()
+	if len(trees) == 0 {
+		return xai.Attribution{}, errors.New("treeshap: empty ensemble")
+	}
+	if len(trees) != len(weights) {
+		return xai.Attribution{}, fmt.Errorf("treeshap: %d trees but %d weights", len(trees), len(weights))
+	}
+	d := len(x)
+	phi := make([]float64, d)
+	baseValue := base
+	value := base
+	for i, t := range trees {
+		if t.NumFeatures() > d {
+			return xai.Attribution{}, fmt.Errorf("treeshap: tree expects %d features, input has %d", t.NumFeatures(), d)
+		}
+		w := weights[i]
+		tp := shapTree(t, x)
+		for j := range tp {
+			phi[j] += w * tp[j]
+		}
+		baseValue += w * ExpectedValue(t)
+		value += w * t.Predict(x)
+	}
+	return xai.Attribution{Names: e.Names, Phi: phi, Base: baseValue, Value: value}, nil
+}
+
+// ExpectedValue returns the cover-weighted mean leaf value of the tree,
+// i.e. the path-dependent expectation E[f] that TreeSHAP measures
+// contributions against.
+func ExpectedValue(t *tree.Tree) float64 {
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			return n.Value
+		}
+		l, r := t.Nodes[n.Left], t.Nodes[n.Right]
+		return (l.Cover*rec(n.Left) + r.Cover*rec(n.Right)) / n.Cover
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return rec(0)
+}
+
+// pathElem is one entry of the feature path maintained by the recursion.
+// Fields follow the paper's notation: d = feature index, z = fraction of
+// paths flowing through when the feature is "cold" (not fixed to x),
+// o = fraction when "hot" (fixed to x), w = permutation weight.
+type pathElem struct {
+	d    int
+	z, o float64
+	w    float64
+}
+
+// shapTree computes per-feature Shapley contributions for a single tree.
+func shapTree(t *tree.Tree, x []float64) []float64 {
+	phi := make([]float64, len(x))
+	if len(t.Nodes) == 0 {
+		return phi
+	}
+	// The unique-feature path can hold at most depth+2 entries.
+	recurse(t, x, phi, 0, nil, 1, 1, -1)
+	return phi
+}
+
+// recurse implements RECURSE from Algorithm 2. m is the current unique
+// path (1-based semantics preserved by convention: element 0 is the
+// placeholder for the root "no feature" entry).
+func recurse(t *tree.Tree, x []float64, phi []float64, j int, m []pathElem, pz, po float64, pi int) {
+	m = extend(m, pz, po, pi)
+	n := t.Nodes[j]
+	if n.IsLeaf() {
+		for i := 1; i < len(m); i++ {
+			w := unwoundSum(m, i)
+			phi[m[i].d] += w * (m[i].o - m[i].z) * n.Value
+		}
+		return
+	}
+	hot, cold := n.Left, n.Right
+	if x[n.Feature] > n.Threshold {
+		hot, cold = n.Right, n.Left
+	}
+	iz, io := 1.0, 1.0
+	// If the feature already occurs on the path, undo its previous
+	// extension and inherit its fractions.
+	for k := 1; k < len(m); k++ {
+		if m[k].d == n.Feature {
+			iz, io = m[k].z, m[k].o
+			m = unwind(m, k)
+			break
+		}
+	}
+	rj := n.Cover
+	recurse(t, x, phi, hot, m, iz*t.Nodes[hot].Cover/rj, io, n.Feature)
+	recurse(t, x, phi, cold, m, iz*t.Nodes[cold].Cover/rj, 0, n.Feature)
+}
+
+// extend implements EXTEND: grow the path by one feature with cold/hot
+// fractions pz/po and update the permutation weights.
+func extend(m []pathElem, pz, po float64, pi int) []pathElem {
+	l := len(m) // current element count (0 on first call)
+	out := make([]pathElem, l+1)
+	copy(out, m)
+	w := 0.0
+	if l == 0 {
+		w = 1
+	}
+	out[l] = pathElem{d: pi, z: pz, o: po, w: w}
+	for i := l - 1; i >= 0; i-- {
+		out[i+1].w += po * out[i].w * float64(i+1) / float64(l+1)
+		out[i].w = pz * out[i].w * float64(l-i) / float64(l+1)
+	}
+	return out
+}
+
+// unwind implements UNWIND: remove path element i, reversing its EXTEND.
+func unwind(m []pathElem, i int) []pathElem {
+	l := len(m) - 1 // index of the last element
+	out := make([]pathElem, l)
+	copy(out, m[:l])
+	// Restore weights.
+	oi, zi := m[i].o, m[i].z
+	n := m[l].w
+	if oi != 0 {
+		for j := l - 1; j >= 0; j-- {
+			tmp := out[j].w
+			out[j].w = n * float64(l+1) / (float64(j+1) * oi)
+			n = tmp - out[j].w*zi*float64(l-j)/float64(l+1)
+		}
+	} else {
+		for j := l - 1; j >= 0; j-- {
+			out[j].w = out[j].w * float64(l+1) / (zi * float64(l-j))
+		}
+	}
+	// Shift elements above i down.
+	for j := i; j < l; j++ {
+		out[j].d, out[j].z, out[j].o = m[j+1].d, m[j+1].z, m[j+1].o
+	}
+	return out
+}
+
+// unwoundSum returns the sum of weights after notionally unwinding element
+// i, without materializing the unwound path.
+func unwoundSum(m []pathElem, i int) float64 {
+	l := len(m) - 1
+	oi, zi := m[i].o, m[i].z
+	var total float64
+	if oi != 0 {
+		n := m[l].w
+		for j := l - 1; j >= 0; j-- {
+			tmp := n * float64(l+1) / (float64(j+1) * oi)
+			total += tmp
+			n = m[j].w - tmp*zi*float64(l-j)/float64(l+1)
+		}
+	} else {
+		for j := l - 1; j >= 0; j-- {
+			total += m[j].w * float64(l+1) / (zi * float64(l-j))
+		}
+	}
+	return total
+}

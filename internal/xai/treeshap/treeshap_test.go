@@ -1,0 +1,326 @@
+package treeshap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml/forest"
+	"nfvxai/internal/ml/tree"
+)
+
+// expValue is the brute-force path-dependent conditional expectation
+// (Algorithm 1 in the TreeSHAP paper): follow x on features in S, average
+// children by cover otherwise.
+func expValue(t *tree.Tree, x []float64, s map[int]bool) float64 {
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		n := t.Nodes[i]
+		if n.IsLeaf() {
+			return n.Value
+		}
+		if s[n.Feature] {
+			if x[n.Feature] <= n.Threshold {
+				return rec(n.Left)
+			}
+			return rec(n.Right)
+		}
+		l, r := t.Nodes[n.Left], t.Nodes[n.Right]
+		return (l.Cover*rec(n.Left) + r.Cover*rec(n.Right)) / n.Cover
+	}
+	return rec(0)
+}
+
+// bruteShapley enumerates all subsets to compute exact Shapley values of
+// the expValue set function.
+func bruteShapley(t *tree.Tree, x []float64) []float64 {
+	d := len(x)
+	n := 1 << uint(d)
+	vals := make([]float64, n)
+	for bits := 0; bits < n; bits++ {
+		s := map[int]bool{}
+		for j := 0; j < d; j++ {
+			if bits&(1<<uint(j)) != 0 {
+				s[j] = true
+			}
+		}
+		vals[bits] = expValue(t, x, s)
+	}
+	fact := func(k int) float64 {
+		r := 1.0
+		for i := 2; i <= k; i++ {
+			r *= float64(i)
+		}
+		return r
+	}
+	phi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		bit := 1 << uint(j)
+		for bits := 0; bits < n; bits++ {
+			if bits&bit != 0 {
+				continue
+			}
+			size := 0
+			for b := bits; b != 0; b &= b - 1 {
+				size++
+			}
+			w := fact(size) * fact(d-size-1) / fact(d)
+			phi[j] += w * (vals[bits|bit] - vals[bits])
+		}
+	}
+	return phi
+}
+
+func randomTree(tb testing.TB, seed int64, nFeatures, depth, rows int) (*tree.Tree, *dataset.Dataset) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, nFeatures)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	d := dataset.New(dataset.Regression, names...)
+	for i := 0; i < rows; i++ {
+		x := make([]float64, nFeatures)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		y := 0.0
+		for j := range x {
+			y += float64(j+1) * x[j]
+			if j > 0 {
+				y += 2 * x[j] * x[j-1]
+			}
+		}
+		d.Add(x, y+rng.NormFloat64()*0.05)
+	}
+	tr := tree.New(tree.Config{Task: dataset.Regression, MaxDepth: depth, MinLeaf: 2, Seed: seed})
+	if err := tr.Fit(d); err != nil {
+		tb.Fatal(err)
+	}
+	return tr, d
+}
+
+func TestTreeSHAPMatchesBruteForce(t *testing.T) {
+	// The core correctness property: Algorithm 2 == exhaustive Shapley of
+	// the path-dependent value function, across many random trees and
+	// inputs (including repeated features along paths).
+	for seed := int64(0); seed < 15; seed++ {
+		tr, d := randomTree(t, seed, 4, 5, 120)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for trial := 0; trial < 5; trial++ {
+			x := make([]float64, 4)
+			for j := range x {
+				x[j] = rng.Float64() * 1.2
+			}
+			want := bruteShapley(tr, x)
+			got := shapTree(tr, x)
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-9 {
+					t.Fatalf("seed %d trial %d: phi[%d] = %v want %v (leaves=%d depth=%d)\nx=%v",
+						seed, trial, j, got[j], want[j], tr.NumLeaves(), tr.Depth(), x)
+				}
+			}
+			_ = d
+		}
+	}
+}
+
+func TestTreeSHAPAdditivity(t *testing.T) {
+	tr, _ := randomTree(t, 42, 6, 8, 500)
+	e := &Explainer{Model: Single(tr)}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 30; i++ {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		attr, err := e.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ae := attr.AdditivityError(); ae > 1e-9 {
+			t.Fatalf("additivity error %v", ae)
+		}
+		if attr.Value != tr.Predict(x) {
+			t.Fatal("Value != tree prediction")
+		}
+	}
+}
+
+func TestTreeSHAPDummyFeature(t *testing.T) {
+	// A feature never used by any split must get zero attribution.
+	rng := rand.New(rand.NewSource(7))
+	d := dataset.New(dataset.Regression, "informative", "dummy")
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64()}
+		y := 0.0
+		if x[0] > 5 {
+			y = 100
+		}
+		d.Add(x, y)
+	}
+	tr := tree.New(tree.Config{Task: dataset.Regression, MaxDepth: 4})
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	e := &Explainer{Model: Single(tr)}
+	attr, err := e.Explain([]float64{8, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Phi[1] != 0 {
+		t.Fatalf("dummy attribution %v", attr.Phi[1])
+	}
+	if attr.Phi[0] <= 0 {
+		t.Fatalf("informative attribution %v should be positive for x above threshold", attr.Phi[0])
+	}
+}
+
+func TestExpectedValueMatchesCoverAverage(t *testing.T) {
+	tr, d := randomTree(t, 5, 3, 6, 400)
+	// For a tree fit on the full data, the cover-weighted expectation must
+	// equal the mean training prediction (each row lands in its leaf).
+	var mean float64
+	for _, x := range d.X {
+		mean += tr.Predict(x)
+	}
+	mean /= float64(d.Len())
+	if ev := ExpectedValue(tr); math.Abs(ev-mean) > 1e-9 {
+		t.Fatalf("ExpectedValue %v != mean train prediction %v", ev, mean)
+	}
+}
+
+func TestEnsembleLinearity(t *testing.T) {
+	// Ensemble attribution must equal the weighted sum of per-tree
+	// attributions.
+	t1, _ := randomTree(t, 11, 4, 4, 200)
+	t2, _ := randomTree(t, 12, 4, 5, 200)
+	x := []float64{0.2, 0.8, 0.5, 0.1}
+	e1, _ := (&Explainer{Model: Single(t1)}).Explain(x)
+	e2, _ := (&Explainer{Model: Single(t2)}).Explain(x)
+
+	combo := comboEnsemble{trees: []*tree.Tree{t1, t2}, w: []float64{0.3, 0.7}, base: 5}
+	attr, err := (&Explainer{Model: combo}).Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range attr.Phi {
+		want := 0.3*e1.Phi[j] + 0.7*e2.Phi[j]
+		if math.Abs(attr.Phi[j]-want) > 1e-12 {
+			t.Fatalf("linearity violated at %d: %v vs %v", j, attr.Phi[j], want)
+		}
+	}
+	if math.Abs(attr.Base-(5+0.3*e1.Base+0.7*e2.Base)) > 1e-12 {
+		t.Fatal("ensemble base wrong")
+	}
+}
+
+type comboEnsemble struct {
+	trees []*tree.Tree
+	w     []float64
+	base  float64
+}
+
+func (c comboEnsemble) ComponentTrees() ([]*tree.Tree, []float64, float64) {
+	return c.trees, c.w, c.base
+}
+
+func TestRandomForestTreeSHAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := dataset.New(dataset.Regression, "a", "b", "c")
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		d.Add(x, 5*x[0]+x[1]*x[1])
+	}
+	f := forest.RandomForest{NumTrees: 15, MaxDepth: 6, Task: dataset.Regression, Seed: 21}
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	e := &Explainer{Model: &f}
+	attr, err := e.Explain([]float64{0.9, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := attr.AdditivityError(); ae > 1e-9 {
+		t.Fatalf("forest additivity error %v", ae)
+	}
+	if math.Abs(attr.Value-f.Predict([]float64{0.9, 0.5, 0.5})) > 1e-12 {
+		t.Fatal("forest Value mismatch")
+	}
+	// The dominant feature must receive the largest |phi|.
+	if attr.Ranking()[0] != 0 {
+		t.Fatalf("expected feature 0 to dominate, ranking %v, phi %v", attr.Ranking(), attr.Phi)
+	}
+}
+
+func TestGradientBoostingTreeSHAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := dataset.New(dataset.Regression, "a", "b")
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		d.Add(x, 3*x[0]-x[1])
+	}
+	g := forest.GradientBoosting{NumRounds: 30, Task: dataset.Regression, Seed: 23}
+	if err := g.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	e := &Explainer{Model: &g}
+	x := []float64{0.8, 0.2}
+	attr, err := e.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(attr.Value-g.RawScore(x)) > 1e-9 {
+		t.Fatalf("gbt Value %v != raw score %v", attr.Value, g.RawScore(x))
+	}
+	if ae := attr.AdditivityError(); ae > 1e-9 {
+		t.Fatalf("gbt additivity error %v", ae)
+	}
+}
+
+func TestExplainerErrors(t *testing.T) {
+	e := &Explainer{Model: comboEnsemble{}}
+	if _, err := e.Explain([]float64{1}); err == nil {
+		t.Fatal("expected empty-ensemble error")
+	}
+	t1, _ := randomTree(t, 30, 3, 3, 100)
+	bad := comboEnsemble{trees: []*tree.Tree{t1}, w: []float64{1, 2}}
+	if _, err := (&Explainer{Model: bad}).Explain([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected weight-mismatch error")
+	}
+	if _, err := (&Explainer{Model: Single(t1)}).Explain([]float64{1}); err == nil {
+		t.Fatal("expected feature-width error")
+	}
+}
+
+func TestStumpTree(t *testing.T) {
+	// A single-leaf tree attributes nothing.
+	d := dataset.New(dataset.Regression, "x")
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, 7)
+	}
+	tr := tree.New(tree.Config{Task: dataset.Regression})
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := (&Explainer{Model: Single(tr)}).Explain([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Phi[0] != 0 || attr.Base != 7 || attr.Value != 7 {
+		t.Fatalf("stump attribution %+v", attr)
+	}
+}
+
+func BenchmarkTreeSHAPDepth8(b *testing.B) {
+	tr, _ := randomTree(b, 99, 8, 8, 2000)
+	x := make([]float64, 8)
+	for j := range x {
+		x[j] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shapTree(tr, x)
+	}
+}

@@ -1,0 +1,110 @@
+// Package xai defines the explanation types shared by the attribution
+// methods (shap, treeshap, lime), the global methods (perm, pdp,
+// surrogate), and the quality metrics (evalx). The core currency is the
+// Attribution: an additive per-feature decomposition of a single model
+// prediction, Value ≈ Base + Σ Phi.
+package xai
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Attribution is an additive feature-attribution explanation of one
+// prediction: the model output decomposes as Base + Σ Phi[j].
+type Attribution struct {
+	// Names holds optional feature names (may be nil).
+	Names []string
+	// Phi is the per-feature contribution.
+	Phi []float64
+	// Base is the reference (expected) model output the contributions are
+	// measured against.
+	Base float64
+	// Value is the model output being explained.
+	Value float64
+}
+
+// Sum returns Base + Σ Phi, which should match Value for methods that
+// satisfy the efficiency/local-accuracy axiom.
+func (a Attribution) Sum() float64 {
+	s := a.Base
+	for _, p := range a.Phi {
+		s += p
+	}
+	return s
+}
+
+// AdditivityError returns |Sum() − Value|, the violation of local accuracy.
+func (a Attribution) AdditivityError() float64 {
+	return math.Abs(a.Sum() - a.Value)
+}
+
+// Ranking returns feature indices ordered by decreasing |Phi|.
+func (a Attribution) Ranking() []int {
+	idx := make([]int, len(a.Phi))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return math.Abs(a.Phi[idx[i]]) > math.Abs(a.Phi[idx[j]])
+	})
+	return idx
+}
+
+// TopK returns the indices of the k largest-|Phi| features (all when k
+// exceeds the feature count).
+func (a Attribution) TopK(k int) []int {
+	r := a.Ranking()
+	if k > len(r) {
+		k = len(r)
+	}
+	return r[:k]
+}
+
+// Name returns the display name of feature j.
+func (a Attribution) Name(j int) string {
+	if j < len(a.Names) {
+		return a.Names[j]
+	}
+	return fmt.Sprintf("f%d", j)
+}
+
+// String renders the attribution as a ranked table for operator reports.
+func (a Attribution) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "prediction=%.4g base=%.4g\n", a.Value, a.Base)
+	for _, j := range a.Ranking() {
+		sign := "+"
+		if a.Phi[j] < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&sb, "  %-24s %s%.4g\n", a.Name(j), sign, math.Abs(a.Phi[j]))
+	}
+	return sb.String()
+}
+
+// Explainer produces a local attribution for a single input.
+type Explainer interface {
+	Explain(x []float64) (Attribution, error)
+}
+
+// MeanAbs aggregates local attributions into a global importance profile:
+// the mean absolute contribution per feature (the standard "summary plot"
+// statistic).
+func MeanAbs(attrs []Attribution) []float64 {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(attrs[0].Phi))
+	for _, a := range attrs {
+		for j, p := range a.Phi {
+			out[j] += math.Abs(p)
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(attrs))
+	}
+	return out
+}

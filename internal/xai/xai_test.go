@@ -1,0 +1,95 @@
+package xai
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAttributionSumAndAdditivity(t *testing.T) {
+	a := Attribution{Phi: []float64{1, -0.5, 2}, Base: 10, Value: 12.5}
+	if a.Sum() != 12.5 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.AdditivityError() != 0 {
+		t.Fatalf("AdditivityError = %v", a.AdditivityError())
+	}
+	b := Attribution{Phi: []float64{1}, Base: 0, Value: 3}
+	if b.AdditivityError() != 2 {
+		t.Fatalf("AdditivityError = %v", b.AdditivityError())
+	}
+}
+
+func TestRankingByAbsoluteValue(t *testing.T) {
+	a := Attribution{Phi: []float64{0.5, -3, 1, 0}}
+	r := a.Ranking()
+	want := []int{1, 2, 0, 3}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranking = %v want %v", r, want)
+		}
+	}
+}
+
+func TestRankingStableOnTies(t *testing.T) {
+	a := Attribution{Phi: []float64{1, -1, 1}}
+	r := a.Ranking()
+	if r[0] != 0 || r[1] != 1 || r[2] != 2 {
+		t.Fatalf("tied ranking not stable: %v", r)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	a := Attribution{Phi: []float64{0.1, 5, -2}}
+	top := a.TopK(2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := a.TopK(99); len(got) != 3 {
+		t.Fatalf("TopK overflow = %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	a := Attribution{Names: []string{"cpu"}, Phi: []float64{1, 2}}
+	if a.Name(0) != "cpu" {
+		t.Fatalf("Name(0) = %q", a.Name(0))
+	}
+	if a.Name(1) != "f1" {
+		t.Fatalf("Name(1) = %q", a.Name(1))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := Attribution{Names: []string{"load", "drops"}, Phi: []float64{2, -1}, Base: 5, Value: 6}
+	s := a.String()
+	if !strings.Contains(s, "load") || !strings.Contains(s, "drops") {
+		t.Fatalf("String missing names: %q", s)
+	}
+	if strings.Index(s, "load") > strings.Index(s, "drops") {
+		t.Fatal("String not ranked by |phi|")
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	attrs := []Attribution{
+		{Phi: []float64{1, -2}},
+		{Phi: []float64{3, 0}},
+	}
+	got := MeanAbs(attrs)
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("MeanAbs = %v", got)
+	}
+	if MeanAbs(nil) != nil {
+		t.Fatal("MeanAbs(nil) should be nil")
+	}
+}
+
+func TestMeanAbsNonNegative(t *testing.T) {
+	attrs := []Attribution{{Phi: []float64{-5, -1}}}
+	for _, v := range MeanAbs(attrs) {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("MeanAbs produced %v", v)
+		}
+	}
+}
