@@ -11,13 +11,19 @@ package nfvxai
 // for the full-size record used in EXPERIMENTS.md.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
 
 	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/serve"
 )
 
 func benchConfig() core.ExpConfig {
@@ -147,5 +153,81 @@ func BenchmarkFigure6Autoscaling(b *testing.B) {
 			b.Fatal(err)
 		}
 		emit("f6", res)
+	}
+}
+
+// ─── serving-path benchmarks ────────────────────────────────────────────
+//
+// BenchmarkServeExplainBatch vs BenchmarkServeExplainSequentialUncached
+// measure the v1 API redesign's hot path: one batch request fanning out
+// over the cached explainer's worker pool, against the seed behavior of N
+// sequential /explain requests that each rebuild the explainer. Both
+// explain serveBatchSize instances per iteration, so ns/op is directly
+// comparable.
+
+const serveBatchSize = 16
+
+var (
+	servePipelineOnce sync.Once
+	servePipeline     *core.Pipeline
+)
+
+func benchServePipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	servePipelineOnce.Do(func() {
+		ds, err := core.WebScenario().GenerateDataset(1, 1, telemetry.TargetBottleneckUtil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.NewPipeline(core.ModelForest, ds, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servePipeline = p
+	})
+	return servePipeline
+}
+
+func postExplain(b *testing.B, url string, body any) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&struct{}{}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServeExplainBatch(b *testing.B) {
+	p := benchServePipeline(b)
+	srv := httptest.NewServer(serve.New(p))
+	defer srv.Close()
+	instances := p.Test.X[:serveBatchSize]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postExplain(b, srv.URL+"/v1/models/default/explain", map[string]any{"instances": instances, "topk": 5})
+	}
+}
+
+func BenchmarkServeExplainSequentialUncached(b *testing.B) {
+	p := benchServePipeline(b)
+	p.DisableExplainerCache = true
+	defer func() { p.DisableExplainerCache = false }()
+	srv := httptest.NewServer(serve.New(p))
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range p.Test.X[:serveBatchSize] {
+			postExplain(b, srv.URL+"/explain", map[string]any{"features": x, "topk": 5})
+		}
 	}
 }

@@ -1,10 +1,25 @@
-// Command explaind serves a trained NFV predictor with its explanations
-// over HTTP (see internal/serve for the API). On startup it simulates the
-// chosen scenario, trains the model, and listens.
+// Command explaind serves a registry of trained NFV predictors with their
+// explanations over the versioned HTTP API (see internal/serve and API.md).
+// Each -model flag names one scenario:model:target[:hours] combination;
+// the flag repeats, so one process hosts many deployments concurrently:
 //
-//	explaind -addr :8080 -scenario web -model rf -hours 24
+//	explaind -addr :8080 -model web:rf:util -model nat:gbt:violation:6
 //
-// Endpoints: GET /healthz /schema /importance; POST /predict /explain /whatif.
+// The first spec trains synchronously before the listener starts and
+// becomes the default model behind the legacy unversioned endpoints
+// (override with -default); the rest train asynchronously in the
+// background and hot-swap in when ready — exactly like models added at
+// runtime via POST /v1/models.
+//
+// v1 endpoints:
+//
+//	GET  /v1/models                    GET  /v1/models/{name}
+//	POST /v1/models                    GET  /v1/models/{name}/schema
+//	POST /v1/models/{name}/predict     GET  /v1/models/{name}/importance
+//	POST /v1/models/{name}/explain     POST /v1/models/{name}/whatif
+//
+// Legacy aliases onto the default model: GET /healthz /schema /importance;
+// POST /predict /explain /whatif.
 package main
 
 import (
@@ -13,79 +28,95 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"time"
 
-	"nfvxai/internal/core"
-	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/registry"
 	"nfvxai/internal/serve"
 )
 
+// stringList collects repeated -model flags.
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint(*l) }
+
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
 func main() {
+	var raw stringList
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		scenario = flag.String("scenario", "web", "scenario: web | nat")
-		model    = flag.String("model", "rf", "model: linear | cart | rf | gbt | mlp")
-		target   = flag.String("target", "util", "target: util | latency | violation")
-		hours    = flag.Float64("hours", 24, "virtual hours of training telemetry")
+		defName  = flag.String("default", "", "model name the legacy endpoints alias to (default: first -model)")
+		hours    = flag.Float64("hours", 24, "virtual hours of training telemetry for specs without :hours")
 		seed     = flag.Int64("seed", 1, "seed")
+		scenario = flag.String("scenario", "web", "scenario for bare-kind -model flags (web | nat)")
+		target   = flag.String("target", "util", "target for bare-kind -model flags (util | latency | violation)")
 	)
+	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
+		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
 	flag.Parse()
 
-	var sc core.Scenario
-	switch *scenario {
-	case "web":
-		sc = core.WebScenario()
-	case "nat":
-		sc = core.NATScenario()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
+	if len(raw) == 0 {
+		raw = stringList{"rf"}
 	}
-	var kind telemetry.TargetKind
-	switch *target {
-	case "util":
-		kind = telemetry.TargetBottleneckUtil
-	case "latency":
-		kind = telemetry.TargetChainLatency
-	case "violation":
-		kind = telemetry.TargetViolation
-	default:
-		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
-		os.Exit(2)
-	}
-	var mk core.ModelKind
-	switch *model {
-	case "linear":
-		mk = core.ModelLinear
-	case "cart":
-		mk = core.ModelTree
-	case "rf":
-		mk = core.ModelForest
-	case "gbt":
-		mk = core.ModelGBT
-	case "mlp":
-		mk = core.ModelMLP
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(2)
+	var specs []registry.Spec
+	for _, s := range raw {
+		// Bare kinds keep the pre-v1 single-model CLI working:
+		// explaind -scenario web -model rf -target util.
+		if !strings.Contains(s, ":") {
+			s = fmt.Sprintf("%s:%s:%s", *scenario, s, *target)
+		}
+		sp, err := registry.ParseSpec(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// ParseSpec leaves Hours 0 when the spec carries no :hours suffix,
+		// so an explicit ":24" survives a different global -hours.
+		if sp.Hours == 0 {
+			sp.Hours = *hours
+		}
+		sp.Seed = *seed
+		specs = append(specs, sp)
 	}
 
-	log.Printf("simulating %s for %.0fh of telemetry...", sc.Name, *hours)
-	ds, err := sc.GenerateDataset(*seed, *hours, kind)
+	reg := registry.New()
+
+	// Train the first (default) model synchronously so the process comes up
+	// serving; the rest build in the background like POST /v1/models would.
+	first := specs[0]
+	log.Printf("training %s (%s, %.0fh) synchronously...", first.Name, first.Model, first.Hours)
+	p, err := registry.BuildPipeline(first)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("training %s on %d rows × %d features...", *model, ds.Len(), ds.NumFeatures())
-	p, err := core.NewPipeline(mk, ds, *seed)
-	if err != nil {
+	if _, err := reg.AddReady(first, p, time.Now()); err != nil {
 		log.Fatal(err)
 	}
-	if ds.Task.String() == "regression" {
+	if p.Train.Task == dataset.Regression {
 		rep := p.EvaluateRegression()
-		log.Printf("test MAE %.4f RMSE %.4f R2 %.4f", rep.MAE, rep.RMSE, rep.R2)
+		log.Printf("%s: test MAE %.4f RMSE %.4f R2 %.4f", first.Name, rep.MAE, rep.RMSE, rep.R2)
 	} else {
 		rep := p.EvaluateClassification()
-		log.Printf("test acc %.4f F1 %.4f AUC %.4f", rep.Accuracy, rep.F1, rep.AUC)
+		log.Printf("%s: test acc %.4f F1 %.4f AUC %.4f", first.Name, rep.Accuracy, rep.F1, rep.AUC)
 	}
-	log.Printf("explaind listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, serve.New(p)))
+
+	for _, sp := range specs[1:] {
+		if _, err := reg.Create(sp); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("training %s in the background (status: GET /v1/models/%s)", sp.Name, sp.Name)
+	}
+	if *defName != "" {
+		if err := reg.SetDefault(*defName); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("explaind listening on %s with %d model(s), default %s", *addr, reg.Len(), reg.DefaultName())
+	log.Fatal(http.ListenAndServe(*addr, serve.NewServer(reg)))
 }

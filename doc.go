@@ -5,10 +5,11 @@
 //
 // The implementation lives under internal/: the NFV substrate
 // (internal/nfv/...), the from-scratch ML models (internal/ml/...), the
-// explanation methods (internal/xai/...), and the pipeline tying them
-// together (internal/core). Executables are under cmd/, runnable examples
-// under examples/, and the benchmarks in bench_test.go regenerate every
-// table and figure of the evaluation.
+// explanation methods (internal/xai/...), the pipeline tying them
+// together (internal/core), and the versioned multi-model serving layer
+// (internal/registry + internal/serve, documented in API.md). Executables
+// are under cmd/, runnable examples under examples/, and the benchmarks in
+// bench_test.go regenerate every table and figure of the evaluation.
 package nfvxai
 
 // Version identifies the reproduction snapshot.

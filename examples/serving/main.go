@@ -1,0 +1,128 @@
+// Serving: stand up the versioned multi-model explanation API in-process,
+// train a second model through it at runtime, and drive every v1 endpoint
+// the way an operator dashboard would (see API.md for the curl forms).
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"nfvxai/internal/registry"
+	"nfvxai/internal/serve"
+)
+
+func main() {
+	// 1. Train the startup model synchronously (a small web-scenario random
+	//    forest) and register it as the default, exactly like
+	//    `explaind -model web:rf:util:1`.
+	spec, err := registry.ParseSpec("web:rf:util:1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training %s...\n", spec.Name)
+	p, err := registry.BuildPipeline(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := registry.New()
+	if _, err := reg.AddReady(spec, p, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	built := make(chan string, 1)
+	reg.NotifyBuilds(built)
+	srv := httptest.NewServer(serve.NewServer(reg))
+	defer srv.Close()
+
+	// 2. Grow the registry at runtime: POST /v1/models answers 202 and the
+	//    NAT violation classifier trains in a background goroutine.
+	fmt.Println("POST /v1/models → training nat/gbt/violation in the background")
+	post(srv, "/v1/models", map[string]any{
+		"scenario": "nat", "model": "gbt", "target": "violation", "hours": 1,
+	})
+
+	// 3. Meanwhile the default model serves. Batch-explain eight epochs in
+	//    one request over the cached explainer.
+	var batch struct {
+		Method       string `json:"method"`
+		Count        int    `json:"count"`
+		Explanations []struct {
+			Prediction    float64 `json:"prediction"`
+			Contributions []struct {
+				Feature string  `json:"feature"`
+				Phi     float64 `json:"phi"`
+			} `json:"contributions"`
+		} `json:"explanations"`
+	}
+	post(srv, "/v1/models/web/rf/util/explain",
+		map[string]any{"instances": p.Test.X[:8], "topk": 3}, &batch)
+	fmt.Printf("batch explain: %d instances via %s; first: pred %.3f, top feature %s (φ %+.3f)\n",
+		batch.Count, batch.Method,
+		batch.Explanations[0].Prediction,
+		batch.Explanations[0].Contributions[0].Feature,
+		batch.Explanations[0].Contributions[0].Phi)
+
+	// 4. Wait for the background build, then list both live models.
+	fmt.Printf("background build finished: %s\n", <-built)
+	var list struct {
+		Default string `json:"default"`
+		Models  []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Task   string `json:"task"`
+		} `json:"models"`
+	}
+	get(srv, "/v1/models", &list)
+	for _, m := range list.Models {
+		def := ""
+		if m.Name == list.Default {
+			def = "  (default — legacy /predict etc. alias here)"
+		}
+		fmt.Printf("  %-20s %-8s %s%s\n", m.Name, m.Status, m.Task, def)
+	}
+
+	// 5. Query the freshly trained model from the same process.
+	var health struct {
+		Models int `json:"models"`
+		Ready  int `json:"ready"`
+	}
+	get(srv, "/healthz", &health)
+	fmt.Printf("healthz: %d/%d models ready — one process, many deployments\n", health.Ready, health.Models)
+}
+
+func post(srv *httptest.Server, path string, body any, out ...any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: status %d", path, resp.StatusCode)
+	}
+	if len(out) > 0 {
+		if err := json.NewDecoder(resp.Body).Decode(out[0]); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func get(srv *httptest.Server, path string, out any) {
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

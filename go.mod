@@ -1,0 +1,3 @@
+module nfvxai
+
+go 1.22

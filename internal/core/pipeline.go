@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/ml"
@@ -26,10 +28,35 @@ type Pipeline struct {
 	Test  *dataset.Dataset
 	// Background is the reference sample for SHAP/LIME/counterfactuals.
 	Background [][]float64
-	// ShapSamples bounds KernelSHAP coalitions (default 1024).
+	// ShapSamples bounds KernelSHAP coalitions (default 1024). Set it
+	// before the first Explainer/ExplainInstance call: the explainer is
+	// built once and cached.
 	ShapSamples int
 	Seed        int64
+	// DisableExplainerCache forces Explainer to rebuild per call — the
+	// pre-registry per-request behavior. Benchmarks use it to measure what
+	// the cache saves; serving code must leave it false.
+	DisableExplainerCache bool
+
+	// The explainer is expensive to run but cheap to share: all the
+	// repository's explainers are stateless across Explain calls, so one
+	// instance serves concurrent requests. Built lazily on first use.
+	explainOnce   sync.Once
+	explainer     xai.Explainer
+	explainMethod string
+
+	// Global importance is a function of the frozen model and test set, so
+	// it is computed once per (pipeline, n) and cached.
+	impMu    sync.Mutex
+	impN     int
+	impShap  []float64
+	impPerm  []float64
+	impReady bool
 }
+
+// ErrUnknownFeature reports a feature name that is not in the pipeline's
+// schema (wrapped with the offending name).
+var ErrUnknownFeature = errors.New("unknown feature")
 
 // NewPipeline trains the model kind on ds (seeded 80/20 split) and
 // prepares a background sample.
@@ -64,8 +91,20 @@ func (p *Pipeline) EvaluateClassification() metrics.ClassificationReport {
 }
 
 // Explainer returns the preferred explainer for the pipeline's model and
-// the method name chosen.
+// the method name chosen. The explainer is built once (lazily) and shared
+// by subsequent calls, so serving paths do not pay setup per request.
 func (p *Pipeline) Explainer() (xai.Explainer, string) {
+	if p.DisableExplainerCache {
+		return p.freshExplainer()
+	}
+	p.explainOnce.Do(func() {
+		p.explainer, p.explainMethod = p.freshExplainer()
+	})
+	return p.explainer, p.explainMethod
+}
+
+// freshExplainer constructs a new explainer unconditionally.
+func (p *Pipeline) freshExplainer() (xai.Explainer, string) {
 	samples := p.ShapSamples
 	if samples <= 0 {
 		samples = 1024
@@ -80,13 +119,37 @@ func (p *Pipeline) ExplainInstance(x []float64) (xai.Attribution, string, error)
 	return attr, method, err
 }
 
+// ExplainBatch attributes a batch of instances using the cached explainer,
+// fanning out over a worker pool. Attributions come back in input order;
+// method names the explainer used. workers <= 0 selects GOMAXPROCS.
+func (p *Pipeline) ExplainBatch(xs [][]float64, workers int) ([]xai.Attribution, string, error) {
+	e, method := p.Explainer()
+	attrs, err := xai.ExplainBatch(e, xs, workers)
+	return attrs, method, err
+}
+
 // GlobalImportance aggregates |SHAP| over n test instances into a global
 // profile, alongside permutation importance for cross-validation of the
-// ranking.
+// ranking. The model and test set are frozen after training, so the result
+// is cached: repeated calls with the same n return the first computation.
 func (p *Pipeline) GlobalImportance(n int) (shapImp, permImp []float64, err error) {
 	if n <= 0 || n > p.Test.Len() {
 		n = p.Test.Len()
 	}
+	p.impMu.Lock()
+	defer p.impMu.Unlock()
+	if p.impReady && p.impN == n {
+		return p.impShap, p.impPerm, nil
+	}
+	shapImp, permImp, err = p.globalImportance(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.impN, p.impShap, p.impPerm, p.impReady = n, shapImp, permImp, true
+	return shapImp, permImp, nil
+}
+
+func (p *Pipeline) globalImportance(n int) (shapImp, permImp []float64, err error) {
 	e, _ := p.Explainer()
 	attrs := make([]xai.Attribution, 0, n)
 	for i := 0; i < n; i++ {
@@ -105,13 +168,18 @@ func (p *Pipeline) GlobalImportance(n int) (shapImp, permImp []float64, err erro
 }
 
 // WhatIf finds the smallest telemetry change that brings the model's
-// prediction to the target — the operator's remediation query.
+// prediction to the target — the operator's remediation query. Immutable
+// names must exist in the schema: a silently dropped constraint would let
+// the search "fix" a violation by changing the very feature the operator
+// declared untouchable, so unknown names are an error (ErrUnknownFeature).
 func (p *Pipeline) WhatIf(x []float64, target counterfactual.Target, immutable []string) (counterfactual.Counterfactual, error) {
 	var immutableIdx []int
 	for _, name := range immutable {
-		if j := p.Train.FeatureIndex(name); j >= 0 {
-			immutableIdx = append(immutableIdx, j)
+		j := p.Train.FeatureIndex(name)
+		if j < 0 {
+			return counterfactual.Counterfactual{}, fmt.Errorf("core: immutable %q: %w", name, ErrUnknownFeature)
 		}
+		immutableIdx = append(immutableIdx, j)
 	}
 	return counterfactual.Search(p.Model, x, p.Background, counterfactual.Config{
 		Target:    target,

@@ -1,0 +1,437 @@
+// Package registry is the model-registry subsystem behind the versioned
+// serving API: a concurrent-safe catalog of named scenario×model×target
+// pipelines, each with a lifecycle (training → ready | failed). Models are
+// trained asynchronously — Create returns immediately with the entry in
+// StatusTraining and a background goroutine hot-swaps the trained pipeline
+// in when it is ready — so one explaind process can grow new deployments
+// while serving traffic from the ones already live.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+)
+
+// Status is a model's lifecycle state.
+type Status int
+
+const (
+	// StatusTraining means the background build is still running; the
+	// entry exists but has no servable pipeline yet.
+	StatusTraining Status = iota
+	// StatusReady means the pipeline is live and serving.
+	StatusReady
+	// StatusFailed means the build errored; Entry.Err carries the cause.
+	StatusFailed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusTraining:
+		return "training"
+	case StatusReady:
+		return "ready"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Spec names one scenario×model×target combination to train and serve.
+type Spec struct {
+	// Name is the registry key. Defaults to "scenario/model/target".
+	Name string `json:"name,omitempty"`
+	// Scenario is "web" or "nat".
+	Scenario string `json:"scenario"`
+	// Model is "linear", "cart", "rf", "gbt" or "mlp".
+	Model string `json:"model"`
+	// Target is "util", "latency" or "violation".
+	Target string `json:"target"`
+	// Hours is virtual hours of training telemetry (default 24).
+	Hours float64 `json:"hours,omitempty"`
+	// Seed drives simulation and training (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// ShapSamples bounds KernelSHAP coalitions (0 = pipeline default).
+	ShapSamples int `json:"shap_samples,omitempty"`
+}
+
+// withDefaults normalizes optional fields and derives the name.
+func (sp Spec) withDefaults() Spec {
+	if sp.Hours <= 0 {
+		sp.Hours = 24
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Name == "" {
+		sp.Name = fmt.Sprintf("%s/%s/%s", sp.Scenario, sp.Model, sp.Target)
+	}
+	return sp
+}
+
+// MaxHours caps the virtual telemetry horizon a spec may request (30
+// days); MaxShapSamples caps KernelSHAP coalitions. Both bound the work a
+// single POST /v1/models can enqueue in a background goroutine.
+const (
+	MaxHours       = 720.0
+	MaxShapSamples = 1 << 16
+)
+
+// Validate checks the spec against the known scenarios, models and
+// targets, and bounds the requested training work.
+func (sp Spec) Validate() error {
+	if _, err := scenarioFor(sp.Scenario); err != nil {
+		return err
+	}
+	if _, err := modelKindFor(sp.Model); err != nil {
+		return err
+	}
+	if _, err := targetFor(sp.Target); err != nil {
+		return err
+	}
+	if sp.Hours < 0 || sp.Hours > MaxHours {
+		return fmt.Errorf("registry: hours %g out of range [0, %g] (0 = default)", sp.Hours, MaxHours)
+	}
+	if sp.ShapSamples < 0 || sp.ShapSamples > MaxShapSamples {
+		return fmt.Errorf("registry: shap_samples %d out of range [0, %d]", sp.ShapSamples, MaxShapSamples)
+	}
+	return nil
+}
+
+// ParseSpec parses the "scenario:model:target[:hours]" form used by
+// explaind's repeated -model flag. Hours stays 0 when omitted so callers
+// can distinguish "unset" from an explicit value; Create, AddReady and
+// BuildPipeline default it to 24.
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return Spec{}, fmt.Errorf("registry: spec %q: want scenario:model:target[:hours]", s)
+	}
+	sp := Spec{Scenario: parts[0], Model: parts[1], Target: parts[2]}
+	if len(parts) == 4 {
+		h, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || h <= 0 {
+			return Spec{}, fmt.Errorf("registry: spec %q: bad hours %q", s, parts[3])
+		}
+		sp.Hours = h
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	sp.Name = fmt.Sprintf("%s/%s/%s", sp.Scenario, sp.Model, sp.Target)
+	return sp, nil
+}
+
+// reservedSegments are the serving actions routed under a model's path;
+// a name ending in one would shadow its own endpoints.
+var reservedSegments = map[string]bool{
+	"predict": true, "explain": true, "whatif": true, "importance": true, "schema": true,
+}
+
+// ValidateName checks that a model name is addressable over the HTTP API:
+// slash-separated segments of [A-Za-z0-9._-] with no empty, "." or ".."
+// segments, not ending in a reserved action segment. URL delimiters
+// ("?", "#", "%", ...) would make the model unreachable once registered.
+func ValidateName(name string) error {
+	if name == "" {
+		return errors.New("registry: empty model name")
+	}
+	segs := strings.Split(name, "/")
+	for _, seg := range segs {
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("registry: name %q: empty or dot path segment", name)
+		}
+		for _, c := range seg {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+				c == '.' || c == '_' || c == '-') {
+				return fmt.Errorf("registry: name %q: invalid character %q", name, c)
+			}
+		}
+	}
+	if last := segs[len(segs)-1]; reservedSegments[last] {
+		return fmt.Errorf("registry: name %q: reserved trailing segment %q", name, last)
+	}
+	return nil
+}
+
+func scenarioFor(name string) (core.Scenario, error) {
+	switch name {
+	case "web":
+		return core.WebScenario(), nil
+	case "nat":
+		return core.NATScenario(), nil
+	default:
+		return core.Scenario{}, fmt.Errorf("registry: unknown scenario %q (want web|nat)", name)
+	}
+}
+
+func modelKindFor(name string) (core.ModelKind, error) {
+	for _, k := range core.ZooKinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("registry: unknown model %q (want linear|cart|rf|gbt|mlp)", name)
+}
+
+func targetFor(name string) (telemetry.TargetKind, error) {
+	switch name {
+	case "util":
+		return telemetry.TargetBottleneckUtil, nil
+	case "latency":
+		return telemetry.TargetChainLatency, nil
+	case "violation":
+		return telemetry.TargetViolation, nil
+	default:
+		return 0, fmt.Errorf("registry: unknown target %q (want util|latency|violation)", name)
+	}
+}
+
+// BuildPipeline is the production builder: simulate the scenario, train
+// the model, wire the explainer background. It is the default Builder of
+// a Registry and runs inside Create's background goroutine.
+func BuildPipeline(sp Spec) (*core.Pipeline, error) {
+	sp = sp.withDefaults()
+	sc, err := scenarioFor(sp.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := modelKindFor(sp.Model)
+	if err != nil {
+		return nil, err
+	}
+	target, err := targetFor(sp.Target)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := sc.GenerateDataset(sp.Seed, sp.Hours, target)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPipeline(kind, ds, sp.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if sp.ShapSamples > 0 {
+		p.ShapSamples = sp.ShapSamples
+	}
+	return p, nil
+}
+
+// Entry is a point-in-time snapshot of one registered model.
+type Entry struct {
+	Spec      Spec
+	Status    Status
+	Err       string
+	CreatedAt time.Time
+	ReadyAt   time.Time
+	// Pipeline is non-nil iff Status == StatusReady.
+	Pipeline *core.Pipeline
+}
+
+// entry is the mutable record behind Entry snapshots.
+type entry struct {
+	spec      Spec
+	status    Status
+	err       string
+	createdAt time.Time
+	readyAt   time.Time
+	pipeline  *core.Pipeline
+}
+
+// Registry is the concurrent-safe model catalog.
+type Registry struct {
+	// Builder trains a pipeline from a spec. Defaults to BuildPipeline;
+	// tests inject controlled builders to drive lifecycle transitions.
+	Builder func(Spec) (*core.Pipeline, error)
+
+	mu         sync.RWMutex
+	models     map[string]*entry
+	defaultKey string
+	// done, when non-nil, receives each finished background build's name
+	// (tests use it to wait without polling).
+	done chan<- string
+}
+
+// New returns an empty registry using the production builder.
+func New() *Registry {
+	return &Registry{Builder: BuildPipeline, models: map[string]*entry{}}
+}
+
+// NotifyBuilds routes every finished background build's model name to ch.
+// Call before Create; sends are blocking, so the channel must be drained.
+func (r *Registry) NotifyBuilds(ch chan<- string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done = ch
+}
+
+// ErrExists reports a Create for a name already registered.
+var ErrExists = errors.New("model already exists")
+
+// ErrNotFound reports a lookup of an unregistered name.
+var ErrNotFound = errors.New("model not found")
+
+// ErrNotReady reports a serving request against a model that is still
+// training or has failed.
+var ErrNotReady = errors.New("model not ready")
+
+// AddReady registers an already-trained pipeline under sp.Name (or the
+// derived default name) and returns the registered name. The first model
+// added becomes the default. Used by explaind for the synchronously
+// trained startup model.
+func (r *Registry) AddReady(sp Spec, p *core.Pipeline, now time.Time) (string, error) {
+	sp = sp.withDefaults()
+	if err := ValidateName(sp.Name); err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[sp.Name]; ok {
+		return "", fmt.Errorf("registry: %q: %w", sp.Name, ErrExists)
+	}
+	r.models[sp.Name] = &entry{
+		spec: sp, status: StatusReady, createdAt: now, readyAt: now, pipeline: p,
+	}
+	if r.defaultKey == "" {
+		r.defaultKey = sp.Name
+	}
+	return sp.Name, nil
+}
+
+// Create registers sp and trains it asynchronously: the entry is visible
+// immediately in StatusTraining, and a background goroutine hot-swaps the
+// pipeline in (StatusReady) or records the failure (StatusFailed). The
+// returned Entry is the initial training-state snapshot. A name whose
+// previous build failed may be created again — retraining after a
+// transient failure must not require a process restart — but training and
+// ready entries are protected by ErrExists.
+func (r *Registry) Create(sp Spec) (Entry, error) {
+	if err := sp.Validate(); err != nil {
+		return Entry{}, err
+	}
+	sp = sp.withDefaults()
+	if err := ValidateName(sp.Name); err != nil {
+		return Entry{}, err
+	}
+	r.mu.Lock()
+	if old, ok := r.models[sp.Name]; ok && old.status != StatusFailed {
+		r.mu.Unlock()
+		return Entry{}, fmt.Errorf("registry: %q: %w", sp.Name, ErrExists)
+	}
+	e := &entry{spec: sp, status: StatusTraining, createdAt: time.Now()}
+	r.models[sp.Name] = e
+	if r.defaultKey == "" {
+		r.defaultKey = sp.Name
+	}
+	build := r.Builder
+	if build == nil {
+		build = BuildPipeline
+	}
+	snap := e.snapshotLocked()
+	r.mu.Unlock()
+
+	go func() {
+		p, err := build(sp)
+		r.mu.Lock()
+		if err != nil {
+			e.status, e.err = StatusFailed, err.Error()
+		} else {
+			// Hot swap: readers holding a pipeline from a previous Lookup
+			// keep serving it; new lookups see the trained one.
+			e.status, e.pipeline, e.readyAt = StatusReady, p, time.Now()
+		}
+		done := r.done
+		r.mu.Unlock()
+		if done != nil {
+			done <- sp.Name
+		}
+	}()
+	return snap, nil
+}
+
+// snapshotLocked copies the entry; callers must hold the registry lock.
+func (e *entry) snapshotLocked() Entry {
+	return Entry{
+		Spec:      e.spec,
+		Status:    e.status,
+		Err:       e.err,
+		CreatedAt: e.createdAt,
+		ReadyAt:   e.readyAt,
+		Pipeline:  e.pipeline,
+	}
+}
+
+// Get returns a snapshot of the named model.
+func (r *Registry) Get(name string) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("registry: %q: %w", name, ErrNotFound)
+	}
+	return e.snapshotLocked(), nil
+}
+
+// Lookup returns the live pipeline for a ready model. It distinguishes
+// ErrNotFound (no such name) from ErrNotReady (registered but training or
+// failed), which the API maps to 404 vs 409.
+func (r *Registry) Lookup(name string) (*core.Pipeline, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: %q: %w", name, ErrNotFound)
+	}
+	if e.status != StatusReady {
+		return nil, fmt.Errorf("registry: %q is %s: %w", name, e.status, ErrNotReady)
+	}
+	return e.pipeline, nil
+}
+
+// List returns snapshots of every model, sorted by name.
+func (r *Registry) List() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.models))
+	for _, e := range r.models {
+		out = append(out, e.snapshotLocked())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// DefaultName returns the name the legacy unversioned endpoints alias to.
+func (r *Registry) DefaultName() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defaultKey
+}
+
+// SetDefault redirects the legacy alias to the named model.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; !ok {
+		return fmt.Errorf("registry: %q: %w", name, ErrNotFound)
+	}
+	r.defaultKey = name
+	return nil
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

@@ -1,0 +1,258 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+)
+
+// gatedBuilder blocks each build until release is closed, so tests can
+// observe the training state deterministically.
+type gatedBuilder struct {
+	release chan struct{}
+	err     error
+}
+
+func (g *gatedBuilder) build(Spec) (*core.Pipeline, error) {
+	<-g.release
+	if g.err != nil {
+		return nil, g.err
+	}
+	return &core.Pipeline{}, nil
+}
+
+func newTestRegistry(g *gatedBuilder) (*Registry, chan string) {
+	r := New()
+	r.Builder = g.build
+	done := make(chan string, 8)
+	r.NotifyBuilds(done)
+	return r, done
+}
+
+func waitDone(t *testing.T, done chan string, want string) {
+	t.Helper()
+	select {
+	case name := <-done:
+		if name != want {
+			t.Fatalf("build finished for %q, want %q", name, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %q build", want)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("web:rf:util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hours stays 0 (= unset) so callers can layer their own default
+	// without clobbering an explicit ":24".
+	if sp.Name != "web/rf/util" || sp.Hours != 0 {
+		t.Fatalf("parse: %+v", sp)
+	}
+	sp, err = ParseSpec("nat:gbt:violation:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Hours != 6 || sp.Name != "nat/gbt/violation" {
+		t.Fatalf("hours spec: %+v", sp)
+	}
+	for _, bad := range []string{"web:rf", "web:rf:util:x", "moon:rf:util", "web:svm:util", "web:rf:loss"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLifecycleTrainingToReady(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{})}
+	r, done := newTestRegistry(g)
+
+	e, err := r.Create(Spec{Scenario: "web", Model: "rf", Target: "util"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Status != StatusTraining || e.Spec.Name != "web/rf/util" {
+		t.Fatalf("initial entry %+v", e)
+	}
+	// Visible while training, but not servable.
+	if _, err := r.Lookup("web/rf/util"); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Lookup during training: %v", err)
+	}
+	got, err := r.Get("web/rf/util")
+	if err != nil || got.Status != StatusTraining {
+		t.Fatalf("Get during training: %+v, %v", got, err)
+	}
+
+	close(g.release)
+	waitDone(t, done, "web/rf/util")
+
+	got, err = r.Get("web/rf/util")
+	if err != nil || got.Status != StatusReady || got.Pipeline == nil {
+		t.Fatalf("after build: %+v, %v", got, err)
+	}
+	if got.ReadyAt.IsZero() {
+		t.Fatal("ReadyAt not stamped")
+	}
+	if p, err := r.Lookup("web/rf/util"); err != nil || p == nil {
+		t.Fatalf("Lookup after ready: %v", err)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{}), err: errors.New("sim exploded")}
+	r, done := newTestRegistry(g)
+	if _, err := r.Create(Spec{Scenario: "nat", Model: "gbt", Target: "violation"}); err != nil {
+		t.Fatal(err)
+	}
+	close(g.release)
+	waitDone(t, done, "nat/gbt/violation")
+	got, err := r.Get("nat/gbt/violation")
+	if err != nil || got.Status != StatusFailed || got.Err != "sim exploded" {
+		t.Fatalf("failed entry: %+v, %v", got, err)
+	}
+	if _, err := r.Lookup("nat/gbt/violation"); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Lookup of failed model: %v", err)
+	}
+
+	// A failed name is reclaimable: Create again with a working builder
+	// retrains instead of returning ErrExists.
+	g2 := &gatedBuilder{release: make(chan struct{})}
+	r.Builder = g2.build
+	e, err := r.Create(Spec{Scenario: "nat", Model: "gbt", Target: "violation"})
+	if err != nil {
+		t.Fatalf("recreate after failure: %v", err)
+	}
+	if e.Status != StatusTraining {
+		t.Fatalf("recreate status %v", e.Status)
+	}
+	close(g2.release)
+	waitDone(t, done, "nat/gbt/violation")
+	if p, err := r.Lookup("nat/gbt/violation"); err != nil || p == nil {
+		t.Fatalf("lookup after retry: %v", err)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"web/rf/util", "default", "a.b_c-d/e2"} {
+		if err := ValidateName(ok); err != nil {
+			t.Fatalf("ValidateName(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "/lead", "trail/", "a//b", "a?b", "a#b", "a b", "a/../b", "a/./b", "%2f",
+		"x/predict", "x/explain", "whatif", "x/importance", "x/schema"} {
+		if err := ValidateName(bad); err == nil {
+			t.Fatalf("ValidateName(%q) accepted", bad)
+		}
+	}
+	// Create and AddReady both enforce it.
+	r := New()
+	if _, err := r.Create(Spec{Name: "bad?name", Scenario: "web", Model: "rf", Target: "util"}); err == nil {
+		t.Fatal("Create accepted invalid name")
+	}
+	if _, err := r.AddReady(Spec{Name: "bad?name"}, &core.Pipeline{}, time.Now()); err == nil {
+		t.Fatal("AddReady accepted invalid name")
+	}
+}
+
+func TestDuplicateAndUnknown(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{})}
+	r, _ := newTestRegistry(g)
+	defer close(g.release)
+	if _, err := r.Create(Spec{Scenario: "web", Model: "rf", Target: "util"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(Spec{Scenario: "web", Model: "rf", Target: "util"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown get: %v", err)
+	}
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown lookup: %v", err)
+	}
+	if err := r.SetDefault("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown default: %v", err)
+	}
+	if _, err := r.Create(Spec{Scenario: "web", Model: "svm", Target: "util"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	// Unbounded or negative training work is rejected, not enqueued.
+	for _, sp := range []Spec{
+		{Scenario: "web", Model: "rf", Target: "util", Hours: -1},
+		{Scenario: "web", Model: "rf", Target: "util", Hours: MaxHours + 1},
+		{Scenario: "web", Model: "rf", Target: "util", ShapSamples: -1},
+		{Scenario: "web", Model: "rf", Target: "util", ShapSamples: MaxShapSamples + 1},
+	} {
+		if _, err := r.Create(sp); err == nil {
+			t.Fatalf("out-of-range spec accepted: %+v", sp)
+		}
+	}
+}
+
+func TestAddReadyAndDefault(t *testing.T) {
+	r := New()
+	name, err := r.AddReady(Spec{Scenario: "web", Model: "rf", Target: "util"}, &core.Pipeline{}, time.Now())
+	if err != nil || name != "web/rf/util" {
+		t.Fatalf("AddReady: %q, %v", name, err)
+	}
+	if r.DefaultName() != "web/rf/util" {
+		t.Fatalf("default %q", r.DefaultName())
+	}
+	if _, err := r.AddReady(Spec{Scenario: "web", Model: "rf", Target: "util"}, &core.Pipeline{}, time.Now()); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate AddReady: %v", err)
+	}
+	name2, err := r.AddReady(Spec{Name: "alt", Scenario: "nat", Model: "gbt", Target: "violation"}, &core.Pipeline{}, time.Now())
+	if err != nil || name2 != "alt" {
+		t.Fatalf("named AddReady: %q, %v", name2, err)
+	}
+	if err := r.SetDefault("alt"); err != nil || r.DefaultName() != "alt" {
+		t.Fatalf("SetDefault: %v, %q", err, r.DefaultName())
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].Spec.Name != "alt" || list[1].Spec.Name != "web/rf/util" {
+		t.Fatalf("list %+v", list)
+	}
+}
+
+// TestConcurrentReadsDuringSwap hammers Lookup/Get/List while a build
+// completes; run with -race this guards the hot-swap path.
+func TestConcurrentReadsDuringSwap(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{})}
+	r, done := newTestRegistry(g)
+	if _, err := r.Create(Spec{Scenario: "web", Model: "rf", Target: "util"}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if p, err := r.Lookup("web/rf/util"); err == nil && p == nil {
+					t.Error("ready lookup returned nil pipeline")
+					return
+				}
+				r.List()
+				_, _ = r.Get("web/rf/util")
+			}
+		}()
+	}
+	close(g.release)
+	waitDone(t, done, "web/rf/util")
+	close(stop)
+	wg.Wait()
+	if p, err := r.Lookup("web/rf/util"); err != nil || p == nil {
+		t.Fatalf("post-swap lookup: %v", err)
+	}
+}

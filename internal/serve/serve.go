@@ -1,47 +1,179 @@
-// Package serve implements the explanation service: a JSON-over-HTTP API
-// exposing a trained NFV predictor together with its explanations —
-// per-prediction attributions, global importance, and counterfactual
-// what-if queries. This is the integration point an operator dashboard
-// would consume.
+// Package serve implements the versioned, multi-model explanation service:
+// a JSON-over-HTTP API exposing a registry of trained NFV predictors
+// together with their explanations — per-prediction attributions (single
+// and batch), global importance, and counterfactual what-if queries. This
+// is the integration point an operator dashboard would consume.
+//
+// The v1 surface is model-scoped:
+//
+//	GET  /v1/models                        list models and their lifecycle status
+//	POST /v1/models                        train a new scenario×model×target (async, 202)
+//	GET  /v1/models/{name}                 one model's status and schema
+//	GET  /v1/models/{name}/schema          feature schema
+//	GET  /v1/models/{name}/importance      global |SHAP| + permutation importance (cached)
+//	POST /v1/models/{name}/predict         predict one instance
+//	POST /v1/models/{name}/explain         attribute one instance, or a batch via "instances"
+//	POST /v1/models/{name}/whatif          counterfactual remediation query
+//
+// Model names may contain slashes (the default is scenario/model/target,
+// e.g. web/rf/util). POST /v1/models returns 202 Accepted immediately; the
+// model trains in the background and flips training → ready (or failed),
+// observable via GET /v1/models/{name}. Serving a model that is still
+// training yields 409, an unknown model 404, a malformed request 400.
+//
+// The legacy unversioned endpoints (GET /healthz /schema /importance,
+// POST /predict /explain /whatif) remain as thin aliases onto the
+// registry's default model.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"nfvxai/internal/core"
+	"nfvxai/internal/registry"
+	"nfvxai/internal/xai"
 	"nfvxai/internal/xai/counterfactual"
 )
 
-// Server wraps a trained pipeline behind an http.Handler.
-type Server struct {
-	mu sync.RWMutex
-	p  *core.Pipeline
+// MaxBatch bounds how many instances one batch-explain request may carry.
+const MaxBatch = 256
 
+// Server routes the v1 multi-model API over a model registry.
+type Server struct {
+	reg *registry.Registry
 	mux *http.ServeMux
+	// BatchWorkers caps total explain fan-out across ALL concurrent batch
+	// requests (0 = GOMAXPROCS). Set before the first batch request; the
+	// shared gate is sized once, lazily.
+	BatchWorkers int
+
+	gateOnce sync.Once
+	gate     chan struct{}
 }
 
-// New builds a server over the pipeline.
-func New(p *core.Pipeline) *Server {
-	s := &Server{p: p, mux: http.NewServeMux()}
+// NewServer builds the API server over an existing registry.
+func NewServer(reg *registry.Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	// v1, model-scoped. {rest...} (not {name}) because model names contain
+	// slashes; routeModel* peel a trailing action segment off themselves.
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("POST /v1/models", s.handleCreateModel)
+	s.mux.HandleFunc("GET /v1/models/{rest...}", s.routeModelGet)
+	s.mux.HandleFunc("POST /v1/models/{rest...}", s.routeModelPost)
+
+	// Legacy unversioned aliases onto the default model.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /schema", s.handleSchema)
-	s.mux.HandleFunc("GET /importance", s.handleImportance)
-	s.mux.HandleFunc("POST /predict", s.handlePredict)
-	s.mux.HandleFunc("POST /explain", s.handleExplain)
-	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
+	s.mux.HandleFunc("GET /schema", s.aliasGet(s.handleSchema))
+	s.mux.HandleFunc("GET /importance", s.aliasGet(s.handleImportance))
+	s.mux.HandleFunc("POST /predict", s.aliasPost(s.handlePredict))
+	s.mux.HandleFunc("POST /explain", s.aliasPost(s.handleExplain))
+	s.mux.HandleFunc("POST /whatif", s.aliasPost(s.handleWhatIf))
 	return s
 }
+
+// New wraps a single already-trained pipeline as a one-model server — the
+// pre-registry constructor, kept for embedders and tests. The model is
+// registered as "default".
+func New(p *core.Pipeline) *Server {
+	reg := registry.New()
+	if _, err := reg.AddReady(registry.Spec{Name: "default"}, p, time.Now()); err != nil {
+		panic(err) // fresh registry; cannot collide
+	}
+	return NewServer(reg)
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Server) pipeline() *core.Pipeline {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.p
+// modelActions are the reserved trailing path segments under a model.
+var modelGetActions = map[string]bool{"schema": true, "importance": true}
+var modelPostActions = map[string]bool{"predict": true, "explain": true, "whatif": true}
+
+// splitAction splits "web/rf/util/predict" into ("web/rf/util", "predict")
+// when the last segment is in actions, else returns (rest, "").
+func splitAction(rest string, actions map[string]bool) (name, action string) {
+	if i := strings.LastIndexByte(rest, '/'); i >= 0 && actions[rest[i+1:]] {
+		return rest[:i], rest[i+1:]
+	}
+	return rest, ""
+}
+
+func (s *Server) routeModelGet(w http.ResponseWriter, r *http.Request) {
+	name, action := splitAction(r.PathValue("rest"), modelGetActions)
+	switch action {
+	case "schema":
+		s.handleSchema(w, r, name)
+	case "importance":
+		s.handleImportance(w, r, name)
+	default:
+		s.handleModelInfo(w, r, name)
+	}
+}
+
+func (s *Server) routeModelPost(w http.ResponseWriter, r *http.Request) {
+	name, action := splitAction(r.PathValue("rest"), modelPostActions)
+	switch action {
+	case "predict":
+		s.handlePredict(w, r, name)
+	case "explain":
+		s.handleExplain(w, r, name)
+	case "whatif":
+		s.handleWhatIf(w, r, name)
+	default:
+		writeError(w, http.StatusNotFound, "unknown action: POST /v1/models/{name}/{predict|explain|whatif}")
+	}
+}
+
+// aliasGet adapts a model-scoped GET handler to a legacy unversioned
+// route serving the registry's default model.
+func (s *Server) aliasGet(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name, ok := s.defaultModel(w)
+		if !ok {
+			return
+		}
+		h(w, r, name)
+	}
+}
+
+func (s *Server) aliasPost(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return s.aliasGet(h) // same adaptation; split for call-site clarity
+}
+
+func (s *Server) defaultModel(w http.ResponseWriter) (string, bool) {
+	name := s.reg.DefaultName()
+	if name == "" {
+		writeError(w, http.StatusNotFound, "no models registered")
+		return "", false
+	}
+	return name, true
+}
+
+// lookup resolves name to a servable pipeline, mapping registry errors to
+// HTTP: unknown → 404, training/failed → 409.
+func (s *Server) lookup(w http.ResponseWriter, name string) (*core.Pipeline, bool) {
+	p, err := s.reg.Lookup(name)
+	switch {
+	case err == nil:
+		return p, true
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, registry.ErrNotReady):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -54,56 +186,224 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "model": s.pipeline().Kind.String()})
+// featureName is the one shared feature-index → display-name resolution
+// used by every handler that renders per-feature output.
+func featureName(names []string, j int) string {
+	if j >= 0 && j < len(names) {
+		return names[j]
+	}
+	return fmt.Sprintf("f%d", j)
 }
 
-// SchemaResponse describes the feature vector the other endpoints expect.
+// ─── registry endpoints ─────────────────────────────────────────────────
+
+// ModelInfo is one registry entry as served by the API.
+type ModelInfo struct {
+	Name      string    `json:"name"`
+	Scenario  string    `json:"scenario,omitempty"`
+	Model     string    `json:"model,omitempty"`
+	Target    string    `json:"target,omitempty"`
+	Hours     float64   `json:"hours,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Status    string    `json:"status"`
+	Error     string    `json:"error,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	// ReadyAt is the zero time until the model leaves training.
+	ReadyAt time.Time `json:"ready_at"`
+	// Kind/Task/Features describe the live pipeline (ready models only).
+	Kind     string   `json:"kind,omitempty"`
+	Task     string   `json:"task,omitempty"`
+	Features []string `json:"features,omitempty"`
+}
+
+func modelInfo(e registry.Entry) ModelInfo {
+	info := ModelInfo{
+		Name:      e.Spec.Name,
+		Scenario:  e.Spec.Scenario,
+		Model:     e.Spec.Model,
+		Target:    e.Spec.Target,
+		Hours:     e.Spec.Hours,
+		Seed:      e.Spec.Seed,
+		Status:    e.Status.String(),
+		Error:     e.Err,
+		CreatedAt: e.CreatedAt,
+		ReadyAt:   e.ReadyAt,
+	}
+	if e.Pipeline != nil && e.Pipeline.Train != nil {
+		info.Kind = e.Pipeline.Kind.String()
+		info.Task = e.Pipeline.Train.Task.String()
+		info.Features = e.Pipeline.Train.Names
+	}
+	return info
+}
+
+// ModelListResponse is the GET /v1/models reply.
+type ModelListResponse struct {
+	Default string      `json:"default,omitempty"`
+	Models  []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.List()
+	resp := ModelListResponse{Default: s.reg.DefaultName(), Models: make([]ModelInfo, 0, len(entries))}
+	for _, e := range entries {
+		resp.Models = append(resp.Models, modelInfo(e))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	var sp registry.Spec
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := sp.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.reg.Create(sp)
+	if err != nil {
+		if errors.Is(err, registry.ErrExists) {
+			writeError(w, http.StatusConflict, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, modelInfo(e))
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, _ *http.Request, name string) {
+	e, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelInfo(e))
+}
+
+// ─── health and schema ──────────────────────────────────────────────────
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	// Status is "ok" when the default model is servable, else "degraded"
+	// (served with 503 so readiness probes hold traffic back).
+	Status string `json:"status"`
+	// Models counts registered models; Ready counts servable ones.
+	Models int `json:"models"`
+	Ready  int `json:"ready"`
+	// Default is the model the legacy endpoints alias to; Model is its
+	// kind when servable (legacy field).
+	Default string `json:"default,omitempty"`
+	Model   string `json:"model,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{Status: "ok", Default: s.reg.DefaultName()}
+	for _, e := range s.reg.List() {
+		resp.Models++
+		if e.Status == registry.StatusReady {
+			resp.Ready++
+		}
+	}
+	status := http.StatusOK
+	if p, err := s.reg.Lookup(resp.Default); err == nil {
+		resp.Model = p.Kind.String()
+	} else {
+		// The default model is missing, training or failed: every legacy
+		// endpoint would 404/409, so health checks must not admit traffic.
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// SchemaResponse describes the feature vector the serving endpoints expect.
 type SchemaResponse struct {
+	Name     string   `json:"name"`
 	Model    string   `json:"model"`
 	Task     string   `json:"task"`
 	Features []string `json:"features"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	p := s.pipeline()
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request, name string) {
+	p, ok := s.lookup(w, name)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, SchemaResponse{
+		Name:     name,
 		Model:    p.Kind.String(),
 		Task:     p.Train.Task.String(),
 		Features: p.Train.Names,
 	})
 }
 
-// featureRequest is the shared request body carrying one feature vector.
+// ─── predict and explain ────────────────────────────────────────────────
+
+// featureRequest is the shared request body carrying one feature vector,
+// or (for batch explain) several under "instances".
 type featureRequest struct {
-	Features []float64 `json:"features"`
-	TopK     int       `json:"topk,omitempty"`
+	Features  []float64   `json:"features,omitempty"`
+	Instances [][]float64 `json:"instances,omitempty"`
+	TopK      int         `json:"topk,omitempty"`
 }
 
-func (s *Server) decodeFeatures(w http.ResponseWriter, r *http.Request) (featureRequest, bool) {
+func decodeFeatures(w http.ResponseWriter, r *http.Request, p *core.Pipeline) (featureRequest, bool) {
 	var req featureRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return req, false
 	}
-	if want := s.pipeline().Train.NumFeatures(); len(req.Features) != want {
+	want := p.Train.NumFeatures()
+	if req.Instances != nil {
+		if req.Features != nil {
+			writeError(w, http.StatusBadRequest, "provide features or instances, not both")
+			return req, false
+		}
+		if len(req.Instances) == 0 {
+			writeError(w, http.StatusBadRequest, "instances must not be empty")
+			return req, false
+		}
+		if len(req.Instances) > MaxBatch {
+			writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Instances), MaxBatch)
+			return req, false
+		}
+		for i, x := range req.Instances {
+			if len(x) != want {
+				writeError(w, http.StatusBadRequest, "instance %d: need %d features, got %d", i, want, len(x))
+				return req, false
+			}
+		}
+		return req, true
+	}
+	if len(req.Features) != want {
 		writeError(w, http.StatusBadRequest, "need %d features, got %d", want, len(req.Features))
 		return req, false
 	}
 	return req, true
 }
 
-// PredictResponse is the /predict reply.
+// PredictResponse is the predict reply.
 type PredictResponse struct {
 	Prediction float64 `json:"prediction"`
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeFeatures(w, r)
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name string) {
+	p, ok := s.lookup(w, name)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{Prediction: s.pipeline().Model.Predict(req.Features)})
+	req, ok := decodeFeatures(w, r, p)
+	if !ok {
+		return
+	}
+	if req.Instances != nil {
+		writeError(w, http.StatusBadRequest, "predict takes a single feature vector")
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Prediction: p.Model.Predict(req.Features)})
 }
 
 // Contribution is one feature's share of an explanation.
@@ -112,43 +412,91 @@ type Contribution struct {
 	Phi     float64 `json:"phi"`
 }
 
-// ExplainResponse is the /explain reply.
+// ExplainResponse is the single-instance explain reply, and one element of
+// a batch reply.
 type ExplainResponse struct {
 	Prediction    float64        `json:"prediction"`
 	Base          float64        `json:"base"`
 	Method        string         `json:"method"`
 	Contributions []Contribution `json:"contributions"`
-	Report        string         `json:"report"`
+	Report        string         `json:"report,omitempty"`
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeFeatures(w, r)
+// BatchExplainResponse is the explain reply when "instances" was sent.
+type BatchExplainResponse struct {
+	Method       string            `json:"method"`
+	Count        int               `json:"count"`
+	Explanations []ExplainResponse `json:"explanations"`
+}
+
+func explainResponse(p *core.Pipeline, attr xai.Attribution, method string, topK int, withReport bool) ExplainResponse {
+	resp := ExplainResponse{
+		Prediction: attr.Value,
+		Base:       attr.Base,
+		Method:     method,
+	}
+	if withReport {
+		resp.Report = core.OperatorReport("prediction explanation", attr, method, topK)
+	}
+	for _, j := range attr.TopK(topK) {
+		resp.Contributions = append(resp.Contributions, Contribution{
+			Feature: featureName(p.Train.Names, j),
+			Phi:     attr.Phi[j],
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name string) {
+	p, ok := s.lookup(w, name)
 	if !ok {
 		return
 	}
-	p := s.pipeline()
-	attr, method, err := p.ExplainInstance(req.Features)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+	req, ok := decodeFeatures(w, r, p)
+	if !ok {
 		return
 	}
 	topK := req.TopK
 	if topK <= 0 {
 		topK = 5
 	}
-	resp := ExplainResponse{
-		Prediction: attr.Value,
-		Base:       attr.Base,
-		Method:     method,
-		Report:     core.OperatorReport("prediction explanation", attr, method, topK),
+	if req.Instances != nil {
+		// One server-wide gate bounds explain concurrency: K simultaneous
+		// batch requests share cap(gate) workers rather than each spawning
+		// a GOMAXPROCS pool and oversubscribing the cores.
+		s.gateOnce.Do(func() {
+			n := s.BatchWorkers
+			if n <= 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
+			s.gate = make(chan struct{}, n)
+		})
+		e, method := p.Explainer()
+		attrs, err := xai.ExplainBatchGated(e, req.Instances, s.gate)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "explain: %v", err)
+			return
+		}
+		resp := BatchExplainResponse{Method: method, Count: len(attrs)}
+		for _, attr := range attrs {
+			// Batch replies skip the prose report: dashboards consuming
+			// batches want the numbers, and N reports dominate the payload.
+			resp.Explanations = append(resp.Explanations, explainResponse(p, attr, method, topK, false))
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	for _, j := range attr.TopK(topK) {
-		resp.Contributions = append(resp.Contributions, Contribution{Feature: attr.Name(j), Phi: attr.Phi[j]})
+	attr, method, err := p.ExplainInstance(req.Features)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, explainResponse(p, attr, method, topK, true))
 }
 
-// WhatIfRequest is the /whatif request body.
+// ─── what-if ────────────────────────────────────────────────────────────
+
+// WhatIfRequest is the whatif request body.
 type WhatIfRequest struct {
 	Features  []float64 `json:"features"`
 	Op        string    `json:"op"`    // "<=" or ">="
@@ -163,7 +511,7 @@ type Change struct {
 	To      float64 `json:"to"`
 }
 
-// WhatIfResponse is the /whatif reply.
+// WhatIfResponse is the whatif reply.
 type WhatIfResponse struct {
 	Valid      bool     `json:"valid"`
 	Prediction float64  `json:"prediction"`
@@ -171,13 +519,16 @@ type WhatIfResponse struct {
 	Report     string   `json:"report"`
 }
 
-func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, name string) {
+	p, ok := s.lookup(w, name)
+	if !ok {
+		return
+	}
 	var req WhatIfRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	p := s.pipeline()
 	if want := p.Train.NumFeatures(); len(req.Features) != want {
 		writeError(w, http.StatusBadRequest, "need %d features, got %d", want, len(req.Features))
 		return
@@ -189,7 +540,11 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	target := counterfactual.Target{Op: req.Op, Value: req.Value}
 	cf, err := p.WhatIf(req.Features, target, req.Immutable)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "whatif: %v", err)
+		if errors.Is(err, core.ErrUnknownFeature) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "whatif: %v", err)
+		}
 		return
 	}
 	resp := WhatIfResponse{
@@ -198,24 +553,29 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		Report:     core.WhatIfReport(cf, p.Train.Names, req.Features, target),
 	}
 	for _, j := range cf.Changed {
-		name := fmt.Sprintf("f%d", j)
-		if j < len(p.Train.Names) {
-			name = p.Train.Names[j]
-		}
-		resp.Changes = append(resp.Changes, Change{Feature: name, From: req.Features[j], To: cf.X[j]})
+		resp.Changes = append(resp.Changes, Change{
+			Feature: featureName(p.Train.Names, j),
+			From:    req.Features[j],
+			To:      cf.X[j],
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ImportanceResponse is the /importance reply.
+// ─── importance ─────────────────────────────────────────────────────────
+
+// ImportanceResponse is the importance reply.
 type ImportanceResponse struct {
 	Features []string  `json:"features"`
 	Shap     []float64 `json:"shap"`
 	Perm     []float64 `json:"perm"`
 }
 
-func (s *Server) handleImportance(w http.ResponseWriter, _ *http.Request) {
-	p := s.pipeline()
+func (s *Server) handleImportance(w http.ResponseWriter, _ *http.Request, name string) {
+	p, ok := s.lookup(w, name)
+	if !ok {
+		return
+	}
 	shapImp, permImp, err := p.GlobalImportance(30)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "importance: %v", err)

@@ -3,14 +3,18 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nfvxai/internal/core"
 	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/registry"
 )
 
 var (
@@ -18,6 +22,7 @@ var (
 	testPipelineOnce sync.Once
 )
 
+// pipeline trains one small web/rf/util pipeline shared by the tests.
 func pipeline(t *testing.T) *core.Pipeline {
 	t.Helper()
 	testPipelineOnce.Do(func() {
@@ -48,6 +53,15 @@ func postJSON(t *testing.T, srv *httptest.Server, path string, body any) *http.R
 	return resp
 }
 
+func getJSON(t *testing.T, srv *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
 func decode[T any](t *testing.T, resp *http.Response) T {
 	t.Helper()
 	defer resp.Body.Close()
@@ -58,33 +72,67 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 	return v
 }
 
+func wantStatus(t *testing.T, resp *http.Response, want int) {
+	t.Helper()
+	if resp.StatusCode != want {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d want %d (body %s)", resp.StatusCode, want, body)
+	}
+}
+
+// ─── v1 model-scoped serving ────────────────────────────────────────────
+
 func TestHealthAndSchema(t *testing.T) {
 	srv := httptest.NewServer(New(pipeline(t)))
 	defer srv.Close()
 
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	resp := getJSON(t, srv, "/healthz")
+	wantStatus(t, resp, http.StatusOK)
+	health := decode[HealthResponse](t, resp)
+	if health.Status != "ok" || health.Model != "rf" || health.Models != 1 || health.Ready != 1 {
+		t.Fatalf("health %+v", health)
 	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
-	}
-	health := decode[map[string]string](t, resp)
-	if health["status"] != "ok" || health["model"] != "rf" {
-		t.Fatalf("health %v", health)
+	if health.Default != "default" {
+		t.Fatalf("default %q", health.Default)
 	}
 
-	resp, err = http.Get(srv.URL + "/schema")
-	if err != nil {
-		t.Fatal(err)
+	for _, path := range []string{"/schema", "/v1/models/default/schema"} {
+		resp = getJSON(t, srv, path)
+		wantStatus(t, resp, http.StatusOK)
+		schema := decode[SchemaResponse](t, resp)
+		if len(schema.Features) != pipeline(t).Train.NumFeatures() {
+			t.Fatalf("%s features %d", path, len(schema.Features))
+		}
+		if schema.Task != "regression" {
+			t.Fatalf("%s task %q", path, schema.Task)
+		}
 	}
-	schema := decode[SchemaResponse](t, resp)
-	if len(schema.Features) != pipeline(t).Train.NumFeatures() {
-		t.Fatalf("schema features %d", len(schema.Features))
+}
+
+func TestModelInfoAndList(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/v1/models")
+	wantStatus(t, resp, http.StatusOK)
+	list := decode[ModelListResponse](t, resp)
+	if list.Default != "default" || len(list.Models) != 1 {
+		t.Fatalf("list %+v", list)
 	}
-	if schema.Task != "regression" {
-		t.Fatalf("task %q", schema.Task)
+	if list.Models[0].Status != "ready" || list.Models[0].Kind != "rf" {
+		t.Fatalf("entry %+v", list.Models[0])
 	}
+
+	resp = getJSON(t, srv, "/v1/models/default")
+	wantStatus(t, resp, http.StatusOK)
+	info := decode[ModelInfo](t, resp)
+	if info.Name != "default" || info.Status != "ready" || len(info.Features) == 0 {
+		t.Fatalf("info %+v", info)
+	}
+
+	resp = getJSON(t, srv, "/v1/models/nope")
+	wantStatus(t, resp, http.StatusNotFound)
+	resp.Body.Close()
 }
 
 func TestPredictEndpoint(t *testing.T) {
@@ -93,13 +141,14 @@ func TestPredictEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	x := p.Test.X[0]
-	resp := postJSON(t, srv, "/predict", map[string]any{"features": x})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	got := decode[PredictResponse](t, resp)
-	if want := p.Model.Predict(x); got.Prediction != want {
-		t.Fatalf("prediction %v want %v", got.Prediction, want)
+	want := p.Model.Predict(x)
+	for _, path := range []string{"/predict", "/v1/models/default/predict"} {
+		resp := postJSON(t, srv, path, map[string]any{"features": x})
+		wantStatus(t, resp, http.StatusOK)
+		got := decode[PredictResponse](t, resp)
+		if got.Prediction != want {
+			t.Fatalf("%s prediction %v want %v", path, got.Prediction, want)
+		}
 	}
 }
 
@@ -108,10 +157,8 @@ func TestPredictValidation(t *testing.T) {
 	defer srv.Close()
 
 	// Wrong width.
-	resp := postJSON(t, srv, "/predict", map[string]any{"features": []float64{1, 2}})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("status %d want 400", resp.StatusCode)
-	}
+	resp := postJSON(t, srv, "/v1/models/default/predict", map[string]any{"features": []float64{1, 2}})
+	wantStatus(t, resp, http.StatusBadRequest)
 	errBody := decode[map[string]string](t, resp)
 	if !strings.Contains(errBody["error"], "features") {
 		t.Fatalf("error %q", errBody["error"])
@@ -126,14 +173,24 @@ func TestPredictValidation(t *testing.T) {
 		t.Fatalf("malformed status %d", resp2.StatusCode)
 	}
 	// Wrong method.
-	resp3, err := http.Get(srv.URL + "/predict")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp3 := getJSON(t, srv, "/predict")
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /predict status %d", resp3.StatusCode)
 	}
+	// Unknown model.
+	resp4 := postJSON(t, srv, "/v1/models/nope/predict", map[string]any{"features": []float64{1}})
+	wantStatus(t, resp4, http.StatusNotFound)
+	resp4.Body.Close()
+	// Batch body rejected on predict.
+	resp5 := postJSON(t, srv, "/v1/models/default/predict",
+		map[string]any{"instances": [][]float64{pipeline(t).Test.X[0]}})
+	wantStatus(t, resp5, http.StatusBadRequest)
+	resp5.Body.Close()
+	// Unknown action.
+	resp6 := postJSON(t, srv, "/v1/models/default/transmogrify", map[string]any{})
+	wantStatus(t, resp6, http.StatusNotFound)
+	resp6.Body.Close()
 }
 
 func TestExplainEndpoint(t *testing.T) {
@@ -142,10 +199,8 @@ func TestExplainEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	x := p.Test.X[1]
-	resp := postJSON(t, srv, "/explain", map[string]any{"features": x, "topk": 3})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x, "topk": 3})
+	wantStatus(t, resp, http.StatusOK)
 	got := decode[ExplainResponse](t, resp)
 	if got.Method != "treeshap" {
 		t.Fatalf("method %q", got.Method)
@@ -161,6 +216,49 @@ func TestExplainEndpoint(t *testing.T) {
 	}
 	if diff := got.Prediction - p.Model.Predict(x); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("explained prediction mismatch: %v", diff)
+	}
+}
+
+func TestExplainBatch(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	instances := p.Test.X[:8]
+	resp := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"instances": instances, "topk": 4})
+	wantStatus(t, resp, http.StatusOK)
+	got := decode[BatchExplainResponse](t, resp)
+	if got.Method != "treeshap" || got.Count != len(instances) || len(got.Explanations) != len(instances) {
+		t.Fatalf("batch shape: method %q count %d len %d", got.Method, got.Count, len(got.Explanations))
+	}
+	for i, e := range got.Explanations {
+		if diff := e.Prediction - p.Model.Predict(instances[i]); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("instance %d prediction mismatch %v", i, diff)
+		}
+		if len(e.Contributions) != 4 {
+			t.Fatalf("instance %d contributions %d", i, len(e.Contributions))
+		}
+	}
+
+	// Batch validation: both bodies, empty batch, ragged instance, oversize.
+	for name, body := range map[string]map[string]any{
+		"both":     {"features": instances[0], "instances": instances},
+		"empty":    {"instances": [][]float64{}},
+		"ragged":   {"instances": [][]float64{instances[0], {1, 2}}},
+		"oversize": {"instances": make([][]float64, MaxBatch+1)},
+	} {
+		if body["instances"] != nil {
+			if raw, ok := body["instances"].([][]float64); ok && len(raw) == MaxBatch+1 {
+				for i := range raw {
+					raw[i] = instances[0]
+				}
+			}
+		}
+		resp := postJSON(t, srv, "/v1/models/default/explain", body)
+		wantStatus(t, resp, http.StatusBadRequest)
+		resp.Body.Close()
+		_ = name
 	}
 }
 
@@ -180,15 +278,13 @@ func TestWhatIfEndpoint(t *testing.T) {
 	if x == nil {
 		x = p.Test.X[0]
 	}
-	resp := postJSON(t, srv, "/whatif", WhatIfRequest{
+	resp := postJSON(t, srv, "/v1/models/default/whatif", WhatIfRequest{
 		Features:  x,
 		Op:        "<=",
 		Value:     0.4,
 		Immutable: []string{"hour_sin", "hour_cos"},
 	})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	wantStatus(t, resp, http.StatusOK)
 	got := decode[WhatIfResponse](t, resp)
 	if got.Valid && got.Prediction > 0.4 {
 		t.Fatalf("valid counterfactual above target: %+v", got)
@@ -198,16 +294,21 @@ func TestWhatIfEndpoint(t *testing.T) {
 	}
 	// Bad op rejected.
 	bad := postJSON(t, srv, "/whatif", WhatIfRequest{Features: x, Op: "!=", Value: 1})
-	if bad.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad op status %d", bad.StatusCode)
-	}
+	wantStatus(t, bad, http.StatusBadRequest)
 	bad.Body.Close()
 	// Wrong width rejected.
 	short := postJSON(t, srv, "/whatif", WhatIfRequest{Features: []float64{1}, Op: "<=", Value: 1})
-	if short.StatusCode != http.StatusBadRequest {
-		t.Fatalf("short features status %d", short.StatusCode)
-	}
+	wantStatus(t, short, http.StatusBadRequest)
 	short.Body.Close()
+	// Unknown immutable feature is a client error, not silently dropped.
+	unk := postJSON(t, srv, "/v1/models/default/whatif", WhatIfRequest{
+		Features: x, Op: "<=", Value: 0.4, Immutable: []string{"no_such_feature"},
+	})
+	wantStatus(t, unk, http.StatusBadRequest)
+	unkBody := decode[map[string]string](t, unk)
+	if !strings.Contains(unkBody["error"], "no_such_feature") {
+		t.Fatalf("error %q does not name the unknown feature", unkBody["error"])
+	}
 }
 
 func TestImportanceEndpoint(t *testing.T) {
@@ -215,13 +316,8 @@ func TestImportanceEndpoint(t *testing.T) {
 	srv := httptest.NewServer(New(p))
 	defer srv.Close()
 
-	resp, err := http.Get(srv.URL + "/importance")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	resp := getJSON(t, srv, "/v1/models/default/importance")
+	wantStatus(t, resp, http.StatusOK)
 	got := decode[ImportanceResponse](t, resp)
 	d := p.Train.NumFeatures()
 	if len(got.Shap) != d || len(got.Perm) != d || len(got.Features) != d {
@@ -236,5 +332,282 @@ func TestImportanceEndpoint(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("all-zero importance")
+	}
+	// The result is cached per pipeline: a second request must return the
+	// identical vector (and, being cached, return fast).
+	resp2 := getJSON(t, srv, "/importance")
+	wantStatus(t, resp2, http.StatusOK)
+	got2 := decode[ImportanceResponse](t, resp2)
+	for j := range got.Shap {
+		if got.Shap[j] != got2.Shap[j] {
+			t.Fatalf("cached importance differs at %d", j)
+		}
+	}
+}
+
+// ─── registry lifecycle over the API ────────────────────────────────────
+
+// gatedBuilder blocks builds until released so tests observe "training".
+type gatedBuilder struct {
+	mu      sync.Mutex
+	release chan struct{}
+	result  *core.Pipeline
+	err     error
+}
+
+func (g *gatedBuilder) build(registry.Spec) (*core.Pipeline, error) {
+	<-g.release
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.result, g.err
+}
+
+// newGatedServer returns a server whose default model is ready and whose
+// registry trains via the gated builder.
+func newGatedServer(t *testing.T, g *gatedBuilder) (*httptest.Server, chan string) {
+	t.Helper()
+	s := New(pipeline(t))
+	s.Registry().Builder = g.build
+	done := make(chan string, 4)
+	s.Registry().NotifyBuilds(done)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv, done
+}
+
+func waitBuild(t *testing.T, done chan string, want string) {
+	t.Helper()
+	select {
+	case name := <-done:
+		if name != want {
+			t.Fatalf("build done for %q want %q", name, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %q", want)
+	}
+}
+
+func TestCreateModelLifecycle(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{}), result: pipeline(t)}
+	srv, done := newGatedServer(t, g)
+
+	// POST /v1/models → 202 with the entry in training.
+	resp := postJSON(t, srv, "/v1/models", registry.Spec{Scenario: "nat", Model: "gbt", Target: "violation"})
+	wantStatus(t, resp, http.StatusAccepted)
+	info := decode[ModelInfo](t, resp)
+	if info.Name != "nat/gbt/violation" || info.Status != "training" {
+		t.Fatalf("created %+v", info)
+	}
+
+	// Serving it while training → 409; GET shows training.
+	busy := postJSON(t, srv, "/v1/models/nat/gbt/violation/predict", map[string]any{"features": []float64{1}})
+	wantStatus(t, busy, http.StatusConflict)
+	busy.Body.Close()
+	st := getJSON(t, srv, "/v1/models/nat/gbt/violation")
+	wantStatus(t, st, http.StatusOK)
+	if got := decode[ModelInfo](t, st); got.Status != "training" {
+		t.Fatalf("mid-train status %q", got.Status)
+	}
+
+	// Duplicate create while training → 409.
+	dup := postJSON(t, srv, "/v1/models", registry.Spec{Scenario: "nat", Model: "gbt", Target: "violation"})
+	wantStatus(t, dup, http.StatusConflict)
+	dup.Body.Close()
+
+	// Release the build; the model flips to ready and serves.
+	close(g.release)
+	waitBuild(t, done, "nat/gbt/violation")
+	st2 := getJSON(t, srv, "/v1/models/nat/gbt/violation")
+	got := decode[ModelInfo](t, st2)
+	if got.Status != "ready" || got.ReadyAt.IsZero() {
+		t.Fatalf("post-train %+v", got)
+	}
+	x := pipeline(t).Test.X[0]
+	ok := postJSON(t, srv, "/v1/models/nat/gbt/violation/predict", map[string]any{"features": x})
+	wantStatus(t, ok, http.StatusOK)
+	ok.Body.Close()
+}
+
+func TestCreateModelValidation(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	// Unknown scenario/model/target → 400.
+	for _, sp := range []registry.Spec{
+		{Scenario: "moon", Model: "rf", Target: "util"},
+		{Scenario: "web", Model: "svm", Target: "util"},
+		{Scenario: "web", Model: "rf", Target: "loss"},
+		{Name: "sneaky/predict", Scenario: "web", Model: "rf", Target: "util"},
+		{Name: "un?addressable", Scenario: "web", Model: "rf", Target: "util"},
+		{Name: "/lead", Scenario: "web", Model: "rf", Target: "util"},
+		{Scenario: "web", Model: "rf", Target: "util", Hours: 1e9},
+		{Scenario: "web", Model: "rf", Target: "util", Hours: -3},
+	} {
+		resp := postJSON(t, srv, "/v1/models", sp)
+		wantStatus(t, resp, http.StatusBadRequest)
+		resp.Body.Close()
+	}
+	// Malformed JSON → 400.
+	resp, err := http.Post(srv.URL+"/v1/models", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusBadRequest)
+	resp.Body.Close()
+	// Duplicate of the ready default → 409.
+	dup := postJSON(t, srv, "/v1/models", registry.Spec{Name: "default", Scenario: "web", Model: "rf", Target: "util"})
+	wantStatus(t, dup, http.StatusConflict)
+	dup.Body.Close()
+}
+
+func TestFailedBuildReported(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{}), err: fmt.Errorf("sim exploded")}
+	srv, done := newGatedServer(t, g)
+
+	resp := postJSON(t, srv, "/v1/models", registry.Spec{Scenario: "web", Model: "gbt", Target: "latency"})
+	wantStatus(t, resp, http.StatusAccepted)
+	resp.Body.Close()
+	close(g.release)
+	waitBuild(t, done, "web/gbt/latency")
+
+	st := getJSON(t, srv, "/v1/models/web/gbt/latency")
+	got := decode[ModelInfo](t, st)
+	if got.Status != "failed" || !strings.Contains(got.Error, "sim exploded") {
+		t.Fatalf("failed entry %+v", got)
+	}
+	// A failed model is registered but unservable → 409.
+	busy := postJSON(t, srv, "/v1/models/web/gbt/latency/predict", map[string]any{"features": []float64{1}})
+	wantStatus(t, busy, http.StatusConflict)
+	busy.Body.Close()
+
+	// A failed name is reclaimable: re-POSTing retrains (202), it is not
+	// squatted forever by the dead build.
+	g.mu.Lock()
+	g.err, g.result = nil, pipeline(t)
+	g.mu.Unlock()
+	retry := postJSON(t, srv, "/v1/models", registry.Spec{Scenario: "web", Model: "gbt", Target: "latency"})
+	wantStatus(t, retry, http.StatusAccepted)
+	retry.Body.Close()
+	waitBuild(t, done, "web/gbt/latency")
+	st2 := getJSON(t, srv, "/v1/models/web/gbt/latency")
+	if got := decode[ModelInfo](t, st2); got.Status != "ready" {
+		t.Fatalf("after retry: %+v", got)
+	}
+}
+
+// TestHealthDegraded checks that /healthz holds traffic (503) while the
+// default model is unservable and recovers once it trains.
+func TestHealthDegraded(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{}), result: pipeline(t)}
+	reg := registry.New()
+	reg.Builder = g.build
+	done := make(chan string, 1)
+	reg.NotifyBuilds(done)
+	if _, err := reg.Create(registry.Spec{Scenario: "web", Model: "rf", Target: "util"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/healthz")
+	wantStatus(t, resp, http.StatusServiceUnavailable)
+	h := decode[HealthResponse](t, resp)
+	if h.Status != "degraded" || h.Ready != 0 || h.Models != 1 {
+		t.Fatalf("degraded health %+v", h)
+	}
+
+	close(g.release)
+	waitBuild(t, done, "web/rf/util")
+	resp2 := getJSON(t, srv, "/healthz")
+	wantStatus(t, resp2, http.StatusOK)
+	if h2 := decode[HealthResponse](t, resp2); h2.Status != "ok" || h2.Ready != 1 {
+		t.Fatalf("recovered health %+v", h2)
+	}
+}
+
+// TestConcurrentServingDuringTraining checks the hot-swap: the ready
+// default keeps serving while another model trains and swaps in.
+func TestConcurrentServingDuringTraining(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{}), result: pipeline(t)}
+	srv, done := newGatedServer(t, g)
+
+	resp := postJSON(t, srv, "/v1/models", registry.Spec{Scenario: "web", Model: "cart", Target: "util"})
+	wantStatus(t, resp, http.StatusAccepted)
+	resp.Body.Close()
+
+	x := pipeline(t).Test.X[0]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := postJSON(t, srv, "/predict", map[string]any{"features": x})
+				if r.StatusCode != http.StatusOK {
+					t.Errorf("default predict during training: %d", r.StatusCode)
+					r.Body.Close()
+					return
+				}
+				r.Body.Close()
+			}
+		}()
+	}
+	close(g.release)
+	waitBuild(t, done, "web/cart/util")
+	close(stop)
+	wg.Wait()
+
+	// Both models now serve from one process.
+	for _, name := range []string{"default", "web/cart/util"} {
+		r := postJSON(t, srv, "/v1/models/"+name+"/predict", map[string]any{"features": x})
+		wantStatus(t, r, http.StatusOK)
+		r.Body.Close()
+	}
+}
+
+// ─── legacy-alias parity ────────────────────────────────────────────────
+
+func TestLegacyAliasParity(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	x := p.Test.X[2]
+	pairs := []struct {
+		legacy, v1 string
+		body       any
+	}{
+		{"/schema", "/v1/models/default/schema", nil},
+		{"/importance", "/v1/models/default/importance", nil},
+		{"/predict", "/v1/models/default/predict", map[string]any{"features": x}},
+		{"/explain", "/v1/models/default/explain", map[string]any{"features": x, "topk": 3}},
+		{"/whatif", "/v1/models/default/whatif", WhatIfRequest{Features: x, Op: "<=", Value: 0.4}},
+	}
+	for _, pr := range pairs {
+		read := func(path string) string {
+			var resp *http.Response
+			if pr.body == nil {
+				resp = getJSON(t, srv, path)
+			} else {
+				resp = postJSON(t, srv, path, pr.body)
+			}
+			wantStatus(t, resp, http.StatusOK)
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		legacy, v1 := read(pr.legacy), read(pr.v1)
+		if legacy != v1 {
+			t.Fatalf("%s and %s disagree:\n%s\nvs\n%s", pr.legacy, pr.v1, legacy, v1)
+		}
 	}
 }

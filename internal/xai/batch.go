@@ -1,0 +1,80 @@
+package xai
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ExplainBatch explains every instance in xs with e, fanning the work out
+// over a pool of workers. Attributions are returned in input order. The
+// explainer must be safe for concurrent use (the repository's explainers
+// are: they keep no mutable state across Explain calls). workers <= 0
+// selects GOMAXPROCS.
+//
+// All instances are attempted even when some fail; the first error (by
+// input order) is returned alongside the successful attributions, with the
+// failed slots left as zero values.
+func ExplainBatch(e Explainer, xs [][]float64, workers int) ([]Attribution, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	attrs := make([]Attribution, len(xs))
+	errs := make([]error, len(xs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				attrs[i], errs[i] = e.Explain(xs[i])
+			}
+		}()
+	}
+	for i := range xs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return attrs, firstError(errs)
+}
+
+// ExplainBatchGated is ExplainBatch drawing workers from gate, a shared
+// semaphore bounding explain concurrency across callers — a server uses
+// one gate for all in-flight batch requests so K concurrent batches share
+// cap(gate) workers instead of spawning K independent pools.
+func ExplainBatchGated(e Explainer, xs [][]float64, gate chan struct{}) ([]Attribution, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	attrs := make([]Attribution, len(xs))
+	errs := make([]error, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			attrs[i], errs[i] = e.Explain(xs[i])
+		}(i)
+	}
+	wg.Wait()
+	return attrs, firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("xai: explaining instance %d: %w", i, err)
+		}
+	}
+	return nil
+}
