@@ -10,6 +10,24 @@
 // (internal/registry + internal/serve, documented in API.md). Executables
 // are under cmd/, runnable examples under examples/, and the benchmarks in
 // bench_test.go regenerate every table and figure of the evaluation.
+//
+// # Performance: batch inference
+//
+// Explanations are thousands of perturbed model evaluations, so the hot
+// path is batched end to end. Models expose ml.BatchPredictor
+// (PredictBatch over a row matrix, bit-identical to a Predict loop):
+// linear models as a mat-vec sweep, the MLP as a layer-wise pass over
+// reused buffers, and trees via a flattened breadth-first routing layout
+// (16-byte records, adjacent siblings, self-looping leaves) with forest
+// and GBT batches sharded across a goroutine pool. The explainers —
+// KernelSHAP, LIME, PDP/ICE, permutation importance — assemble their
+// perturbation matrices in flat buffers and evaluate them with single
+// batched calls; KernelSHAP additionally collapses additive tree
+// ensembles into per-(tree, background) divergence trees so each
+// coalition is a handful of mask lookups. External models that implement
+// only Predict keep working through a worker-chunked fallback with
+// identical results. Benchmark pairs in perf_bench_test.go quantify the
+// win (see BENCH_PR2.json and the Performance section of API.md).
 package nfvxai
 
 // Version identifies the reproduction snapshot.

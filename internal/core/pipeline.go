@@ -112,6 +112,14 @@ func (p *Pipeline) freshExplainer() (xai.Explainer, string) {
 	return Explain(p.Model, p.Background, p.Train.Names, samples, p.Seed)
 }
 
+// PredictBatch scores many instances through the model's batch-inference
+// fast path (ml.BatchPredictor) when the model has one, falling back to a
+// per-row Predict loop otherwise. The serving layer's batch predict
+// endpoint rides on this.
+func (p *Pipeline) PredictBatch(xs [][]float64) []float64 {
+	return ml.PredictBatch(p.Model, xs)
+}
+
 // ExplainInstance attributes the model's prediction at x.
 func (p *Pipeline) ExplainInstance(x []float64) (xai.Attribution, string, error) {
 	e, method := p.Explainer()

@@ -81,13 +81,32 @@ func TrainModel(kind ModelKind, train *dataset.Dataset, seed int64) (ml.Predicto
 	if needsScaling(kind) {
 		// Scale-sensitive models see standardized inputs; wrap so the
 		// public Predict accepts raw telemetry vectors.
-		sc := dataset.FitStandard(train)
-		inner := model
-		return ml.PredictorFunc(func(x []float64) float64 {
-			return inner.Predict(sc.Transform(x))
-		}), nil
+		return &scaledModel{inner: model, scaler: dataset.FitStandard(train)}, nil
 	}
 	return model, nil
+}
+
+// scaledModel standardizes raw telemetry vectors before delegating to the
+// wrapped model. It implements ml.BatchPredictor so the batched explainer
+// hot paths survive the wrapping: whole perturbation matrices are scaled
+// into one flat buffer and handed to the inner model's batch path.
+type scaledModel struct {
+	inner  ml.Predictor
+	scaler dataset.Scaler
+}
+
+// Predict implements ml.Predictor on raw (unscaled) inputs.
+func (s *scaledModel) Predict(x []float64) float64 {
+	return s.inner.Predict(s.scaler.Transform(x))
+}
+
+// PredictBatch implements ml.BatchPredictor.
+func (s *scaledModel) PredictBatch(X [][]float64, out []float64) {
+	scaled := make([][]float64, len(X))
+	for i, x := range X {
+		scaled[i] = s.scaler.Transform(x)
+	}
+	ml.PredictBatchInto(s.inner, scaled, out)
 }
 
 // needsScaling reports whether the model kind trains on standardized

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/ml/tree"
@@ -62,25 +64,66 @@ func (f *RandomForest) Fit(d *dataset.Dataset) error {
 			maxFeat = 1
 		}
 	}
+	// Pre-draw every tree's bootstrap sample and split seed from the one
+	// forest RNG in the exact order the sequential loop consumed them, so
+	// the parallel fit below is bit-identical to sequential fitting at the
+	// same Seed.
 	rng := rand.New(rand.NewSource(f.Seed + 0x5DEECE66D))
 	f.Trees = make([]*tree.Tree, nTrees)
 	n := d.Len()
+	boot := make([][]int, nTrees)
+	seeds := make([]int64, nTrees)
 	for t := 0; t < nTrees; t++ {
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		tr := tree.New(tree.Config{
-			Task:        f.Task,
-			MaxDepth:    depth,
-			MinLeaf:     minLeaf,
-			MaxFeatures: maxFeat,
-			Seed:        rng.Int63(),
-		})
-		if err := tr.FitIndices(d, idx, nil); err != nil {
-			return err
-		}
-		f.Trees[t] = tr
+		boot[t] = idx
+		seeds[t] = rng.Int63()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nTrees {
+		workers = nTrees
+	}
+	var (
+		wg     sync.WaitGroup
+		next   = make(chan int)
+		errMu  sync.Mutex
+		fitErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				tr := tree.New(tree.Config{
+					Task:        f.Task,
+					MaxDepth:    depth,
+					MinLeaf:     minLeaf,
+					MaxFeatures: maxFeat,
+					Seed:        seeds[t],
+				})
+				if err := tr.FitIndices(d, boot[t], nil); err != nil {
+					errMu.Lock()
+					if fitErr == nil {
+						fitErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				f.Trees[t] = tr
+			}
+		}()
+	}
+	for t := 0; t < nTrees; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	if fitErr != nil {
+		f.Trees = nil
+		return fitErr
 	}
 	return nil
 }
@@ -94,6 +137,25 @@ func (f *RandomForest) Predict(x []float64) float64 {
 		s += t.Predict(x)
 	}
 	return s / float64(len(f.Trees))
+}
+
+// PredictBatch implements ml.BatchPredictor: rows are sharded across a
+// goroutine pool, and each shard sums the trees' flattened batch outputs
+// in ensemble order (so every row gets the same addition order — and thus
+// bit-identical output — as a Predict loop).
+func (f *RandomForest) PredictBatch(X [][]float64, out []float64) {
+	shardEnsemble(len(f.Trees), X, out, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 0
+		}
+		for _, t := range f.Trees {
+			t.PredictBatchAdd(X[lo:hi], out[lo:hi], 1)
+		}
+		nt := float64(len(f.Trees))
+		for i := lo; i < hi; i++ {
+			out[i] /= nt
+		}
+	})
 }
 
 // FeatureImportance averages normalized gain importance across trees.
@@ -258,6 +320,63 @@ func newtonLeaves(tr *tree.Tree, d *dataset.Dataset, score []float64, idx []int)
 		}
 		tr.Nodes[leaf].Value = nv / dv
 	}
+	tr.InvalidateFlat() // leaf values changed under the SoA snapshot
+}
+
+// PredictBatch implements ml.BatchPredictor; see RandomForest.PredictBatch
+// for the sharding scheme. Accumulation starts at Base and adds the
+// shrunk tree outputs in boosting order, matching RawScore exactly.
+func (g *GradientBoosting) PredictBatch(X [][]float64, out []float64) {
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	shardEnsemble(len(g.Trees), X, out, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = g.Base
+		}
+		for _, t := range g.Trees {
+			t.PredictBatchAdd(X[lo:hi], out[lo:hi], lr)
+		}
+		if g.Task == dataset.Classification {
+			for i := lo; i < hi; i++ {
+				out[i] = sigmoid(out[i])
+			}
+		}
+	})
+}
+
+// shardEnsemble splits the rows of X into contiguous chunks across a
+// goroutine pool and runs eval on each. Small batches (or tiny ensembles)
+// run inline: below ~16k tree·row evaluations the goroutine handoff costs
+// more than the traversals.
+func shardEnsemble(nTrees int, X [][]float64, out []float64, eval func(lo, hi int)) {
+	n := len(X)
+	workers := runtime.GOMAXPROCS(0)
+	if nTrees > 0 && n*nTrees < 16384 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		eval(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			eval(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // RawScore returns the additive ensemble output before any link function.

@@ -1,0 +1,82 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml/tree"
+)
+
+// sequentialFit replays the seed's sequential fitting loop: the same RNG
+// consumption order (n bootstrap draws then one split seed per tree), one
+// tree after another. The parallel Fit must be bit-identical to it.
+func sequentialFit(t *testing.T, f *RandomForest, d *dataset.Dataset) []*tree.Tree {
+	t.Helper()
+	maxFeat := f.MaxFeatures
+	if maxFeat <= 0 {
+		p := d.NumFeatures()
+		if f.Task == dataset.Classification {
+			maxFeat = int(math.Sqrt(float64(p)))
+		} else {
+			maxFeat = p / 3
+		}
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.Seed + 0x5DEECE66D))
+	n := d.Len()
+	trees := make([]*tree.Tree, f.NumTrees)
+	for ti := range trees {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tr := tree.New(tree.Config{
+			Task:        f.Task,
+			MaxDepth:    f.MaxDepth,
+			MinLeaf:     f.MinLeaf,
+			MaxFeatures: maxFeat,
+			Seed:        rng.Int63(),
+		})
+		if err := tr.FitIndices(d, idx, nil); err != nil {
+			t.Fatal(err)
+		}
+		trees[ti] = tr
+	}
+	return trees
+}
+
+func TestParallelFitMatchesSequential(t *testing.T) {
+	d := nonlinearRegression(250, 42)
+	f := &RandomForest{NumTrees: 12, MaxDepth: 6, MinLeaf: 2, Task: dataset.Regression, Seed: 99}
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	ref := sequentialFit(t, f, d)
+	if len(ref) != len(f.Trees) {
+		t.Fatalf("tree count %d != %d", len(f.Trees), len(ref))
+	}
+	for ti := range ref {
+		a, b := f.Trees[ti].Nodes, ref[ti].Nodes
+		if len(a) != len(b) {
+			t.Fatalf("tree %d: node count %d != %d", ti, len(a), len(b))
+		}
+		for ni := range a {
+			if a[ni] != b[ni] {
+				t.Fatalf("tree %d node %d: parallel %+v != sequential %+v", ti, ni, a[ni], b[ni])
+			}
+		}
+	}
+	for _, x := range d.X[:50] {
+		var s float64
+		for _, tr := range ref {
+			s += tr.Predict(x)
+		}
+		if want := s / float64(len(ref)); f.Predict(x) != want {
+			t.Fatalf("prediction drift: %v != %v", f.Predict(x), want)
+		}
+	}
+}

@@ -73,6 +73,13 @@ func (m *Regression) Predict(x []float64) float64 {
 	return mat.Dot(m.Weights, x) + m.Intercept
 }
 
+// PredictBatch implements ml.BatchPredictor: one mat-vec sweep X·w + b.
+func (m *Regression) PredictBatch(X [][]float64, out []float64) {
+	for i, x := range X {
+		out[i] = mat.Dot(m.Weights, x) + m.Intercept
+	}
+}
+
 // Logistic is a binary logistic-regression model producing P(y=1|x),
 // fitted with mini-batch Adam on the L2-regularized cross-entropy.
 type Logistic struct {
@@ -168,6 +175,14 @@ func (m *Logistic) Fit(d *dataset.Dataset) error {
 // Predict implements ml.Predictor, returning P(y=1|x).
 func (m *Logistic) Predict(x []float64) float64 {
 	return sigmoid(mat.Dot(m.Weights, x) + m.Intercept)
+}
+
+// PredictBatch implements ml.BatchPredictor: one mat-vec sweep through the
+// link function.
+func (m *Logistic) PredictBatch(X [][]float64, out []float64) {
+	for i, x := range X {
+		out[i] = sigmoid(mat.Dot(m.Weights, x) + m.Intercept)
+	}
 }
 
 func sigmoid(z float64) float64 {

@@ -267,6 +267,75 @@ func (m *MLP) Predict(x []float64) float64 {
 	return raw
 }
 
+// batchChunk bounds the rows processed per layer-wise sweep so the two
+// activation buffers stay cache-resident regardless of batch size.
+const batchChunk = 512
+
+// PredictBatch implements ml.BatchPredictor with a layer-wise forward
+// pass: instead of allocating a fresh activation stack per row (what
+// Predict does), the whole chunk advances through each weight matrix
+// together — one matrix-matrix product per layer over two reused buffers.
+// The per-row accumulation order matches forward exactly, so outputs are
+// bit-identical to Predict.
+func (m *MLP) PredictBatch(X [][]float64, out []float64) {
+	if len(m.weights) == 0 {
+		panic("nn: PredictBatch before Fit")
+	}
+	maxDim := 0
+	for _, w := range m.dims {
+		if w > maxDim {
+			maxDim = w
+		}
+	}
+	chunk := batchChunk
+	if len(X) < chunk {
+		chunk = len(X)
+	}
+	cur := make([]float64, chunk*maxDim)
+	nxt := make([]float64, chunk*maxDim)
+	for lo := 0; lo < len(X); lo += batchChunk {
+		hi := lo + batchChunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		rows := hi - lo
+		for r := 0; r < rows; r++ {
+			x := X[lo+r]
+			if len(x) != m.dims[0] {
+				panic(fmt.Sprintf("nn: input width %d != %d", len(x), m.dims[0]))
+			}
+			copy(cur[r*maxDim:], x)
+		}
+		for l, w := range m.weights {
+			in, outW := m.dims[l], m.dims[l+1]
+			last := l == len(m.weights)-1
+			for r := 0; r < rows; r++ {
+				src := cur[r*maxDim : r*maxDim+in]
+				dst := nxt[r*maxDim : r*maxDim+outW]
+				for j := 0; j < outW; j++ {
+					z := w[in*outW+j] // bias row
+					for i := 0; i < in; i++ {
+						z += src[i] * w[i*outW+j]
+					}
+					if last {
+						dst[j] = z
+					} else {
+						dst[j] = m.activate(z)
+					}
+				}
+			}
+			cur, nxt = nxt, cur
+		}
+		for r := 0; r < rows; r++ {
+			raw := cur[r*maxDim]
+			if m.Task == dataset.Classification {
+				raw = sigmoid(raw)
+			}
+			out[lo+r] = raw
+		}
+	}
+}
+
 // Gradient returns ∂Predict/∂x at x — for classification the gradient of
 // the output probability. It backpropagates a unit output delta down to
 // the input layer; gradient-based explainers (integrated gradients,

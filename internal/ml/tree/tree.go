@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nfvxai/internal/dataset"
 )
@@ -67,6 +69,112 @@ type Tree struct {
 
 	nFeatures  int
 	importance []float64 // accumulated split gain per feature
+
+	// flat is the SoA mirror of Nodes used by the batch-inference fast
+	// path; built at fit time (or lazily on first PredictBatch) and
+	// invalidated when Nodes is mutated. See flatTree.
+	flat   atomic.Pointer[flatTree]
+	flatMu sync.Mutex
+}
+
+// flatTree is the batch-inference snapshot of the node table, split SoA
+// style into a hot routing array and a cold value array. Nodes are
+// renumbered breadth-first so siblings are adjacent (right = left+1):
+// routing needs only threshold/feature/left, which packs each node into a
+// 16-byte record — one bounds-checked load per traversal step against the
+// 48-byte Node struct copy Predict performs, and four records per cache
+// line.
+//
+// The traversal condition is !(x <= threshold) → right, matching Predict
+// exactly — including for NaN feature values, which both paths send right.
+type flatTree struct {
+	routing []flatNode
+	value   []float64 // node predictions, same BFS numbering
+}
+
+// flatNode is the 16-byte routing record of one node.
+type flatNode struct {
+	threshold float64
+	feature   int32 // split feature, or Leaf
+	left      int32 // BFS index of left child; right child is left+1
+}
+
+// flatView returns the flattened layout, building it on first use.
+// Concurrent PredictBatch callers may race to build; the double-checked
+// mutex makes that safe and at-most-once.
+func (t *Tree) flatView() *flatTree {
+	if f := t.flat.Load(); f != nil {
+		return f
+	}
+	t.flatMu.Lock()
+	defer t.flatMu.Unlock()
+	if f := t.flat.Load(); f != nil {
+		return f
+	}
+	n := len(t.Nodes)
+	f := &flatTree{routing: make([]flatNode, n), value: make([]float64, n)}
+	if n > 0 {
+		// BFS renumbering: oldOf[newID] is the Nodes index of the node
+		// assigned BFS slot newID; a visited interior node claims the next
+		// two slots for its children, making siblings adjacent.
+		oldOf := make([]int32, 1, n)
+		for newID := 0; newID < len(oldOf); newID++ {
+			nd := t.Nodes[oldOf[newID]]
+			f.value[newID] = nd.Value
+			if nd.IsLeaf() {
+				f.routing[newID] = flatNode{feature: Leaf}
+				continue
+			}
+			l := int32(len(oldOf))
+			oldOf = append(oldOf, int32(nd.Left), int32(nd.Right))
+			f.routing[newID] = flatNode{threshold: nd.Threshold, feature: int32(nd.Feature), left: l}
+		}
+	}
+	t.flat.Store(f)
+	return f
+}
+
+// InvalidateFlat discards the flattened batch-inference layout. Callers
+// that mutate Nodes directly (e.g. boosting's Newton leaf correction) must
+// invalidate so the next PredictBatch rebuilds from the updated table.
+func (t *Tree) InvalidateFlat() { t.flat.Store(nil) }
+
+// PredictBatch implements ml.BatchPredictor over the flattened layout.
+func (t *Tree) PredictBatch(X [][]float64, out []float64) {
+	f := t.flatView()
+	routing, value := f.routing, f.value
+	for i, x := range X {
+		j := int32(0)
+		nd := routing[0]
+		for nd.feature != Leaf {
+			j = nd.left
+			if !(x[nd.feature] <= nd.threshold) { // NaN routes right, as in Predict
+				j++
+			}
+			nd = routing[j]
+		}
+		out[i] = value[j]
+	}
+}
+
+// PredictBatchAdd accumulates w·Predict(X[i]) into out[i] — the ensemble
+// building block: summing tree-by-tree into a shared output slice keeps
+// the addition order identical to a per-row Predict loop over the trees.
+func (t *Tree) PredictBatchAdd(X [][]float64, out []float64, w float64) {
+	f := t.flatView()
+	routing, value := f.routing, f.value
+	for i, x := range X {
+		j := int32(0)
+		nd := routing[0]
+		for nd.feature != Leaf {
+			j = nd.left
+			if !(x[nd.feature] <= nd.threshold) { // NaN routes right, as in Predict
+				j++
+			}
+			nd = routing[j]
+		}
+		out[i] += w * value[j]
+	}
 }
 
 // New returns an unfitted tree with the given configuration.
@@ -106,7 +214,9 @@ func (t *Tree) FitIndices(d *dataset.Dataset, idx []int, sampleWeight []float64)
 	}
 	own := make([]int, len(idx))
 	copy(own, idx)
+	t.flat.Store(nil) // Nodes is being replaced; drop any stale SoA view
 	b.grow(own, 0)
+	t.flatView() // build the batch layout once, at fit time
 	return nil
 }
 

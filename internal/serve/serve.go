@@ -11,7 +11,7 @@
 //	GET  /v1/models/{name}                 one model's status and schema
 //	GET  /v1/models/{name}/schema          feature schema
 //	GET  /v1/models/{name}/importance      global |SHAP| + permutation importance (cached)
-//	POST /v1/models/{name}/predict         predict one instance
+//	POST /v1/models/{name}/predict         predict one instance, or a batch via "instances"
 //	POST /v1/models/{name}/explain         attribute one instance, or a batch via "instances"
 //	POST /v1/models/{name}/whatif          counterfactual remediation query
 //
@@ -390,6 +390,13 @@ type PredictResponse struct {
 	Prediction float64 `json:"prediction"`
 }
 
+// BatchPredictResponse is the predict reply when "instances" was sent; the
+// batch is scored in one pass through the model's batch-inference path.
+type BatchPredictResponse struct {
+	Count       int       `json:"count"`
+	Predictions []float64 `json:"predictions"`
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name string) {
 	p, ok := s.lookup(w, name)
 	if !ok {
@@ -400,7 +407,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	if req.Instances != nil {
-		writeError(w, http.StatusBadRequest, "predict takes a single feature vector")
+		preds := p.PredictBatch(req.Instances)
+		writeJSON(w, http.StatusOK, BatchPredictResponse{Count: len(preds), Predictions: preds})
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{Prediction: p.Model.Predict(req.Features)})

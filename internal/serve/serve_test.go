@@ -182,11 +182,21 @@ func TestPredictValidation(t *testing.T) {
 	resp4 := postJSON(t, srv, "/v1/models/nope/predict", map[string]any{"features": []float64{1}})
 	wantStatus(t, resp4, http.StatusNotFound)
 	resp4.Body.Close()
-	// Batch body rejected on predict.
+	// Batch body on predict scores every instance through the batch path
+	// and must agree with the single-instance endpoint.
+	p := pipeline(t)
 	resp5 := postJSON(t, srv, "/v1/models/default/predict",
-		map[string]any{"instances": [][]float64{pipeline(t).Test.X[0]}})
-	wantStatus(t, resp5, http.StatusBadRequest)
-	resp5.Body.Close()
+		map[string]any{"instances": [][]float64{p.Test.X[0], p.Test.X[1]}})
+	wantStatus(t, resp5, http.StatusOK)
+	batch := decode[BatchPredictResponse](t, resp5)
+	if batch.Count != 2 || len(batch.Predictions) != 2 {
+		t.Fatalf("batch predict count %d predictions %d", batch.Count, len(batch.Predictions))
+	}
+	for i, want := range []float64{p.Model.Predict(p.Test.X[0]), p.Model.Predict(p.Test.X[1])} {
+		if batch.Predictions[i] != want {
+			t.Fatalf("batch prediction %d = %v want %v", i, batch.Predictions[i], want)
+		}
+	}
 	// Unknown action.
 	resp6 := postJSON(t, srv, "/v1/models/default/transmogrify", map[string]any{})
 	wantStatus(t, resp6, http.StatusNotFound)

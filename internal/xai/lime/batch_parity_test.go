@@ -1,0 +1,50 @@
+package lime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/forest"
+)
+
+// TestBatchedNeighborhoodParity: the neighborhood is now scored through
+// the model's batch path; hiding the same model behind a plain Predictor
+// (forcing the row-loop fallback) must not change the attribution.
+func TestBatchedNeighborhoodParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := dataset.New(dataset.Regression, "a", "b", "c", "d", "e")
+	for i := 0; i < 200; i++ {
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		d.Add(x, x[0]*3-x[1]*x[2]+0.1*rng.NormFloat64())
+	}
+	rf := &forest.RandomForest{NumTrees: 10, MaxDepth: 5, Task: dataset.Regression, Seed: 2}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	bg := d.X[:30]
+	x := d.X[40]
+	native := &Explainer{Model: rf, Background: bg, NumSamples: 400, Seed: 6}
+	generic := &Explainer{Model: ml.PredictorFunc(rf.Predict), Background: bg, NumSamples: 400, Seed: 6}
+	a, err := native.ExplainDetailed(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generic.ExplainDetailed(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LocalR2-b.LocalR2) > 1e-9 {
+		t.Fatalf("LocalR2 drift: %v vs %v", a.LocalR2, b.LocalR2)
+	}
+	for j := range a.Phi {
+		if diff := math.Abs(a.Phi[j] - b.Phi[j]); diff > 1e-9 {
+			t.Fatalf("phi[%d]: native %v vs generic %v (diff %g)", j, a.Phi[j], b.Phi[j], diff)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package pdp
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/forest"
+)
+
+// TestBatchedCurveParity: grid evaluation now runs through the model's
+// batch path; the same model behind a plain Predictor (row-loop fallback)
+// must produce identical PDP and ICE values.
+func TestBatchedCurveParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := dataset.New(dataset.Regression, "a", "b", "c", "d")
+	for i := 0; i < 150; i++ {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		d.Add(x, x[0]*x[0]-2*x[1]+0.1*rng.NormFloat64())
+	}
+	rf := &forest.RandomForest{NumTrees: 8, MaxDepth: 5, Task: dataset.Regression, Seed: 3}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{GridSize: 15, WithICE: true}
+	a, err := Compute(rf, d.X, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(ml.PredictorFunc(rf.Predict), d.X, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range a.Mean {
+		if a.Mean[g] != b.Mean[g] {
+			t.Fatalf("grid %d: native %v != generic %v", g, a.Mean[g], b.Mean[g])
+		}
+	}
+	for i := range a.ICE {
+		for g := range a.ICE[i] {
+			if a.ICE[i][g] != b.ICE[i][g] {
+				t.Fatalf("ICE[%d][%d]: native %v != generic %v", i, g, a.ICE[i][g], b.ICE[i][g])
+			}
+		}
+	}
+}

@@ -52,19 +52,29 @@ func Compute(model ml.Predictor, X [][]float64, feature int, cfg Config) (Curve,
 			curve.ICE[i] = make([]float64, len(grid))
 		}
 	}
-	x := make([]float64, len(X[0]))
+	// One mutable copy of X (flat backing); each grid point rewrites the
+	// swept column and scores the whole matrix in a single batched call.
+	n, d := len(X), len(X[0])
+	backing := make([]float64, n*d)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*d : (i+1)*d]
+		copy(rows[i], X[i])
+	}
+	preds := make([]float64, n)
 	for g, v := range grid {
+		for i := range rows {
+			rows[i][feature] = v
+		}
+		ml.PredictBatchParallel(model, rows, preds, 0)
 		var sum float64
-		for i, row := range X {
-			copy(x, row)
-			x[feature] = v
-			p := model.Predict(x)
+		for i, p := range preds {
 			sum += p
 			if cfg.WithICE {
 				curve.ICE[i][g] = p
 			}
 		}
-		curve.Mean[g] = sum / float64(len(X))
+		curve.Mean[g] = sum / float64(n)
 	}
 	return curve, nil
 }

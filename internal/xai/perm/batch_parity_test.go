@@ -1,0 +1,43 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml"
+	"nfvxai/internal/ml/forest"
+)
+
+// TestBatchedImportanceParity: each shuffle is now one batched model call;
+// the same model behind a plain Predictor (row-loop fallback) must produce
+// identical importances, proving the matrix rewrite changed no values.
+func TestBatchedImportanceParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d := dataset.New(dataset.Regression, "a", "b", "c", "d")
+	for i := 0; i < 150; i++ {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		d.Add(x, 4*x[0]-x[1]+0.1*rng.NormFloat64())
+	}
+	rf := &forest.RandomForest{NumTrees: 8, MaxDepth: 5, Task: dataset.Regression, Seed: 5}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Repeats: 3, Seed: 12}
+	a, err := Importance(rf, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Importance(ml.PredictorFunc(rf.Predict), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("feature %d: native %v != generic %v", j, a[j], b[j])
+		}
+	}
+}

@@ -45,14 +45,25 @@ func Importance(model ml.Predictor, d *dataset.Dataset, cfg Config) ([]float64, 
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 0x9E37))
 
-	basePred := ml.PredictBatch(model, d.X)
+	p := d.NumFeatures()
+	n := d.Len()
+	basePred := make([]float64, n)
+	ml.PredictBatchParallel(model, d.X, basePred, 0)
 	baseLoss := loss(basePred, d.Y)
 
-	p := d.NumFeatures()
+	// One mutable copy of the design matrix (flat backing) serves every
+	// shuffle: only the column under test is overwritten, and it is
+	// restored from d.X before moving to the next feature. Each repeat is
+	// a single batched model call instead of n row predictions.
+	backing := make([]float64, n*p)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*p : (i+1)*p]
+		copy(rows[i], d.X[i])
+	}
+
 	out := make([]float64, p)
-	n := d.Len()
 	shuffled := make([]float64, n)
-	x := make([]float64, p)
 	pred := make([]float64, n)
 	for j := 0; j < p; j++ {
 		var total float64
@@ -62,11 +73,13 @@ func Importance(model ml.Predictor, d *dataset.Dataset, cfg Config) ([]float64, 
 			}
 			rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
 			for i := 0; i < n; i++ {
-				copy(x, d.X[i])
-				x[j] = shuffled[i]
-				pred[i] = model.Predict(x)
+				rows[i][j] = shuffled[i]
 			}
+			ml.PredictBatchParallel(model, rows, pred, 0)
 			total += loss(pred, d.Y) - baseLoss
+		}
+		for i := 0; i < n; i++ {
+			rows[i][j] = d.X[i][j]
 		}
 		out[j] = total / float64(repeats)
 	}

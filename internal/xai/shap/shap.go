@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"nfvxai/internal/mat"
 	"nfvxai/internal/ml"
@@ -21,6 +22,13 @@ import (
 // Kernel is a KernelSHAP explainer. Background must be non-empty; its
 // rows define the reference distribution for absent features and the base
 // value (mean prediction over background).
+//
+// Explain assembles the full (coalition × background) perturbation matrix
+// and evaluates it through the model's batch path (ml.PredictBatchParallel),
+// so models implementing ml.BatchPredictor — trees, forests, GBTs, MLPs,
+// linear models — are scored over contiguous buffers instead of one
+// pointer-chased Predict call per perturbed row. Plain Predictors fall
+// back to a worker-chunked Predict loop and produce identical results.
 type Kernel struct {
 	Model ml.Predictor
 	// Background rows are reference inputs; 50–200 rows is typical.
@@ -35,6 +43,24 @@ type Kernel struct {
 	Seed int64
 	// Names are optional feature names copied into attributions.
 	Names []string
+	// RowAtATime disables the batched fast path and the base-value cache,
+	// reproducing the seed's one-Predict-per-perturbation behavior. It
+	// exists as the benchmark baseline; serving code leaves it false.
+	RowAtATime bool
+
+	// The base value E[f(background)] depends only on the frozen model and
+	// background, so it is computed once and shared across Explain calls —
+	// xai.ExplainBatch invokes Explain from many goroutines, hence the Once.
+	// Mutating Model or Background after the first Explain invalidates it;
+	// build a fresh Kernel instead.
+	baseOnce sync.Once
+	baseVal  float64
+
+	// The masked tree-ensemble evaluator (treefast.go) is detected once:
+	// whether the model decomposes into additive trees does not change
+	// for a frozen model.
+	fastOnce sync.Once
+	fast     *maskedEvaluator
 }
 
 // Explain computes the SHAP attribution of the model at x.
@@ -73,8 +99,12 @@ func (k *Kernel) Explain(x []float64) (xai.Attribution, error) {
 
 	// Evaluate the value function for every coalition.
 	vals := make([]float64, len(masks))
-	for i, m := range masks {
-		vals[i] = k.coalitionValue(x, m)
+	if k.RowAtATime {
+		for i, m := range masks {
+			vals[i] = k.coalitionValue(x, m)
+		}
+	} else {
+		k.evalCoalitions(x, masks, vals)
 	}
 
 	// Solve the constrained WLS: eliminate phi[d-1] via the efficiency
@@ -115,15 +145,32 @@ func (k *Kernel) Explain(x []float64) (xai.Attribution, error) {
 }
 
 func (k *Kernel) baseValue() float64 {
+	if k.RowAtATime {
+		return k.computeBase()
+	}
+	k.baseOnce.Do(func() { k.baseVal = k.computeBase() })
+	return k.baseVal
+}
+
+func (k *Kernel) computeBase() float64 {
 	var s float64
-	for _, b := range k.Background {
-		s += k.Model.Predict(b)
+	if k.RowAtATime {
+		for _, b := range k.Background {
+			s += k.Model.Predict(b)
+		}
+	} else {
+		preds := make([]float64, len(k.Background))
+		ml.PredictBatchParallel(k.Model, k.Background, preds, 0)
+		for _, p := range preds {
+			s += p
+		}
 	}
 	return s / float64(len(k.Background))
 }
 
 // coalitionValue returns E_b[f(z)] where z takes x on mask-true features
-// and the background row elsewhere.
+// and the background row elsewhere — the row-at-a-time reference
+// implementation kept as the benchmark/parity baseline.
 func (k *Kernel) coalitionValue(x []float64, mask []bool) float64 {
 	z := make([]float64, len(x))
 	var s float64
@@ -138,6 +185,75 @@ func (k *Kernel) coalitionValue(x []float64, mask []bool) float64 {
 		s += k.Model.Predict(z)
 	}
 	return s / float64(len(k.Background))
+}
+
+// evalBlockRows bounds the perturbation-matrix block: at the default
+// budget (1024 coalitions × 60 background rows) blocks keep the backing
+// buffer under ~2 MB while still amortizing each PredictBatch dispatch
+// over thousands of contiguous rows.
+const evalBlockRows = 16384
+
+// evalCoalitions fills vals[i] with the coalition value of masks[i]: the
+// mean model output over the background replacements. Additive tree
+// ensembles take the masked divergence-tree path (treefast.go); all other
+// models get the (coalition × background) perturbation rows of a block
+// assembled in one flat backing buffer and evaluated with a single
+// batched model call. The generic reduction sums each coalition's
+// background predictions in row order, so it is bit-identical to
+// coalitionValue; the masked path agrees to within float reassociation.
+func (k *Kernel) evalCoalitions(x []float64, masks [][]bool, vals []float64) {
+	k.fastOnce.Do(func() { k.fast = newMaskedEvaluator(k) })
+	if k.fast != nil {
+		k.fast.evalCoalitions(x, k.Background, masks, vals)
+		return
+	}
+	d := len(x)
+	nb := len(k.Background)
+	perBlock := evalBlockRows / nb
+	if perBlock < 1 {
+		perBlock = 1
+	}
+	rowsCap := perBlock * nb
+	backing := make([]float64, rowsCap*d)
+	rows := make([][]float64, rowsCap)
+	for r := range rows {
+		rows[r] = backing[r*d : (r+1)*d]
+	}
+	preds := make([]float64, rowsCap)
+	kept := make([]int, 0, d) // mask-true feature indices, rebuilt per coalition
+	for lo := 0; lo < len(masks); lo += perBlock {
+		hi := lo + perBlock
+		if hi > len(masks) {
+			hi = len(masks)
+		}
+		r := 0
+		for _, m := range masks[lo:hi] {
+			kept = kept[:0]
+			for j, on := range m {
+				if on {
+					kept = append(kept, j)
+				}
+			}
+			for _, bg := range k.Background {
+				row := rows[r]
+				copy(row, bg)
+				for _, j := range kept {
+					row[j] = x[j]
+				}
+				r++
+			}
+		}
+		ml.PredictBatchParallel(k.Model, rows[:r], preds[:r], 0)
+		r = 0
+		for ci := lo; ci < hi; ci++ {
+			var s float64
+			for b := 0; b < nb; b++ {
+				s += preds[r]
+				r++
+			}
+			vals[ci] = s / float64(nb)
+		}
+	}
 }
 
 // shapleyKernelWeight is the KernelSHAP weight for a coalition of size s
@@ -192,15 +308,24 @@ func sampleCoalitions(d, budget int, seed int64) ([][]bool, []float64) {
 	for s := 1; s < d; s++ {
 		sizeW[s] = float64(d-1) / (float64(s) * float64(d-s))
 	}
+	sizeWSum := sum(sizeW) // invariant across draws; hoisted out of the loop
 	masks := make([][]bool, 0, budget)
 	weights := make([]float64, 0, budget)
+	// One backing array carved into per-mask slices: a single allocation
+	// for the whole draw instead of one (or two) per iteration.
+	backing := make([]bool, budget*d)
+	nextMask := func() []bool {
+		m := backing[:d:d]
+		backing = backing[d:]
+		return m
+	}
 	perm := make([]int, d)
 	for i := range perm {
 		perm[i] = i
 	}
 	for len(masks) < budget {
 		// Draw a size.
-		u := rng.Float64() * sum(sizeW)
+		u := rng.Float64() * sizeWSum
 		s := 1
 		for ; s < d-1; s++ {
 			u -= sizeW[s]
@@ -209,7 +334,7 @@ func sampleCoalitions(d, budget int, seed int64) ([][]bool, []float64) {
 			}
 		}
 		rng.Shuffle(d, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-		m := make([]bool, d)
+		m := nextMask()
 		for _, j := range perm[:s] {
 			m[j] = true
 		}
@@ -217,7 +342,7 @@ func sampleCoalitions(d, budget int, seed int64) ([][]bool, []float64) {
 		weights = append(weights, 1)
 		if len(masks) < budget {
 			// Paired (antithetic) complement.
-			c := make([]bool, d)
+			c := nextMask()
 			for j := range c {
 				c[j] = !m[j]
 			}
@@ -248,16 +373,19 @@ func Exact(model ml.Predictor, background [][]float64, x []float64) (xai.Attribu
 		return xai.Attribution{}, errors.New("shap: empty background")
 	}
 	k := &Kernel{Model: model, Background: background}
-	// Precompute v(S) for all subsets.
+	// Precompute v(S) for all subsets, batched through the model's fast path.
 	n := 1 << uint(d)
 	vals := make([]float64, n)
-	mask := make([]bool, d)
+	masks := make([][]bool, n)
+	backing := make([]bool, n*d)
 	for bits := 0; bits < n; bits++ {
+		m := backing[bits*d : (bits+1)*d]
 		for j := 0; j < d; j++ {
-			mask[j] = bits&(1<<uint(j)) != 0
+			m[j] = bits&(1<<uint(j)) != 0
 		}
-		vals[bits] = k.coalitionValue(x, mask)
+		masks[bits] = m
 	}
+	k.evalCoalitions(x, masks, vals)
 	phi := make([]float64, d)
 	for j := 0; j < d; j++ {
 		bit := 1 << uint(j)
