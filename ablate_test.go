@@ -7,6 +7,7 @@ package nfvxai
 // experiment benches, the output lands in bench_output.txt.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,7 +55,7 @@ func BenchmarkAblationShapBudget(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	bg := shap.SampleBackground(rng, train.X, 20)
 	x := test.X[0]
-	exact, err := shap.Exact(&rf, bg, x)
+	exact, err := shap.Exact(context.Background(), &rf, bg, x)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func BenchmarkAblationShapBudget(b *testing.B) {
 		fmt.Printf("%8s %12s\n", "budget", "L2 error")
 		for _, budget := range []int{32, 64, 128, 256, 1022} {
 			k := &shap.Kernel{Model: &rf, Background: bg, NumSamples: budget, Seed: 5}
-			attr, err := k.Explain(x)
+			attr, err := k.Explain(context.Background(), x)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -104,7 +105,7 @@ func BenchmarkAblationLimeWidth(b *testing.B) {
 					Model: &rf, Background: bg,
 					NumSamples: 600, KernelWidth: width, Seed: 9,
 				}
-				res, err := le.ExplainDetailed(test.X[inst])
+				res, err := le.ExplainDetailed(context.Background(), test.X[inst])
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -151,7 +152,7 @@ func BenchmarkAblationPairedSampling(b *testing.B) {
 	rng := rand.New(rand.NewSource(14))
 	bg := shap.SampleBackground(rng, train.X, 15)
 	x := test.X[0]
-	exact, err := shap.Exact(&rf, bg, x)
+	exact, err := shap.Exact(context.Background(), &rf, bg, x)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func BenchmarkAblationPairedSampling(b *testing.B) {
 		var mean float64
 		for seed := int64(0); seed < 5; seed++ {
 			k := &shap.Kernel{Model: &rf, Background: bg, NumSamples: 200, Seed: seed}
-			attr, err := k.Explain(x)
+			attr, err := k.Explain(context.Background(), x)
 			if err != nil {
 				b.Fatal(err)
 			}

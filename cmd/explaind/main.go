@@ -17,6 +17,14 @@
 //	POST /v1/models                    GET  /v1/models/{name}/schema
 //	POST /v1/models/{name}/predict     GET  /v1/models/{name}/importance
 //	POST /v1/models/{name}/explain     POST /v1/models/{name}/whatif
+//	GET  /v1/models/{name}/explainers  POST /v1/models/{name}/jobs
+//	GET  /v1/jobs  /v1/jobs/{id}       DELETE /v1/jobs/{id}
+//
+// Explain requests may select any registered explanation method per
+// request ("method" + "params" in the body; see API.md); expensive global
+// explanations (global-importance, pdp-grid, surrogate-tree,
+// cleverhans-audit) run asynchronously through the jobs API with
+// progress, results and cancellation.
 //
 // Legacy aliases onto the default model: GET /healthz /schema /importance;
 // POST /predict /explain /whatif.

@@ -11,6 +11,24 @@
 // are under cmd/, runnable examples under examples/, and the benchmarks in
 // bench_test.go regenerate every table and figure of the evaluation.
 //
+// # The explanation plane
+//
+// Explanation methods are first-class, selectable resources. Every method
+// package registers an xai.Method (name, local/global kind, capability
+// flags, typed default options) in the package-level registry from init;
+// importing internal/core wires the full set: treeshap, kernelshap, lime,
+// anchors, counterfactual, and intgrad locally, with pdp, perm, and
+// surrogate as global methods. Explainers implement
+// Explain(ctx, x) with cancellation checked inside their sampling hot
+// loops, so serving deadlines and job cancellation propagate end to end.
+// core.Pipeline holds a small per-(method, params) LRU of built
+// explainers — the default method's entry reproduces the pre-registry
+// explainer bit for bit — and the serving layer exposes the plane as
+// GET /v1/models/{name}/explainers, "method"/"params"/"evaluate" on
+// explain requests, and the asynchronous /v1/jobs lifecycle
+// (global-importance, pdp-grid, surrogate-tree, cleverhans-audit) with
+// progress and cancellation.
+//
 // # Performance: batch inference
 //
 // Explanations are thousands of perturbed model evaluations, so the hot

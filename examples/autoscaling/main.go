@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,7 +54,7 @@ func main() {
 		dec := handle.Decisions()[n-1]
 		fmt.Printf("[t=%6.0fs] scaling %s by %+d (%s)\n", rec.TimeSec, dec.Group, dec.Delta, dec.Reason)
 		// Explain the forecast that triggered the decision.
-		attr, err := explainer.Explain(scaler.LastFeatures)
+		attr, err := explainer.Explain(context.Background(), scaler.LastFeatures)
 		if err != nil {
 			return
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	fmt.Printf("clean telemetry dataset: %d epochs × %d features\n\n", ds.Len(), ds.NumFeatures())
 
 	for _, strength := range []float64{0, 0.9} {
-		res, err := core.CleverHansAudit(core.ModelForest, ds, strength, 21)
+		res, err := core.CleverHansAudit(context.Background(), core.ModelForest, ds, strength, 21)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,14 +35,14 @@ func main() {
 	// 3. Explain the prediction for one test epoch: which telemetry
 	//    signals push the forecast up or down?
 	x := p.Test.X[0]
-	attr, method, err := p.ExplainInstance(x)
+	attr, method, err := p.ExplainInstance(context.Background(), x)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(core.OperatorReport("why is the CPU forecast what it is?", attr, method, 5))
 
 	// 4. Global view: which features matter across the whole test set?
-	shapImp, _, err := p.GlobalImportance(30)
+	shapImp, _, err := p.GlobalImportance(context.Background(), 30)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -68,6 +68,68 @@ func main() {
 		batch.Explanations[0].Contributions[0].Feature,
 		batch.Explanations[0].Contributions[0].Phi)
 
+	// 3b. The explanation plane is pluggable per request: list the methods
+	//     valid for this model, then explain the same epoch with LIME and
+	//     compare faithfulness via "evaluate".
+	var methods struct {
+		DefaultMethod string `json:"default_method"`
+		Explainers    []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"explainers"`
+	}
+	get(srv, "/v1/models/web/rf/util/explainers", &methods)
+	fmt.Printf("explainers (default %s):", methods.DefaultMethod)
+	for _, m := range methods.Explainers {
+		fmt.Printf(" %s[%s]", m.Name, m.Kind)
+	}
+	fmt.Println()
+
+	var compared struct {
+		Method     string `json:"method"`
+		Evaluation struct {
+			AdditivityError float64 `json:"additivity_error"`
+			DeletionAUC     float64 `json:"deletion_auc"`
+		} `json:"evaluation"`
+	}
+	post(srv, "/v1/models/web/rf/util/explain", map[string]any{
+		"features": p.Test.X[0], "evaluate": true,
+	}, &compared)
+	fmt.Printf("default %s: additivity err %.2e, deletion AUC %.4f\n",
+		compared.Method, compared.Evaluation.AdditivityError, compared.Evaluation.DeletionAUC)
+	post(srv, "/v1/models/web/rf/util/explain", map[string]any{
+		"features": p.Test.X[0], "method": "lime",
+		"params":   map[string]any{"samples": 500, "seed": 7},
+		"evaluate": true,
+	}, &compared)
+	fmt.Printf("lime:            additivity err %.2e, deletion AUC %.4f\n",
+		compared.Evaluation.AdditivityError, compared.Evaluation.DeletionAUC)
+
+	// 3c. Expensive global work goes through the async jobs API: submit a
+	//     global-importance job and poll it to completion.
+	var job struct {
+		ID       string  `json:"id"`
+		Status   string  `json:"status"`
+		Progress float64 `json:"progress"`
+		Result   struct {
+			Features []string  `json:"features"`
+			Shap     []float64 `json:"shap"`
+		} `json:"result"`
+	}
+	post(srv, "/v1/models/web/rf/util/jobs", map[string]any{"kind": "global-importance"}, &job)
+	fmt.Printf("job %s submitted (%s)\n", job.ID, job.Status)
+	for job.Status == "pending" || job.Status == "running" {
+		time.Sleep(50 * time.Millisecond)
+		get(srv, "/v1/jobs/"+job.ID, &job)
+	}
+	top, topV := "", 0.0
+	for i, v := range job.Result.Shap {
+		if v > topV {
+			top, topV = job.Result.Features[i], v
+		}
+	}
+	fmt.Printf("job %s %s: top global feature %s (mean |SHAP| %.4f)\n", job.ID, job.Status, top, topV)
+
 	// 4. Wait for the background build, then list both live models.
 	fmt.Printf("background build finished: %s\n", <-built)
 	var list struct {

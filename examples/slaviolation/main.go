@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 	}
 	x := p.Test.X[best]
 	fmt.Printf("epoch with P(violation) = %.2f — why?\n", bestProb)
-	attr, method, err := p.ExplainInstance(x)
+	attr, method, err := p.ExplainInstance(context.Background(), x)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 	// Remediation: what is the smallest telemetry change that would bring
 	// the violation probability under 30%? Time-of-day is immutable.
 	target := counterfactual.Target{Op: "<=", Value: 0.3}
-	cf, err := p.WhatIf(x, target, []string{"hour_sin", "hour_cos"})
+	cf, err := p.WhatIf(context.Background(), x, target, []string{"hour_sin", "hour_cos"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func main() {
 
 	// Playbook rule: a reusable condition under which the model keeps
 	// predicting a violation (anchor explanation).
-	if _, rule, err := p.PlaybookRule(x, 0.9); err == nil {
+	if _, rule, err := p.PlaybookRule(context.Background(), x, 0.9); err == nil {
 		fmt.Println("\nplaybook condition for this verdict:")
 		fmt.Println("  " + rule)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,7 +35,7 @@ type CleverHansResult struct {
 // excellent while the model fails in deployment; the attribution profile
 // exposes the artifact as the dominant feature, and removing it restores
 // generalization.
-func CleverHansAudit(kind ModelKind, ds *dataset.Dataset, strength float64, seed int64) (CleverHansResult, error) {
+func CleverHansAudit(ctx context.Context, kind ModelKind, ds *dataset.Dataset, strength float64, seed int64) (CleverHansResult, error) {
 	train, test := SplitDataset(ds, seed)
 	rng := rand.New(rand.NewSource(seed + 99))
 
@@ -45,6 +46,9 @@ func CleverHansAudit(kind ModelKind, ds *dataset.Dataset, strength float64, seed
 	train.InjectSpuriousFeature(rng, artifact, strength)
 	test.InjectNoiseFeature(rng, artifact)
 
+	if err := ctx.Err(); err != nil {
+		return CleverHansResult{}, err
+	}
 	model, err := TrainModel(kind, train, seed)
 	if err != nil {
 		return CleverHansResult{}, err
@@ -59,7 +63,7 @@ func CleverHansAudit(kind ModelKind, ds *dataset.Dataset, strength float64, seed
 	e, _ := Explain(model, bg, train.Names, 512, seed)
 	var attrs []xai.Attribution
 	for i := 0; i < 40 && i < train.Len(); i++ {
-		a, err := e.Explain(train.X[i])
+		a, err := e.Explain(ctx, train.X[i])
 		if err != nil {
 			return CleverHansResult{}, fmt.Errorf("core: audit explanation: %w", err)
 		}
@@ -74,6 +78,11 @@ func CleverHansAudit(kind ModelKind, ds *dataset.Dataset, strength float64, seed
 	res.Detected = res.ArtifactRank == 1 && res.TrainR2-res.TestR2 > 0.15
 
 	// Explanation-guided repair: drop the top-attributed feature, retrain.
+	// Cancellation granularity is one phase: training is monolithic, so
+	// the check runs between phases rather than inside them.
+	if err := ctx.Err(); err != nil {
+		return CleverHansResult{}, err
+	}
 	repairedTrain := train.DropFeatures(artifact)
 	repairedTest := test.DropFeatures(artifact)
 	repaired, err := TrainModel(kind, repairedTrain, seed)

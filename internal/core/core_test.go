@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestPipelineExplainsItsOwnPrediction(t *testing.T) {
 		t.Fatalf("forest R2 = %v; telemetry should be learnable", rep.R2)
 	}
 	x := p.Test.X[0]
-	attr, method, err := p.ExplainInstance(x)
+	attr, method, err := p.ExplainInstance(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestPipelineGlobalImportanceFindsLoadFeatures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shapImp, permImp, err := p.GlobalImportance(20)
+	shapImp, permImp, err := p.GlobalImportance(context.Background(), 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestCleverHansAuditDetectsStrongLeak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	strong, err := CleverHansAudit(ModelForest, ds, 0.95, 9)
+	strong, err := CleverHansAudit(context.Background(), ModelForest, ds, 0.95, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestCleverHansAuditDetectsStrongLeak(t *testing.T) {
 		t.Fatalf("repair did not improve test score: %+v", strong)
 	}
 	// No leak: artifact is noise, must not rank first nor be detected.
-	clean, err := CleverHansAudit(ModelForest, ds, 0, 9)
+	clean, err := CleverHansAudit(context.Background(), ModelForest, ds, 0, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestWhatIfReducesPrediction(t *testing.T) {
 		t.Skip("no high-probability violation in small test split")
 	}
 	target := counterfactual.Target{Op: "<=", Value: 0.3}
-	cf, err := p.WhatIf(x, target, []string{"hour_sin", "hour_cos"})
+	cf, err := p.WhatIf(context.Background(), x, target, []string{"hour_sin", "hour_cos"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func TestPlaybookRule(t *testing.T) {
 	if x == nil {
 		t.Skip("no confident prediction in small split")
 	}
-	a, text, err := p.PlaybookRule(x, 0.9)
+	a, text, err := p.PlaybookRule(context.Background(), x, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}

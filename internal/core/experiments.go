@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -210,7 +211,7 @@ func Table3ExplanationFidelity(cfg ExpConfig) (Table3Result, error) {
 		}
 		var r2sum float64
 		for i := 0; i < n; i++ {
-			res, err := le.ExplainDetailed(p.Test.X[i])
+			res, err := le.ExplainDetailed(context.Background(), p.Test.X[i])
 			if err != nil {
 				return Table3Result{}, err
 			}
@@ -222,7 +223,7 @@ func Table3ExplanationFidelity(cfg ExpConfig) (Table3Result, error) {
 		ke, method := Explain(p.Model, p.Background, p.Train.Names, cfg.ShapSamples, cfg.Seed)
 		var attrs []xai.Attribution
 		for i := 0; i < n; i++ {
-			a, err := ke.Explain(p.Test.X[i])
+			a, err := ke.Explain(context.Background(), p.Test.X[i])
 			if err != nil {
 				return Table3Result{}, err
 			}
@@ -289,7 +290,7 @@ func Table4Counterfactuals(cfg ExpConfig) (Table4Result, error) {
 			continue // not a predicted violation
 		}
 		out.Queried++
-		cf, err := p.WhatIf(x, target, immutable)
+		cf, err := p.WhatIf(context.Background(), x, target, immutable)
 		if err != nil {
 			return Table4Result{}, err
 		}

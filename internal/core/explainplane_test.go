@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nfvxai/internal/ml/forest"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/intgrad"
+	"nfvxai/internal/xai/shap"
+	"nfvxai/internal/xai/treeshap"
+)
+
+// planePipeline trains one small pipeline of the given kind for the
+// explanation-plane tests.
+func planePipeline(t *testing.T, kind ModelKind) *Pipeline {
+	t.Helper()
+	ds, err := WebScenario().GenerateDataset(21, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(kind, ds, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ShapSamples = 128
+	return p
+}
+
+// TestDefaultExplainerParity pins the acceptance criterion: an explain
+// request that names no method must return attributions bit-identical to
+// the pre-registry hard-wired selection (TreeSHAP for the forest,
+// KernelSHAP with the pipeline's samples/seed for the MLP).
+func TestDefaultExplainerParity(t *testing.T) {
+	ctx := context.Background()
+
+	// Forest → TreeSHAP.
+	p := planePipeline(t, ModelForest)
+	x := p.Test.X[3]
+	got, method, err := p.ExplainInstance(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "treeshap" {
+		t.Fatalf("default method %q", method)
+	}
+	rf := p.Model.(*forest.RandomForest)
+	want, err := (&treeshap.Explainer{Model: rf, Names: p.Train.Names}).Explain(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Phi {
+		if got.Phi[j] != want.Phi[j] {
+			t.Fatalf("phi[%d] = %v want %v (not bit-identical)", j, got.Phi[j], want.Phi[j])
+		}
+	}
+	if got.Base != want.Base || got.Value != want.Value {
+		t.Fatalf("base/value drift: %v/%v vs %v/%v", got.Base, got.Value, want.Base, want.Value)
+	}
+
+	// MLP → KernelSHAP with ShapSamples and the pipeline seed.
+	pm := planePipeline(t, ModelMLP)
+	xm := pm.Test.X[3]
+	gotM, methodM, err := pm.ExplainInstance(ctx, xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if methodM != "kernelshap" {
+		t.Fatalf("MLP default method %q", methodM)
+	}
+	k := &shap.Kernel{Model: pm.Model, Background: pm.Background, NumSamples: pm.ShapSamples, Seed: pm.Seed, Names: pm.Train.Names}
+	wantM, err := k.Explain(ctx, xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wantM.Phi {
+		if gotM.Phi[j] != wantM.Phi[j] {
+			t.Fatalf("MLP phi[%d] = %v want %v (not bit-identical)", j, gotM.Phi[j], wantM.Phi[j])
+		}
+	}
+}
+
+// TestShapSamplesChangeTakesEffect pins the satellite fix: mutating
+// ShapSamples after the first explain must produce a different cache
+// entry, not be silently ignored.
+func TestShapSamplesChangeTakesEffect(t *testing.T) {
+	ctx := context.Background()
+	p := planePipeline(t, ModelMLP) // kernelshap path reads ShapSamples
+	x := p.Test.X[0]
+	p.ShapSamples = 64
+	a64, _, err := p.ExplainInstance(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ShapSamples = 256
+	a256, _, err := p.ExplainInstance(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The late change must take effect: a fresh 256-sample kernel agrees
+	// bit-for-bit with the post-change pipeline result.
+	k := &shap.Kernel{Model: p.Model, Background: p.Background, NumSamples: 256, Seed: p.Seed, Names: p.Train.Names}
+	want, err := k.Explain(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Phi {
+		if a256.Phi[j] != want.Phi[j] {
+			t.Fatalf("post-change phi[%d] = %v want %v", j, a256.Phi[j], want.Phi[j])
+		}
+	}
+	// And the 64-sample estimate differs somewhere (different budget).
+	same := true
+	for j := range a64.Phi {
+		if a64.Phi[j] != a256.Phi[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ShapSamples change produced identical attributions; late change dropped?")
+	}
+}
+
+func TestExplainerForCachesPerMethodAndParams(t *testing.T) {
+	p := planePipeline(t, ModelForest)
+	e1, _, err := p.ExplainerFor("lime", xai.Options{Samples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := p.ExplainerFor("lime", xai.Options{Samples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("identical (method, params) did not hit the cache")
+	}
+	e3, _, err := p.ExplainerFor("lime", xai.Options{Samples: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e3 {
+		t.Fatal("different params shared one cached explainer")
+	}
+	// The default entry coexists with explicit methods.
+	d1, method := p.Explainer()
+	d2, _ := p.Explainer()
+	if method != "treeshap" || d1 != d2 {
+		t.Fatalf("default explainer not cached (method %q)", method)
+	}
+	// DisableExplainerCache rebuilds per call.
+	p.DisableExplainerCache = true
+	f1, _, _ := p.ExplainerFor("lime", xai.Options{Samples: 200})
+	f2, _, _ := p.ExplainerFor("lime", xai.Options{Samples: 200})
+	if f1 == f2 {
+		t.Fatal("DisableExplainerCache still cached")
+	}
+}
+
+func TestExplainerForErrors(t *testing.T) {
+	p := planePipeline(t, ModelForest)
+	if _, _, err := p.ExplainerFor("not-a-method", xai.Options{}); !errors.Is(err, xai.ErrUnknownMethod) {
+		t.Fatalf("unknown method: %v", err)
+	}
+	// Global methods have no per-instance explainer.
+	if _, _, err := p.ExplainerFor("pdp", xai.Options{}); !errors.Is(err, xai.ErrUnsupportedModel) {
+		t.Fatalf("global method: %v", err)
+	}
+	// Capability mismatch: intgrad needs a differentiable model; the
+	// forest is not one.
+	if _, _, err := p.ExplainerFor("intgrad", xai.Options{}); !errors.Is(err, xai.ErrUnsupportedModel) {
+		t.Fatalf("intgrad on forest: %v", err)
+	}
+}
+
+// TestMethodSelectionAcrossRegistry exercises every local method that is
+// compatible with the forest pipeline end to end.
+func TestMethodSelectionAcrossRegistry(t *testing.T) {
+	ctx := context.Background()
+	p := planePipeline(t, ModelForest)
+	x := p.Test.X[1]
+	for _, method := range []string{"treeshap", "kernelshap", "lime", "anchors", "counterfactual"} {
+		e, name, err := p.ExplainerFor(method, xai.Options{Samples: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if name != method {
+			t.Fatalf("resolved %q for %q", name, method)
+		}
+		attr, err := e.Explain(ctx, x)
+		if err != nil {
+			t.Fatalf("%s explain: %v", method, err)
+		}
+		if len(attr.Phi) != p.Train.NumFeatures() {
+			t.Fatalf("%s: phi width %d", method, len(attr.Phi))
+		}
+	}
+}
+
+// TestIntgradOnScaledMLP checks the chain-rule gradient through the
+// standardizing wrapper: intgrad on the MLP pipeline must satisfy the
+// completeness axiom approximately (sum of phi ≈ f(x) − f(baseline)).
+func TestIntgradOnScaledMLP(t *testing.T) {
+	ctx := context.Background()
+	p := planePipeline(t, ModelMLP)
+	e, method, err := p.ExplainerFor("intgrad", xai.Options{Steps: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "intgrad" {
+		t.Fatalf("method %q", method)
+	}
+	x := p.Test.X[2]
+	attr, err := e.Explain(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := attr.Value - attr.Base
+	if err := attr.AdditivityError(); err > 0.05*abs(gap)+1e-3 {
+		t.Fatalf("completeness violated: sum %v base %v value %v (err %v)", attr.Sum(), attr.Base, attr.Value, err)
+	}
+	if _, ok := interface{}(e).(*intgrad.Explainer); !ok {
+		t.Fatalf("unexpected explainer type %T", e)
+	}
+}
+
+// TestGlobalImportanceCancellation checks ctx propagation through the
+// batched importance path.
+func TestGlobalImportanceCancellation(t *testing.T) {
+	p := planePipeline(t, ModelForest)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.GlobalImportance(ctx, 20); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled importance: %v", err)
+	}
+	// The failed run must not poison the cache: a live context succeeds.
+	shapImp, permImp, err := p.GlobalImportance(context.Background(), 20)
+	if err != nil || len(shapImp) == 0 || len(permImp) == 0 {
+		t.Fatalf("post-cancel importance: %v (%d/%d)", err, len(shapImp), len(permImp))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -47,7 +48,7 @@ func Figure1GlobalImportance(cfg ExpConfig) (Figure1Result, error) {
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	shapImp, permImp, err := p.GlobalImportance(cfg.Explained)
+	shapImp, permImp, err := p.GlobalImportance(context.Background(), cfg.Explained)
 	if err != nil {
 		return Figure1Result{}, err
 	}
@@ -124,7 +125,7 @@ func Figure2ExplanationLatency(cfg ExpConfig) (Figure2Result, error) {
 }
 
 func mustExplain(e xai.Explainer, x []float64) {
-	if _, err := e.Explain(x); err != nil {
+	if _, err := e.Explain(context.Background(), x); err != nil {
 		panic(err)
 	}
 }
@@ -182,7 +183,7 @@ func Figure3DeletionCurve(cfg ExpConfig) (Figure3Result, error) {
 	var gapSum float64
 	for i := 0; i < n; i++ {
 		x := p.Test.X[i]
-		attr, err := e.Explain(x)
+		attr, err := e.Explain(context.Background(), x)
 		if err != nil {
 			return Figure3Result{}, err
 		}
@@ -274,7 +275,7 @@ func Figure4CleverHans(cfg ExpConfig) (Figure4Result, error) {
 	}
 	out := Figure4Result{}
 	for _, strength := range []float64{0, 0.5, 0.8, 0.95} {
-		r, err := CleverHansAudit(ModelForest, ds, strength, cfg.Seed)
+		r, err := CleverHansAudit(context.Background(), ModelForest, ds, strength, cfg.Seed)
 		if err != nil {
 			return Figure4Result{}, err
 		}
@@ -325,11 +326,11 @@ func Figure5Stability(cfg ExpConfig) (Figure5Result, error) {
 		var sSum, lSum float64
 		for i := 0; i < nInst; i++ {
 			x := p.Test.X[i]
-			sv, err := evalx.StabilityScaled(se, x, scaled(stds, sigma), 3, cfg.Seed+int64(i))
+			sv, err := evalx.StabilityScaled(context.Background(), se, x, scaled(stds, sigma), 3, cfg.Seed+int64(i))
 			if err != nil {
 				return Figure5Result{}, err
 			}
-			lv, err := evalx.StabilityScaled(le, x, scaled(stds, sigma), 3, cfg.Seed+int64(i))
+			lv, err := evalx.StabilityScaled(context.Background(), le, x, scaled(stds, sigma), 3, cfg.Seed+int64(i))
 			if err != nil {
 				return Figure5Result{}, err
 			}
@@ -419,7 +420,7 @@ func Figure6Autoscaling(cfg ExpConfig) (Figure6Result, error) {
 	out := Figure6Result{PredictorR2: p.EvaluateRegression().R2}
 
 	// Explanation-pruned forecast: keep only the top-8 features by |SHAP|.
-	shapImp, _, err := p.GlobalImportance(30)
+	shapImp, _, err := p.GlobalImportance(context.Background(), 30)
 	if err != nil {
 		return Figure6Result{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -28,22 +29,26 @@ type Pipeline struct {
 	Test  *dataset.Dataset
 	// Background is the reference sample for SHAP/LIME/counterfactuals.
 	Background [][]float64
-	// ShapSamples bounds KernelSHAP coalitions (default 1024). Set it
-	// before the first Explainer/ExplainInstance call: the explainer is
-	// built once and cached.
+	// ShapSamples bounds KernelSHAP coalitions (default 1024). It is part
+	// of the explainer-cache key, so changing it between calls takes
+	// effect on the next Explainer/ExplainInstance call instead of being
+	// silently ignored after the first build.
 	ShapSamples int
 	Seed        int64
-	// DisableExplainerCache forces Explainer to rebuild per call — the
+	// DisableExplainerCache forces every explainer lookup to rebuild — the
 	// pre-registry per-request behavior. Benchmarks use it to measure what
 	// the cache saves; serving code must leave it false.
 	DisableExplainerCache bool
 
-	// The explainer is expensive to run but cheap to share: all the
+	// Explainers are expensive to run but cheap to share: all the
 	// repository's explainers are stateless across Explain calls, so one
-	// instance serves concurrent requests. Built lazily on first use.
-	explainOnce   sync.Once
-	explainer     xai.Explainer
-	explainMethod string
+	// instance per (method, params) serves concurrent requests. The cache
+	// is a small LRU keyed by method name + canonical option fingerprint;
+	// the default method's entry behaves exactly like the old single
+	// cached explainer.
+	explMu    sync.Mutex
+	explCache map[string]*cachedExplainer
+	explTick  int64
 
 	// Global importance is a function of the frozen model and test set, so
 	// it is computed once per (pipeline, n) and cached.
@@ -53,6 +58,19 @@ type Pipeline struct {
 	impPerm  []float64
 	impReady bool
 }
+
+// cachedExplainer is one LRU entry of the per-(method, params) cache.
+type cachedExplainer struct {
+	e      xai.Explainer
+	method string
+	tick   int64
+}
+
+// explainerCacheSize bounds how many built explainers a pipeline retains.
+// Each entry is small (the heavy state — base-value caches — pays for
+// itself only when reused), so a handful covers every method an operator
+// flips between while comparing explanations.
+const explainerCacheSize = 8
 
 // ErrUnknownFeature reports a feature name that is not in the pipeline's
 // schema (wrapped with the offending name).
@@ -90,26 +108,117 @@ func (p *Pipeline) EvaluateClassification() metrics.ClassificationReport {
 	return metrics.EvalClassification(p.Kind.String(), prob, p.Test.Y)
 }
 
-// Explainer returns the preferred explainer for the pipeline's model and
-// the method name chosen. The explainer is built once (lazily) and shared
-// by subsequent calls, so serving paths do not pay setup per request.
+// Explainer returns the default explainer for the pipeline's model and
+// the method name chosen (DefaultMethod). The explainer is built lazily
+// and cached, so serving paths do not pay setup per request.
 func (p *Pipeline) Explainer() (xai.Explainer, string) {
-	if p.DisableExplainerCache {
-		return p.freshExplainer()
+	e, method, err := p.ExplainerFor("", xai.Options{})
+	if err != nil {
+		// The default method always builds for a registry-trained pipeline
+		// (the background is non-empty and DefaultMethod only names
+		// methods compatible with the zoo). A hand-assembled Pipeline with
+		// no background can still get here; defer the failure to Explain
+		// time — one erroring request — exactly like the pre-registry
+		// constructors did, instead of crashing the process.
+		return errExplainer{err: fmt.Errorf("core: default explainer for %v: %w", p.Kind, err)}, DefaultMethod(p.Model)
 	}
-	p.explainOnce.Do(func() {
-		p.explainer, p.explainMethod = p.freshExplainer()
-	})
-	return p.explainer, p.explainMethod
+	return e, method
 }
 
-// freshExplainer constructs a new explainer unconditionally.
-func (p *Pipeline) freshExplainer() (xai.Explainer, string) {
-	samples := p.ShapSamples
-	if samples <= 0 {
-		samples = 1024
+// ExplainerFor returns a cached (or freshly built) explainer for the
+// named registry method with the given options. An empty method selects
+// the model's default (DefaultMethod). Options are normalized against
+// the pipeline before keying the cache: a zero seed inherits p.Seed, and
+// a zero sample budget inherits ShapSamples for the KernelSHAP path, so
+// late ShapSamples changes produce a new cache entry rather than being
+// dropped. Unknown methods and capability mismatches surface as
+// xai.ErrUnknownMethod / xai.ErrUnsupportedModel.
+func (p *Pipeline) ExplainerFor(method string, opts xai.Options) (xai.Explainer, string, error) {
+	if method == "" {
+		method = DefaultMethod(p.Model)
 	}
-	return Explain(p.Model, p.Background, p.Train.Names, samples, p.Seed)
+	if opts.Seed == 0 {
+		opts.Seed = p.Seed
+	}
+	if opts.Samples <= 0 && method == "kernelshap" {
+		opts.Samples = p.shapSamples()
+	}
+	// TopK shapes the caller's rendering, not the explainer; normalize it
+	// out so bit-identical explainers are not duplicated per topk value.
+	opts.TopK = 0
+	if p.DisableExplainerCache {
+		e, m, err := p.buildExplainer(method, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		return e, m.Name, nil
+	}
+	key := method + "|" + opts.Key()
+	p.explMu.Lock()
+	defer p.explMu.Unlock()
+	p.explTick++
+	if p.explCache == nil {
+		p.explCache = make(map[string]*cachedExplainer, explainerCacheSize)
+	}
+	if c, ok := p.explCache[key]; ok {
+		c.tick = p.explTick
+		return c.e, c.method, nil
+	}
+	e, m, err := p.buildExplainer(method, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(p.explCache) >= explainerCacheSize {
+		// Evict the least recently used entry.
+		var oldest string
+		var oldestTick int64 = 1<<63 - 1
+		for k, c := range p.explCache {
+			if c.tick < oldestTick {
+				oldest, oldestTick = k, c.tick
+			}
+		}
+		delete(p.explCache, oldest)
+	}
+	p.explCache[key] = &cachedExplainer{e: e, method: m.Name, tick: p.explTick}
+	return e, m.Name, nil
+}
+
+// buildExplainer constructs a new explainer through the method registry.
+func (p *Pipeline) buildExplainer(method string, opts xai.Options) (xai.Explainer, xai.Method, error) {
+	return xai.BuildExplainer(method, xai.Target{
+		Model:      p.Model,
+		Background: p.Background,
+		Names:      p.Train.Names,
+	}, opts)
+}
+
+// Methods lists the registered explanation methods applicable to the
+// pipeline's model (local and global), sorted by name.
+func (p *Pipeline) Methods() []xai.Method {
+	return xai.MethodsFor(p.Model)
+}
+
+// DefaultOptions returns the options the pipeline actually uses for the
+// method when a request supplies none: the registry defaults overlaid
+// with the pipeline-level settings (seed; ShapSamples for KernelSHAP).
+// The serving layer advertises these so GET .../explainers matches what
+// an option-less explain request runs.
+func (p *Pipeline) DefaultOptions(m xai.Method) xai.Options {
+	o := m.Defaults
+	if o.Seed == 0 {
+		o.Seed = p.Seed
+	}
+	if m.Name == "kernelshap" {
+		o.Samples = p.shapSamples()
+	}
+	return o
+}
+
+func (p *Pipeline) shapSamples() int {
+	if p.ShapSamples > 0 {
+		return p.ShapSamples
+	}
+	return 1024
 }
 
 // PredictBatch scores many instances through the model's batch-inference
@@ -120,19 +229,21 @@ func (p *Pipeline) PredictBatch(xs [][]float64) []float64 {
 	return ml.PredictBatch(p.Model, xs)
 }
 
-// ExplainInstance attributes the model's prediction at x.
-func (p *Pipeline) ExplainInstance(x []float64) (xai.Attribution, string, error) {
+// ExplainInstance attributes the model's prediction at x with the default
+// explainer.
+func (p *Pipeline) ExplainInstance(ctx context.Context, x []float64) (xai.Attribution, string, error) {
 	e, method := p.Explainer()
-	attr, err := e.Explain(x)
+	attr, err := e.Explain(ctx, x)
 	return attr, method, err
 }
 
-// ExplainBatch attributes a batch of instances using the cached explainer,
-// fanning out over a worker pool. Attributions come back in input order;
-// method names the explainer used. workers <= 0 selects GOMAXPROCS.
-func (p *Pipeline) ExplainBatch(xs [][]float64, workers int) ([]xai.Attribution, string, error) {
+// ExplainBatch attributes a batch of instances using the cached default
+// explainer, fanning out over a worker pool. Attributions come back in
+// input order; method names the explainer used. workers <= 0 selects
+// GOMAXPROCS.
+func (p *Pipeline) ExplainBatch(ctx context.Context, xs [][]float64, workers int) ([]xai.Attribution, string, error) {
 	e, method := p.Explainer()
-	attrs, err := xai.ExplainBatch(e, xs, workers)
+	attrs, err := xai.ExplainBatch(ctx, e, xs, workers)
 	return attrs, method, err
 }
 
@@ -140,16 +251,27 @@ func (p *Pipeline) ExplainBatch(xs [][]float64, workers int) ([]xai.Attribution,
 // profile, alongside permutation importance for cross-validation of the
 // ranking. The model and test set are frozen after training, so the result
 // is cached: repeated calls with the same n return the first computation.
-func (p *Pipeline) GlobalImportance(n int) (shapImp, permImp []float64, err error) {
+func (p *Pipeline) GlobalImportance(ctx context.Context, n int) (shapImp, permImp []float64, err error) {
+	return p.GlobalImportanceProgress(ctx, n, nil)
+}
+
+// GlobalImportanceProgress is GlobalImportance with a progress callback:
+// onProgress (when non-nil) receives a completion fraction in [0, 1] as
+// the computation advances — the hook the asynchronous jobs API reports
+// through. A cache hit reports 1 immediately.
+func (p *Pipeline) GlobalImportanceProgress(ctx context.Context, n int, onProgress func(float64)) (shapImp, permImp []float64, err error) {
 	if n <= 0 || n > p.Test.Len() {
 		n = p.Test.Len()
 	}
 	p.impMu.Lock()
 	defer p.impMu.Unlock()
 	if p.impReady && p.impN == n {
+		if onProgress != nil {
+			onProgress(1)
+		}
 		return p.impShap, p.impPerm, nil
 	}
-	shapImp, permImp, err = p.globalImportance(n)
+	shapImp, permImp, err = p.globalImportance(ctx, n, onProgress)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -157,20 +279,43 @@ func (p *Pipeline) GlobalImportance(n int) (shapImp, permImp []float64, err erro
 	return shapImp, permImp, nil
 }
 
-func (p *Pipeline) globalImportance(n int) (shapImp, permImp []float64, err error) {
+// globalImportance explains the first n test rows through the batch
+// fan-out path (xai.ExplainBatch over a worker pool) in chunks, so the
+// per-row explanations ride the PR 2 batch fast path and progress /
+// cancellation have a natural granularity. The chunk size doubles as a
+// worker cap (ExplainBatch never runs more workers than rows), and impMu
+// serializes concurrent importance computations on one pipeline, so a
+// background importance job contends for at most chunk cores rather than
+// a full GOMAXPROCS pool per caller. The |SHAP| phase is reported as the
+// first 85% of the work, permutation importance as the rest.
+func (p *Pipeline) globalImportance(ctx context.Context, n int, onProgress func(float64)) (shapImp, permImp []float64, err error) {
 	e, _ := p.Explainer()
+	const chunk = 8
 	attrs := make([]xai.Attribution, 0, n)
-	for i := 0; i < n; i++ {
-		a, err := e.Explain(p.Test.X[i])
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: explaining instance %d: %w", i, err)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
-		attrs = append(attrs, a)
+		part, err := xai.ExplainBatch(ctx, e, p.Test.X[lo:hi], 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: explaining instances %d..%d: %w", lo, hi-1, err)
+		}
+		attrs = append(attrs, part...)
+		if onProgress != nil {
+			onProgress(0.85 * float64(hi) / float64(n))
+		}
 	}
 	shapImp = xai.MeanAbs(attrs)
-	permImp, err = perm.Importance(p.Model, p.Test, perm.Config{Repeats: 3, Seed: p.Seed})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	permImp, err = perm.Importance(ctx, p.Model, p.Test, perm.Config{Repeats: 3, Seed: p.Seed})
 	if err != nil {
 		return nil, nil, err
+	}
+	if onProgress != nil {
+		onProgress(1)
 	}
 	return shapImp, permImp, nil
 }
@@ -180,7 +325,7 @@ func (p *Pipeline) globalImportance(n int) (shapImp, permImp []float64, err erro
 // names must exist in the schema: a silently dropped constraint would let
 // the search "fix" a violation by changing the very feature the operator
 // declared untouchable, so unknown names are an error (ErrUnknownFeature).
-func (p *Pipeline) WhatIf(x []float64, target counterfactual.Target, immutable []string) (counterfactual.Counterfactual, error) {
+func (p *Pipeline) WhatIf(ctx context.Context, x []float64, target counterfactual.Target, immutable []string) (counterfactual.Counterfactual, error) {
 	var immutableIdx []int
 	for _, name := range immutable {
 		j := p.Train.FeatureIndex(name)
@@ -189,7 +334,7 @@ func (p *Pipeline) WhatIf(x []float64, target counterfactual.Target, immutable [
 		}
 		immutableIdx = append(immutableIdx, j)
 	}
-	return counterfactual.Search(p.Model, x, p.Background, counterfactual.Config{
+	return counterfactual.Search(ctx, p.Model, x, p.Background, counterfactual.Config{
 		Target:    target,
 		Immutable: immutableIdx,
 		Seed:      p.Seed,
@@ -199,8 +344,8 @@ func (p *Pipeline) WhatIf(x []float64, target counterfactual.Target, immutable [
 // PlaybookRule finds an anchor rule for the model's verdict at x: a
 // reusable "if these telemetry conditions hold, the model will (almost)
 // always say the same thing" statement, rendered with feature names.
-func (p *Pipeline) PlaybookRule(x []float64, threshold float64) (anchors.Anchor, string, error) {
-	a, err := anchors.Explain(p.Model, x, p.Background, anchors.Config{
+func (p *Pipeline) PlaybookRule(ctx context.Context, x []float64, threshold float64) (anchors.Anchor, string, error) {
+	a, err := anchors.Explain(ctx, p.Model, x, p.Background, anchors.Config{
 		Threshold: threshold,
 		Seed:      p.Seed,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nfvxai/internal/dataset"
@@ -10,8 +11,20 @@ import (
 	"nfvxai/internal/ml/nn"
 	"nfvxai/internal/ml/tree"
 	"nfvxai/internal/xai"
-	"nfvxai/internal/xai/shap"
-	"nfvxai/internal/xai/treeshap"
+
+	// The explanation plane is assembled by side effect: every method
+	// package registers itself in the xai registry from init. Importing
+	// core therefore wires the full method set — the serving layer and the
+	// pipeline dispatch by name through xai.LookupMethod/BuildExplainer.
+	_ "nfvxai/internal/xai/anchors"
+	_ "nfvxai/internal/xai/counterfactual"
+	_ "nfvxai/internal/xai/intgrad"
+	_ "nfvxai/internal/xai/lime"
+	_ "nfvxai/internal/xai/pdp"
+	_ "nfvxai/internal/xai/perm"
+	_ "nfvxai/internal/xai/shap"
+	_ "nfvxai/internal/xai/surrogate"
+	_ "nfvxai/internal/xai/treeshap"
 )
 
 // ModelKind enumerates the model zoo used across experiments.
@@ -109,6 +122,43 @@ func (s *scaledModel) PredictBatch(X [][]float64, out []float64) {
 	ml.PredictBatchInto(s.inner, scaled, out)
 }
 
+// gradModel mirrors intgrad.GradModel so the wrapper can forward
+// differentiability without importing the explainer package.
+type gradModel interface {
+	Gradient(x []float64) []float64
+}
+
+// Gradient implements the differentiable-predictor contract through the
+// standardizing wrapper via the chain rule: for z = (x − μ)/σ,
+// ∂f(z)/∂x_j = (∂f/∂z_j)/σ_j. This keeps gradient-based explainers
+// (intgrad) available on the scale-sensitive zoo members (MLP, linear,
+// logistic). Inner models without an analytic gradient fall back to
+// central finite differences on the raw input.
+func (s *scaledModel) Gradient(x []float64) []float64 {
+	gm, okInner := s.inner.(gradModel)
+	std, okScaler := s.scaler.(*dataset.StandardScaler)
+	if okInner && okScaler {
+		g := gm.Gradient(s.scaler.Transform(x))
+		out := make([]float64, len(g))
+		for j := range g {
+			out[j] = g[j] / std.Std[j]
+		}
+		return out
+	}
+	const h = 1e-5
+	out := make([]float64, len(x))
+	z := append([]float64(nil), x...)
+	for j := range x {
+		z[j] = x[j] + h
+		up := s.Predict(z)
+		z[j] = x[j] - h
+		down := s.Predict(z)
+		z[j] = x[j]
+		out[j] = (up - down) / (2 * h)
+	}
+	return out
+}
+
 // needsScaling reports whether the model kind trains on standardized
 // inputs (gradient-trained or ridge-penalized); tree models consume raw
 // features.
@@ -124,22 +174,44 @@ func normalizeFor(kind ModelKind, train *dataset.Dataset) *dataset.Dataset {
 	return train
 }
 
-// Explain builds the preferred local explainer for the model: exact
-// TreeSHAP for tree ensembles, KernelSHAP otherwise.
-func Explain(model ml.Predictor, background [][]float64, names []string, samples int, seed int64) (xai.Explainer, string) {
+// DefaultMethod names the preferred local explanation method for the
+// model: exact TreeSHAP for tree ensembles, KernelSHAP otherwise.
+// Classification GBTs fall back to KernelSHAP because TreeSHAP would
+// explain the margin rather than the probability output.
+func DefaultMethod(model ml.Predictor) string {
 	switch m := model.(type) {
-	case *tree.Tree:
-		return &treeshap.Explainer{Model: treeshap.Single(m), Names: names}, "treeshap"
-	case *forest.RandomForest:
-		return &treeshap.Explainer{Model: m, Names: names}, "treeshap"
+	case *tree.Tree, *forest.RandomForest:
+		return "treeshap"
 	case *forest.GradientBoosting:
 		if m.Task == dataset.Regression {
-			return &treeshap.Explainer{Model: m, Names: names}, "treeshap"
+			return "treeshap"
 		}
-		// Classification GBT: TreeSHAP explains the margin; to explain the
-		// probability output uniformly we fall back to KernelSHAP.
-		return &shap.Kernel{Model: model, Background: background, NumSamples: samples, Seed: seed, Names: names}, "kernelshap"
+		return "kernelshap"
 	default:
-		return &shap.Kernel{Model: model, Background: background, NumSamples: samples, Seed: seed, Names: names}, "kernelshap"
+		return "kernelshap"
 	}
+}
+
+// Explain builds the default local explainer for the model through the
+// xai method registry. Kept as the one-call constructor for auditing
+// paths that explain ad-hoc models outside a Pipeline.
+func Explain(model ml.Predictor, background [][]float64, names []string, samples int, seed int64) (xai.Explainer, string) {
+	name := DefaultMethod(model)
+	e, m, err := xai.BuildExplainer(name, xai.Target{Model: model, Background: background, Names: names},
+		xai.Options{Samples: samples, Seed: seed})
+	if err != nil {
+		// The default methods build unconditionally for every zoo model
+		// with a non-empty background; a failure here is a misconfigured
+		// call (e.g. KernelSHAP with no background), surfaced at Explain
+		// time like the pre-registry constructors did.
+		return errExplainer{err: err}, name
+	}
+	return e, m.Name
+}
+
+// errExplainer defers a build-time failure to the first Explain call.
+type errExplainer struct{ err error }
+
+func (e errExplainer) Explain(context.Context, []float64) (xai.Attribution, error) {
+	return xai.Attribution{}, e.err
 }

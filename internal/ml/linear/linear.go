@@ -80,6 +80,12 @@ func (m *Regression) PredictBatch(X [][]float64, out []float64) {
 	}
 }
 
+// Gradient returns ∂Predict/∂x = w (constant for a linear model), making
+// the model differentiable for gradient-based explainers (intgrad).
+func (m *Regression) Gradient(x []float64) []float64 {
+	return append([]float64(nil), m.Weights...)
+}
+
 // Logistic is a binary logistic-regression model producing P(y=1|x),
 // fitted with mini-batch Adam on the L2-regularized cross-entropy.
 type Logistic struct {
@@ -183,6 +189,17 @@ func (m *Logistic) PredictBatch(X [][]float64, out []float64) {
 	for i, x := range X {
 		out[i] = sigmoid(mat.Dot(m.Weights, x) + m.Intercept)
 	}
+}
+
+// Gradient returns ∂P(y=1|x)/∂x = p(1−p)·w, making the model
+// differentiable for gradient-based explainers (intgrad).
+func (m *Logistic) Gradient(x []float64) []float64 {
+	p := m.Predict(x)
+	out := make([]float64, len(m.Weights))
+	for j, w := range m.Weights {
+		out[j] = p * (1 - p) * w
+	}
+	return out
 }
 
 func sigmoid(z float64) float64 {

@@ -136,6 +136,7 @@ func ParseSpec(s string) (Spec, error) {
 // a name ending in one would shadow its own endpoints.
 var reservedSegments = map[string]bool{
 	"predict": true, "explain": true, "whatif": true, "importance": true, "schema": true,
+	"explainers": true, "jobs": true,
 }
 
 // ValidateName checks that a model name is addressable over the HTTP API:

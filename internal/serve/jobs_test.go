@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+)
+
+// blockGate coordinates the test-only "test-block" job kind: the runner
+// reports progress 0.5, signals started, then parks until release or
+// cancellation.
+var blockGate struct {
+	mu      sync.Mutex
+	started chan struct{}
+	release chan struct{}
+}
+
+func init() {
+	// A controllable job kind so lifecycle tests observe mid-run states
+	// deterministically; registered only in the test binary.
+	jobRunners["test-block"] = func(ctx context.Context, _ *core.Pipeline, _ JobParams, progress func(float64)) (any, error) {
+		blockGate.mu.Lock()
+		started, release := blockGate.started, blockGate.release
+		blockGate.mu.Unlock()
+		progress(0.5)
+		if started != nil {
+			close(started)
+		}
+		select {
+		case <-release:
+			return map[string]string{"outcome": "ran"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func armBlockGate() (started, release chan struct{}) {
+	started, release = make(chan struct{}), make(chan struct{})
+	blockGate.mu.Lock()
+	blockGate.started, blockGate.release = started, release
+	blockGate.mu.Unlock()
+	return started, release
+}
+
+// jobsServer builds a one-model server with a job-completion channel.
+func jobsServer(t *testing.T) (*Server, *httptest.Server, chan string) {
+	t.Helper()
+	s := New(pipeline(t))
+	done := make(chan string, 16)
+	s.NotifyJobs(done)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, srv, done
+}
+
+func waitJob(t *testing.T, done chan string, want string) {
+	t.Helper()
+	select {
+	case id := <-done:
+		if id != want {
+			t.Fatalf("job done for %q want %q", id, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out waiting for job %q", want)
+	}
+}
+
+func submitJob(t *testing.T, srv *httptest.Server, model string, body any) JobInfo {
+	t.Helper()
+	resp := postJSON(t, srv, "/v1/models/"+model+"/jobs", body)
+	wantStatus(t, resp, http.StatusAccepted)
+	return decode[JobInfo](t, resp)
+}
+
+func getJob(t *testing.T, srv *httptest.Server, id string) JobInfo {
+	t.Helper()
+	resp := getJSON(t, srv, "/v1/jobs/"+id)
+	wantStatus(t, resp, http.StatusOK)
+	return decode[JobInfo](t, resp)
+}
+
+func TestJobLifecycleSubmitProgressResult(t *testing.T) {
+	_, srv, done := jobsServer(t)
+	started, release := armBlockGate()
+
+	info := submitJob(t, srv, "default", JobRequest{Kind: "test-block"})
+	if info.Status != "pending" && info.Status != "running" {
+		t.Fatalf("submitted status %q", info.Status)
+	}
+	if info.Model != "default" || info.Kind != "test-block" || info.ID == "" {
+		t.Fatalf("submitted %+v", info)
+	}
+
+	<-started
+	mid := getJob(t, srv, info.ID)
+	if mid.Status != "running" {
+		t.Fatalf("mid-run status %q", mid.Status)
+	}
+	if mid.Progress < 0.5 || mid.Progress >= 1 {
+		t.Fatalf("mid-run progress %v", mid.Progress)
+	}
+
+	close(release)
+	waitJob(t, done, info.ID)
+	fin := getJob(t, srv, info.ID)
+	if fin.Status != "done" || fin.Progress != 1 || fin.FinishedAt.IsZero() {
+		t.Fatalf("finished %+v", fin)
+	}
+	res, ok := fin.Result.(map[string]any)
+	if !ok || res["outcome"] != "ran" {
+		t.Fatalf("result %+v", fin.Result)
+	}
+
+	// The model-scoped listing sees it; an unknown model 404s.
+	resp := getJSON(t, srv, "/v1/models/default/jobs")
+	wantStatus(t, resp, http.StatusOK)
+	list := decode[JobListResponse](t, resp)
+	if len(list.Jobs) == 0 {
+		t.Fatal("model job listing empty")
+	}
+	nf := getJSON(t, srv, "/v1/models/nope/jobs")
+	wantStatus(t, nf, http.StatusNotFound)
+	nf.Body.Close()
+}
+
+func TestJobCancellationMidRun(t *testing.T) {
+	_, srv, done := jobsServer(t)
+	started, _ := armBlockGate()
+
+	info := submitJob(t, srv, "default", JobRequest{Kind: "test-block"})
+	<-started
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusOK)
+	resp.Body.Close()
+
+	waitJob(t, done, info.ID)
+	fin := getJob(t, srv, info.ID)
+	if fin.Status != "cancelled" {
+		t.Fatalf("after DELETE: status %q (err %q)", fin.Status, fin.Error)
+	}
+	if fin.Result != nil {
+		t.Fatalf("cancelled job has a result: %+v", fin.Result)
+	}
+	// Deleting again is an idempotent no-op on the terminal snapshot.
+	req2, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+info.ID, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp2, http.StatusOK)
+	resp2.Body.Close()
+}
+
+func TestJobValidation(t *testing.T) {
+	_, srv, _ := jobsServer(t)
+
+	// Unknown kind → 400 naming the accepted kinds.
+	resp := postJSON(t, srv, "/v1/models/default/jobs", JobRequest{Kind: "transmogrify"})
+	wantStatus(t, resp, http.StatusBadRequest)
+	errBody := decode[map[string]string](t, resp)
+	if !strings.Contains(errBody["error"], "global-importance") {
+		t.Fatalf("error %q does not list kinds", errBody["error"])
+	}
+	// Unknown param key → 400.
+	resp2 := postJSON(t, srv, "/v1/models/default/jobs",
+		map[string]any{"kind": "global-importance", "params": map[string]any{"bogus": 1}})
+	wantStatus(t, resp2, http.StatusBadRequest)
+	resp2.Body.Close()
+	// Unknown model → 404.
+	resp3 := postJSON(t, srv, "/v1/models/nope/jobs", JobRequest{Kind: "global-importance"})
+	wantStatus(t, resp3, http.StatusNotFound)
+	resp3.Body.Close()
+	// Unknown job id → 404 on GET and DELETE.
+	resp4 := getJSON(t, srv, "/v1/jobs/job-999999")
+	wantStatus(t, resp4, http.StatusNotFound)
+	resp4.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/job-999999", nil)
+	resp5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp5, http.StatusNotFound)
+	resp5.Body.Close()
+}
+
+// TestGlobalImportanceJobMatchesSync pins the acceptance criterion: the
+// asynchronous global-importance job and the synchronous importance
+// endpoint agree within 1e-9 on the same model.
+func TestGlobalImportanceJobMatchesSync(t *testing.T) {
+	_, srv, done := jobsServer(t)
+
+	info := submitJob(t, srv, "default", JobRequest{Kind: "global-importance"})
+	waitJob(t, done, info.ID)
+	fin := getJob(t, srv, info.ID)
+	if fin.Status != "done" {
+		t.Fatalf("job %+v", fin)
+	}
+	raw, err := json.Marshal(fin.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobRes ImportanceResponse
+	if err := json.Unmarshal(raw, &jobRes); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := getJSON(t, srv, "/v1/models/default/importance")
+	wantStatus(t, resp, http.StatusOK)
+	sync := decode[ImportanceResponse](t, resp)
+	if len(jobRes.Shap) != len(sync.Shap) || len(jobRes.Shap) == 0 {
+		t.Fatalf("widths: job %d sync %d", len(jobRes.Shap), len(sync.Shap))
+	}
+	for j := range sync.Shap {
+		if math.Abs(jobRes.Shap[j]-sync.Shap[j]) > 1e-9 {
+			t.Fatalf("shap[%d]: job %v sync %v", j, jobRes.Shap[j], sync.Shap[j])
+		}
+		if math.Abs(jobRes.Perm[j]-sync.Perm[j]) > 1e-9 {
+			t.Fatalf("perm[%d]: job %v sync %v", j, jobRes.Perm[j], sync.Perm[j])
+		}
+	}
+}
+
+func TestPDPGridAndSurrogateJobs(t *testing.T) {
+	p := pipeline(t)
+	_, srv, done := jobsServer(t)
+
+	// pdp-grid over two named features.
+	info := submitJob(t, srv, "default", map[string]any{
+		"kind":   "pdp-grid",
+		"params": map[string]any{"grid_size": 8, "features": []string{p.Train.Names[0], p.Train.Names[1]}},
+	})
+	waitJob(t, done, info.ID)
+	fin := getJob(t, srv, info.ID)
+	if fin.Status != "done" {
+		t.Fatalf("pdp job %+v", fin)
+	}
+	raw, _ := json.Marshal(fin.Result)
+	var pdpRes PDPGridResult
+	if err := json.Unmarshal(raw, &pdpRes); err != nil {
+		t.Fatal(err)
+	}
+	if len(pdpRes.Curves) != 2 || len(pdpRes.Curves[0].Grid) == 0 {
+		t.Fatalf("pdp curves %+v", pdpRes)
+	}
+	if pdpRes.Curves[0].Name != p.Train.Names[0] {
+		t.Fatalf("curve name %q", pdpRes.Curves[0].Name)
+	}
+	// Unknown feature fails the job (status failed, error recorded).
+	bad := submitJob(t, srv, "default", map[string]any{
+		"kind": "pdp-grid", "params": map[string]any{"features": []string{"no_such"}},
+	})
+	waitJob(t, done, bad.ID)
+	if fin := getJob(t, srv, bad.ID); fin.Status != "failed" || !strings.Contains(fin.Error, "no_such") {
+		t.Fatalf("bad-feature job %+v", fin)
+	}
+
+	// surrogate-tree.
+	info2 := submitJob(t, srv, "default", map[string]any{
+		"kind": "surrogate-tree", "params": map[string]any{"max_depth": 3},
+	})
+	waitJob(t, done, info2.ID)
+	fin2 := getJob(t, srv, info2.ID)
+	if fin2.Status != "done" {
+		t.Fatalf("surrogate job %+v", fin2)
+	}
+	raw2, _ := json.Marshal(fin2.Result)
+	var sur SurrogateResult
+	if err := json.Unmarshal(raw2, &sur); err != nil {
+		t.Fatal(err)
+	}
+	if sur.Depth <= 0 || sur.Depth > 3 || sur.Leaves <= 0 {
+		t.Fatalf("surrogate %+v", sur)
+	}
+}
+
+func TestCleverHansAuditJob(t *testing.T) {
+	_, srv, done := jobsServer(t)
+	info := submitJob(t, srv, "default", map[string]any{
+		"kind": "cleverhans-audit", "params": map[string]any{"strength": 0.95},
+	})
+	waitJob(t, done, info.ID)
+	fin := getJob(t, srv, info.ID)
+	if fin.Status != "done" {
+		t.Fatalf("audit job %+v", fin)
+	}
+	raw, _ := json.Marshal(fin.Result)
+	var res core.CleverHansResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.LeakStrength != 0.95 || res.ArtifactRank < 1 {
+		t.Fatalf("audit result %+v", res)
+	}
+}
+
+// TestConcurrentJobsAndExplains drives jobs and explain requests against
+// one model at the same time; run under -race in CI.
+func TestConcurrentJobsAndExplains(t *testing.T) {
+	p := pipeline(t)
+	_, srv, done := jobsServer(t)
+
+	// Two jobs start in the background while explain traffic hammers the
+	// same pipeline.
+	j1 := submitJob(t, srv, "default", map[string]any{"kind": "global-importance"})
+	j2 := submitJob(t, srv, "default", map[string]any{"kind": "surrogate-tree"})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := p.Test.X[w]
+			for i := 0; i < 3; i++ {
+				resp, err := http.Post(srv.URL+"/v1/models/default/explain", "application/json",
+					strings.NewReader(`{"features":`+marshal(x)+`,"method":"lime","params":{"samples":100}}`))
+				if err != nil {
+					t.Errorf("explain during jobs: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("explain during jobs: %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	finished := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case id := <-done:
+			finished[id] = true
+		case <-time.After(60 * time.Second):
+			t.Fatal("timed out waiting for concurrent jobs")
+		}
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		if !finished[id] {
+			t.Fatalf("job %s did not finish (finished: %v)", id, finished)
+		}
+		if fin := getJob(t, srv, id); fin.Status != "done" {
+			t.Fatalf("concurrent job %s: %+v", id, fin)
+		}
+	}
+}
+
+// marshal renders a float slice as its JSON array for hand-built bodies.
+func marshal(x []float64) string {
+	b, _ := json.Marshal(x)
+	return string(b)
+}
+
+func TestJobStoreEvictsOldestFinished(t *testing.T) {
+	st := newJobStore()
+	base := time.Now()
+	add := func(id string, status JobStatus, age time.Duration) {
+		st.jobs[id] = &job{id: id, status: status, finishedAt: base.Add(-age), cancel: func() {}}
+	}
+	for i := 0; i < evictBatch+10; i++ {
+		add(fmt.Sprintf("old-%03d", i), JobDone, time.Hour+time.Duration(i)*time.Second)
+	}
+	add("fresh-done", JobDone, 0)
+	add("active", JobRunning, 0)
+
+	st.mu.Lock()
+	st.evictFinishedLocked()
+	st.mu.Unlock()
+
+	if _, ok := st.jobs["active"]; !ok {
+		t.Fatal("running job evicted")
+	}
+	if _, ok := st.jobs["fresh-done"]; !ok {
+		t.Fatal("newest finished job evicted before older ones")
+	}
+	// Exactly evictBatch of the oldest finished jobs are gone.
+	remainingOld := 0
+	for id := range st.jobs {
+		if strings.HasPrefix(id, "old-") {
+			remainingOld++
+		}
+	}
+	if remainingOld != 10 {
+		t.Fatalf("remaining old finished jobs %d want 10", remainingOld)
+	}
+	// The very oldest (largest age ⇒ highest index) were the ones evicted,
+	// and the least old survived.
+	if _, ok := st.jobs[fmt.Sprintf("old-%03d", evictBatch+9)]; ok {
+		t.Fatal("oldest finished job survived eviction")
+	}
+	if _, ok := st.jobs["old-000"]; !ok {
+		t.Fatal("newest of the old finished jobs was evicted out of order")
+	}
+}

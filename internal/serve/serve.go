@@ -10,10 +10,28 @@
 //	POST /v1/models                        train a new scenario×model×target (async, 202)
 //	GET  /v1/models/{name}                 one model's status and schema
 //	GET  /v1/models/{name}/schema          feature schema
+//	GET  /v1/models/{name}/explainers      explanation methods valid for the model
 //	GET  /v1/models/{name}/importance      global |SHAP| + permutation importance (cached)
 //	POST /v1/models/{name}/predict         predict one instance, or a batch via "instances"
 //	POST /v1/models/{name}/explain         attribute one instance, or a batch via "instances"
 //	POST /v1/models/{name}/whatif          counterfactual remediation query
+//	POST /v1/models/{name}/jobs            submit an async explanation job (202)
+//	GET  /v1/models/{name}/jobs            jobs submitted against the model
+//
+// Explain requests select their method per request: an optional "method"
+// names any registered local method ("treeshap", "kernelshap", "lime",
+// "anchors", "counterfactual", "intgrad") and "params" carries its typed
+// options. Unknown methods or parameters are a 400; a capability mismatch
+// (e.g. treeshap on an MLP, or a global method on the explain path) is a
+// 409. Without "method" the model's default explainer answers, unchanged
+// from the pre-registry behavior.
+//
+// Expensive global explanations run asynchronously through the jobs
+// subsystem, mirroring the training lifecycle:
+//
+//	GET    /v1/jobs                        list jobs
+//	GET    /v1/jobs/{id}                   status, progress, result
+//	DELETE /v1/jobs/{id}                   cancel a pending/running job
 //
 // Model names may contain slashes (the default is scenario/model/target,
 // e.g. web/rf/util). POST /v1/models returns 202 Accepted immediately; the
@@ -27,6 +45,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,6 +59,7 @@ import (
 	"nfvxai/internal/registry"
 	"nfvxai/internal/xai"
 	"nfvxai/internal/xai/counterfactual"
+	"nfvxai/internal/xai/evalx"
 )
 
 // MaxBatch bounds how many instances one batch-explain request may carry.
@@ -47,8 +67,9 @@ const MaxBatch = 256
 
 // Server routes the v1 multi-model API over a model registry.
 type Server struct {
-	reg *registry.Registry
-	mux *http.ServeMux
+	reg  *registry.Registry
+	mux  *http.ServeMux
+	jobs *jobStore
 	// BatchWorkers caps total explain fan-out across ALL concurrent batch
 	// requests (0 = GOMAXPROCS). Set before the first batch request; the
 	// shared gate is sized once, lazily.
@@ -60,13 +81,18 @@ type Server struct {
 
 // NewServer builds the API server over an existing registry.
 func NewServer(reg *registry.Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), jobs: newJobStore()}
 	// v1, model-scoped. {rest...} (not {name}) because model names contain
 	// slashes; routeModel* peel a trailing action segment off themselves.
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
 	s.mux.HandleFunc("POST /v1/models", s.handleCreateModel)
 	s.mux.HandleFunc("GET /v1/models/{rest...}", s.routeModelGet)
 	s.mux.HandleFunc("POST /v1/models/{rest...}", s.routeModelPost)
+
+	// The explanation-jobs subsystem (jobs.go).
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 
 	// Legacy unversioned aliases onto the default model.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -96,8 +122,8 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // modelActions are the reserved trailing path segments under a model.
-var modelGetActions = map[string]bool{"schema": true, "importance": true}
-var modelPostActions = map[string]bool{"predict": true, "explain": true, "whatif": true}
+var modelGetActions = map[string]bool{"schema": true, "importance": true, "explainers": true, "jobs": true}
+var modelPostActions = map[string]bool{"predict": true, "explain": true, "whatif": true, "jobs": true}
 
 // splitAction splits "web/rf/util/predict" into ("web/rf/util", "predict")
 // when the last segment is in actions, else returns (rest, "").
@@ -115,6 +141,10 @@ func (s *Server) routeModelGet(w http.ResponseWriter, r *http.Request) {
 		s.handleSchema(w, r, name)
 	case "importance":
 		s.handleImportance(w, r, name)
+	case "explainers":
+		s.handleExplainers(w, r, name)
+	case "jobs":
+		s.handleListModelJobs(w, r, name)
 	default:
 		s.handleModelInfo(w, r, name)
 	}
@@ -129,8 +159,10 @@ func (s *Server) routeModelPost(w http.ResponseWriter, r *http.Request) {
 		s.handleExplain(w, r, name)
 	case "whatif":
 		s.handleWhatIf(w, r, name)
+	case "jobs":
+		s.handleCreateJob(w, r, name)
 	default:
-		writeError(w, http.StatusNotFound, "unknown action: POST /v1/models/{name}/{predict|explain|whatif}")
+		writeError(w, http.StatusNotFound, "unknown action: POST /v1/models/{name}/{predict|explain|whatif|jobs}")
 	}
 }
 
@@ -343,11 +375,35 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request, name strin
 // ─── predict and explain ────────────────────────────────────────────────
 
 // featureRequest is the shared request body carrying one feature vector,
-// or (for batch explain) several under "instances".
+// or (for batch explain) several under "instances". Explain requests may
+// additionally select a registered method with typed params and request
+// faithfulness metrics.
 type featureRequest struct {
 	Features  []float64   `json:"features,omitempty"`
 	Instances [][]float64 `json:"instances,omitempty"`
 	TopK      int         `json:"topk,omitempty"`
+	// Method names a registered local explanation method ("" = the
+	// model's default).
+	Method string `json:"method,omitempty"`
+	// Params carries the method's typed options; unknown keys are a 400.
+	Params json.RawMessage `json:"params,omitempty"`
+	// Evaluate attaches evalx faithfulness metrics to each explanation.
+	Evaluate bool `json:"evaluate,omitempty"`
+}
+
+// decodeStrict decodes a raw "params" object into v, rejecting unknown
+// keys: a misspelled parameter name is a client error, not silently
+// ignored. Shared by explain params (xai.Options) and job params.
+func decodeStrict(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid params: %w", err)
+	}
+	return nil
 }
 
 func decodeFeatures(w http.ResponseWriter, r *http.Request, p *core.Pipeline) (featureRequest, bool) {
@@ -420,6 +476,42 @@ type Contribution struct {
 	Phi     float64 `json:"phi"`
 }
 
+// Evaluation carries evalx faithfulness metrics for one explanation,
+// attached when the request sets "evaluate": true so operators can
+// compare methods on the same instance.
+type Evaluation struct {
+	// AdditivityError is |base + Σφ − prediction|, the local-accuracy
+	// violation (0 for exact methods like TreeSHAP). Omitted for methods
+	// whose attributions are not additive decompositions (anchors,
+	// counterfactual) — the quantity is meaningless there.
+	AdditivityError *float64 `json:"additivity_error,omitempty"`
+	// DeletionAUC is the area under the attribution-guided deletion curve;
+	// lower means the top-ranked features collapse the prediction faster
+	// (a more faithful ranking). Meaningful for any method that ranks
+	// features; omitted (never reported as a perfect-looking 0) when the
+	// curve cannot be computed.
+	DeletionAUC *float64 `json:"deletion_auc,omitempty"`
+}
+
+// evaluateAttr computes the faithfulness metrics for one explanation.
+// Additivity error only applies to methods whose attributions are
+// additive decompositions; the deletion AUC applies to any ranking.
+func evaluateAttr(p *core.Pipeline, attr xai.Attribution, x []float64, method string) *Evaluation {
+	var ev Evaluation
+	if m, ok := xai.LookupMethod(method); !ok || m.Caps.Additive {
+		// Unregistered method names only reach here from embedders
+		// calling explainResponse directly; assume additive like the
+		// pre-registry explainers.
+		ae := attr.AdditivityError()
+		ev.AdditivityError = &ae
+	}
+	if curve, err := evalx.Deletion(p.Model, x, attr.Ranking(), p.Background); err == nil {
+		auc := curve.AUC()
+		ev.DeletionAUC = &auc
+	}
+	return &ev
+}
+
 // ExplainResponse is the single-instance explain reply, and one element of
 // a batch reply.
 type ExplainResponse struct {
@@ -428,6 +520,7 @@ type ExplainResponse struct {
 	Method        string         `json:"method"`
 	Contributions []Contribution `json:"contributions"`
 	Report        string         `json:"report,omitempty"`
+	Evaluation    *Evaluation    `json:"evaluation,omitempty"`
 }
 
 // BatchExplainResponse is the explain reply when "instances" was sent.
@@ -437,7 +530,7 @@ type BatchExplainResponse struct {
 	Explanations []ExplainResponse `json:"explanations"`
 }
 
-func explainResponse(p *core.Pipeline, attr xai.Attribution, method string, topK int, withReport bool) ExplainResponse {
+func explainResponse(p *core.Pipeline, attr xai.Attribution, x []float64, method string, topK int, withReport, evaluate bool) ExplainResponse {
 	resp := ExplainResponse{
 		Prediction: attr.Value,
 		Base:       attr.Base,
@@ -452,7 +545,26 @@ func explainResponse(p *core.Pipeline, attr xai.Attribution, method string, topK
 			Phi:     attr.Phi[j],
 		})
 	}
+	if evaluate {
+		resp.Evaluation = evaluateAttr(p, attr, x, method)
+	}
 	return resp
+}
+
+// writeExplainerError maps method-resolution failures to HTTP: unknown
+// method names and bad params are the client's 400; capability mismatches
+// (treeshap on an MLP, a global method on the explain path) are a 409.
+func writeExplainerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, xai.ErrUnknownMethod):
+		writeError(w, http.StatusBadRequest, "%v (registered: %s)", err, strings.Join(xai.MethodNames(), ", "))
+	case errors.Is(err, xai.ErrInvalidOptions):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, xai.ErrUnsupportedModel):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+	}
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name string) {
@@ -465,10 +577,34 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	topK := req.TopK
+	var opts xai.Options
+	if err := decodeStrict(req.Params, &opts); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// params.topk shapes the ranked response like the top-level "topk"
+	// (which wins when both are set); ExplainerFor normalizes it out of
+	// the cache key.
+	if topK <= 0 {
+		topK = opts.TopK
+	}
 	if topK <= 0 {
 		topK = 5
 	}
+	e, method, err := p.ExplainerFor(req.Method, opts)
+	if err != nil {
+		writeExplainerError(w, err)
+		return
+	}
+	ctx := r.Context()
 	if req.Instances != nil {
+		// Batch fan-out shares one explainer instance across workers, so
+		// methods registered without the concurrent-use capability only
+		// serve single-instance requests.
+		if m, ok := xai.LookupMethod(method); ok && !m.Caps.SupportsBatch {
+			writeError(w, http.StatusConflict, "method %q does not support batch fan-out; send one instance per request", method)
+			return
+		}
 		// One server-wide gate bounds explain concurrency: K simultaneous
 		// batch requests share cap(gate) workers rather than each spawning
 		// a GOMAXPROCS pool and oversubscribing the cores.
@@ -479,27 +615,95 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 			}
 			s.gate = make(chan struct{}, n)
 		})
-		e, method := p.Explainer()
-		attrs, err := xai.ExplainBatchGated(e, req.Instances, s.gate)
+		attrs, err := xai.ExplainBatchGated(ctx, e, req.Instances, s.gate)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "explain: %v", err)
 			return
 		}
+		// Per-instance evaluation is model work too (a deletion sweep per
+		// instance), so it fans out through the same gate as the explains
+		// instead of running as a serial tail on the request goroutine.
+		var evals []*Evaluation
+		if req.Evaluate {
+			evals = make([]*Evaluation, len(attrs))
+			var wg sync.WaitGroup
+			for i := range attrs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					select {
+					case s.gate <- struct{}{}:
+					case <-ctx.Done():
+						return // abandoned request: leave evals[i] nil
+					}
+					defer func() { <-s.gate }()
+					evals[i] = evaluateAttr(p, attrs[i], req.Instances[i], method)
+				}(i)
+			}
+			wg.Wait()
+		}
 		resp := BatchExplainResponse{Method: method, Count: len(attrs)}
-		for _, attr := range attrs {
+		for i, attr := range attrs {
 			// Batch replies skip the prose report: dashboards consuming
 			// batches want the numbers, and N reports dominate the payload.
-			resp.Explanations = append(resp.Explanations, explainResponse(p, attr, method, topK, false))
+			er := explainResponse(p, attr, req.Instances[i], method, topK, false, false)
+			if evals != nil {
+				er.Evaluation = evals[i]
+			}
+			resp.Explanations = append(resp.Explanations, er)
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	attr, method, err := p.ExplainInstance(req.Features)
+	attr, err := e.Explain(ctx, req.Features)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "explain: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse(p, attr, method, topK, true))
+	writeJSON(w, http.StatusOK, explainResponse(p, attr, req.Features, method, topK, true, req.Evaluate))
+}
+
+// ─── explainer discovery ────────────────────────────────────────────────
+
+// ExplainerInfo describes one registered method as applicable to a model.
+type ExplainerInfo struct {
+	Name string `json:"name"`
+	// Kind is "local" (per-instance explain) or "global" (jobs API).
+	Kind string `json:"kind"`
+	// Default marks the method explain requests use when none is named.
+	Default      bool             `json:"default,omitempty"`
+	Capabilities xai.Capabilities `json:"capabilities"`
+	// DefaultParams are the option fields the method reads, with the
+	// values an option-less explain request against this model actually
+	// uses (registry defaults overlaid with pipeline settings).
+	DefaultParams xai.Options `json:"default_params"`
+}
+
+// ExplainerListResponse is the GET /v1/models/{name}/explainers reply.
+type ExplainerListResponse struct {
+	Model string `json:"model"`
+	// DefaultMethod answers explain requests that name no method.
+	DefaultMethod string          `json:"default_method"`
+	Explainers    []ExplainerInfo `json:"explainers"`
+}
+
+func (s *Server) handleExplainers(w http.ResponseWriter, _ *http.Request, name string) {
+	p, ok := s.lookup(w, name)
+	if !ok {
+		return
+	}
+	def := core.DefaultMethod(p.Model)
+	resp := ExplainerListResponse{Model: name, DefaultMethod: def}
+	for _, m := range p.Methods() {
+		resp.Explainers = append(resp.Explainers, ExplainerInfo{
+			Name:          m.Name,
+			Kind:          m.Kind.String(),
+			Default:       m.Name == def,
+			Capabilities:  m.Caps,
+			DefaultParams: p.DefaultOptions(m),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ─── what-if ────────────────────────────────────────────────────────────
@@ -546,7 +750,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 	target := counterfactual.Target{Op: req.Op, Value: req.Value}
-	cf, err := p.WhatIf(req.Features, target, req.Immutable)
+	cf, err := p.WhatIf(r.Context(), req.Features, target, req.Immutable)
 	if err != nil {
 		if errors.Is(err, core.ErrUnknownFeature) {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -572,6 +776,11 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, name strin
 
 // ─── importance ─────────────────────────────────────────────────────────
 
+// importanceInstances is how many test rows the global |SHAP| profile
+// aggregates — shared by the synchronous endpoint and the
+// global-importance job so their (cached) results coincide exactly.
+const importanceInstances = 30
+
 // ImportanceResponse is the importance reply.
 type ImportanceResponse struct {
 	Features []string  `json:"features"`
@@ -579,12 +788,12 @@ type ImportanceResponse struct {
 	Perm     []float64 `json:"perm"`
 }
 
-func (s *Server) handleImportance(w http.ResponseWriter, _ *http.Request, name string) {
+func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request, name string) {
 	p, ok := s.lookup(w, name)
 	if !ok {
 		return
 	}
-	shapImp, permImp, err := p.GlobalImportance(30)
+	shapImp, permImp, err := p.GlobalImportance(r.Context(), importanceInstances)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "importance: %v", err)
 		return

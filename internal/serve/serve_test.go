@@ -272,6 +272,225 @@ func TestExplainBatch(t *testing.T) {
 	}
 }
 
+// ─── method selection ───────────────────────────────────────────────────
+
+func TestExplainersEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/v1/models/default/explainers")
+	wantStatus(t, resp, http.StatusOK)
+	got := decode[ExplainerListResponse](t, resp)
+	if got.DefaultMethod != "treeshap" {
+		t.Fatalf("default method %q", got.DefaultMethod)
+	}
+	byName := map[string]ExplainerInfo{}
+	for _, e := range got.Explainers {
+		byName[e.Name] = e
+	}
+	// The forest supports the tree and model-agnostic local methods plus
+	// the global ones; intgrad (gradient-only) must NOT be listed.
+	for _, want := range []string{"treeshap", "kernelshap", "lime", "anchors", "counterfactual", "pdp", "perm", "surrogate"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("method %q missing from %v", want, got.Explainers)
+		}
+	}
+	if _, ok := byName["intgrad"]; ok {
+		t.Fatal("intgrad listed for a non-differentiable forest")
+	}
+	if !byName["treeshap"].Default || byName["lime"].Default {
+		t.Fatal("default flag misplaced")
+	}
+	if byName["pdp"].Kind != "global" || byName["lime"].Kind != "local" {
+		t.Fatalf("kinds: pdp %q lime %q", byName["pdp"].Kind, byName["lime"].Kind)
+	}
+	if !byName["kernelshap"].Capabilities.NeedsBackground {
+		t.Fatal("kernelshap capabilities lost")
+	}
+	// Advertised defaults reflect what an option-less request actually
+	// runs: the pipeline's ShapSamples, not the registry's 2048.
+	if got, want := byName["kernelshap"].DefaultParams.Samples, pipeline(t).ShapSamples; got != want {
+		t.Fatalf("kernelshap advertised samples %d want %d", got, want)
+	}
+	// Unknown model → 404.
+	nf := getJSON(t, srv, "/v1/models/nope/explainers")
+	wantStatus(t, nf, http.StatusNotFound)
+	nf.Body.Close()
+}
+
+func TestExplainMethodSelection(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	x := p.Test.X[2]
+	// Explicit default-equivalent method.
+	resp := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "treeshap"})
+	wantStatus(t, resp, http.StatusOK)
+	if got := decode[ExplainResponse](t, resp); got.Method != "treeshap" {
+		t.Fatalf("method %q", got.Method)
+	}
+	// Alternative methods succeed on the forest and label themselves.
+	for _, method := range []string{"kernelshap", "lime", "anchors", "counterfactual"} {
+		resp := postJSON(t, srv, "/v1/models/default/explain",
+			map[string]any{"features": x, "method": method, "params": map[string]any{"samples": 64}})
+		wantStatus(t, resp, http.StatusOK)
+		if got := decode[ExplainResponse](t, resp); got.Method != method {
+			t.Fatalf("method %q want %q", got.Method, method)
+		}
+	}
+	// Method + params also applies to batch bodies.
+	respB := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"instances": p.Test.X[:3], "method": "lime", "params": map[string]any{"samples": 100, "seed": 9}})
+	wantStatus(t, respB, http.StatusOK)
+	if got := decode[BatchExplainResponse](t, respB); got.Method != "lime" || got.Count != 3 {
+		t.Fatalf("batch method selection: %+v", got)
+	}
+}
+
+func TestExplainMethodErrors(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+	x := p.Test.X[0]
+
+	// Unknown method → 400 listing the registry.
+	resp := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "deeplift"})
+	wantStatus(t, resp, http.StatusBadRequest)
+	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "treeshap") {
+		t.Fatalf("error %q does not list methods", errBody["error"])
+	}
+	// Capability mismatch: intgrad on the (non-differentiable) forest → 409.
+	resp2 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "intgrad"})
+	wantStatus(t, resp2, http.StatusConflict)
+	resp2.Body.Close()
+	// Global method on the explain path → 409 pointing at the jobs API.
+	resp3 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "pdp"})
+	wantStatus(t, resp3, http.StatusConflict)
+	if errBody := decode[map[string]string](t, resp3); !strings.Contains(errBody["error"], "job") {
+		t.Fatalf("global-method error %q", errBody["error"])
+	}
+	// Unknown param key → 400, not silently ignored.
+	resp4 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "lime", "params": map[string]any{"samplez": 10}})
+	wantStatus(t, resp4, http.StatusBadRequest)
+	resp4.Body.Close()
+	// Invalid param *value* (bad counterfactual op) is a 400, not a 500.
+	resp5 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "counterfactual", "params": map[string]any{"target_op": "=="}})
+	wantStatus(t, resp5, http.StatusBadRequest)
+	resp5.Body.Close()
+}
+
+// TestExplainParamsTopK: params.topk shapes the ranked output like the
+// top-level field (which wins when both are present).
+func TestExplainParamsTopK(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	x := p.Test.X[0]
+	resp := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "params": map[string]any{"topk": 2}})
+	wantStatus(t, resp, http.StatusOK)
+	if got := decode[ExplainResponse](t, resp); len(got.Contributions) != 2 {
+		t.Fatalf("params.topk: %d contributions", len(got.Contributions))
+	}
+	resp2 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "topk": 4, "params": map[string]any{"topk": 2}})
+	wantStatus(t, resp2, http.StatusOK)
+	if got := decode[ExplainResponse](t, resp2); len(got.Contributions) != 4 {
+		t.Fatalf("top-level topk should win: %d contributions", len(got.Contributions))
+	}
+}
+
+// TestExplainTreeshapOnMLPConflicts pins the acceptance criterion's 409:
+// treeshap requested against a model with no tree decomposition.
+func TestExplainTreeshapOnMLPConflicts(t *testing.T) {
+	ds, err := core.WebScenario().GenerateDataset(3, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := core.NewPipeline(core.ModelMLP, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.ShapSamples = 64
+	srv := httptest.NewServer(New(mp))
+	defer srv.Close()
+
+	x := mp.Test.X[0]
+	resp := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "treeshap"})
+	wantStatus(t, resp, http.StatusConflict)
+	resp.Body.Close()
+	// And intgrad works there (the MLP is differentiable through the
+	// scaling wrapper).
+	resp2 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "intgrad"})
+	wantStatus(t, resp2, http.StatusOK)
+	if got := decode[ExplainResponse](t, resp2); got.Method != "intgrad" {
+		t.Fatalf("method %q", got.Method)
+	}
+}
+
+func TestExplainEvaluateAttachesMetrics(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	x := p.Test.X[1]
+	resp := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "evaluate": true})
+	wantStatus(t, resp, http.StatusOK)
+	got := decode[ExplainResponse](t, resp)
+	if got.Evaluation == nil {
+		t.Fatal("evaluate: true returned no evaluation")
+	}
+	// TreeSHAP satisfies local accuracy: additivity error ~ 0.
+	if got.Evaluation.AdditivityError == nil {
+		t.Fatal("additive method missing additivity_error")
+	}
+	if *got.Evaluation.AdditivityError > 1e-6 {
+		t.Fatalf("treeshap additivity error %v", *got.Evaluation.AdditivityError)
+	}
+	if got.Evaluation.DeletionAUC == nil || *got.Evaluation.DeletionAUC <= 0 {
+		t.Fatalf("deletion AUC %v", got.Evaluation.DeletionAUC)
+	}
+	// Non-additive encodings (anchors rules) omit additivity_error but
+	// still report the ranking-based deletion AUC.
+	respA := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"features": x, "method": "anchors", "evaluate": true})
+	wantStatus(t, respA, http.StatusOK)
+	gotA := decode[ExplainResponse](t, respA)
+	if gotA.Evaluation == nil || gotA.Evaluation.AdditivityError != nil {
+		t.Fatalf("anchors evaluation %+v; additivity_error must be omitted", gotA.Evaluation)
+	}
+	if gotA.Evaluation.DeletionAUC == nil {
+		t.Fatal("anchors evaluation missing deletion AUC")
+	}
+	// Without the flag the field is absent.
+	resp2 := postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x})
+	wantStatus(t, resp2, http.StatusOK)
+	if got2 := decode[ExplainResponse](t, resp2); got2.Evaluation != nil {
+		t.Fatal("evaluation attached without evaluate: true")
+	}
+	// Batch bodies evaluate per instance.
+	resp3 := postJSON(t, srv, "/v1/models/default/explain",
+		map[string]any{"instances": p.Test.X[:2], "evaluate": true})
+	wantStatus(t, resp3, http.StatusOK)
+	got3 := decode[BatchExplainResponse](t, resp3)
+	for i, e := range got3.Explanations {
+		if e.Evaluation == nil {
+			t.Fatalf("batch instance %d missing evaluation", i)
+		}
+	}
+}
+
 func TestWhatIfEndpoint(t *testing.T) {
 	p := pipeline(t)
 	srv := httptest.NewServer(New(p))

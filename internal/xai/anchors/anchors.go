@@ -7,6 +7,7 @@
 package anchors
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,7 +15,67 @@ import (
 	"strings"
 
 	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
 )
+
+// init registers anchors in the xai method registry. The Explainer
+// adapter renders the found rule as an attribution: anchored features
+// carry the rule's precision as their score, so ranked output surfaces
+// the conditions of the playbook rule.
+func init() {
+	xai.Register(xai.Method{
+		Name: "anchors",
+		Kind: xai.KindLocal,
+		Caps: xai.Capabilities{
+			NeedsBackground: true,
+			SupportsBatch:   true,
+			Deterministic:   true,
+		},
+		Defaults: xai.Options{Threshold: 0.95, Samples: 300},
+		Build: func(t xai.Target, o xai.Options) (xai.Explainer, error) {
+			return &Explainer{
+				Model:      t.Model,
+				Background: t.Background,
+				Names:      t.Names,
+				Config: Config{
+					Threshold: o.Threshold,
+					Samples:   o.Samples,
+					Seed:      o.Seed,
+				},
+			}, nil
+		},
+	})
+}
+
+// Explainer adapts the anchor search to the xai.Explainer interface. The
+// returned attribution sets Phi[j] to the rule's precision for every
+// anchored feature j (0 elsewhere), Base to the rule's coverage, and
+// Value to the model output at x — a ranked view of which telemetry
+// conditions pin the verdict.
+type Explainer struct {
+	Model      ml.Predictor
+	Background [][]float64
+	Names      []string
+	Config     Config
+}
+
+// Explain implements xai.Explainer.
+func (e *Explainer) Explain(ctx context.Context, x []float64) (xai.Attribution, error) {
+	a, err := Explain(ctx, e.Model, x, e.Background, e.Config)
+	if err != nil {
+		return xai.Attribution{}, err
+	}
+	phi := make([]float64, len(x))
+	for _, p := range a.Predicates {
+		phi[p.Feature] = a.Precision
+	}
+	return xai.Attribution{
+		Names: e.Names,
+		Phi:   phi,
+		Base:  a.Coverage,
+		Value: e.Model.Predict(x),
+	}, nil
+}
 
 // Predicate constrains one feature to a half-open quantile interval.
 type Predicate struct {
@@ -96,13 +157,14 @@ type Config struct {
 // input z is (model.Predict(z) >= 0.5) for probability models, or
 // sign-of-deviation agreement for regression via the supplied verdict
 // function in ExplainVerdict; Explain uses the 0.5 threshold.
-func Explain(model ml.Predictor, x []float64, background [][]float64, cfg Config) (Anchor, error) {
-	return ExplainVerdict(model, x, background, cfg, func(p float64) bool { return p >= 0.5 })
+func Explain(ctx context.Context, model ml.Predictor, x []float64, background [][]float64, cfg Config) (Anchor, error) {
+	return ExplainVerdict(ctx, model, x, background, cfg, func(p float64) bool { return p >= 0.5 })
 }
 
 // ExplainVerdict finds an anchor under a custom verdict function mapping
-// the model output to a class.
-func ExplainVerdict(model ml.Predictor, x []float64, background [][]float64, cfg Config, verdict func(float64) bool) (Anchor, error) {
+// the model output to a class. Cancellation is checked once per candidate
+// precision estimate, the unit of Monte Carlo work.
+func ExplainVerdict(ctx context.Context, model ml.Predictor, x []float64, background [][]float64, cfg Config, verdict func(float64) bool) (Anchor, error) {
 	if len(x) == 0 {
 		return Anchor{}, errors.New("anchors: empty input")
 	}
@@ -147,6 +209,9 @@ func ExplainVerdict(model ml.Predictor, x []float64, background [][]float64, cfg
 		for ci, cand := range candidates {
 			if used[ci] {
 				continue
+			}
+			if err := xai.Canceled(ctx, "anchors"); err != nil {
+				return Anchor{}, err
 			}
 			trial := append(append([]Predicate(nil), current...), cand)
 			prec := estimatePrecision(model, x, background, trial, samples, rng, verdict, want)

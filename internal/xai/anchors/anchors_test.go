@@ -1,6 +1,7 @@
 package anchors
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestAnchorFindsDecisiveFeature(t *testing.T) {
 	})
 	bg := uniformBackground(rng, 400, 3)
 	x := []float64{0.9, 0.5, 0.5}
-	a, err := Explain(model, x, bg, Config{Threshold: 0.95, Seed: 2})
+	a, err := Explain(context.Background(), model, x, bg, Config{Threshold: 0.95, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestAnchorConjunction(t *testing.T) {
 	})
 	bg := uniformBackground(rng, 500, 4)
 	x := []float64{0.9, 0.9, 0.2, 0.2}
-	a, err := Explain(model, x, bg, Config{Threshold: 0.9, Seed: 4})
+	a, err := Explain(context.Background(), model, x, bg, Config{Threshold: 0.9, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestAnchorNegativeClass(t *testing.T) {
 	})
 	bg := uniformBackground(rng, 300, 2)
 	x := []float64{0.1, 0.5} // deep in class 0
-	a, err := Explain(model, x, bg, Config{Threshold: 0.9, Seed: 6})
+	a, err := Explain(context.Background(), model, x, bg, Config{Threshold: 0.9, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestAnchorRespectsMaxPredicates(t *testing.T) {
 	})
 	bg := uniformBackground(rng, 300, 6)
 	x := []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
-	a, err := Explain(model, x, bg, Config{Threshold: 0.999, MaxPredicates: 2, Seed: 8})
+	a, err := Explain(context.Background(), model, x, bg, Config{Threshold: 0.999, MaxPredicates: 2, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +124,10 @@ func TestAnchorRespectsMaxPredicates(t *testing.T) {
 
 func TestAnchorErrors(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
-	if _, err := Explain(model, nil, uniformBackground(rand.New(rand.NewSource(1)), 10, 1), Config{}); err == nil {
+	if _, err := Explain(context.Background(), model, nil, uniformBackground(rand.New(rand.NewSource(1)), 10, 1), Config{}); err == nil {
 		t.Fatal("expected empty-input error")
 	}
-	if _, err := Explain(model, []float64{1}, [][]float64{{1}}, Config{}); err == nil {
+	if _, err := Explain(context.Background(), model, []float64{1}, [][]float64{{1}}, Config{}); err == nil {
 		t.Fatal("expected small-background error")
 	}
 }

@@ -1,6 +1,7 @@
 package xai
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,8 +15,9 @@ import (
 //
 // All instances are attempted even when some fail; the first error (by
 // input order) is returned alongside the successful attributions, with the
-// failed slots left as zero values.
-func ExplainBatch(e Explainer, xs [][]float64, workers int) ([]Attribution, error) {
+// failed slots left as zero values. When ctx is cancelled mid-batch,
+// undispatched instances are skipped and the context error is reported.
+func ExplainBatch(ctx context.Context, e Explainer, xs [][]float64, workers int) ([]Attribution, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
@@ -34,12 +36,18 @@ func ExplainBatch(e Explainer, xs [][]float64, workers int) ([]Attribution, erro
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				attrs[i], errs[i] = e.Explain(xs[i])
+				attrs[i], errs[i] = e.Explain(ctx, xs[i])
 			}
 		}()
 	}
+dispatch:
 	for i := range xs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -49,8 +57,10 @@ func ExplainBatch(e Explainer, xs [][]float64, workers int) ([]Attribution, erro
 // ExplainBatchGated is ExplainBatch drawing workers from gate, a shared
 // semaphore bounding explain concurrency across callers — a server uses
 // one gate for all in-flight batch requests so K concurrent batches share
-// cap(gate) workers instead of spawning K independent pools.
-func ExplainBatchGated(e Explainer, xs [][]float64, gate chan struct{}) ([]Attribution, error) {
+// cap(gate) workers instead of spawning K independent pools. Instances
+// still waiting for a slot when ctx is cancelled are abandoned with the
+// context error.
+func ExplainBatchGated(ctx context.Context, e Explainer, xs [][]float64, gate chan struct{}) ([]Attribution, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
@@ -61,9 +71,14 @@ func ExplainBatchGated(e Explainer, xs [][]float64, gate chan struct{}) ([]Attri
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			gate <- struct{}{}
+			select {
+			case gate <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-gate }()
-			attrs[i], errs[i] = e.Explain(xs[i])
+			attrs[i], errs[i] = e.Explain(ctx, xs[i])
 		}(i)
 	}
 	wg.Wait()

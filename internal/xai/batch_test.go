@@ -1,6 +1,7 @@
 package xai
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 // sumExplainer attributes each feature its own value (base 0).
 type sumExplainer struct{}
 
-func (sumExplainer) Explain(x []float64) (Attribution, error) {
+func (sumExplainer) Explain(_ context.Context, x []float64) (Attribution, error) {
 	if len(x) == 0 {
 		return Attribution{}, errors.New("empty")
 	}
@@ -26,7 +27,7 @@ func TestExplainBatchOrderAndValues(t *testing.T) {
 		xs[i] = []float64{float64(i), 1}
 	}
 	for _, workers := range []int{0, 1, 4, 100} {
-		attrs, err := ExplainBatch(sumExplainer{}, xs, workers)
+		attrs, err := ExplainBatch(context.Background(), sumExplainer{}, xs, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -45,7 +46,7 @@ func TestExplainBatchOrderAndValues(t *testing.T) {
 }
 
 func TestExplainBatchEmpty(t *testing.T) {
-	attrs, err := ExplainBatch(sumExplainer{}, nil, 4)
+	attrs, err := ExplainBatch(context.Background(), sumExplainer{}, nil, 4)
 	if err != nil || attrs != nil {
 		t.Fatalf("empty batch: %v, %v", attrs, err)
 	}
@@ -57,7 +58,7 @@ func TestExplainBatchGated(t *testing.T) {
 		xs[i] = []float64{float64(i)}
 	}
 	gate := make(chan struct{}, 3)
-	attrs, err := ExplainBatchGated(sumExplainer{}, xs, gate)
+	attrs, err := ExplainBatchGated(context.Background(), sumExplainer{}, xs, gate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,15 +68,15 @@ func TestExplainBatchGated(t *testing.T) {
 		}
 	}
 	// Two batches sharing one gate still complete (no token leak).
-	if _, err := ExplainBatchGated(sumExplainer{}, xs[:5], gate); err != nil {
+	if _, err := ExplainBatchGated(context.Background(), sumExplainer{}, xs[:5], gate); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := ExplainBatchGated(sumExplainer{}, nil, gate); got != nil || err != nil {
+	if got, err := ExplainBatchGated(context.Background(), sumExplainer{}, nil, gate); got != nil || err != nil {
 		t.Fatalf("empty gated batch: %v, %v", got, err)
 	}
 	// Errors propagate with successful slots intact.
 	bad := [][]float64{{1}, {}}
-	attrs2, err := ExplainBatchGated(sumExplainer{}, bad, gate)
+	attrs2, err := ExplainBatchGated(context.Background(), sumExplainer{}, bad, gate)
 	if err == nil || attrs2[0].Value != 1 {
 		t.Fatalf("gated error path: %v %v", attrs2, err)
 	}
@@ -83,7 +84,7 @@ func TestExplainBatchGated(t *testing.T) {
 
 func TestExplainBatchError(t *testing.T) {
 	xs := [][]float64{{1}, {}, {3}}
-	attrs, err := ExplainBatch(sumExplainer{}, xs, 2)
+	attrs, err := ExplainBatch(context.Background(), sumExplainer{}, xs, 2)
 	if err == nil {
 		t.Fatal("want error for empty instance")
 	}

@@ -9,13 +9,93 @@
 package counterfactual
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
 )
+
+// init registers counterfactual search in the xai method registry. The
+// Explainer adapter reports the found remediation as an attribution whose
+// Phi is the per-feature delta x′ − x (Base = f(x), Value = f(x′)), so
+// ranked output lists the telemetry changes by magnitude. The goal
+// predicate comes from the options' target_op/target_value (default
+// "<= 0.5", the violation-clearing query).
+func init() {
+	xai.Register(xai.Method{
+		Name: "counterfactual",
+		Kind: xai.KindLocal,
+		Caps: xai.Capabilities{
+			NeedsBackground: true,
+			SupportsBatch:   true,
+			Deterministic:   true,
+		},
+		Defaults: xai.Options{TargetOp: "<=", TargetValue: f64(0.5), MaxChanges: 3},
+		Build: func(t xai.Target, o xai.Options) (xai.Explainer, error) {
+			op := o.TargetOp
+			if op == "" {
+				op = "<="
+			}
+			if op != "<=" && op != ">=" {
+				return nil, fmt.Errorf("%w: counterfactual target_op must be <= or >=", xai.ErrInvalidOptions)
+			}
+			// The pointer distinguishes an omitted target_value (default
+			// 0.5, the violation-clearing threshold) from an explicit 0.
+			tv := 0.5
+			if o.TargetValue != nil {
+				tv = *o.TargetValue
+			}
+			return &Explainer{
+				Model:      t.Model,
+				Background: t.Background,
+				Names:      t.Names,
+				Config: Config{
+					Target:     Target{Op: op, Value: tv},
+					MaxChanges: o.MaxChanges,
+					Seed:       o.Seed,
+				},
+			}, nil
+		},
+	})
+}
+
+// f64 builds the pointer literals the Options defaults need.
+func f64(v float64) *float64 { return &v }
+
+// Explainer adapts counterfactual search to the xai.Explainer interface.
+type Explainer struct {
+	Model      ml.Predictor
+	Background [][]float64
+	Names      []string
+	Config     Config
+}
+
+// Explain implements xai.Explainer: Phi[j] = x′[j] − x[j]. The search is
+// best-effort — when the target is unreachable within the budget, the
+// closest candidate is still reported — so callers judge success by
+// comparing Value (the model output at x′) against their target, exactly
+// as Counterfactual.Valid would.
+func (e *Explainer) Explain(ctx context.Context, x []float64) (xai.Attribution, error) {
+	cf, err := Search(ctx, e.Model, x, e.Background, e.Config)
+	if err != nil {
+		return xai.Attribution{}, err
+	}
+	phi := make([]float64, len(x))
+	for j := range phi {
+		phi[j] = cf.X[j] - x[j]
+	}
+	return xai.Attribution{
+		Names: e.Names,
+		Phi:   phi,
+		Base:  e.Model.Predict(x),
+		Value: cf.Prediction,
+	}, nil
+}
 
 // Target is the goal predicate for the counterfactual prediction.
 type Target struct {
@@ -76,8 +156,9 @@ type Counterfactual struct {
 }
 
 // Search finds a counterfactual for x against the model, using background
-// rows to derive plausible candidate values per feature.
-func Search(model ml.Predictor, x []float64, background [][]float64, cfg Config) (Counterfactual, error) {
+// rows to derive plausible candidate values per feature. Cancellation is
+// checked once per greedy step of every restart.
+func Search(ctx context.Context, model ml.Predictor, x []float64, background [][]float64, cfg Config) (Counterfactual, error) {
 	d := len(x)
 	if d == 0 {
 		return Counterfactual{}, errors.New("counterfactual: empty input")
@@ -121,6 +202,9 @@ func Search(model ml.Predictor, x []float64, background [][]float64, cfg Config)
 		changed := map[int]bool{}
 		pred := model.Predict(cur)
 		for len(changed) < maxChanges && !cfg.Target.Met(pred) {
+			if err := xai.Canceled(ctx, "counterfactual"); err != nil {
+				return Counterfactual{}, err
+			}
 			// Greedy: over mutable features (in random order), pick the
 			// single (feature, value) move that most reduces the gap,
 			// breaking gap ties by distance from the original value so

@@ -1,6 +1,7 @@
 package counterfactual
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func TestSearchFindsSparseFlip(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
 	bg := background1D(rng, 100, 3)
 	x := []float64{9, 5, 5} // prediction 9; want <= 2
-	cf, err := Search(model, x, bg, Config{Target: Target{Op: "<=", Value: 2}, Seed: 2})
+	cf, err := Search(context.Background(), model, x, bg, Config{Target: Target{Op: "<=", Value: 2}, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSearchRespectsImmutable(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] + 0.1*x[1] })
 	bg := background1D(rng, 100, 2)
 	x := []float64{9, 9}
-	cf, err := Search(model, x, bg, Config{
+	cf, err := Search(context.Background(), model, x, bg, Config{
 		Target:    Target{Op: "<=", Value: 5},
 		Immutable: []int{0},
 		Seed:      4,
@@ -72,7 +73,7 @@ func TestSearchAlreadySatisfied(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
 	bg := background1D(rng, 50, 1)
-	cf, err := Search(model, []float64{1}, bg, Config{Target: Target{Op: "<=", Value: 5}})
+	cf, err := Search(context.Background(), model, []float64{1}, bg, Config{Target: Target{Op: "<=", Value: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSearchGreaterEqualTarget(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] + x[1] })
 	bg := background1D(rng, 100, 2)
-	cf, err := Search(model, []float64{1, 1}, bg, Config{Target: Target{Op: ">=", Value: 15}, Seed: 7})
+	cf, err := Search(context.Background(), model, []float64{1, 1}, bg, Config{Target: Target{Op: ">=", Value: 15}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSearchMaxChanges(t *testing.T) {
 	})
 	bg := background1D(rng, 100, 4)
 	x := []float64{9, 9, 9, 9} // prediction 36
-	cf, err := Search(model, x, bg, Config{Target: Target{Op: "<=", Value: 5}, MaxChanges: 1, Seed: 9})
+	cf, err := Search(context.Background(), model, x, bg, Config{Target: Target{Op: "<=", Value: 5}, MaxChanges: 1, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSearchProximityPrefersClose(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
 	bg := background1D(rng, 200, 1)
 	x := []float64{9}
-	cf, err := Search(model, x, bg, Config{Target: Target{Op: "<=", Value: 6}, Seed: 11, Restarts: 10})
+	cf, err := Search(context.Background(), model, x, bg, Config{Target: Target{Op: "<=", Value: 6}, Seed: 11, Restarts: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +147,10 @@ func TestSearchProximityPrefersClose(t *testing.T) {
 
 func TestSearchErrors(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
-	if _, err := Search(model, nil, [][]float64{{1}}, Config{}); err == nil {
+	if _, err := Search(context.Background(), model, nil, [][]float64{{1}}, Config{}); err == nil {
 		t.Fatal("expected empty-input error")
 	}
-	if _, err := Search(model, []float64{1}, nil, Config{}); err == nil {
+	if _, err := Search(context.Background(), model, []float64{1}, nil, Config{}); err == nil {
 		t.Fatal("expected empty-background error")
 	}
 }

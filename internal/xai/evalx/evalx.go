@@ -6,6 +6,7 @@
 package evalx
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -44,21 +45,33 @@ func (c DeletionCurve) AUC() float64 {
 
 // Deletion computes the deletion curve for x under the given feature
 // order, replacing deleted features with the background column means.
+// All len(order)+1 cumulative-deletion rows are materialized up front and
+// scored with one call through the model's batch-inference fast path,
+// matching a per-row Predict loop bit for bit.
 func Deletion(model ml.Predictor, x []float64, order []int, background [][]float64) (DeletionCurve, error) {
 	if len(background) == 0 {
 		return DeletionCurve{}, errors.New("evalx: empty background")
 	}
-	means := columnMeans(background)
-	cur := append([]float64(nil), x...)
-	preds := make([]float64, 0, len(order)+1)
-	preds = append(preds, model.Predict(cur))
-	for _, j := range order {
-		if j < 0 || j >= len(cur) {
+	means := xai.ColumnMeans(background)
+	d := len(x)
+	n := len(order) + 1
+	backing := make([]float64, n*d)
+	rows := make([][]float64, n)
+	cur := backing[:d]
+	copy(cur, x)
+	rows[0] = cur
+	for k, j := range order {
+		if j < 0 || j >= d {
 			return DeletionCurve{}, errors.New("evalx: order index out of range")
 		}
-		cur[j] = means[j]
-		preds = append(preds, model.Predict(cur))
+		next := backing[(k+1)*d : (k+2)*d]
+		copy(next, cur)
+		next[j] = means[j]
+		rows[k+1] = next
+		cur = next
 	}
+	preds := make([]float64, n)
+	ml.PredictBatchInto(model, rows, preds)
 	return DeletionCurve{Order: order, Pred: preds}, nil
 }
 
@@ -92,11 +105,11 @@ func DeletionGap(model ml.Predictor, x []float64, attr xai.Attribution, backgrou
 // Stability measures explanation robustness: explain x and noisy copies
 // x+ε, and report the mean Spearman rank correlation between the original
 // attribution and each noisy attribution. 1.0 = perfectly stable.
-func Stability(explainer xai.Explainer, x []float64, sigma float64, trials int, seed int64) (float64, error) {
+func Stability(ctx context.Context, explainer xai.Explainer, x []float64, sigma float64, trials int, seed int64) (float64, error) {
 	if trials <= 0 {
 		trials = 5
 	}
-	base, err := explainer.Explain(x)
+	base, err := explainer.Explain(ctx, x)
 	if err != nil {
 		return 0, err
 	}
@@ -107,7 +120,7 @@ func Stability(explainer xai.Explainer, x []float64, sigma float64, trials int, 
 		for j := range x {
 			noisy[j] = x[j] + rng.NormFloat64()*sigma
 		}
-		a, err := explainer.Explain(noisy)
+		a, err := explainer.Explain(ctx, noisy)
 		if err != nil {
 			return 0, err
 		}
@@ -119,14 +132,14 @@ func Stability(explainer xai.Explainer, x []float64, sigma float64, trials int, 
 // StabilityScaled is Stability with per-feature noise scales (sigma[j] is
 // the noise std for feature j), which is what heterogeneous telemetry
 // features require.
-func StabilityScaled(explainer xai.Explainer, x []float64, sigma []float64, trials int, seed int64) (float64, error) {
+func StabilityScaled(ctx context.Context, explainer xai.Explainer, x []float64, sigma []float64, trials int, seed int64) (float64, error) {
 	if len(sigma) != len(x) {
 		return 0, errors.New("evalx: sigma length mismatch")
 	}
 	if trials <= 0 {
 		trials = 5
 	}
-	base, err := explainer.Explain(x)
+	base, err := explainer.Explain(ctx, x)
 	if err != nil {
 		return 0, err
 	}
@@ -137,7 +150,7 @@ func StabilityScaled(explainer xai.Explainer, x []float64, sigma []float64, tria
 		for j := range x {
 			noisy[j] = x[j] + rng.NormFloat64()*sigma[j]
 		}
-		a, err := explainer.Explain(noisy)
+		a, err := explainer.Explain(ctx, noisy)
 		if err != nil {
 			return 0, err
 		}
@@ -225,17 +238,4 @@ func absVec(xs []float64) []float64 {
 		out[i] = math.Abs(v)
 	}
 	return out
-}
-
-func columnMeans(rows [][]float64) []float64 {
-	means := make([]float64, len(rows[0]))
-	for _, r := range rows {
-		for j, v := range r {
-			means[j] += v
-		}
-	}
-	for j := range means {
-		means[j] /= float64(len(rows))
-	}
-	return means
 }

@@ -1,6 +1,7 @@
 package evalx
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -52,7 +53,7 @@ func TestDeletionGapPositiveForGoodAttribution(t *testing.T) {
 	}
 	x := []float64{2, 2, 2, 2}
 	k := &shap.Kernel{Model: model, Background: bg, NumSamples: 2048}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,14 +93,14 @@ type fixedExplainer struct {
 	phi func(x []float64) []float64
 }
 
-func (f fixedExplainer) Explain(x []float64) (xai.Attribution, error) {
+func (f fixedExplainer) Explain(_ context.Context, x []float64) (xai.Attribution, error) {
 	return xai.Attribution{Phi: f.phi(x)}, nil
 }
 
 func TestStabilityPerfectAndNoisy(t *testing.T) {
 	// An explainer that ignores the input is perfectly stable.
 	stable := fixedExplainer{phi: func(x []float64) []float64 { return []float64{3, 2, 1} }}
-	s, err := Stability(stable, []float64{1, 1, 1}, 0.5, 5, 1)
+	s, err := Stability(context.Background(), stable, []float64{1, 1, 1}, 0.5, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestStabilityPerfectAndNoisy(t *testing.T) {
 	unstable := fixedExplainer{phi: func(x []float64) []float64 {
 		return []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 	}}
-	u, err := Stability(unstable, []float64{1, 1, 1}, 0.5, 20, 3)
+	u, err := Stability(context.Background(), unstable, []float64{1, 1, 1}, 0.5, 20, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,11 @@
 package intgrad
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"nfvxai/internal/ml"
 	"nfvxai/internal/xai"
 )
 
@@ -19,6 +21,42 @@ type GradModel interface {
 	Predict(x []float64) float64
 	// Gradient returns ∂Predict/∂x at x.
 	Gradient(x []float64) []float64
+}
+
+// init registers integrated gradients in the xai method registry. It is
+// gradient-only: the model must implement GradModel (the repository's
+// MLP, linear and logistic models do, including through the pipeline's
+// standardizing wrapper). The baseline defaults to the background column
+// means, the usual tabular reference point.
+func init() {
+	xai.Register(xai.Method{
+		Name: "intgrad",
+		Kind: xai.KindLocal,
+		Caps: xai.Capabilities{
+			NeedsBackground: true, // baseline = background means
+			GradientOnly:    true,
+			SupportsBatch:   true,
+			Deterministic:   true,
+			Additive:        true,
+		},
+		Defaults: xai.Options{Steps: 64},
+		Compatible: func(m ml.Predictor) bool {
+			_, ok := m.(GradModel)
+			return ok
+		},
+		Build: func(t xai.Target, o xai.Options) (xai.Explainer, error) {
+			gm, ok := t.Model.(GradModel)
+			if !ok {
+				return nil, fmt.Errorf("%w: intgrad needs a differentiable model", xai.ErrUnsupportedModel)
+			}
+			return &Explainer{
+				Model:    gm,
+				Baseline: xai.ColumnMeans(t.Background),
+				Steps:    o.Steps,
+				Names:    t.Names,
+			}, nil
+		},
+	})
 }
 
 // Explainer computes integrated-gradients attributions.
@@ -32,8 +70,9 @@ type Explainer struct {
 	Names []string
 }
 
-// Explain implements xai.Explainer.
-func (e *Explainer) Explain(x []float64) (xai.Attribution, error) {
+// Explain implements xai.Explainer; cancellation is checked once per
+// integration step.
+func (e *Explainer) Explain(ctx context.Context, x []float64) (xai.Attribution, error) {
 	if len(x) == 0 {
 		return xai.Attribution{}, errors.New("intgrad: empty input")
 	}
@@ -50,6 +89,9 @@ func (e *Explainer) Explain(x []float64) (xai.Attribution, error) {
 	// Midpoint rule over alpha in (0, 1): markedly lower error than the
 	// left Riemann sum at equal steps.
 	for s := 0; s < steps; s++ {
+		if err := xai.Canceled(ctx, "intgrad"); err != nil {
+			return xai.Attribution{}, err
+		}
 		alpha := (float64(s) + 0.5) / float64(steps)
 		for j := range z {
 			z[j] = e.Baseline[j] + alpha*(x[j]-e.Baseline[j])

@@ -1,6 +1,7 @@
 package intgrad
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func (quadModel) Gradient(x []float64) []float64 {
 func TestCompletenessAxiom(t *testing.T) {
 	e := &Explainer{Model: quadModel{}, Baseline: []float64{0, 0}, Steps: 256}
 	x := []float64{1.5, -2}
-	attr, err := e.Explain(x)
+	attr, err := e.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestLinearModelExact(t *testing.T) {
 	lin := linModel{w: []float64{2, -5, 0.5}}
 	e := &Explainer{Model: lin, Baseline: []float64{1, 1, 1}, Steps: 1}
 	x := []float64{3, 0, 2}
-	attr, err := e.Explain(x)
+	attr, err := e.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestDummyFeatureZero(t *testing.T) {
 	e := &Explainer{Model: quadModel{}, Baseline: []float64{0, 0}, Steps: 64}
 	// Feature 1 at the baseline value contributes nothing regardless of
 	// path position only if x1 == baseline1.
-	attr, err := e.Explain([]float64{2, 0})
+	attr, err := e.Explain(context.Background(), []float64{2, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,10 +82,10 @@ func TestDummyFeatureZero(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	e := &Explainer{Model: quadModel{}, Baseline: []float64{0}}
-	if _, err := e.Explain(nil); err == nil {
+	if _, err := e.Explain(context.Background(), nil); err == nil {
 		t.Fatal("expected empty-input error")
 	}
-	if _, err := e.Explain([]float64{1, 2}); err == nil {
+	if _, err := e.Explain(context.Background(), []float64{1, 2}); err == nil {
 		t.Fatal("expected baseline-width error")
 	}
 }
@@ -163,7 +164,7 @@ func TestIntegratedGradientsOnMLP(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := &Explainer{Model: m, Baseline: []float64{0, 0}, Steps: 128}
-	attr, err := e.Explain([]float64{1.5, 1.5})
+	attr, err := e.Explain(context.Background(), []float64{1.5, 1.5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package lime
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,11 +32,11 @@ func TestBatchedNeighborhoodParity(t *testing.T) {
 	x := d.X[40]
 	native := &Explainer{Model: rf, Background: bg, NumSamples: 400, Seed: 6}
 	generic := &Explainer{Model: ml.PredictorFunc(rf.Predict), Background: bg, NumSamples: 400, Seed: 6}
-	a, err := native.ExplainDetailed(x)
+	a, err := native.ExplainDetailed(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := generic.ExplainDetailed(x)
+	b, err := generic.ExplainDetailed(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}

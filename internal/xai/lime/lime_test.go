@@ -1,6 +1,7 @@
 package lime
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -30,7 +31,7 @@ func TestLimeLinearModelSigns(t *testing.T) {
 	bg := background(rng, 100, 3)
 	x := []float64{2, 2, 2}
 	e := &Explainer{Model: model, Background: bg, NumSamples: 3000, Seed: 2}
-	res, err := e.ExplainDetailed(x)
+	res, err := e.ExplainDetailed(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestLimeApproximatesShapOnAdditiveModel(t *testing.T) {
 	bg := background(rng, 200, 2)
 	x := []float64{1.5, 2}
 	e := &Explainer{Model: model, Background: bg, NumSamples: 4000, Seed: 4}
-	res, err := e.ExplainDetailed(x)
+	res, err := e.ExplainDetailed(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestLimeDeterministicSeed(t *testing.T) {
 	bg := background(rng, 50, 2)
 	e1 := &Explainer{Model: model, Background: bg, NumSamples: 500, Seed: 7}
 	e2 := &Explainer{Model: model, Background: bg, NumSamples: 500, Seed: 7}
-	a1, err := e1.Explain([]float64{1, 2})
+	a1, err := e1.Explain(context.Background(), []float64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := e2.Explain([]float64{1, 2})
+	a2, err := e2.Explain(context.Background(), []float64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestLimeValueIsModelOutput(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 3 * x[0] })
 	bg := background(rng, 30, 1)
 	e := &Explainer{Model: model, Background: bg, NumSamples: 300, Seed: 9}
-	attr, err := e.Explain([]float64{2})
+	attr, err := e.Explain(context.Background(), []float64{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestLimeKernelWidthAffectsLocality(t *testing.T) {
 	bg := background(rng, 200, 1)
 	narrow := &Explainer{Model: model, Background: bg, NumSamples: 2000, KernelWidth: 0.2, Seed: 11}
 	wide := &Explainer{Model: model, Background: bg, NumSamples: 2000, KernelWidth: 50, Seed: 11}
-	an, err := narrow.Explain([]float64{1.5})
+	an, err := narrow.Explain(context.Background(), []float64{1.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	aw, err := wide.Explain([]float64{1.5})
+	aw, err := wide.Explain(context.Background(), []float64{1.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,13 +150,13 @@ func TestLimeKernelWidthAffectsLocality(t *testing.T) {
 
 func TestLimeErrors(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
-	if _, err := (&Explainer{Model: model}).Explain([]float64{1}); err == nil {
+	if _, err := (&Explainer{Model: model}).Explain(context.Background(), []float64{1}); err == nil {
 		t.Fatal("expected empty-background error")
 	}
-	if _, err := (&Explainer{Model: model, Background: [][]float64{{1, 2}}}).Explain([]float64{1}); err == nil {
+	if _, err := (&Explainer{Model: model, Background: [][]float64{{1, 2}}}).Explain(context.Background(), []float64{1}); err == nil {
 		t.Fatal("expected width mismatch error")
 	}
-	if _, err := (&Explainer{Model: model, Background: [][]float64{{1}}}).Explain(nil); err == nil {
+	if _, err := (&Explainer{Model: model, Background: [][]float64{{1}}}).Explain(context.Background(), nil); err == nil {
 		t.Fatal("expected empty-input error")
 	}
 }
@@ -168,7 +169,7 @@ func TestLimeAdditivityGap(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 4*x[0] + x[1] })
 	bg := background(rng, 100, 2)
 	e := &Explainer{Model: model, Background: bg, NumSamples: 3000, Seed: 13}
-	attr, err := e.Explain([]float64{1, 1})
+	attr, err := e.Explain(context.Background(), []float64{1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}

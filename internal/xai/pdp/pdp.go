@@ -10,7 +10,21 @@ import (
 	"sort"
 
 	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
 )
+
+// init registers partial dependence as a *global* method: it summarizes
+// the whole model per feature, so the serving layer runs it through the
+// asynchronous jobs API (pdp-grid) rather than the per-instance explain
+// path.
+func init() {
+	xai.Register(xai.Method{
+		Name:     "pdp",
+		Kind:     xai.KindGlobal,
+		Caps:     xai.Capabilities{NeedsBackground: true, Deterministic: true},
+		Defaults: xai.Options{GridSize: 20},
+	})
+}
 
 // Curve is a partial-dependence result for one feature.
 type Curve struct {

@@ -1,6 +1,7 @@
 package perm
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,11 +28,11 @@ func TestBatchedImportanceParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{Repeats: 3, Seed: 12}
-	a, err := Importance(rf, d, cfg)
+	a, err := Importance(context.Background(), rf, d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Importance(ml.PredictorFunc(rf.Predict), d, cfg)
+	b, err := Importance(context.Background(), ml.PredictorFunc(rf.Predict), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

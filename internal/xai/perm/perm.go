@@ -6,13 +6,27 @@
 package perm
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/ml"
 	"nfvxai/internal/ml/metrics"
+	"nfvxai/internal/xai"
 )
+
+// init registers permutation importance as a *global* method, served
+// through the jobs API (global-importance) rather than per-instance
+// explain.
+func init() {
+	xai.Register(xai.Method{
+		Name:     "perm",
+		Kind:     xai.KindGlobal,
+		Caps:     xai.Capabilities{Deterministic: true},
+		Defaults: xai.Options{Repeats: 5},
+	})
+}
 
 // Config controls the importance computation.
 type Config struct {
@@ -27,7 +41,9 @@ type Config struct {
 }
 
 // Importance returns the per-feature mean error increase on d.
-func Importance(model ml.Predictor, d *dataset.Dataset, cfg Config) ([]float64, error) {
+// Cancellation is checked once per feature column, the unit of shuffled
+// batch evaluation.
+func Importance(ctx context.Context, model ml.Predictor, d *dataset.Dataset, cfg Config) ([]float64, error) {
 	if d.Len() == 0 {
 		return nil, errors.New("perm: empty dataset")
 	}
@@ -66,6 +82,9 @@ func Importance(model ml.Predictor, d *dataset.Dataset, cfg Config) ([]float64, 
 	shuffled := make([]float64, n)
 	pred := make([]float64, n)
 	for j := 0; j < p; j++ {
+		if err := xai.Canceled(ctx, "perm"); err != nil {
+			return nil, err
+		}
 		var total float64
 		for r := 0; r < repeats; r++ {
 			for i := range shuffled {

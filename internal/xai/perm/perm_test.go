@@ -1,6 +1,7 @@
 package perm
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestImportanceRanksInformativeFeature(t *testing.T) {
 	if err := m.Fit(d); err != nil {
 		t.Fatal(err)
 	}
-	imp, err := Importance(&m, d, Config{Repeats: 3, Seed: 2})
+	imp, err := Importance(context.Background(), &m, d, Config{Repeats: 3, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestImportanceClassificationUsesAUC(t *testing.T) {
 	if err := m.Fit(d); err != nil {
 		t.Fatal(err)
 	}
-	imp, err := Importance(&m, d, Config{Seed: 4})
+	imp, err := Importance(context.Background(), &m, d, Config{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestImportanceCustomLoss(t *testing.T) {
 		calls++
 		return 0
 	}
-	if _, err := Importance(model, d, Config{Repeats: 2, Loss: loss}); err != nil {
+	if _, err := Importance(context.Background(), model, d, Config{Repeats: 2, Loss: loss}); err != nil {
 		t.Fatal(err)
 	}
 	// 1 baseline + 2 repeats × 1 feature.
@@ -82,7 +83,7 @@ func TestImportanceCustomLoss(t *testing.T) {
 
 func TestImportanceEmptyError(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
-	if _, err := Importance(model, dataset.New(dataset.Regression, "x"), Config{}); err == nil {
+	if _, err := Importance(context.Background(), model, dataset.New(dataset.Regression, "x"), Config{}); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -95,11 +96,11 @@ func TestImportanceDeterministic(t *testing.T) {
 		d.Add(x, x[0])
 	}
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0] })
-	i1, err := Importance(model, d, Config{Seed: 9})
+	i1, err := Importance(context.Background(), model, d, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	i2, err := Importance(model, d, Config{Seed: 9})
+	i2, err := Importance(context.Background(), model, d, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

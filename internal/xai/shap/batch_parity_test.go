@@ -1,6 +1,7 @@
 package shap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -39,11 +40,11 @@ func TestBatchedExplainMatchesRowAtATime(t *testing.T) {
 	rf, bg, x := fitForest(t, 3)
 	batched := &Kernel{Model: rf, Background: bg, NumSamples: 512, Seed: 5}
 	rowwise := &Kernel{Model: rf, Background: bg, NumSamples: 512, Seed: 5, RowAtATime: true}
-	a, err := batched.Explain(x)
+	a, err := batched.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := rowwise.Explain(x)
+	b, err := rowwise.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestBatchedExplainGBTClassificationParity(t *testing.T) {
 	x := d.X[60]
 	batched := &Kernel{Model: gbt, Background: bg, NumSamples: 512, Seed: 3}
 	rowwise := &Kernel{Model: gbt, Background: bg, NumSamples: 512, Seed: 3, RowAtATime: true}
-	a, err := batched.Explain(x)
+	a, err := batched.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := rowwise.Explain(x)
+	b, err := rowwise.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestBatchedExplainGenericModelParity(t *testing.T) {
 	rf, bg, x := fitForest(t, 7)
 	native := &Kernel{Model: rf, Background: bg, NumSamples: 512, Seed: 9}
 	generic := &Kernel{Model: ml.PredictorFunc(rf.Predict), Background: bg, NumSamples: 512, Seed: 9}
-	a, err := native.Explain(x)
+	a, err := native.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := generic.Explain(x)
+	b, err := generic.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,13 +133,13 @@ func TestBaseValueCached(t *testing.T) {
 		return rf.Predict(v)
 	})
 	k := &Kernel{Model: counted, Background: bg, NumSamples: 64, Seed: 1}
-	if _, err := k.Explain(x); err != nil {
+	if _, err := k.Explain(context.Background(), x); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
 	afterFirst := calls
 	mu.Unlock()
-	if _, err := k.Explain(x); err != nil {
+	if _, err := k.Explain(context.Background(), x); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -170,7 +171,7 @@ func TestConcurrentExplainAndPredictBatch(t *testing.T) {
 			rf.PredictBatch(bg, out)
 		}
 	}()
-	attrs, err := xai.ExplainBatch(k, xs, 4)
+	attrs, err := xai.ExplainBatch(context.Background(), k, xs, 4)
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@
 package shap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,33 @@ import (
 	"nfvxai/internal/ml"
 	"nfvxai/internal/xai"
 )
+
+// init registers KernelSHAP in the xai method registry as the
+// model-agnostic local attribution method. It needs a background sample
+// and is deterministic for a fixed (options, background) pair.
+func init() {
+	xai.Register(xai.Method{
+		Name: "kernelshap",
+		Kind: xai.KindLocal,
+		Caps: xai.Capabilities{
+			NeedsBackground: true,
+			SupportsBatch:   true,
+			Deterministic:   true,
+			Additive:        true,
+		},
+		Defaults: xai.Options{Samples: 2048, Ridge: 1e-9},
+		Build: func(t xai.Target, o xai.Options) (xai.Explainer, error) {
+			return &Kernel{
+				Model:      t.Model,
+				Background: t.Background,
+				NumSamples: o.Samples,
+				Ridge:      o.Ridge,
+				Seed:       o.Seed,
+				Names:      t.Names,
+			}, nil
+		},
+	})
+}
 
 // Kernel is a KernelSHAP explainer. Background must be non-empty; its
 // rows define the reference distribution for absent features and the base
@@ -63,8 +91,9 @@ type Kernel struct {
 	fast     *maskedEvaluator
 }
 
-// Explain computes the SHAP attribution of the model at x.
-func (k *Kernel) Explain(x []float64) (xai.Attribution, error) {
+// Explain computes the SHAP attribution of the model at x. Cancellation
+// is honored between coalition-evaluation blocks.
+func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, error) {
 	d := len(x)
 	if d == 0 {
 		return xai.Attribution{}, errors.New("shap: empty input")
@@ -101,10 +130,13 @@ func (k *Kernel) Explain(x []float64) (xai.Attribution, error) {
 	vals := make([]float64, len(masks))
 	if k.RowAtATime {
 		for i, m := range masks {
+			if err := xai.Canceled(ctx, "shap"); err != nil {
+				return xai.Attribution{}, err
+			}
 			vals[i] = k.coalitionValue(x, m)
 		}
-	} else {
-		k.evalCoalitions(x, masks, vals)
+	} else if err := k.evalCoalitions(ctx, x, masks, vals); err != nil {
+		return xai.Attribution{}, err
 	}
 
 	// Solve the constrained WLS: eliminate phi[d-1] via the efficiency
@@ -201,11 +233,11 @@ const evalBlockRows = 16384
 // batched model call. The generic reduction sums each coalition's
 // background predictions in row order, so it is bit-identical to
 // coalitionValue; the masked path agrees to within float reassociation.
-func (k *Kernel) evalCoalitions(x []float64, masks [][]bool, vals []float64) {
+// ctx is checked once per block / background row.
+func (k *Kernel) evalCoalitions(ctx context.Context, x []float64, masks [][]bool, vals []float64) error {
 	k.fastOnce.Do(func() { k.fast = newMaskedEvaluator(k) })
 	if k.fast != nil {
-		k.fast.evalCoalitions(x, k.Background, masks, vals)
-		return
+		return k.fast.evalCoalitions(ctx, x, k.Background, masks, vals)
 	}
 	d := len(x)
 	nb := len(k.Background)
@@ -222,6 +254,9 @@ func (k *Kernel) evalCoalitions(x []float64, masks [][]bool, vals []float64) {
 	preds := make([]float64, rowsCap)
 	kept := make([]int, 0, d) // mask-true feature indices, rebuilt per coalition
 	for lo := 0; lo < len(masks); lo += perBlock {
+		if err := xai.Canceled(ctx, "shap"); err != nil {
+			return err
+		}
 		hi := lo + perBlock
 		if hi > len(masks) {
 			hi = len(masks)
@@ -254,6 +289,7 @@ func (k *Kernel) evalCoalitions(x []float64, masks [][]bool, vals []float64) {
 			vals[ci] = s / float64(nb)
 		}
 	}
+	return nil
 }
 
 // shapleyKernelWeight is the KernelSHAP weight for a coalition of size s
@@ -364,7 +400,7 @@ func sum(xs []float64) float64 {
 // Exact computes Shapley values by full subset enumeration (O(2^d) value
 // evaluations, each averaging over the background). It is the correctness
 // oracle for the estimators; keep d small (≤ 12).
-func Exact(model ml.Predictor, background [][]float64, x []float64) (xai.Attribution, error) {
+func Exact(ctx context.Context, model ml.Predictor, background [][]float64, x []float64) (xai.Attribution, error) {
 	d := len(x)
 	if d == 0 || d > 20 {
 		return xai.Attribution{}, fmt.Errorf("shap: Exact supports 1..20 features, got %d", d)
@@ -385,7 +421,9 @@ func Exact(model ml.Predictor, background [][]float64, x []float64) (xai.Attribu
 		}
 		masks[bits] = m
 	}
-	k.evalCoalitions(x, masks, vals)
+	if err := k.evalCoalitions(ctx, x, masks, vals); err != nil {
+		return xai.Attribution{}, err
+	}
 	phi := make([]float64, d)
 	for j := 0; j < d; j++ {
 		bit := 1 << uint(j)

@@ -1,6 +1,7 @@
 package shap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func TestKernelMatchesLinearClosedForm(t *testing.T) {
 	bg := randomBackground(rng, 50, d)
 	x := []float64{1, 2, -1, 0.5, 3}
 	k := &Kernel{Model: m, Background: bg, NumSamples: 4096}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +70,14 @@ func TestKernelMatchesExactOnNonlinearModel(t *testing.T) {
 	})
 	bg := randomBackground(rng, 20, d)
 	x := []float64{1, -0.5, 0.7, 2, -1, 0.3}
-	exact, err := Exact(model, bg, x)
+	exact, err := Exact(context.Background(), model, bg, x)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Full enumeration (2^6−2 = 62 coalitions < budget): estimator is the
 	// exact WLS solution, which equals Shapley values.
 	k := &Kernel{Model: model, Background: bg, NumSamples: 4096}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestKernelAdditivity(t *testing.T) {
 		x[j] = rng.NormFloat64()
 	}
 	k := &Kernel{Model: model, Background: bg, NumSamples: 300, Seed: 4}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestKernelSymmetryAxiom(t *testing.T) {
 	bg := [][]float64{{0, 0, 0}, {1, 1, 1}, {0.5, 0.5, 0.2}} // cols 0,1 identical
 	x := []float64{2, 2, 1}
 	k := &Kernel{Model: model, Background: bg, NumSamples: 4096}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestKernelDummyAxiom(t *testing.T) {
 	bg := randomBackground(rng, 30, 3)
 	x := []float64{1, 99, 2}
 	k := &Kernel{Model: model, Background: bg, NumSamples: 4096}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestKernelSingleFeature(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 2 * x[0] })
 	bg := [][]float64{{1}, {3}}
 	k := &Kernel{Model: model, Background: bg}
-	attr, err := k.Explain([]float64{5})
+	attr, err := k.Explain(context.Background(), []float64{5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,12 +179,12 @@ func TestKernelSampledApproximatesExact(t *testing.T) {
 	for j := range x {
 		x[j] = rng.NormFloat64()
 	}
-	exact, err := Exact(model, bg, x)
+	exact, err := Exact(context.Background(), model, bg, x)
 	if err != nil {
 		t.Fatal(err)
 	}
 	k := &Kernel{Model: model, Background: bg, NumSamples: 1200, Seed: 7}
-	attr, err := k.Explain(x)
+	attr, err := k.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,19 +198,19 @@ func TestKernelSampledApproximatesExact(t *testing.T) {
 
 func TestKernelErrors(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return 0 })
-	if _, err := (&Kernel{Model: model}).Explain([]float64{1}); err == nil {
+	if _, err := (&Kernel{Model: model}).Explain(context.Background(), []float64{1}); err == nil {
 		t.Fatal("expected empty-background error")
 	}
-	if _, err := (&Kernel{Model: model, Background: [][]float64{{1, 2}}}).Explain([]float64{1}); err == nil {
+	if _, err := (&Kernel{Model: model, Background: [][]float64{{1, 2}}}).Explain(context.Background(), []float64{1}); err == nil {
 		t.Fatal("expected width-mismatch error")
 	}
-	if _, err := (&Kernel{Model: model, Background: [][]float64{{1}}}).Explain(nil); err == nil {
+	if _, err := (&Kernel{Model: model, Background: [][]float64{{1}}}).Explain(context.Background(), nil); err == nil {
 		t.Fatal("expected empty-input error")
 	}
-	if _, err := Exact(model, nil, []float64{1}); err == nil {
+	if _, err := Exact(context.Background(), model, nil, []float64{1}); err == nil {
 		t.Fatal("expected Exact empty-background error")
 	}
-	if _, err := Exact(model, [][]float64{{1}}, make([]float64, 25)); err == nil {
+	if _, err := Exact(context.Background(), model, [][]float64{{1}}, make([]float64, 25)); err == nil {
 		t.Fatal("expected Exact dimension error")
 	}
 }
@@ -263,7 +264,7 @@ func TestExactEfficiency(t *testing.T) {
 	model := ml.PredictorFunc(func(x []float64) float64 { return x[0]*x[1] - x[2] })
 	bg := randomBackground(rng, 15, 3)
 	x := []float64{1, 2, 3}
-	attr, err := Exact(model, bg, x)
+	attr, err := Exact(context.Background(), model, bg, x)
 	if err != nil {
 		t.Fatal(err)
 	}

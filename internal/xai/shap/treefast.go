@@ -22,9 +22,11 @@
 package shap
 
 import (
+	"context"
 	"math"
 
 	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/xai"
 )
 
 // componentEnsemble mirrors treeshap.Ensemble: the additive decomposition
@@ -157,7 +159,8 @@ func (r *reduced) build(nodes []tree.Node, j int, x, b []float64) int32 {
 // order — trees in ensemble order per background row, background rows in
 // order — matches the row-at-a-time evaluator, so results agree to within
 // floating-point reassociation of the per-tree weights (≪ 1e-9).
-func (e *maskedEvaluator) evalCoalitions(x []float64, bg [][]float64, masks [][]bool, vals []float64) {
+// Cancellation is checked once per background row, the outer unit of work.
+func (e *maskedEvaluator) evalCoalitions(ctx context.Context, x []float64, bg [][]float64, masks [][]bool, vals []float64) error {
 	nc := len(masks)
 	nb := len(bg)
 	// acc[bi*nc+ci] accumulates Σ_t w_t·tree_t(hybrid); the bi-major
@@ -166,6 +169,9 @@ func (e *maskedEvaluator) evalCoalitions(x []float64, bg [][]float64, masks [][]
 	acc := make([]float64, nb*nc)
 	var r reduced
 	for bi, b := range bg {
+		if err := xai.Canceled(ctx, "shap"); err != nil {
+			return err
+		}
 		row := acc[bi*nc : (bi+1)*nc]
 		for ti, tr := range e.trees {
 			wt := e.w[ti]
@@ -206,4 +212,5 @@ func (e *maskedEvaluator) evalCoalitions(x []float64, bg [][]float64, masks [][]
 		}
 		vals[ci] = s / float64(nb)
 	}
+	return nil
 }

@@ -14,7 +14,19 @@ import (
 	"nfvxai/internal/ml"
 	"nfvxai/internal/ml/metrics"
 	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/xai"
 )
+
+// init registers the global surrogate as a *global* method, served
+// through the jobs API (surrogate-tree) rather than per-instance explain.
+func init() {
+	xai.Register(xai.Method{
+		Name:     "surrogate",
+		Kind:     xai.KindGlobal,
+		Caps:     xai.Capabilities{Deterministic: true},
+		Defaults: xai.Options{MaxDepth: 4},
+	})
+}
 
 // Result is a fitted surrogate with fidelity diagnostics.
 type Result struct {

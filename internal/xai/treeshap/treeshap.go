@@ -7,12 +7,54 @@
 package treeshap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"nfvxai/internal/ml"
 	"nfvxai/internal/ml/tree"
 	"nfvxai/internal/xai"
 )
+
+// init registers TreeSHAP in the xai method registry. It is exact and
+// deterministic but tree-only: the model must decompose into an additive
+// ensemble of CART trees (Ensemble, or a bare *tree.Tree).
+func init() {
+	xai.Register(xai.Method{
+		Name: "treeshap",
+		Kind: xai.KindLocal,
+		Caps: xai.Capabilities{
+			TreeOnly:      true,
+			SupportsBatch: true,
+			Deterministic: true,
+			Additive:      true,
+		},
+		Compatible: func(m ml.Predictor) bool {
+			_, ok := asEnsemble(m)
+			return ok
+		},
+		Build: func(t xai.Target, _ xai.Options) (xai.Explainer, error) {
+			ens, ok := asEnsemble(t.Model)
+			if !ok {
+				return nil, fmt.Errorf("%w: treeshap needs an additive tree ensemble", xai.ErrUnsupportedModel)
+			}
+			return &Explainer{Model: ens, Names: t.Names}, nil
+		},
+	})
+}
+
+// asEnsemble adapts a predictor to the additive-tree contract when it has
+// one: Ensemble implementations pass through, lone CART trees are wrapped.
+func asEnsemble(m ml.Predictor) (Ensemble, bool) {
+	switch t := m.(type) {
+	case Ensemble:
+		return t, true
+	case *tree.Tree:
+		return Single(t), true
+	default:
+		return nil, false
+	}
+}
 
 // Ensemble is the additive tree-model contract: a weighted sum of CART
 // trees plus a constant base offset. forest.RandomForest and
@@ -39,7 +81,8 @@ type Explainer struct {
 }
 
 // Explain returns the exact (path-dependent) Shapley attribution at x.
-func (e *Explainer) Explain(x []float64) (xai.Attribution, error) {
+// Cancellation is checked once per component tree.
+func (e *Explainer) Explain(ctx context.Context, x []float64) (xai.Attribution, error) {
 	trees, weights, base := e.Model.ComponentTrees()
 	if len(trees) == 0 {
 		return xai.Attribution{}, errors.New("treeshap: empty ensemble")
@@ -52,6 +95,9 @@ func (e *Explainer) Explain(x []float64) (xai.Attribution, error) {
 	baseValue := base
 	value := base
 	for i, t := range trees {
+		if err := xai.Canceled(ctx, "treeshap"); err != nil {
+			return xai.Attribution{}, err
+		}
 		if t.NumFeatures() > d {
 			return xai.Attribution{}, fmt.Errorf("treeshap: tree expects %d features, input has %d", t.NumFeatures(), d)
 		}

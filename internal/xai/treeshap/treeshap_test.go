@@ -1,6 +1,7 @@
 package treeshap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -135,7 +136,7 @@ func TestTreeSHAPAdditivity(t *testing.T) {
 		for j := range x {
 			x[j] = rng.Float64()
 		}
-		attr, err := e.Explain(x)
+		attr, err := e.Explain(context.Background(), x)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func TestTreeSHAPDummyFeature(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := &Explainer{Model: Single(tr)}
-	attr, err := e.Explain([]float64{8, 0.3})
+	attr, err := e.Explain(context.Background(), []float64{8, 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +198,11 @@ func TestEnsembleLinearity(t *testing.T) {
 	t1, _ := randomTree(t, 11, 4, 4, 200)
 	t2, _ := randomTree(t, 12, 4, 5, 200)
 	x := []float64{0.2, 0.8, 0.5, 0.1}
-	e1, _ := (&Explainer{Model: Single(t1)}).Explain(x)
-	e2, _ := (&Explainer{Model: Single(t2)}).Explain(x)
+	e1, _ := (&Explainer{Model: Single(t1)}).Explain(context.Background(), x)
+	e2, _ := (&Explainer{Model: Single(t2)}).Explain(context.Background(), x)
 
 	combo := comboEnsemble{trees: []*tree.Tree{t1, t2}, w: []float64{0.3, 0.7}, base: 5}
-	attr, err := (&Explainer{Model: combo}).Explain(x)
+	attr, err := (&Explainer{Model: combo}).Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestRandomForestTreeSHAP(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := &Explainer{Model: &f}
-	attr, err := e.Explain([]float64{0.9, 0.5, 0.5})
+	attr, err := e.Explain(context.Background(), []float64{0.9, 0.5, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestGradientBoostingTreeSHAP(t *testing.T) {
 	}
 	e := &Explainer{Model: &g}
 	x := []float64{0.8, 0.2}
-	attr, err := e.Explain(x)
+	attr, err := e.Explain(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,15 +282,15 @@ func TestGradientBoostingTreeSHAP(t *testing.T) {
 
 func TestExplainerErrors(t *testing.T) {
 	e := &Explainer{Model: comboEnsemble{}}
-	if _, err := e.Explain([]float64{1}); err == nil {
+	if _, err := e.Explain(context.Background(), []float64{1}); err == nil {
 		t.Fatal("expected empty-ensemble error")
 	}
 	t1, _ := randomTree(t, 30, 3, 3, 100)
 	bad := comboEnsemble{trees: []*tree.Tree{t1}, w: []float64{1, 2}}
-	if _, err := (&Explainer{Model: bad}).Explain([]float64{1, 2, 3}); err == nil {
+	if _, err := (&Explainer{Model: bad}).Explain(context.Background(), []float64{1, 2, 3}); err == nil {
 		t.Fatal("expected weight-mismatch error")
 	}
-	if _, err := (&Explainer{Model: Single(t1)}).Explain([]float64{1}); err == nil {
+	if _, err := (&Explainer{Model: Single(t1)}).Explain(context.Background(), []float64{1}); err == nil {
 		t.Fatal("expected feature-width error")
 	}
 }
@@ -304,7 +305,7 @@ func TestStumpTree(t *testing.T) {
 	if err := tr.Fit(d); err != nil {
 		t.Fatal(err)
 	}
-	attr, err := (&Explainer{Model: Single(tr)}).Explain([]float64{3})
+	attr, err := (&Explainer{Model: Single(tr)}).Explain(context.Background(), []float64{3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package xai
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -85,9 +86,31 @@ func (a Attribution) String() string {
 	return sb.String()
 }
 
-// Explainer produces a local attribution for a single input.
+// Explainer produces a local attribution for a single input. Explain
+// must honor ctx: implementations check cancellation inside their
+// sampling hot loops and return ctx's error promptly once it is done, so
+// servers can bound request deadlines and abort queued batch work.
 type Explainer interface {
-	Explain(x []float64) (Attribution, error)
+	Explain(ctx context.Context, x []float64) (Attribution, error)
+}
+
+// ColumnMeans returns the per-column mean of a row matrix — the shared
+// "average background" helper used for integrated-gradients baselines
+// (intgrad) and deletion curves (evalx). Returns nil for no rows.
+func ColumnMeans(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	means := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		for j, v := range r {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(len(rows))
+	}
+	return means
 }
 
 // MeanAbs aggregates local attributions into a global importance profile:

@@ -8,6 +8,7 @@ package nfvxai
 //	go test -run '^$' -bench 'KernelShap|ForestPredict|GBTPredict' -benchmem .
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -16,7 +17,9 @@ import (
 	"nfvxai/internal/ml"
 	"nfvxai/internal/ml/forest"
 	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai"
 	"nfvxai/internal/xai/shap"
+	"nfvxai/internal/xai/treeshap"
 )
 
 var (
@@ -93,7 +96,7 @@ func benchKernelShap(b *testing.B, rowAtATime bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := &shap.Kernel{Model: perfRF, Background: bg, NumSamples: 1024, Seed: 7, RowAtATime: rowAtATime}
-		if _, err := k.Explain(x); err != nil {
+		if _, err := k.Explain(context.Background(), x); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +115,66 @@ func BenchmarkKernelShapBatchedServing(b *testing.B) {
 	x := perfDS.X[100]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := k.Explain(x); err != nil {
+		if _, err := k.Explain(context.Background(), x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ─── method-registry dispatch overhead ──────────────────────────────────
+//
+// The explanation plane (PR 3) routes every explain through the xai
+// method registry and the pipeline's per-(method, params) explainer
+// cache. This pair measures that dispatch against the PR 2 direct path
+// (a prebuilt explainer invoked immediately): the delta is the price of
+// per-request method selection, and it must stay noise against the
+// explanation itself.
+
+var (
+	dispatchOnce sync.Once
+	dispatchPipe *core.Pipeline
+	dispatchErr  error
+)
+
+func dispatchPipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	perfModels(b)
+	dispatchOnce.Do(func() {
+		dispatchPipe, dispatchErr = core.NewPipeline(core.ModelForest, perfDS, 2)
+	})
+	if dispatchErr != nil {
+		b.Fatal(dispatchErr)
+	}
+	return dispatchPipe
+}
+
+// BenchmarkExplainDispatchDirect: prebuilt TreeSHAP explainer, no
+// registry in the loop (the PR 2 serving hot path).
+func BenchmarkExplainDispatchDirect(b *testing.B) {
+	p := dispatchPipeline(b)
+	e := &treeshap.Explainer{Model: p.Model.(*forest.RandomForest), Names: p.Train.Names}
+	x := p.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(context.Background(), x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExplainDispatchRegistry resolves the method through
+// Pipeline.ExplainerFor every iteration — registry lookup, option
+// normalization, cache-key fingerprint, LRU hit — before explaining.
+func BenchmarkExplainDispatchRegistry(b *testing.B) {
+	p := dispatchPipeline(b)
+	x := p.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _, err := p.ExplainerFor("treeshap", xai.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Explain(context.Background(), x); err != nil {
 			b.Fatal(err)
 		}
 	}
