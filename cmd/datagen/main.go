@@ -12,12 +12,12 @@ import (
 
 	"nfvxai/internal/core"
 	"nfvxai/internal/dataset"
-	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/registry"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "web", "scenario: web | nat")
+		scenario = flag.String("scenario", "web", "registered scenario name or alias (builtin: web | nat)")
 		target   = flag.String("target", "util", "target: util | latency | violation")
 		hours    = flag.Float64("hours", 24, "virtual hours to simulate")
 		seed     = flag.Int64("seed", 1, "traffic seed")
@@ -25,26 +25,14 @@ func main() {
 	)
 	flag.Parse()
 
-	var sc core.Scenario
-	switch *scenario {
-	case "web":
-		sc = core.WebScenario()
-	case "nat":
-		sc = core.NATScenario()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (web|nat)\n", *scenario)
+	sc, err := core.NewScenarioRegistry().Scenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var kind telemetry.TargetKind
-	switch *target {
-	case "util":
-		kind = telemetry.TargetBottleneckUtil
-	case "latency":
-		kind = telemetry.TargetChainLatency
-	case "violation":
-		kind = telemetry.TargetViolation
-	default:
-		fmt.Fprintf(os.Stderr, "unknown target %q (util|latency|violation)\n", *target)
+	kind, err := registry.TargetFor(*target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

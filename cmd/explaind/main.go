@@ -3,7 +3,7 @@
 // Each -model flag names one scenario:model:target[:hours] combination;
 // the flag repeats, so one process hosts many deployments concurrently:
 //
-//	explaind -addr :8080 -model web:rf:util -model nat:gbt:violation:6
+//	explaind -addr :8080 -model web:rf:util -model nat:gbt:violation:6 -feed live:web
 //
 // The first spec trains synchronously before the listener starts and
 // becomes the default model behind the legacy unversioned endpoints
@@ -18,33 +18,51 @@
 //	POST /v1/models/{name}/predict     GET  /v1/models/{name}/importance
 //	POST /v1/models/{name}/explain     POST /v1/models/{name}/whatif
 //	GET  /v1/models/{name}/explainers  POST /v1/models/{name}/jobs
+//	GET  /v1/models/{name}/stream      (SSE over a feed)
 //	GET  /v1/jobs  /v1/jobs/{id}       DELETE /v1/jobs/{id}
+//	GET/POST /v1/scenarios             GET /v1/scenarios/{name}
+//	GET/POST /v1/feeds                 GET/DELETE /v1/feeds/{name}
+//	POST /v1/feeds/{name}/records      POST /v1/feeds/{name}/attach
 //
 // Explain requests may select any registered explanation method per
 // request ("method" + "params" in the body; see API.md); expensive global
 // explanations (global-importance, pdp-grid, surrogate-tree,
-// cleverhans-audit) run asynchronously through the jobs API with
-// progress, results and cancellation.
+// cleverhans-audit) and streaming retrains run asynchronously through the
+// jobs API with progress, results and cancellation.
+//
+// Each -feed name:scenario[:rate] flag starts a live simulated telemetry
+// feed at boot, equivalent to POST /v1/feeds; models attach to feeds for
+// online drift monitoring via POST /v1/feeds/{name}/attach.
+//
+// The process shuts down gracefully: SIGINT/SIGTERM stop the listener
+// (draining in-flight requests with a timeout), then cancel running jobs
+// and stop feed goroutines.
 //
 // Legacy aliases onto the default model: GET /healthz /schema /importance;
 // POST /predict /explain /whatif.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"nfvxai/internal/dataset"
+	"nfvxai/internal/feed"
 	"nfvxai/internal/registry"
 	"nfvxai/internal/serve"
 )
 
-// stringList collects repeated -model flags.
+// stringList collects repeated -model / -feed flags.
 type stringList []string
 
 func (l *stringList) String() string { return fmt.Sprint(*l) }
@@ -54,18 +72,24 @@ func (l *stringList) Set(s string) error {
 	return nil
 }
 
+// shutdownTimeout bounds how long in-flight requests may drain after a
+// termination signal before the listener is torn down anyway.
+const shutdownTimeout = 10 * time.Second
+
 func main() {
-	var raw stringList
+	var raw, rawFeeds stringList
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		defName  = flag.String("default", "", "model name the legacy endpoints alias to (default: first -model)")
 		hours    = flag.Float64("hours", 24, "virtual hours of training telemetry for specs without :hours")
 		seed     = flag.Int64("seed", 1, "seed")
-		scenario = flag.String("scenario", "web", "scenario for bare-kind -model flags (web | nat)")
+		scenario = flag.String("scenario", "web", "scenario for bare-kind -model flags (builtin: web | nat)")
 		target   = flag.String("target", "util", "target for bare-kind -model flags (util | latency | violation)")
 	)
 	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
 		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
+	flag.Var(&rawFeeds, "feed", "name:scenario[:rate] live feed to start at boot; repeat for several feeds. "+
+		"rate is virtual seconds per wall second (default 60).")
 	flag.Parse()
 
 	if len(raw) == 0 {
@@ -98,7 +122,7 @@ func main() {
 	// serving; the rest build in the background like POST /v1/models would.
 	first := specs[0]
 	log.Printf("training %s (%s, %.0fh) synchronously...", first.Name, first.Model, first.Hours)
-	p, err := registry.BuildPipeline(first)
+	p, err := reg.BuildPipeline(first)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,6 +149,68 @@ func main() {
 		}
 	}
 
+	s := serve.NewServer(reg)
+	defer s.Close()
+
+	// Boot-time feeds: -feed name:scenario[:rate], the CLI twin of
+	// POST /v1/feeds.
+	for _, spec := range rawFeeds {
+		name, scen, rate, err := parseFeedSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := reg.Scenarios.Lookup(scen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.Hub().Open(name, sp, feed.Options{Simulate: true, Seed: *seed, Rate: rate}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("feed %s streaming scenario %s (rate %.0fx)", name, sp.Name, rate)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("explaind listening on %s with %d model(s), default %s", *addr, reg.Len(), reg.DefaultName())
-	log.Fatal(http.ListenAndServe(*addr, serve.NewServer(reg)))
+
+	// Graceful shutdown: a first SIGINT/SIGTERM drains the listener with a
+	// timeout, then Close (deferred) cancels jobs and stops feeds. A second
+	// signal aborts the drain immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down (waiting up to %s for in-flight requests)...", shutdownTimeout)
+		// Close the streaming plane first: open SSE streams only end when
+		// their feed closes, so closing feeds up front lets Shutdown's
+		// drain finish promptly instead of always burning the full
+		// timeout. Running jobs are cancelled at the same time.
+		s.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("explaind stopped")
+}
+
+// parseFeedSpec parses "name:scenario[:rate]".
+func parseFeedSpec(s string) (name, scenario string, rate float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return "", "", 0, fmt.Errorf("feed spec %q: want name:scenario[:rate]", s)
+	}
+	rate = 60
+	if len(parts) == 3 {
+		rate, err = strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate <= 0 {
+			return "", "", 0, fmt.Errorf("feed spec %q: bad rate %q", s, parts[2])
+		}
+	}
+	return parts[0], parts[1], rate, nil
 }

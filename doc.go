@@ -29,6 +29,31 @@
 // (global-importance, pdp-grid, surrogate-tree, cleverhans-audit) with
 // progress and cancellation.
 //
+// # The streaming data plane
+//
+// Scenarios are declarative data, not code: core.ScenarioSpec is the
+// JSON-serializable description of a testbed (chain composition, traffic
+// shape, SLO, epoch), compiled on demand into the runnable core.Scenario.
+// A concurrent core.ScenarioRegistry catalogs specs — the two paper
+// scenarios are pre-registered ("web-sfc"/"web", "nat-edge"/"nat") and
+// new topologies register at runtime through POST /v1/scenarios, then
+// train, serve and stream without a process restart. On top sits
+// internal/feed, the live-telemetry layer: a feed runs a scenario's
+// simulated world continuously on a background goroutine (virtual time
+// throttled to wall time at a configurable rate) or accepts external
+// records over POST /v1/feeds/{name}/records in the same wire schema,
+// fanning telemetry.Record streams out to subscribers over non-blocking
+// channels. Models attach to feeds (POST /v1/feeds/{name}/attach): a
+// monitor goroutine extracts (features, next-epoch target) examples into
+// a ring-bounded streaming dataset, scores each against the live model,
+// and a drift detector compares a sliding recent window against a frozen
+// post-training baseline (prediction-error ratio and feature-mean shift).
+// Drift submits a retrain job through the jobs subsystem, which trains on
+// the streamed window and hot-swaps the pipeline via the registry
+// lifecycle; GET /v1/models/{name}/stream serves the feed back as
+// Server-Sent Events pairing every record with its prediction and top-k
+// attribution, micro-batched through the batch-inference fast path.
+//
 // # Performance: batch inference
 //
 // Explanations are thousands of perturbed model evaluations, so the hot

@@ -27,11 +27,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("training %s...\n", spec.Name)
-	p, err := registry.BuildPipeline(spec)
+	reg := registry.New()
+	p, err := reg.BuildPipeline(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reg := registry.New()
 	if _, err := reg.AddReady(spec, p, time.Now()); err != nil {
 		log.Fatal(err)
 	}

@@ -18,10 +18,10 @@ import (
 	"nfvxai/internal/nfv/sla"
 	"nfvxai/internal/nfv/telemetry"
 	"nfvxai/internal/nfv/traffic"
-	"nfvxai/internal/nfv/vnf"
 )
 
-// Scenario bundles a reproducible simulated testbed configuration.
+// Scenario bundles a reproducible simulated testbed configuration — the
+// runtime (compiled) form of a declarative ScenarioSpec.
 type Scenario struct {
 	// Name identifies the scenario in reports.
 	Name string
@@ -35,65 +35,24 @@ type Scenario struct {
 	SLO sla.SLO
 	// EpochSec is the telemetry period.
 	EpochSec float64
+	// PropagationMs is the per-hop link latency (0 = the historical 0.05
+	// default, so hand-assembled scenarios keep their old behavior).
+	PropagationMs float64
 }
 
 // WebScenario is the canonical three-hop web service chain used by most
-// experiments: firewall → IDS → load balancer under diurnal, bursty
-// traffic with a mid-day flash crowd. Provisioned so the bottleneck (IDS)
-// sweeps the full utilization range across a day.
-func WebScenario() Scenario {
-	return Scenario{
-		Name: "web-sfc",
-		Groups: func() []*chain.Group {
-			return []*chain.Group{
-				chain.NewGroup("fw", vnf.Firewall, 2, 2),
-				chain.NewGroup("ids", vnf.IDS, 2, 2),
-				chain.NewGroup("lb", vnf.LoadBalancer, 1, 2),
-			}
-		},
-		GroupNames: []string{"fw", "ids", "lb"},
-		Traffic: traffic.Profile{
-			BaseFPS:          30000,
-			DiurnalAmplitude: 0.7,
-			PeakHour:         13,
-			BurstRatio:       4,
-			BurstRate:        0.02,
-			FlashCrowds:      FlashCrowdAt(11.5*3600, 1800, 2.2),
-		},
-		SLO:      sla.SLO{MaxLatencyMs: 4, MaxLossRate: 0.01},
-		EpochSec: 5,
-	}
-}
+// experiments, compiled from WebScenarioSpec. See the spec for the
+// topology and workload rationale.
+func WebScenario() Scenario { return mustCompile(WebScenarioSpec()) }
 
 // FlashCrowdAt is a helper constructing a single flash-crowd slice.
 func FlashCrowdAt(startSec, durSec, mult float64) []traffic.FlashCrowd {
 	return []traffic.FlashCrowd{{StartSec: startSec, DurationSec: durSec, Multiplier: mult}}
 }
 
-// NATScenario is a tighter two-hop NAT+monitor chain whose flow-table
-// pressure (not raw rate) drives violations — the scenario where naive
-// "load"-only reasoning misleads operators.
-func NATScenario() Scenario {
-	return Scenario{
-		Name: "nat-edge",
-		Groups: func() []*chain.Group {
-			return []*chain.Group{
-				chain.NewGroup("nat", vnf.NAT, 2, 2),
-				chain.NewGroup("mon", vnf.Monitor, 1, 2),
-			}
-		},
-		GroupNames: []string{"nat", "mon"},
-		Traffic: traffic.Profile{
-			BaseFPS:          95000,
-			DiurnalAmplitude: 0.5,
-			PeakHour:         20,
-			BurstRatio:       6,
-			BurstRate:        0.05,
-		},
-		SLO:      sla.SLO{MaxLatencyMs: 1.5, MaxLossRate: 0.01},
-		EpochSec: 5,
-	}
-}
+// NATScenario is the tighter two-hop NAT+monitor chain, compiled from
+// NATScenarioSpec.
+func NATScenario() Scenario { return mustCompile(NATScenarioSpec()) }
 
 // BuildWorld instantiates the scenario as a running world. seed
 // perturbs the traffic; scaler may be nil for static allocation.
@@ -101,7 +60,11 @@ func (s Scenario) BuildWorld(seed int64, scaler orch.Scaler) (*sim.World, *sim.C
 	w := sim.NewWorld(s.EpochSec)
 	profile := s.Traffic
 	profile.Seed = seed
-	c := chain.New(s.Name, 0.05, s.Groups()...)
+	prop := s.PropagationMs
+	if prop == 0 {
+		prop = 0.05
+	}
+	c := chain.New(s.Name, prop, s.Groups()...)
 	h, err := w.AddChain(sim.ChainSpec{Chain: c, Traffic: profile, SLO: s.SLO, Scaler: scaler})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: building %s: %w", s.Name, err)

@@ -59,6 +59,71 @@ func (d *Dataset) Add(x []float64, y float64) {
 // Len returns the number of examples.
 func (d *Dataset) Len() int { return len(d.X) }
 
+// Append adds deep copies of every example in other. The schemas must
+// match exactly (same task, same feature names in the same order): a
+// silent column mismatch would scramble features across sources, so it is
+// an error, not a best-effort merge.
+func (d *Dataset) Append(other *Dataset) error {
+	if other == nil {
+		return nil
+	}
+	if d.Task != other.Task {
+		return fmt.Errorf("dataset: append task %v to %v", other.Task, d.Task)
+	}
+	if len(d.Names) != len(other.Names) {
+		return fmt.Errorf("dataset: append %d features to %d", len(other.Names), len(d.Names))
+	}
+	for i, n := range other.Names {
+		if d.Names[i] != n {
+			return fmt.Errorf("dataset: append feature %d is %q, want %q", i, n, d.Names[i])
+		}
+	}
+	for i, row := range other.X {
+		d.X = append(d.X, append([]float64(nil), row...))
+		d.Y = append(d.Y, other.Y[i])
+	}
+	return nil
+}
+
+// DropFront removes the oldest n examples in place (all of them when
+// n >= Len). The backing arrays are compacted so long-running streaming
+// accumulators do not pin evicted rows.
+func (d *Dataset) DropFront(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(d.X) {
+		d.X, d.Y = d.X[:0], d.Y[:0]
+		return
+	}
+	k := copy(d.X, d.X[n:])
+	for i := k; i < len(d.X); i++ {
+		d.X[i] = nil
+	}
+	d.X = d.X[:k]
+	copy(d.Y, d.Y[n:])
+	d.Y = d.Y[:k]
+}
+
+// Tail returns a deep copy of the newest n examples (the whole dataset
+// when n <= 0 or n >= Len) — the snapshot a streaming retrain job trains
+// from while the accumulator keeps appending.
+func (d *Dataset) Tail(n int) *Dataset {
+	if n <= 0 || n > len(d.X) {
+		n = len(d.X)
+	}
+	out := &Dataset{
+		Names: append([]string(nil), d.Names...),
+		Task:  d.Task,
+		X:     make([][]float64, n),
+		Y:     append([]float64(nil), d.Y[len(d.Y)-n:]...),
+	}
+	for i, row := range d.X[len(d.X)-n:] {
+		out.X[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
 // NumFeatures returns the number of feature columns.
 func (d *Dataset) NumFeatures() int { return len(d.Names) }
 

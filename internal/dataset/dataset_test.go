@@ -350,3 +350,116 @@ func TestPropertySplitPreservesRows(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendSchemaCheck(t *testing.T) {
+	d := sample(Regression, 5, 1)
+	other := sample(Regression, 3, 2)
+	if err := d.Append(other); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 8 {
+		t.Fatalf("len %d after append", d.Len())
+	}
+	// Deep copy: mutating the source must not reach the destination.
+	other.X[0][0] = 999
+	if d.X[5][0] == 999 {
+		t.Fatal("append aliased source rows")
+	}
+	if err := d.Append(nil); err != nil || d.Len() != 8 {
+		t.Fatal("nil append should be a no-op")
+	}
+	// Task mismatch.
+	if err := d.Append(sample(Classification, 2, 3)); err == nil {
+		t.Fatal("task mismatch accepted")
+	}
+	// Width mismatch.
+	if err := d.Append(New(Regression, "a", "b")); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// Name mismatch.
+	renamed := sample(Regression, 2, 4)
+	renamed.Names[2] = "zzz"
+	if err := d.Append(renamed); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestDropFrontAndTail(t *testing.T) {
+	d := New(Regression, "x")
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, float64(i))
+	}
+	d.DropFront(3)
+	if d.Len() != 7 || d.X[0][0] != 3 || d.Y[0] != 3 {
+		t.Fatalf("after DropFront(3): len=%d first=%v", d.Len(), d.X[0])
+	}
+	d.DropFront(0)
+	if d.Len() != 7 {
+		t.Fatal("DropFront(0) changed the dataset")
+	}
+	tail := d.Tail(2)
+	if tail.Len() != 2 || tail.X[0][0] != 8 || tail.Y[1] != 9 {
+		t.Fatalf("tail %v %v", tail.X, tail.Y)
+	}
+	// Tail is a deep copy.
+	tail.X[0][0] = -1
+	if d.X[5][0] == -1 {
+		t.Fatal("Tail aliased rows")
+	}
+	if all := d.Tail(0); all.Len() != 7 {
+		t.Fatalf("Tail(0) len %d", all.Len())
+	}
+	d.DropFront(100)
+	if d.Len() != 0 {
+		t.Fatal("DropFront past end should empty the dataset")
+	}
+}
+
+// TestCSVRoundTripQuotedNames locks in proper CSV quoting: feature names
+// containing commas, quotes and newlines survive WriteCSV → ReadCSV.
+func TestCSVRoundTripQuotedNames(t *testing.T) {
+	d := New(Regression, `rate,per_sec`, `q"uoted`, "multi\nline", " leading_space")
+	d.Add([]float64{1, 2, 3, 4}, 5)
+	d.Add([]float64{-1.5, 0, 2.25e-3, 1e9}, -0.5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFeatures() != 4 || got.Len() != 2 {
+		t.Fatalf("shape (%d,%d)", got.Len(), got.NumFeatures())
+	}
+	for j, n := range d.Names {
+		if got.Names[j] != n {
+			t.Fatalf("name %d: %q != %q", j, got.Names[j], n)
+		}
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("target %d: %v != %v", i, got.Y[i], d.Y[i])
+		}
+	}
+	// A non-final feature literally named "target" must also survive —
+	// only the final column is the target.
+	d2 := New(Regression, "target", "other")
+	d2.Add([]float64{1, 2}, 3)
+	var buf2 bytes.Buffer
+	if err := WriteCSV(&buf2, d2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadCSV(&buf2, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Names[0] != "target" || got2.Y[0] != 3 {
+		t.Fatalf("round trip %v %v", got2.Names, got2.Y)
+	}
+}

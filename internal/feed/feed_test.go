@@ -1,0 +1,284 @@
+package feed
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/chain"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/nfv/traffic"
+)
+
+// tinySpec is a fast two-hop scenario for feed tests.
+func tinySpec() core.ScenarioSpec {
+	return core.ScenarioSpec{
+		Name: "tiny",
+		Groups: []core.GroupSpec{
+			{Name: "fw", Kind: "firewall", Replicas: 1, CoresPerInstance: 2},
+			{Name: "mon", Kind: "monitor", Replicas: 1, CoresPerInstance: 1},
+		},
+		Traffic: core.TrafficSpec{BaseFPS: 20000},
+		SLO:     core.SLOSpec{MaxLatencyMs: 5, MaxLossRate: 0.01},
+	}
+}
+
+// tinyRecord builds a schema-matching record for ingest tests.
+func tinyRecord(tsec, util float64) telemetry.Record {
+	return telemetry.Record{
+		TimeSec:   tsec,
+		HourOfDay: tsec / 3600,
+		Demand:    traffic.Demand{TimeSec: tsec, PPS: 1000 * util, BPS: 5e5 * util, NewFlows: 50, ActiveFlows: 500, AvgPktBytes: 500},
+		Chain: chain.Result{
+			PerGroup: []chain.GroupResult{
+				{Name: "fw", Replicas: 1, Utilization: util, LatencyMs: 0.5, StateFactor: 1},
+				{Name: "mon", Replicas: 1, Utilization: util / 2, LatencyMs: 0.2, StateFactor: 1},
+			},
+			LatencyMs: 1.0, LossRate: 0.001,
+		},
+		TotalCores: 3,
+	}
+}
+
+func TestSimulatedFeedPublishes(t *testing.T) {
+	h := NewHub()
+	// One virtual day per wall second: epoch records arrive at the 2 ms
+	// tick floor, so a fraction of a second yields plenty.
+	f, err := h.Open("sim", tinySpec(), Options{Simulate: true, Rate: 86400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	var last telemetry.Record
+	for i := 0; i < 10; i++ {
+		select {
+		case rec := <-ch:
+			if len(rec.Chain.PerGroup) != 2 || rec.Chain.PerGroup[0].Name != "fw" {
+				t.Fatalf("bad record schema: %+v", rec.Chain.PerGroup)
+			}
+			if rec.TimeSec <= last.TimeSec {
+				t.Fatalf("time went backwards: %v after %v", rec.TimeSec, last.TimeSec)
+			}
+			last = rec
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no record %d after 10s; stats %+v", i, f.Stats())
+		}
+	}
+	st := f.Stats()
+	if st.SimEpochs < 10 || st.Records < 10 || st.VirtualSec <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	h.CloseAll()
+	if _, _, err := f.Subscribe(); err == nil {
+		t.Fatal("subscribe on closed feed accepted")
+	}
+	// The subscriber channel must be closed so consumers terminate.
+	for range ch {
+	}
+}
+
+func TestIngestValidatesSchema(t *testing.T) {
+	h := NewHub()
+	f, err := h.Open("ext", tinySpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.CloseAll()
+	ch, cancel, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := f.Ingest(tinyRecord(5, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rec := <-ch:
+		if rec.Demand.PPS != 400 {
+			t.Fatalf("record %+v", rec.Demand)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ingested record not delivered")
+	}
+	// Wrong group count and wrong group name are rejected.
+	bad := tinyRecord(10, 0.4)
+	bad.Chain.PerGroup = bad.Chain.PerGroup[:1]
+	if err := f.Ingest(bad); err == nil {
+		t.Fatal("short record accepted")
+	}
+	bad = tinyRecord(10, 0.4)
+	bad.Chain.PerGroup[1].Name = "nope"
+	if err := f.Ingest(bad); err == nil {
+		t.Fatal("misnamed group accepted")
+	}
+	// HourOfDay derives from TimeSec when omitted.
+	rec := tinyRecord(6*3600, 0.4)
+	rec.HourOfDay = 0
+	if err := f.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	got := <-ch
+	if got.HourOfDay != 6 {
+		t.Fatalf("hour_of_day %v, want 6", got.HourOfDay)
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	h := NewHub()
+	f, err := h.Open("drops", tinySpec(), Options{Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.CloseAll()
+	_, cancel, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if err := f.Ingest(tinyRecord(float64(i*5), 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Dropped != 8 || st.Ingested != 10 {
+		t.Fatalf("stats %+v, want 8 dropped of 10", st)
+	}
+}
+
+func TestHubOpenGetClose(t *testing.T) {
+	h := NewHub()
+	if _, err := h.Open("bad name", tinySpec(), Options{}); err == nil {
+		t.Fatal("invalid feed name accepted")
+	}
+	if _, err := h.Open("a", tinySpec(), Options{Rate: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := h.Open("a", tinySpec(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Open("a", tinySpec(), Options{}); err == nil {
+		t.Fatal("duplicate feed accepted")
+	}
+	if _, err := h.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.List()) != 1 {
+		t.Fatalf("list %v", h.List())
+	}
+	if err := h.Close("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close("a"); err == nil {
+		t.Fatal("double close accepted")
+	}
+	if _, err := h.Get("a"); err == nil {
+		t.Fatal("closed feed still resolvable")
+	}
+}
+
+// TestMonitorDetectsDriftAndSnapshot drives a monitor with stable records
+// then shifted ones and expects exactly one drift trigger (cooldown
+// armed), with the streamed dataset bounded by MaxRows.
+func TestMonitorDetectsDriftAndSnapshot(t *testing.T) {
+	h := NewHub()
+	f, err := h.Open("mon", tinySpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.CloseAll()
+
+	ext := telemetry.NewExtractor(telemetry.TargetBottleneckUtil, 5, []string{"fw", "mon"})
+	ext.MaxRows = 64
+	var mu sync.Mutex
+	var reports []DriftReport
+	m, err := Attach(f, MonitorConfig{
+		Model:     "m",
+		Extractor: ext,
+		// A deliberately biased predictor: always 0.4, so baseline error is
+		// small while utilization ≈ 0.4 and blows up when the stream shifts.
+		Predict: func(x []float64) float64 { return 0.4 },
+		Drift:   DriftConfig{Baseline: 16, Recent: 8, ErrorRatio: 3, MeanShift: 1e9, Cooldown: 1000},
+		OnDrift: func(r DriftReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := f.Ingest(tinyRecord(float64(i*5), 0.4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 40; i < 80; i++ {
+		if err := f.Ingest(tinyRecord(float64(i*5), 0.95)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := m.Stats()
+		if st.Records == 80 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor consumed %d of 80", st.Records)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := m.Stats()
+	if st.Drifts != 1 || st.LastDrift == nil || st.LastDrift.Kind != "error" {
+		t.Fatalf("stats %+v", st)
+	}
+	mu.Lock()
+	nr := len(reports)
+	mu.Unlock()
+	if nr != 1 {
+		t.Fatalf("OnDrift fired %d times, want 1 (cooldown)", nr)
+	}
+	ds := m.DatasetSnapshot()
+	if ds.Len() == 0 || ds.Len() > 64+16 {
+		t.Fatalf("snapshot rows %d, want (0, 80] bounded by MaxRows slack", ds.Len())
+	}
+	m.ResetDrift()
+	if m.Stats().BaselineReady {
+		t.Fatal("baseline survived reset")
+	}
+	m.Stop()
+	m.Stop() // idempotent
+}
+
+func TestDriftMonitorFeatureShift(t *testing.T) {
+	m := NewDriftMonitor(DriftConfig{Baseline: 20, Recent: 10, ErrorRatio: 1e9, MeanShift: 4})
+	x := []float64{1, 10}
+	for i := 0; i < 20; i++ {
+		// Small jitter so the baseline std is non-zero.
+		x[0] = 1 + 0.01*float64(i%3)
+		if _, hit := m.Observe(x, 5, 5); hit {
+			t.Fatal("drift during baseline")
+		}
+	}
+	if !m.BaselineReady() {
+		t.Fatal("baseline not frozen")
+	}
+	hits := 0
+	var rep DriftReport
+	for i := 0; i < 15; i++ {
+		x[0] = 50 // massive shift on feature 0
+		if r, hit := m.Observe(x, 5, 5); hit {
+			hits++
+			rep = r
+		}
+	}
+	if hits != 1 || rep.Kind != "feature-shift" || rep.Feature != 0 {
+		t.Fatalf("hits %d report %+v", hits, rep)
+	}
+}

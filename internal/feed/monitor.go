@@ -1,0 +1,157 @@
+package feed
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/nfv/telemetry"
+)
+
+// MonitorConfig binds one model to one feed for online scoring.
+type MonitorConfig struct {
+	// Model labels the monitored model in stats (the registry name).
+	Model string
+	// Extractor turns the record stream into (features, next-epoch
+	// target) examples; set MaxRows on it to bound the streaming
+	// training window.
+	Extractor *telemetry.Extractor
+	// Predict scores a feature vector with the live model. It is called
+	// on the monitor goroutine; implementations that resolve the model
+	// through a registry naturally pick up hot-swapped pipelines.
+	Predict func([]float64) float64
+	// Drift configures the drift detector.
+	Drift DriftConfig
+	// OnDrift, when non-nil, is invoked (on the monitor goroutine) for
+	// every drift trigger — the hook the serving layer uses to submit
+	// retrain jobs. Record consumption continues while it runs.
+	OnDrift func(DriftReport)
+}
+
+// MonitorStats is a snapshot of one monitor's progress.
+type MonitorStats struct {
+	Model string `json:"model"`
+	// Records counts raw feed records consumed; Examples counts completed
+	// (features, target) pairs scored for drift.
+	Records  uint64 `json:"records"`
+	Examples uint64 `json:"examples"`
+	// Rows is the current streaming dataset size available to retraining.
+	Rows int `json:"rows"`
+	// Drifts counts triggers; LastDrift is the most recent report.
+	Drifts        uint64       `json:"drifts"`
+	BaselineReady bool         `json:"baseline_ready"`
+	LastDrift     *DriftReport `json:"last_drift,omitempty"`
+	LastDriftAt   time.Time    `json:"last_drift_at,omitempty"`
+}
+
+// Monitor consumes a feed subscription on its own goroutine: every record
+// flows through the extractor; every completed example is scored against
+// the live model and fed to the drift detector. All state behind mu so
+// retrain jobs can snapshot the dataset while the stream keeps flowing.
+type Monitor struct {
+	cfg    MonitorConfig
+	cancel func()
+	done   chan struct{}
+
+	mu        sync.Mutex
+	drift     *DriftMonitor
+	records   uint64
+	examples  uint64
+	drifts    uint64
+	lastDrift *DriftReport
+	lastAt    time.Time
+}
+
+// Attach subscribes a monitor to the feed and starts its goroutine.
+func Attach(f *Feed, cfg MonitorConfig) (*Monitor, error) {
+	if cfg.Extractor == nil {
+		return nil, errors.New("feed: monitor needs an extractor")
+	}
+	if cfg.Predict == nil {
+		return nil, errors.New("feed: monitor needs a predict function")
+	}
+	ch, cancel, err := f.Subscribe()
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		cfg:    cfg,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		drift:  NewDriftMonitor(cfg.Drift),
+	}
+	go m.loop(ch)
+	return m, nil
+}
+
+func (m *Monitor) loop(ch <-chan telemetry.Record) {
+	defer close(m.done)
+	for rec := range ch {
+		m.mu.Lock()
+		m.records++
+		var report DriftReport
+		hit := false
+		if m.cfg.Extractor.Push(rec) {
+			ds := m.cfg.Extractor.Dataset()
+			x := ds.X[ds.Len()-1]
+			y := ds.Y[ds.Len()-1]
+			pred := m.cfg.Predict(x)
+			m.examples++
+			report, hit = m.drift.Observe(x, y, pred)
+			if hit {
+				m.drifts++
+				r := report
+				m.lastDrift = &r
+				m.lastAt = time.Now()
+			}
+		}
+		m.mu.Unlock()
+		if hit && m.cfg.OnDrift != nil {
+			m.cfg.OnDrift(report)
+		}
+	}
+}
+
+// DatasetSnapshot deep-copies the streamed dataset accumulated so far —
+// what a retrain job trains from while the monitor keeps appending.
+func (m *Monitor) DatasetSnapshot() *dataset.Dataset {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Extractor.Dataset().Tail(0)
+}
+
+// ResetDrift rebuilds the drift baseline — call after swapping in a
+// retrained model, whose error profile defines a new "normal".
+func (m *Monitor) ResetDrift() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drift.Reset()
+}
+
+// Stats returns a snapshot of the monitor's counters.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MonitorStats{
+		Model:         m.cfg.Model,
+		Records:       m.records,
+		Examples:      m.examples,
+		Rows:          m.cfg.Extractor.Dataset().Len(),
+		Drifts:        m.drifts,
+		BaselineReady: m.drift.BaselineReady(),
+		LastDriftAt:   m.lastAt,
+	}
+	if m.lastDrift != nil {
+		r := *m.lastDrift
+		s.LastDrift = &r
+	}
+	return s
+}
+
+// Stop cancels the subscription and waits for the goroutine to drain.
+// Safe to call more than once, and also after the feed itself closed.
+func (m *Monitor) Stop() {
+	m.cancel()
+	<-m.done
+}

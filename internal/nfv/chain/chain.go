@@ -63,16 +63,19 @@ func (g *Group) Scale(delta int) int {
 	return len(g.instances) - before
 }
 
-// GroupResult is one epoch of processing at a group.
+// GroupResult is one epoch of processing at a group. The JSON tags define
+// the wire schema used when telemetry records cross the HTTP ingest
+// boundary (POST /v1/feeds/{name}/records); Kind serializes as the
+// vnf.Kind integer.
 type GroupResult struct {
-	Name        string
-	Kind        vnf.Kind
-	Replicas    int
-	Utilization float64 // mean across replicas
-	LatencyMs   float64 // mean across replicas
-	ServedPPS   float64
-	LossRate    float64
-	StateFactor float64
+	Name        string   `json:"name"`
+	Kind        vnf.Kind `json:"kind"`
+	Replicas    int      `json:"replicas"`
+	Utilization float64  `json:"utilization"` // mean across replicas
+	LatencyMs   float64  `json:"latency_ms"`  // mean across replicas
+	ServedPPS   float64  `json:"served_pps"`
+	LossRate    float64  `json:"loss_rate"`
+	StateFactor float64  `json:"state_factor"`
 }
 
 // Process serves demand for one epoch: the offered load and active flows
@@ -115,15 +118,16 @@ func New(name string, propagationMs float64, groups ...*Group) *Chain {
 	return &Chain{Name: name, PropagationMs: propagationMs, Groups: groups}
 }
 
-// Result is one epoch of chain processing.
+// Result is one epoch of chain processing. JSON tags define the telemetry
+// ingest wire schema.
 type Result struct {
-	PerGroup []GroupResult
+	PerGroup []GroupResult `json:"per_group"`
 	// LatencyMs is the end-to-end mean latency (hops + propagation).
-	LatencyMs float64
+	LatencyMs float64 `json:"latency_ms"`
 	// LossRate is 1 − (egress PPS / ingress PPS).
-	LossRate float64
+	LossRate float64 `json:"loss_rate"`
 	// Bottleneck is the index of the highest-utilization group.
-	Bottleneck int
+	Bottleneck int `json:"bottleneck"`
 }
 
 // Process pushes one epoch of demand through the chain. Load that a hop

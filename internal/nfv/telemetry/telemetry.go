@@ -105,22 +105,28 @@ func (r *Registry) Names() []string {
 }
 
 // Record is the telemetry of one chain over one epoch — the raw material
-// for both dashboards and training data.
+// for both dashboards and training data. The JSON tags define the wire
+// schema shared by the simulator and the HTTP ingest endpoint
+// (POST /v1/feeds/{name}/records), so real telemetry can replace the
+// simulated feed without a schema change.
 type Record struct {
-	TimeSec   float64
-	HourOfDay float64
+	TimeSec   float64 `json:"time_sec"`
+	HourOfDay float64 `json:"hour_of_day"`
 
-	Demand traffic.Demand
-	Chain  chain.Result
+	Demand traffic.Demand `json:"demand"`
+	Chain  chain.Result   `json:"chain"`
 
 	// TotalCores is the chain's allocation during the epoch.
-	TotalCores int
+	TotalCores int `json:"total_cores"`
 }
 
-// Window is a bounded sliding window of records.
+// Window is a bounded sliding window of records backed by a fixed ring
+// buffer: Push is O(1) with no per-record allocation, so long-running
+// streaming feeds pay nothing for windowed feature extraction.
 type Window struct {
-	cap  int
-	recs []Record
+	buf  []Record
+	head int // index of the oldest record
+	n    int // records currently buffered
 }
 
 // NewWindow returns a window holding up to n records.
@@ -128,25 +134,41 @@ func NewWindow(n int) *Window {
 	if n < 1 {
 		n = 1
 	}
-	return &Window{cap: n}
+	return &Window{buf: make([]Record, n)}
 }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
 
 // Push appends a record, evicting the oldest beyond capacity.
 func (w *Window) Push(r Record) {
-	w.recs = append(w.recs, r)
-	if len(w.recs) > w.cap {
-		w.recs = w.recs[1:]
+	if w.n < len(w.buf) {
+		w.buf[(w.head+w.n)%len(w.buf)] = r
+		w.n++
+		return
 	}
+	w.buf[w.head] = r
+	w.head = (w.head + 1) % len(w.buf)
 }
 
 // Len returns the number of buffered records.
-func (w *Window) Len() int { return len(w.recs) }
+func (w *Window) Len() int { return w.n }
 
 // At returns the i-th oldest record.
-func (w *Window) At(i int) Record { return w.recs[i] }
+func (w *Window) At(i int) Record {
+	if i < 0 || i >= w.n {
+		panic(fmt.Sprintf("telemetry: window index %d out of range [0, %d)", i, w.n))
+	}
+	return w.buf[(w.head+i)%len(w.buf)]
+}
 
 // Last returns the most recent record; it panics on an empty window.
-func (w *Window) Last() Record { return w.recs[len(w.recs)-1] }
+func (w *Window) Last() Record {
+	if w.n == 0 {
+		panic("telemetry: Last on empty window")
+	}
+	return w.At(w.n - 1)
+}
 
 // FeatureNames returns the feature schema produced by Features for a
 // chain with the given group names, in order.
@@ -226,13 +248,19 @@ const (
 )
 
 // Extractor accumulates (features, next-epoch target) pairs as records
-// stream in.
+// stream in. With MaxRows set it becomes a streaming accumulator: the
+// dataset is ring-bounded to the newest MaxRows examples, so a feed that
+// runs for weeks holds a sliding training window instead of growing
+// without bound.
 type Extractor struct {
 	Target TargetKind
 	// SLOLatencyMs is the violation threshold for TargetViolation.
 	SLOLatencyMs float64
 	// WindowLen is the feature lag window (default 8).
 	WindowLen int
+	// MaxRows, when > 0, bounds the accumulated dataset to the newest
+	// MaxRows examples (amortized O(1) per push).
+	MaxRows int
 
 	win     *Window
 	pending []float64 // features awaiting next-epoch target
@@ -259,16 +287,28 @@ func NewExtractor(target TargetKind, sloMs float64, groupNames []string) *Extrac
 
 // Push feeds one epoch record. When a previous epoch's features are
 // pending, the new record supplies their target and the pair is added to
-// the dataset.
-func (e *Extractor) Push(r Record) {
+// the dataset (evicting the oldest rows beyond MaxRows). It reports
+// whether a completed (features, target) example was added.
+func (e *Extractor) Push(r Record) bool {
+	added := false
 	if e.pending != nil {
-		e.ds.Add(e.pending, e.targetOf(r))
+		e.ds.Add(e.pending, e.TargetOf(r))
+		added = true
+		if e.MaxRows > 0 && e.ds.Len() > e.MaxRows+e.MaxRows/4 {
+			// Trim lazily with 25% slack so the copy amortizes to O(1).
+			e.ds.DropFront(e.ds.Len() - e.MaxRows)
+		}
 	}
 	e.win.Push(r)
 	e.pending = Features(e.win)
+	return added
 }
 
-func (e *Extractor) targetOf(r Record) float64 {
+// TargetOf computes the extractor's prediction target from one record —
+// the label a model's previous-epoch features are paired with. Exported so
+// streaming monitors can score live predictions against the same label the
+// training pipeline uses.
+func (e *Extractor) TargetOf(r Record) float64 {
 	switch e.Target {
 	case TargetChainLatency:
 		return r.Chain.LatencyMs

@@ -68,7 +68,7 @@ func TestWindowEviction(t *testing.T) {
 	if w.At(0).TimeSec != 2 || w.Last().TimeSec != 4 {
 		t.Fatalf("window contents wrong: %v..%v", w.At(0).TimeSec, w.Last().TimeSec)
 	}
-	if NewWindow(0).cap != 1 {
+	if NewWindow(0).Cap() != 1 {
 		t.Fatal("window floor")
 	}
 }
@@ -200,5 +200,107 @@ func TestExtractorLatencyTarget(t *testing.T) {
 	}
 	if e.String() == "" {
 		t.Fatal("String empty")
+	}
+}
+
+// TestWindowRingEdgeCases exercises the ring buffer at and past capacity:
+// ordering across many wraparounds, Last on a partially filled window,
+// and the panics on empty/out-of-range access.
+func TestWindowRingEdgeCases(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 || w.Cap() != 4 {
+		t.Fatalf("fresh window len=%d cap=%d", w.Len(), w.Cap())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Last on empty window did not panic")
+			}
+		}()
+		w.Last()
+	}()
+	// Partially filled: Last tracks the newest record, At the oldest.
+	w.Push(Record{TimeSec: 0})
+	w.Push(Record{TimeSec: 1})
+	if w.Len() != 2 || w.Last().TimeSec != 1 || w.At(0).TimeSec != 0 {
+		t.Fatalf("partial window: len=%d last=%v at0=%v", w.Len(), w.Last().TimeSec, w.At(0).TimeSec)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At past Len did not panic")
+			}
+		}()
+		w.At(2)
+	}()
+	// Push far past capacity: the window must always hold the newest Cap
+	// records in order, across many head wraparounds.
+	for i := 2; i < 103; i++ {
+		w.Push(Record{TimeSec: float64(i)})
+		if w.Len() != minInt(i+1, 4) {
+			t.Fatalf("len %d after %d pushes", w.Len(), i+1)
+		}
+		for j := 0; j < w.Len(); j++ {
+			want := float64(i - w.Len() + 1 + j)
+			if w.At(j).TimeSec != want {
+				t.Fatalf("after push %d: At(%d)=%v want %v", i, j, w.At(j).TimeSec, want)
+			}
+		}
+		if w.Last().TimeSec != float64(i) {
+			t.Fatalf("last %v after push %d", w.Last().TimeSec, i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(-1) did not panic")
+			}
+		}()
+		w.At(-1)
+	}()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestExtractorMaxRowsBounds checks the streaming accumulation: with
+// MaxRows set, the dataset keeps only the newest rows (within the trim
+// slack) and the kept rows are the most recent examples.
+func TestExtractorMaxRowsBounds(t *testing.T) {
+	e := NewExtractor(TargetChainLatency, 0, nil)
+	e.MaxRows = 20
+	for i := 0; i < 200; i++ {
+		r := record(float64(i*5), 100, 0)
+		r.Chain.LatencyMs = float64(i)
+		added := e.Push(r)
+		if (i == 0) == added {
+			t.Fatalf("push %d reported added=%v", i, added)
+		}
+	}
+	ds := e.Dataset()
+	if ds.Len() < 20 || ds.Len() > 25 {
+		t.Fatalf("bounded dataset has %d rows, want [20, 25]", ds.Len())
+	}
+	// Targets are the most recent latencies, contiguous and in order.
+	last := ds.Y[len(ds.Y)-1]
+	if last != 199 {
+		t.Fatalf("newest target %v, want 199", last)
+	}
+	for i, y := range ds.Y {
+		if want := last - float64(len(ds.Y)-1-i); y != want {
+			t.Fatalf("row %d target %v, want %v", i, y, want)
+		}
+	}
+	// Unbounded extractor keeps everything.
+	e2 := NewExtractor(TargetChainLatency, 0, nil)
+	for i := 0; i < 50; i++ {
+		e2.Push(record(float64(i*5), 100, 0))
+	}
+	if e2.Dataset().Len() != 49 {
+		t.Fatalf("unbounded rows %d, want 49", e2.Dataset().Len())
 	}
 }

@@ -72,19 +72,20 @@ func (p Profile) withDefaults() Profile {
 // Demand is the aggregate offered load of one epoch.
 type Demand struct {
 	// TimeSec is the epoch start; HourOfDay derives from it.
-	TimeSec   float64
-	HourOfDay float64
+	TimeSec   float64 `json:"time_sec"`
+	HourOfDay float64 `json:"hour_of_day"`
 	// NewFlows is the number of flow arrivals this epoch.
-	NewFlows int
+	NewFlows int `json:"new_flows"`
 	// ActiveFlows is the number of concurrently active flows.
-	ActiveFlows int
+	ActiveFlows int `json:"active_flows"`
 	// PPS and BPS are offered packets/sec and bytes/sec.
-	PPS, BPS float64
+	PPS float64 `json:"pps"`
+	BPS float64 `json:"bps"`
 	// AvgPktBytes is the mean packet size.
-	AvgPktBytes float64
+	AvgPktBytes float64 `json:"avg_pkt_bytes"`
 	// Burst in [0, 1] is the fraction of the epoch spent in the MMPP high
 	// state — the instantaneous burstiness indicator.
-	Burst float64
+	Burst float64 `json:"burst"`
 }
 
 // cohort aggregates the flows admitted in one epoch.

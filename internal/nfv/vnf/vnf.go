@@ -55,6 +55,18 @@ func Kinds() []Kind {
 	return []Kind{Firewall, NAT, IDS, LoadBalancer, RateLimiter, Monitor, DPI}
 }
 
+// KindFor resolves a kind by its String() name ("firewall", "nat", "ids",
+// "lb", "ratelimiter", "monitor", "dpi"). Declarative scenario specs name
+// kinds by string, so unknown names must be detectable, not a panic.
+func KindFor(name string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // CostModel declares the CPU cost structure of a VNF implementation.
 type CostModel struct {
 	// CyclesPerPacket is the fixed header-processing cost.

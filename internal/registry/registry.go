@@ -51,7 +51,8 @@ func (s Status) String() string {
 type Spec struct {
 	// Name is the registry key. Defaults to "scenario/model/target".
 	Name string `json:"name,omitempty"`
-	// Scenario is "web" or "nat".
+	// Scenario names a registered scenario — a builtin ("web", "nat") or
+	// any spec registered at runtime via the scenario registry.
 	Scenario string `json:"scenario"`
 	// Model is "linear", "cart", "rf", "gbt" or "mlp".
 	Model string `json:"model"`
@@ -87,16 +88,14 @@ const (
 	MaxShapSamples = 1 << 16
 )
 
-// Validate checks the spec against the known scenarios, models and
-// targets, and bounds the requested training work.
+// Validate checks the spec's model, target and work bounds. Scenario
+// existence is registry-scoped (scenarios can be registered at runtime),
+// so it is checked by Registry.ValidateSpec, not here.
 func (sp Spec) Validate() error {
-	if _, err := scenarioFor(sp.Scenario); err != nil {
+	if _, err := ModelKindFor(sp.Model); err != nil {
 		return err
 	}
-	if _, err := modelKindFor(sp.Model); err != nil {
-		return err
-	}
-	if _, err := targetFor(sp.Target); err != nil {
+	if _, err := TargetFor(sp.Target); err != nil {
 		return err
 	}
 	if sp.Hours < 0 || sp.Hours > MaxHours {
@@ -108,10 +107,22 @@ func (sp Spec) Validate() error {
 	return nil
 }
 
+// ValidateSpec is Spec.Validate plus scenario resolution against this
+// registry's scenario catalog, so specs may reference scenarios registered
+// at runtime.
+func (r *Registry) ValidateSpec(sp Spec) error {
+	if _, err := r.Scenarios.Lookup(sp.Scenario); err != nil {
+		return err
+	}
+	return sp.Validate()
+}
+
 // ParseSpec parses the "scenario:model:target[:hours]" form used by
-// explaind's repeated -model flag. Hours stays 0 when omitted so callers
-// can distinguish "unset" from an explicit value; Create, AddReady and
-// BuildPipeline default it to 24.
+// explaind's repeated -model flag, resolving the scenario against the
+// builtin catalog (CLI flags are parsed before anything can be registered
+// at runtime). Hours stays 0 when omitted so callers can distinguish
+// "unset" from an explicit value; Create, AddReady and BuildPipeline
+// default it to 24.
 func ParseSpec(s string) (Spec, error) {
 	parts := strings.Split(s, ":")
 	if len(parts) < 3 || len(parts) > 4 {
@@ -125,6 +136,9 @@ func ParseSpec(s string) (Spec, error) {
 		}
 		sp.Hours = h
 	}
+	if _, err := builtinScenarios.Lookup(sp.Scenario); err != nil {
+		return Spec{}, err
+	}
 	if err := sp.Validate(); err != nil {
 		return Spec{}, err
 	}
@@ -132,11 +146,15 @@ func ParseSpec(s string) (Spec, error) {
 	return sp, nil
 }
 
+// builtinScenarios backs ParseSpec's scenario resolution: the two paper
+// scenarios, shared read-only across all parses.
+var builtinScenarios = core.NewScenarioRegistry()
+
 // reservedSegments are the serving actions routed under a model's path;
 // a name ending in one would shadow its own endpoints.
 var reservedSegments = map[string]bool{
 	"predict": true, "explain": true, "whatif": true, "importance": true, "schema": true,
-	"explainers": true, "jobs": true,
+	"explainers": true, "jobs": true, "stream": true,
 }
 
 // ValidateName checks that a model name is addressable over the HTTP API:
@@ -165,18 +183,8 @@ func ValidateName(name string) error {
 	return nil
 }
 
-func scenarioFor(name string) (core.Scenario, error) {
-	switch name {
-	case "web":
-		return core.WebScenario(), nil
-	case "nat":
-		return core.NATScenario(), nil
-	default:
-		return core.Scenario{}, fmt.Errorf("registry: unknown scenario %q (want web|nat)", name)
-	}
-}
-
-func modelKindFor(name string) (core.ModelKind, error) {
+// ModelKindFor resolves a model-zoo kind by name.
+func ModelKindFor(name string) (core.ModelKind, error) {
 	for _, k := range core.ZooKinds() {
 		if k.String() == name {
 			return k, nil
@@ -185,7 +193,8 @@ func modelKindFor(name string) (core.ModelKind, error) {
 	return 0, fmt.Errorf("registry: unknown model %q (want linear|cart|rf|gbt|mlp)", name)
 }
 
-func targetFor(name string) (telemetry.TargetKind, error) {
+// TargetFor resolves a telemetry prediction target by name.
+func TargetFor(name string) (telemetry.TargetKind, error) {
 	switch name {
 	case "util":
 		return telemetry.TargetBottleneckUtil, nil
@@ -198,20 +207,23 @@ func targetFor(name string) (telemetry.TargetKind, error) {
 	}
 }
 
-// BuildPipeline is the production builder: simulate the scenario, train
-// the model, wire the explainer background. It is the default Builder of
-// a Registry and runs inside Create's background goroutine.
-func BuildPipeline(sp Spec) (*core.Pipeline, error) {
+// BuildPipeline is the production builder: resolve the scenario through
+// this registry's scenario catalog, simulate it, train the model, wire
+// the explainer background. It is the default Builder of a Registry and
+// runs inside Create's background goroutine — which is why the scenario
+// is resolved here, at build time, so a spec can reference a scenario
+// registered after the process started.
+func (r *Registry) BuildPipeline(sp Spec) (*core.Pipeline, error) {
 	sp = sp.withDefaults()
-	sc, err := scenarioFor(sp.Scenario)
+	sc, err := r.Scenarios.Scenario(sp.Scenario)
 	if err != nil {
 		return nil, err
 	}
-	kind, err := modelKindFor(sp.Model)
+	kind, err := ModelKindFor(sp.Model)
 	if err != nil {
 		return nil, err
 	}
-	target, err := targetFor(sp.Target)
+	target, err := TargetFor(sp.Target)
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +248,9 @@ type Entry struct {
 	Err       string
 	CreatedAt time.Time
 	ReadyAt   time.Time
+	// Retrains counts successful hot-swaps (Swap) since creation; ReadyAt
+	// moves forward with each one.
+	Retrains int
 	// Pipeline is non-nil iff Status == StatusReady.
 	Pipeline *core.Pipeline
 }
@@ -247,14 +262,20 @@ type entry struct {
 	err       string
 	createdAt time.Time
 	readyAt   time.Time
+	retrains  int
 	pipeline  *core.Pipeline
 }
 
 // Registry is the concurrent-safe model catalog.
 type Registry struct {
-	// Builder trains a pipeline from a spec. Defaults to BuildPipeline;
+	// Builder trains a pipeline from a spec. nil selects the registry's
+	// own BuildPipeline (which resolves scenarios through Scenarios);
 	// tests inject controlled builders to drive lifecycle transitions.
 	Builder func(Spec) (*core.Pipeline, error)
+	// Scenarios is the scenario catalog model specs resolve against. New
+	// seeds it with the builtin paper scenarios; the serving layer
+	// registers new specs into it at runtime.
+	Scenarios *core.ScenarioRegistry
 
 	mu         sync.RWMutex
 	models     map[string]*entry
@@ -264,9 +285,10 @@ type Registry struct {
 	done chan<- string
 }
 
-// New returns an empty registry using the production builder.
+// New returns an empty registry using the production builder and the
+// builtin scenario catalog.
 func New() *Registry {
-	return &Registry{Builder: BuildPipeline, models: map[string]*entry{}}
+	return &Registry{models: map[string]*entry{}, Scenarios: core.NewScenarioRegistry()}
 }
 
 // NotifyBuilds routes every finished background build's model name to ch.
@@ -318,7 +340,7 @@ func (r *Registry) AddReady(sp Spec, p *core.Pipeline, now time.Time) (string, e
 // transient failure must not require a process restart — but training and
 // ready entries are protected by ErrExists.
 func (r *Registry) Create(sp Spec) (Entry, error) {
-	if err := sp.Validate(); err != nil {
+	if err := r.ValidateSpec(sp); err != nil {
 		return Entry{}, err
 	}
 	sp = sp.withDefaults()
@@ -337,7 +359,7 @@ func (r *Registry) Create(sp Spec) (Entry, error) {
 	}
 	build := r.Builder
 	if build == nil {
-		build = BuildPipeline
+		build = r.BuildPipeline
 	}
 	snap := e.snapshotLocked()
 	r.mu.Unlock()
@@ -369,8 +391,35 @@ func (e *entry) snapshotLocked() Entry {
 		Err:       e.err,
 		CreatedAt: e.createdAt,
 		ReadyAt:   e.readyAt,
+		Retrains:  e.retrains,
 		Pipeline:  e.pipeline,
 	}
+}
+
+// Swap hot-swaps a ready model's pipeline in place — the streaming
+// retrain path — and returns the model's new retrain count. Readers
+// holding the old pipeline from a previous Lookup keep serving it; new
+// lookups see the retrained one. Only ready models may be swapped: a
+// training model has a build in flight that would race the swap, and a
+// failed model must go through Create's retry path so its failure stays
+// observable.
+func (r *Registry) Swap(name string, p *core.Pipeline, now time.Time) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("registry: swap %q: nil pipeline", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return 0, fmt.Errorf("registry: %q: %w", name, ErrNotFound)
+	}
+	if e.status != StatusReady {
+		return 0, fmt.Errorf("registry: swap %q is %s: %w", name, e.status, ErrNotReady)
+	}
+	e.pipeline = p
+	e.readyAt = now
+	e.retrains++
+	return e.retrains, nil
 }
 
 // Get returns a snapshot of the named model.

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -254,5 +255,115 @@ func TestConcurrentReadsDuringSwap(t *testing.T) {
 	wg.Wait()
 	if p, err := r.Lookup("web/rf/util"); err != nil || p == nil {
 		t.Fatalf("post-swap lookup: %v", err)
+	}
+}
+
+// TestParseSpecErrorPaths pins every rejection class with a distinguishing
+// message: segment-count errors name the expected shape, unknown
+// scenario/model/target errors name the offending value.
+func TestParseSpecErrorPaths(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"", "want scenario:model:target"},
+		{"web", "want scenario:model:target"},
+		{"web:rf", "want scenario:model:target"},
+		{"web:rf:util:24:extra", "want scenario:model:target"},
+		{"web:rf:util:zero", `bad hours "zero"`},
+		{"web:rf:util:-3", `bad hours "-3"`},
+		{"web:rf:util:0", `bad hours "0"`},
+		{"moon:rf:util", `scenario "moon"`},
+		{"web:svm:util", `unknown model "svm"`},
+		{"web:rf:loss", `unknown target "loss"`},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) = %q, want it to mention %q", tc.spec, err, tc.want)
+		}
+	}
+	// The nat-edge canonical name resolves too (aliases are not the only
+	// spelling).
+	if _, err := ParseSpec("nat-edge:rf:util"); err != nil {
+		t.Fatalf("canonical scenario name rejected: %v", err)
+	}
+}
+
+// TestCreateWithRuntimeScenario proves specs resolve against scenarios
+// registered after the registry was built — the POST /v1/scenarios path.
+func TestCreateWithRuntimeScenario(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{})}
+	r, done := newTestRegistry(g)
+	sp := Spec{Scenario: "edge", Model: "linear", Target: "util"}
+	if _, err := r.Create(sp); err == nil {
+		t.Fatal("unregistered scenario accepted")
+	}
+	if _, err := r.Scenarios.Register(core.ScenarioSpec{
+		Name:    "edge",
+		Groups:  []core.GroupSpec{{Name: "fw", Kind: "firewall"}},
+		Traffic: core.TrafficSpec{BaseFPS: 1000},
+		SLO:     core.SLOSpec{MaxLatencyMs: 2, MaxLossRate: 0.01},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(sp); err != nil {
+		t.Fatal(err)
+	}
+	close(g.release)
+	waitDone(t, done, "edge/linear/util")
+	if _, err := r.Lookup("edge/linear/util"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapLifecycle(t *testing.T) {
+	g := &gatedBuilder{release: make(chan struct{})}
+	r, done := newTestRegistry(g)
+	if _, err := r.Swap("nope", &core.Pipeline{}, time.Now()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("swap unknown: %v", err)
+	}
+	if _, err := r.Create(Spec{Scenario: "web", Model: "rf", Target: "util"}); err != nil {
+		t.Fatal(err)
+	}
+	// Training models cannot be swapped.
+	if _, err := r.Swap("web/rf/util", &core.Pipeline{}, time.Now()); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("swap while training: %v", err)
+	}
+	close(g.release)
+	waitDone(t, done, "web/rf/util")
+	old, err := r.Lookup("web/rf/util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Swap("web/rf/util", nil, time.Now()); err == nil {
+		t.Fatal("nil pipeline swap accepted")
+	}
+	p2 := &core.Pipeline{}
+	swapAt := time.Now()
+	n, err := r.Swap("web/rf/util", p2, swapAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("swap returned retrain count %d, want 1", n)
+	}
+	got, err := r.Lookup("web/rf/util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == old || got != p2 {
+		t.Fatal("lookup did not observe the swapped pipeline")
+	}
+	e, err := r.Get("web/rf/util")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Retrains != 1 || !e.ReadyAt.Equal(swapAt) {
+		t.Fatalf("entry after swap: retrains=%d readyAt=%v", e.Retrains, e.ReadyAt)
 	}
 }

@@ -28,6 +28,11 @@ const (
 	JobPDPGrid          = "pdp-grid"
 	JobSurrogateTree    = "surrogate-tree"
 	JobCleverHansAudit  = "cleverhans-audit"
+	// JobRetrain retrains an attached model from its feed's streamed
+	// dataset and hot-swaps the result into the registry (feeds.go). It
+	// is submitted automatically on drift and manually via the jobs API
+	// (params.feed selects the attachment).
+	JobRetrain = "retrain"
 )
 
 // JobStatus is one job's lifecycle state, mirroring the registry's
@@ -78,6 +83,9 @@ type JobParams struct {
 	Strength *float64 `json:"strength,omitempty"`
 	// Seed overrides the pipeline seed for seeded job kinds.
 	Seed int64 `json:"seed,omitempty"`
+	// Feed selects which attachment a retrain job trains from; it may be
+	// omitted when the model is attached to exactly one feed.
+	Feed string `json:"feed,omitempty"`
 }
 
 // JobRequest is the POST /v1/models/{name}/jobs body.
@@ -232,11 +240,14 @@ var jobRunners = map[string]jobRunner{
 }
 
 // jobKindNames lists the accepted kinds, sorted, for error messages.
+// JobRetrain is appended by hand: it is not in jobRunners because its
+// runner closes over server streaming state (feeds.go).
 func jobKindNames() []string {
-	names := make([]string, 0, len(jobRunners))
+	names := make([]string, 0, len(jobRunners)+1)
 	for k := range jobRunners {
 		names = append(names, k)
 	}
+	names = append(names, JobRetrain)
 	sort.Strings(names)
 	return names
 }
@@ -253,34 +264,67 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request, name st
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	run, ok := jobRunners[req.Kind]
-	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown job kind %q (accepted: %s)",
-			req.Kind, strings.Join(jobKindNames(), ", "))
-		return
-	}
 	var jp JobParams
 	if err := decodeStrict(req.Params, &jp); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	run, ok := jobRunners[req.Kind]
+	if !ok {
+		if req.Kind != JobRetrain {
+			writeError(w, http.StatusBadRequest, "unknown job kind %q (accepted: %s)",
+				req.Kind, strings.Join(jobKindNames(), ", "))
+			return
+		}
+		// Manual retrain shares the drift-triggered path: resolve the
+		// model's feed attachment and claim its in-flight slot.
+		att, err := s.findAttachment(name, jp.Feed)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if !att.retraining.CompareAndSwap(false, true) {
+			writeError(w, http.StatusConflict, "retrain already in flight for %q", name)
+			return
+		}
+		snap, err := s.jobs.submit(name, req.Kind, jp, p, s.retrainRunner(att))
+		if err != nil {
+			// No job started, so the runner's defer will never release
+			// the in-flight slot the CAS just claimed; release it here or
+			// no retrain could ever run again.
+			att.retraining.Store(false)
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, snap)
+		return
+	}
 
-	st := s.jobs
+	snap, err := s.jobs.submit(name, req.Kind, jp, p, run)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// submit registers and starts one job, returning its initial snapshot.
+// It fails only when the table is full of unfinished jobs.
+func (st *jobStore) submit(model, kind string, jp JobParams, p *core.Pipeline, run jobRunner) (JobInfo, error) {
 	st.mu.Lock()
 	if len(st.jobs) >= maxStoredJobs {
 		st.evictFinishedLocked()
 	}
 	if len(st.jobs) >= maxStoredJobs {
 		st.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, "job table full (%d active jobs)", maxStoredJobs)
-		return
+		return JobInfo{}, fmt.Errorf("job table full (%d active jobs)", maxStoredJobs)
 	}
 	st.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", st.seq),
-		model:     name,
-		kind:      req.Kind,
+		model:     model,
+		kind:      kind,
 		params:    jp,
 		status:    JobPending,
 		createdAt: time.Now(),
@@ -291,7 +335,21 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request, name st
 	st.mu.Unlock()
 
 	go st.run(ctx, j, p, run)
-	writeJSON(w, http.StatusAccepted, snap)
+	return snap, nil
+}
+
+// cancelAll cancels every job's context — process shutdown. Runners
+// observe the cancellation and drive their jobs to "cancelled".
+func (st *jobStore) cancelAll() {
+	st.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		cancels = append(cancels, j.cancel)
+	}
+	st.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
 }
 
 // run executes the job in its own goroutine, driving the lifecycle

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"nfvxai/internal/core"
+	"nfvxai/internal/feed"
 	"nfvxai/internal/registry"
 	"nfvxai/internal/xai"
 	"nfvxai/internal/xai/counterfactual"
@@ -70,6 +71,7 @@ type Server struct {
 	reg  *registry.Registry
 	mux  *http.ServeMux
 	jobs *jobStore
+	hub  *feed.Hub
 	// BatchWorkers caps total explain fan-out across ALL concurrent batch
 	// requests (0 = GOMAXPROCS). Set before the first batch request; the
 	// shared gate is sized once, lazily.
@@ -77,11 +79,24 @@ type Server struct {
 
 	gateOnce sync.Once
 	gate     chan struct{}
+
+	// attachments index the streaming monitors by feed name (feeds.go).
+	attachMu    sync.Mutex
+	attachments map[string][]*attachment
+
+	closeOnce sync.Once
 }
 
 // NewServer builds the API server over an existing registry.
 func NewServer(reg *registry.Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), jobs: newJobStore()}
+	s := &Server{
+		reg:         reg,
+		mux:         http.NewServeMux(),
+		jobs:        newJobStore(),
+		hub:         feed.NewHub(),
+		attachments: map[string][]*attachment{},
+	}
+	s.hub.Max = MaxFeeds
 	// v1, model-scoped. {rest...} (not {name}) because model names contain
 	// slashes; routeModel* peel a trailing action segment off themselves.
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
@@ -94,6 +109,17 @@ func NewServer(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 
+	// The streaming plane: scenario catalog and live feeds (feeds.go).
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleListScenarios)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleCreateScenario)
+	s.mux.HandleFunc("GET /v1/scenarios/{name}", s.handleGetScenario)
+	s.mux.HandleFunc("GET /v1/feeds", s.handleListFeeds)
+	s.mux.HandleFunc("POST /v1/feeds", s.handleCreateFeed)
+	s.mux.HandleFunc("GET /v1/feeds/{name}", s.handleGetFeed)
+	s.mux.HandleFunc("DELETE /v1/feeds/{name}", s.handleDeleteFeed)
+	s.mux.HandleFunc("POST /v1/feeds/{name}/records", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/feeds/{name}/attach", s.handleAttach)
+
 	// Legacy unversioned aliases onto the default model.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /schema", s.aliasGet(s.handleSchema))
@@ -102,6 +128,42 @@ func NewServer(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("POST /explain", s.aliasPost(s.handleExplain))
 	s.mux.HandleFunc("POST /whatif", s.aliasPost(s.handleWhatIf))
 	return s
+}
+
+// Hub returns the server's feed hub (explaind uses it for -feed flags).
+func (s *Server) Hub() *feed.Hub { return s.hub }
+
+// Close shuts the streaming plane down: every feed stops (which drains
+// the attached monitors) and every pending/running job is cancelled. It
+// is idempotent and safe to call while requests are in flight — graceful
+// shutdown calls it after http.Server.Shutdown returns.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.hub.CloseAll()
+		s.attachMu.Lock()
+		var mons []*attachment
+		for name, atts := range s.attachments {
+			mons = append(mons, atts...)
+			delete(s.attachments, name)
+		}
+		s.attachMu.Unlock()
+		for _, att := range mons {
+			att.mon.Stop()
+		}
+		s.jobs.cancelAll()
+	})
+}
+
+// ensureGate lazily sizes the server-wide explain worker gate.
+func (s *Server) ensureGate() chan struct{} {
+	s.gateOnce.Do(func() {
+		n := s.BatchWorkers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.gate = make(chan struct{}, n)
+	})
+	return s.gate
 }
 
 // New wraps a single already-trained pipeline as a one-model server — the
@@ -122,7 +184,7 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // modelActions are the reserved trailing path segments under a model.
-var modelGetActions = map[string]bool{"schema": true, "importance": true, "explainers": true, "jobs": true}
+var modelGetActions = map[string]bool{"schema": true, "importance": true, "explainers": true, "jobs": true, "stream": true}
 var modelPostActions = map[string]bool{"predict": true, "explain": true, "whatif": true, "jobs": true}
 
 // splitAction splits "web/rf/util/predict" into ("web/rf/util", "predict")
@@ -145,6 +207,8 @@ func (s *Server) routeModelGet(w http.ResponseWriter, r *http.Request) {
 		s.handleExplainers(w, r, name)
 	case "jobs":
 		s.handleListModelJobs(w, r, name)
+	case "stream":
+		s.handleModelStream(w, r, name)
 	default:
 		s.handleModelInfo(w, r, name)
 	}
@@ -240,8 +304,11 @@ type ModelInfo struct {
 	Status    string    `json:"status"`
 	Error     string    `json:"error,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
-	// ReadyAt is the zero time until the model leaves training.
+	// ReadyAt is the zero time until the model leaves training; it moves
+	// forward each time a streaming retrain hot-swaps the pipeline.
 	ReadyAt time.Time `json:"ready_at"`
+	// Retrains counts drift-triggered (and manual) hot-swap retrains.
+	Retrains int `json:"retrains,omitempty"`
 	// Kind/Task/Features describe the live pipeline (ready models only).
 	Kind     string   `json:"kind,omitempty"`
 	Task     string   `json:"task,omitempty"`
@@ -260,6 +327,7 @@ func modelInfo(e registry.Entry) ModelInfo {
 		Error:     e.Err,
 		CreatedAt: e.CreatedAt,
 		ReadyAt:   e.ReadyAt,
+		Retrains:  e.Retrains,
 	}
 	if e.Pipeline != nil && e.Pipeline.Train != nil {
 		info.Kind = e.Pipeline.Kind.String()
@@ -288,10 +356,6 @@ func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
 	var sp registry.Spec
 	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
-	if err := sp.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	e, err := s.reg.Create(sp)
@@ -608,14 +672,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 		// One server-wide gate bounds explain concurrency: K simultaneous
 		// batch requests share cap(gate) workers rather than each spawning
 		// a GOMAXPROCS pool and oversubscribing the cores.
-		s.gateOnce.Do(func() {
-			n := s.BatchWorkers
-			if n <= 0 {
-				n = runtime.GOMAXPROCS(0)
-			}
-			s.gate = make(chan struct{}, n)
-		})
-		attrs, err := xai.ExplainBatchGated(ctx, e, req.Instances, s.gate)
+		attrs, err := xai.ExplainBatchGated(ctx, e, req.Instances, s.ensureGate())
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "explain: %v", err)
 			return
