@@ -1,0 +1,139 @@
+// Command experiment runs a declarative scenario×model×method sweep
+// locally — the CLI twin of POST /v1/experiments — and renders the
+// paper-style comparison table.
+//
+// The sweep is either a JSON ExperimentSpec file:
+//
+//	experiment -spec sweep.json -out matrix.json
+//
+// or assembled from flags:
+//
+//	experiment -scenarios web,nat -models linear,rf,mlp \
+//	    -methods kernelshap,lime -targets util -hours 2 -seed 1
+//
+// The spec compiles into a dependency-aware plan (one dataset per
+// scenario×target, one trained pipeline per scenario×target×model, one
+// evaluation cell per pipeline×method) executed with bounded parallelism;
+// progress streams to stderr. Each cell reports mean additivity error,
+// deletion AUC, deletion gap vs random orderings (faithfulness) and
+// latency per explanation. The matrix writes to -out as JSON and, with
+// -store DIR, persists into the shared artifact store where a running
+// explaind serves it via GET /v1/experiments/{id}.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/experiment"
+	"nfvxai/internal/registry"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "JSON ExperimentSpec file ('' = build from flags)")
+		name      = flag.String("name", "cli-sweep", "experiment name (store key)")
+		scenarios = flag.String("scenarios", "web,nat", "comma-separated scenario names")
+		models    = flag.String("models", "linear,cart,rf", "comma-separated model kinds (linear|cart|rf|gbt|mlp)")
+		methods   = flag.String("methods", "kernelshap,treeshap", "comma-separated local explanation methods")
+		targets   = flag.String("targets", "util", "comma-separated targets (util|latency|violation)")
+		hours     = flag.Float64("hours", 2, "virtual telemetry hours per dataset")
+		seed      = flag.Int64("seed", 1, "seed (equal spec+seed reproduce equal metrics)")
+		samples   = flag.Int("samples", 8, "test instances explained per cell")
+		shapS     = flag.Int("shap-samples", 256, "stochastic explainer budget")
+		workers   = flag.Int("workers", 0, "parallel plan units (0 = NumCPU)")
+		out       = flag.String("out", "", "write the result matrix JSON here")
+		storeDir  = flag.String("store", "", "also persist the matrix into this artifact store")
+		quiet     = flag.Bool("quiet", false, "suppress the progress stream")
+	)
+	flag.Parse()
+
+	var sp experiment.Spec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &sp); err != nil {
+			log.Fatalf("parsing %s: %v", *specPath, err)
+		}
+	} else {
+		sp = experiment.Spec{
+			Name:        *name,
+			Scenarios:   splitList(*scenarios),
+			Models:      splitList(*models),
+			Methods:     splitList(*methods),
+			Targets:     splitList(*targets),
+			Hours:       *hours,
+			Seed:        *seed,
+			Samples:     *samples,
+			ShapSamples: *shapS,
+			Workers:     *workers,
+		}
+	}
+	sp = sp.WithDefaults()
+	catalog := core.NewScenarioRegistry()
+	if err := sp.Validate(catalog); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("experiment %q: %d cells (%d scenarios × %d targets × %d models × %d methods), %d workers",
+		sp.Name, sp.Cells(), len(sp.Scenarios), len(sp.Targets), len(sp.Models), len(sp.Methods), sp.Workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := experiment.Runner{Scenarios: catalog}
+	progress := func(f float64) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\rprogress %5.1f%%", 100*f)
+		}
+	}
+	m, err := runner.Run(ctx, sp, progress)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Table())
+	fmt.Printf("sweep: %d cells in %.1fs (%.1f cells/min)\n",
+		len(m.Cells), m.ElapsedSec, float64(len(m.Cells))/m.ElapsedSec*60)
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("matrix written to %s", *out)
+	}
+	if *storeDir != "" {
+		st, err := registry.OpenFSStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.PutExperiment(sp.Name, data); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("matrix persisted to store %s as %q", *storeDir, sp.Name)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

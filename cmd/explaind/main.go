@@ -23,6 +23,8 @@
 //	GET/POST /v1/scenarios             GET /v1/scenarios/{name}
 //	GET/POST /v1/feeds                 GET/DELETE /v1/feeds/{name}
 //	POST /v1/feeds/{name}/records      POST /v1/feeds/{name}/attach
+//	GET  /v1/models/{name}/artifact    POST /v1/models/import
+//	GET/POST /v1/experiments           GET /v1/experiments/{id}
 //
 // Explain requests may select any registered explanation method per
 // request ("method" + "params" in the body; see API.md); expensive global
@@ -33,6 +35,17 @@
 // Each -feed name:scenario[:rate] flag starts a live simulated telemetry
 // feed at boot, equivalent to POST /v1/feeds; models attach to feeds for
 // online drift monitoring via POST /v1/feeds/{name}/attach.
+//
+// With -store DIR the process is restartable: trained (and retrained)
+// pipelines persist as content-addressed artifacts under DIR, and the
+// next boot warm-starts them from disk — bit-identical predictions, no
+// retraining. Model artifacts also move between processes over HTTP via
+// GET /v1/models/{name}/artifact and POST /v1/models/import, and
+// POST /v1/experiments runs declarative scenario×model×method sweeps
+// whose result matrices persist in the store. If the initial training of
+// any -model flag fails (synchronous or background), explaind logs the
+// cause and exits non-zero instead of serving a permanently failed
+// model.
 //
 // The process shuts down gracefully: SIGINT/SIGTERM stop the listener
 // (draining in-flight requests with a timeout), then cancel running jobs
@@ -85,6 +98,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed")
 		scenario = flag.String("scenario", "web", "scenario for bare-kind -model flags (builtin: web | nat)")
 		target   = flag.String("target", "util", "target for bare-kind -model flags (util | latency | violation)")
+		storeDir = flag.String("store", "", "artifact store directory: warm-start previously trained models "+
+			"from it and persist every trained/retrained model into it")
 	)
 	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
 		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
@@ -117,32 +132,89 @@ func main() {
 	}
 
 	reg := registry.New()
+	reg.OnStoreError = func(err error) { log.Printf("store: %v", err) }
+
+	// Durable artifact plane: warm-start previously trained pipelines from
+	// the store, then persist everything trained from here on.
+	if *storeDir != "" {
+		st, err := registry.OpenFSStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.UseStore(st)
+		rep, err := reg.WarmStart(time.Now())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, re := range rep.Errors {
+			log.Printf("store: restore %s: %v (skipped)", re.Name, re.Err)
+		}
+		if len(rep.Models) > 0 || rep.Scenarios > 0 {
+			log.Printf("warm start: restored %d model(s) %v and %d scenario(s) from %s",
+				len(rep.Models), rep.Models, rep.Scenarios, *storeDir)
+		}
+	}
+
+	// Track the initial background builds: a -model flag whose training
+	// fails must terminate the process (non-zero) instead of leaving a
+	// permanently failed entry behind a healthy-looking listener.
+	builds := make(chan string, 16)
+	reg.NotifyBuilds(builds)
+	errc := make(chan error, 1)
+	initial := map[string]bool{}
 
 	// Train the first (default) model synchronously so the process comes up
 	// serving; the rest build in the background like POST /v1/models would.
+	// Models restored from the store skip retraining entirely.
 	first := specs[0]
-	log.Printf("training %s (%s, %.0fh) synchronously...", first.Name, first.Model, first.Hours)
-	p, err := reg.BuildPipeline(first)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := reg.AddReady(first, p, time.Now()); err != nil {
-		log.Fatal(err)
-	}
-	if p.Train.Task == dataset.Regression {
-		rep := p.EvaluateRegression()
-		log.Printf("%s: test MAE %.4f RMSE %.4f R2 %.4f", first.Name, rep.MAE, rep.RMSE, rep.R2)
+	if _, err := reg.Get(first.Name); err == nil {
+		log.Printf("%s already in registry (warm start); skipping synchronous training", first.Name)
 	} else {
-		rep := p.EvaluateClassification()
-		log.Printf("%s: test acc %.4f F1 %.4f AUC %.4f", first.Name, rep.Accuracy, rep.F1, rep.AUC)
+		log.Printf("training %s (%s, %.0fh) synchronously...", first.Name, first.Model, first.Hours)
+		p, err := reg.BuildPipeline(first)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := reg.AddReady(first, p, time.Now()); err != nil {
+			log.Fatal(err)
+		}
+		if p.Train.Task == dataset.Regression {
+			rep := p.EvaluateRegression()
+			log.Printf("%s: test MAE %.4f RMSE %.4f R2 %.4f", first.Name, rep.MAE, rep.RMSE, rep.R2)
+		} else {
+			rep := p.EvaluateClassification()
+			log.Printf("%s: test acc %.4f F1 %.4f AUC %.4f", first.Name, rep.Accuracy, rep.F1, rep.AUC)
+		}
 	}
 
 	for _, sp := range specs[1:] {
+		if _, err := reg.Get(sp.Name); err == nil {
+			log.Printf("%s already in registry (warm start); skipping training", sp.Name)
+			continue
+		}
 		if _, err := reg.Create(sp); err != nil {
 			log.Fatal(err)
 		}
+		initial[sp.Name] = true
 		log.Printf("training %s in the background (status: GET /v1/models/%s)", sp.Name, sp.Name)
 	}
+	// Watch build completions forever (runtime POST /v1/models builds
+	// flow through the same channel and must stay drained); an initial
+	// -model spec failing its build aborts the process through errc.
+	go func() {
+		for name := range builds {
+			if !initial[name] {
+				continue
+			}
+			e, err := reg.Get(name)
+			if err == nil && e.Status == registry.StatusFailed {
+				select {
+				case errc <- fmt.Errorf("initial training of %s failed: %s", name, e.Err):
+				default:
+				}
+			}
+		}
+	}()
 	if *defName != "" {
 		if err := reg.SetDefault(*defName); err != nil {
 			log.Fatal(err)
@@ -170,8 +242,14 @@ func main() {
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() {
+		if err := srv.ListenAndServe(); err != nil {
+			select {
+			case errc <- err:
+			default:
+			}
+		}
+	}()
 	log.Printf("explaind listening on %s with %d model(s), default %s", *addr, reg.Len(), reg.DefaultName())
 
 	// Graceful shutdown: a first SIGINT/SIGTERM drains the listener with a

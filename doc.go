@@ -71,6 +71,41 @@
 // only Predict keep working through a worker-chunked fallback with
 // identical results. Benchmark pairs in perf_bench_test.go quantify the
 // win (see BENCH_PR2.json and the Performance section of API.md).
+//
+// # The durable artifact plane
+//
+// Nothing trained is lost on exit. Every model kind serializes to a
+// versioned binary blob (internal/wire: little-endian scalars, floats as
+// exact IEEE-754 bit patterns) behind ml.EncodeModel/DecodeModel, and
+// core.Pipeline.Save/LoadPipeline capture the whole servable unit —
+// model (including the standardizing scaler), frozen train/test splits,
+// SHAP background, seed and trained-explainer metadata — with
+// bit-identical predict and default-method explain parity after a round
+// trip; tree models rebuild their flattened batch-routing layouts on
+// load. The registry persists through a pluggable registry.Store
+// (filesystem first: content-addressed artifacts plus an atomically
+// written manifest), warm-starts from it on boot (explaind -store),
+// persists streaming retrains, and moves artifacts between processes via
+// GET /v1/models/{name}/artifact and POST /v1/models/import. Corruption
+// is typed: truncated artifacts, manifest version mismatches and unknown
+// model kinds each surface distinct errors while the rest of the
+// registry keeps serving.
+//
+// # The experiment runner
+//
+// internal/experiment reproduces the paper's core methodology — the
+// systematic comparison of explanation methods across workloads — as a
+// declarative artifact. An ExperimentSpec (scenarios × model kinds ×
+// explainer methods × targets, with seeds and sample budgets) compiles
+// into a dependency-aware plan: one dataset per scenario×target, one
+// trained pipeline per scenario×target×model, one evaluation cell per
+// pipeline×method, executed by a bounded worker pool with no stage
+// barriers (a cell runs as soon as its pipeline is ready). Each cell
+// reports additivity error, deletion AUC, deletion gap vs random
+// orderings and latency per explanation; equal (spec, seed) reproduce
+// equal metrics. Sweeps run through POST /v1/experiments on the jobs
+// lifecycle (progress, cancellation, persisted result matrices) or
+// offline via cmd/experiment.
 package nfvxai
 
 // Version identifies the reproduction snapshot.

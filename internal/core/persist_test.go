@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/wire"
+)
+
+func TestPipelineSaveLoadParityAllKinds(t *testing.T) {
+	regDS, err := WebScenario().GenerateDataset(1, 0.3, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clsDS, err := WebScenario().GenerateDataset(1, 0.3, telemetry.TargetViolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range ZooKinds() {
+		for _, ds := range []*dataset.Dataset{regDS, clsDS} {
+			p, err := NewPipeline(kind, ds, 1)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", kind, ds.Task, err)
+			}
+			p.ShapSamples = 256 // keep kernelshap parity checks fast
+			blob, err := p.Save()
+			if err != nil {
+				t.Fatalf("%v/%v: save: %v", kind, ds.Task, err)
+			}
+			loaded, err := LoadPipeline(blob)
+			if err != nil {
+				t.Fatalf("%v/%v: load: %v", kind, ds.Task, err)
+			}
+			if loaded.Kind != kind || loaded.Seed != p.Seed || loaded.ShapSamples != p.ShapSamples {
+				t.Fatalf("%v/%v: header mismatch: %+v", kind, ds.Task, loaded)
+			}
+
+			// Predict parity: bit-identical on every test row, single and batch.
+			want := p.PredictBatch(p.Test.X)
+			got := loaded.PredictBatch(loaded.Test.X)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("%v/%v: predict row %d: %v != %v", kind, ds.Task, i, got[i], want[i])
+				}
+				single := loaded.Model.Predict(p.Test.X[i])
+				if math.Float64bits(single) != math.Float64bits(want[i]) {
+					t.Fatalf("%v/%v: single predict row %d differs", kind, ds.Task, i)
+				}
+			}
+
+			// Default-method explain parity on a few rows: the explainer is
+			// rebuilt from persisted state (background, seed, samples), so
+			// attributions must agree to ≤ 1e-12 (bit-identical in practice).
+			n := 3
+			if n > p.Test.Len() {
+				n = p.Test.Len()
+			}
+			for i := 0; i < n; i++ {
+				a1, m1, err := p.ExplainInstance(context.Background(), p.Test.X[i])
+				if err != nil {
+					t.Fatalf("%v/%v: explain: %v", kind, ds.Task, err)
+				}
+				a2, m2, err := loaded.ExplainInstance(context.Background(), loaded.Test.X[i])
+				if err != nil {
+					t.Fatalf("%v/%v: loaded explain: %v", kind, ds.Task, err)
+				}
+				if m1 != m2 {
+					t.Fatalf("%v/%v: method %q != %q", kind, ds.Task, m2, m1)
+				}
+				if math.Abs(a1.Base-a2.Base) > 1e-12 || math.Abs(a1.Value-a2.Value) > 1e-12 {
+					t.Fatalf("%v/%v: base/value drift", kind, ds.Task)
+				}
+				for j := range a1.Phi {
+					if math.Abs(a1.Phi[j]-a2.Phi[j]) > 1e-12 {
+						t.Fatalf("%v/%v: row %d phi[%d]: |%v - %v| > 1e-12",
+							kind, ds.Task, i, j, a2.Phi[j], a1.Phi[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLoadPipelineErrors(t *testing.T) {
+	ds, err := WebScenario().GenerateDataset(1, 0.2, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(ModelTree, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadPipeline(blob[:len(blob)/2]); !errors.Is(err, ErrCorruptPipeline) || !errors.Is(err, wire.ErrTruncated) {
+		t.Errorf("truncated: err = %v, want ErrCorruptPipeline wrapping wire.ErrTruncated", err)
+	}
+	if _, err := LoadPipeline([]byte("garbage")); !errors.Is(err, ErrCorruptPipeline) {
+		t.Errorf("garbage: err = %v, want ErrCorruptPipeline", err)
+	}
+
+	var w wire.Writer
+	w.String("NFVP")
+	w.U16(42)
+	if _, err := LoadPipeline(w.Bytes()); !errors.Is(err, ErrPipelineVersion) {
+		t.Errorf("future version: err = %v, want ErrPipelineVersion", err)
+	}
+
+	var w2 wire.Writer
+	w2.String("NFVP")
+	w2.U16(pipelineCodecVersion)
+	w2.String("quantum")
+	w2.I64(1)
+	w2.Int(0)
+	w2.String("kernelshap")
+	if _, err := LoadPipeline(w2.Bytes()); !errors.Is(err, ErrCorruptPipeline) {
+		t.Errorf("unknown kind: err = %v, want ErrCorruptPipeline", err)
+	}
+}
+
+// TestLoadedPipelineServesWhatIfAndImportance exercises the paths that
+// depend on the persisted splits and background, not just the model.
+func TestLoadedPipelineServesWhatIfAndImportance(t *testing.T) {
+	ds, err := NATScenario().GenerateDataset(1, 0.3, telemetry.TargetViolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(ModelTree, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, p1, err := p.GlobalImportance(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, p2, err := loaded.GlobalImportance(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range s1 {
+		if math.Abs(s1[j]-s2[j]) > 1e-12 || math.Abs(p1[j]-p2[j]) > 1e-12 {
+			t.Fatalf("importance drift at feature %d", j)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"fmt"
+
+	"nfvxai/internal/wire"
+)
+
+// datasetCodecVersion is bumped whenever the encoded layout changes.
+const datasetCodecVersion = 1
+
+// AppendWire encodes the dataset onto w (task, names, rows, targets) with
+// floats bit-exact. Pipeline artifacts embed their frozen train/test
+// splits this way so explanations after a reload are identical.
+func (d *Dataset) AppendWire(w *wire.Writer) {
+	w.U16(datasetCodecVersion)
+	w.U8(uint8(d.Task))
+	w.Strings(d.Names)
+	w.F64Mat(d.X)
+	w.F64s(d.Y)
+}
+
+// ReadWire decodes a dataset written by AppendWire. Row widths and the
+// X/Y length pairing are validated so a corrupted artifact fails here
+// rather than panicking inside training or explanation code.
+func ReadWire(r *wire.Reader) (*Dataset, error) {
+	if v := r.U16(); r.Err() == nil && v != datasetCodecVersion {
+		return nil, fmt.Errorf("dataset: codec version %d, want %d", v, datasetCodecVersion)
+	}
+	d := &Dataset{
+		Task:  Task(r.U8()),
+		Names: r.Strings(),
+		X:     r.F64Mat(),
+		Y:     r.F64s(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if len(d.X) != len(d.Y) {
+		return nil, fmt.Errorf("dataset: decode: %d rows but %d targets: %w", len(d.X), len(d.Y), wire.ErrTruncated)
+	}
+	for i, row := range d.X {
+		if len(row) != len(d.Names) {
+			return nil, fmt.Errorf("dataset: decode: row %d width %d != %d features: %w",
+				i, len(row), len(d.Names), wire.ErrTruncated)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,242 @@
+// Package experiment implements the declarative experiment runner: a
+// JSON ExperimentSpec sweeping scenarios × model kinds × explainer
+// methods (× prediction targets) compiles into a dependency-aware plan —
+// one dataset per scenario×target, one trained pipeline per
+// scenario×target×model, one evaluation cell per pipeline×method — that
+// executes with bounded parallelism and emits a result matrix of
+// explanation-quality metrics (additivity error, deletion AUC,
+// deletion gap vs random, latency) per cell. This reproduces the source
+// paper's core contribution — the systematic comparison of explanation
+// methods across NFV workloads — as a single reproducible artifact.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/registry"
+	"nfvxai/internal/xai"
+)
+
+// Bounds on the work one spec may request; a sweep is submitted over
+// HTTP, so a single request must not be able to enqueue unbounded
+// training.
+const (
+	// MaxCells caps the scenario×target×model×method cross product.
+	MaxCells = 512
+	// MaxSamples caps the instances explained per cell.
+	MaxSamples = 256
+	// MaxDeletionTrials caps the random-order baselines per instance.
+	MaxDeletionTrials = 50
+)
+
+// Spec is the declarative experiment: the cross product of scenarios,
+// model kinds, explanation methods and prediction targets, with shared
+// seeds and sample budgets. Zero-valued fields take defaults
+// (WithDefaults documents them).
+type Spec struct {
+	// Name labels the experiment in reports and persisted results.
+	Name string `json:"name,omitempty"`
+	// Scenarios are registered scenario names or aliases ("web", "nat",
+	// or anything registered at runtime).
+	Scenarios []string `json:"scenarios"`
+	// Models are zoo kinds: linear|cart|rf|gbt|mlp.
+	Models []string `json:"models"`
+	// Methods are registered *local* explanation methods ("treeshap",
+	// "kernelshap", "lime", ...). Method×model capability mismatches
+	// (e.g. treeshap×mlp) become skipped cells, not errors — a sweep
+	// over heterogeneous models is the point.
+	Methods []string `json:"methods"`
+	// Targets are prediction targets: util|latency|violation (default
+	// ["util"]).
+	Targets []string `json:"targets,omitempty"`
+	// Hours is virtual telemetry hours per dataset (default 2).
+	Hours float64 `json:"hours,omitempty"`
+	// Seed drives simulation, training, explainer sampling and the
+	// random deletion baselines; equal (Spec, Seed) reproduce equal
+	// metric values.
+	Seed int64 `json:"seed,omitempty"`
+	// Samples is how many test instances each cell explains (default 8).
+	Samples int `json:"samples,omitempty"`
+	// ShapSamples bounds stochastic explainer budgets (KernelSHAP
+	// coalitions, LIME neighborhoods; default 256 — sweeps trade a
+	// little variance for a lot of throughput).
+	ShapSamples int `json:"shap_samples,omitempty"`
+	// DeletionTrials is the random-order deletion baselines averaged per
+	// instance for the deletion-gap (faithfulness) metric (default 5).
+	DeletionTrials int `json:"deletion_trials,omitempty"`
+	// Workers bounds parallel plan execution (default NumCPU).
+	Workers int `json:"workers,omitempty"`
+}
+
+// WithDefaults returns the spec with zero-valued fields defaulted.
+func (sp Spec) WithDefaults() Spec {
+	if sp.Name == "" {
+		sp.Name = "experiment"
+	}
+	if len(sp.Targets) == 0 {
+		sp.Targets = []string{"util"}
+	}
+	if sp.Hours == 0 {
+		sp.Hours = 2
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Samples == 0 {
+		sp.Samples = 8
+	}
+	if sp.ShapSamples == 0 {
+		sp.ShapSamples = 256
+	}
+	if sp.DeletionTrials == 0 {
+		sp.DeletionTrials = 5
+	}
+	if sp.Workers <= 0 {
+		sp.Workers = runtime.NumCPU()
+	}
+	return sp
+}
+
+// Cells returns the size of the cross product.
+func (sp Spec) Cells() int {
+	sp = sp.WithDefaults()
+	return len(sp.Scenarios) * len(sp.Targets) * len(sp.Models) * len(sp.Methods)
+}
+
+// Validate checks the (defaulted) spec against the scenario catalog, the
+// model zoo, the method registry and the work bounds.
+func (sp Spec) Validate(scenarios *core.ScenarioRegistry) error {
+	sp = sp.WithDefaults()
+	if len(sp.Scenarios) == 0 || len(sp.Models) == 0 || len(sp.Methods) == 0 {
+		return fmt.Errorf("experiment: spec needs at least one scenario, model and method")
+	}
+	if n := sp.Cells(); n > MaxCells {
+		return fmt.Errorf("experiment: %d cells exceeds limit %d", n, MaxCells)
+	}
+	if sp.Hours < 0 || sp.Hours > registry.MaxHours {
+		return fmt.Errorf("experiment: hours %g out of range (0, %g]", sp.Hours, registry.MaxHours)
+	}
+	if sp.Samples < 0 || sp.Samples > MaxSamples {
+		return fmt.Errorf("experiment: samples %d out of range [1, %d]", sp.Samples, MaxSamples)
+	}
+	if sp.ShapSamples < 0 || sp.ShapSamples > registry.MaxShapSamples {
+		return fmt.Errorf("experiment: shap_samples %d out of range [1, %d]", sp.ShapSamples, registry.MaxShapSamples)
+	}
+	if sp.DeletionTrials < 0 || sp.DeletionTrials > MaxDeletionTrials {
+		return fmt.Errorf("experiment: deletion_trials %d out of range [1, %d]", sp.DeletionTrials, MaxDeletionTrials)
+	}
+	if err := noDuplicates("scenario", sp.Scenarios); err != nil {
+		return err
+	}
+	if err := noDuplicates("model", sp.Models); err != nil {
+		return err
+	}
+	if err := noDuplicates("method", sp.Methods); err != nil {
+		return err
+	}
+	if err := noDuplicates("target", sp.Targets); err != nil {
+		return err
+	}
+	for _, s := range sp.Scenarios {
+		if _, err := scenarios.Lookup(s); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	for _, m := range sp.Models {
+		if _, err := registry.ModelKindFor(m); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	for _, tg := range sp.Targets {
+		if _, err := registry.TargetFor(tg); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	for _, name := range sp.Methods {
+		m, ok := xai.LookupMethod(name)
+		if !ok {
+			return fmt.Errorf("experiment: %w: %q (registered: %s)",
+				xai.ErrUnknownMethod, name, strings.Join(xai.MethodNames(), ", "))
+		}
+		if m.Kind != xai.KindLocal {
+			return fmt.Errorf("experiment: method %q is global; sweeps compare per-instance methods", name)
+		}
+	}
+	return nil
+}
+
+func noDuplicates(what string, names []string) error {
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return fmt.Errorf("experiment: duplicate %s %q", what, n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// Plan is the compiled dependency graph of a spec: datasets are the
+// roots, each pipeline training depends on exactly one dataset, and each
+// evaluation cell depends on exactly one pipeline. Shared work is shared
+// — one dataset serves every model trained on it, one trained pipeline
+// serves every method evaluated against it.
+type Plan struct {
+	Spec Spec
+	// Datasets: one per scenario×target.
+	Datasets []DatasetUnit
+	// Pipelines: one per scenario×target×model; Dataset indexes Datasets.
+	Pipelines []PipelineUnit
+	// Cells: one per pipeline×method; Pipeline indexes Pipelines.
+	Cells []CellUnit
+}
+
+// DatasetUnit is one telemetry-generation unit of a plan.
+type DatasetUnit struct {
+	Scenario string
+	Target   string
+}
+
+// PipelineUnit is one model-training unit of a plan.
+type PipelineUnit struct {
+	Dataset int
+	Model   string
+}
+
+// CellUnit is one method-evaluation unit of a plan.
+type CellUnit struct {
+	Pipeline int
+	Method   string
+}
+
+// Compile validates the spec and expands it into a plan.
+func Compile(sp Spec, scenarios *core.ScenarioRegistry) (Plan, error) {
+	sp = sp.WithDefaults()
+	if err := sp.Validate(scenarios); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Spec: sp}
+	for _, sc := range sp.Scenarios {
+		for _, tg := range sp.Targets {
+			dsIdx := len(p.Datasets)
+			p.Datasets = append(p.Datasets, DatasetUnit{Scenario: sc, Target: tg})
+			for _, mk := range sp.Models {
+				plIdx := len(p.Pipelines)
+				p.Pipelines = append(p.Pipelines, PipelineUnit{Dataset: dsIdx, Model: mk})
+				for _, me := range sp.Methods {
+					p.Cells = append(p.Cells, CellUnit{Pipeline: plIdx, Method: me})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Units returns the total number of schedulable units in the plan (the
+// denominator of progress reporting).
+func (p Plan) Units() int {
+	return len(p.Datasets) + len(p.Pipelines) + len(p.Cells)
+}

@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/xai"
+)
+
+// sweepSpec is the acceptance-criteria sweep: 2 scenarios × 3 model
+// kinds × 2 methods = 12 cells on a short simulation.
+func sweepSpec() Spec {
+	return Spec{
+		Name:           "paper-sweep",
+		Scenarios:      []string{"web", "nat"},
+		Models:         []string{"linear", "cart", "rf"},
+		Methods:        []string{"kernelshap", "treeshap"},
+		Targets:        []string{"util"},
+		Hours:          0.25,
+		Seed:           7,
+		Samples:        3,
+		ShapSamples:    64,
+		DeletionTrials: 3,
+	}
+}
+
+func TestCompile(t *testing.T) {
+	plan, err := Compile(sweepSpec(), core.NewScenarioRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Datasets) != 2 || len(plan.Pipelines) != 6 || len(plan.Cells) != 12 {
+		t.Fatalf("plan = %d datasets, %d pipelines, %d cells", len(plan.Datasets), len(plan.Pipelines), len(plan.Cells))
+	}
+	// Dependency indices are in range and shared: 3 pipelines per dataset,
+	// 2 cells per pipeline.
+	perDS := map[int]int{}
+	for _, pu := range plan.Pipelines {
+		if pu.Dataset < 0 || pu.Dataset >= len(plan.Datasets) {
+			t.Fatalf("pipeline dataset index %d", pu.Dataset)
+		}
+		perDS[pu.Dataset]++
+	}
+	for _, n := range perDS {
+		if n != 3 {
+			t.Fatalf("pipelines per dataset = %d", n)
+		}
+	}
+	perPL := map[int]int{}
+	for _, cu := range plan.Cells {
+		perPL[cu.Pipeline]++
+	}
+	for _, n := range perPL {
+		if n != 2 {
+			t.Fatalf("cells per pipeline = %d", n)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	reg := core.NewScenarioRegistry()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"unknown scenario", func(s *Spec) { s.Scenarios = []string{"mars"} }, "scenario"},
+		{"unknown model", func(s *Spec) { s.Models = []string{"transformer"} }, "unknown model"},
+		{"unknown method", func(s *Spec) { s.Methods = []string{"ouija"} }, "unknown explanation method"},
+		{"global method", func(s *Spec) { s.Methods = []string{"pdp"} }, "global"},
+		{"unknown target", func(s *Spec) { s.Targets = []string{"happiness"} }, "unknown target"},
+		{"empty", func(s *Spec) { s.Models = nil }, "at least one"},
+		{"duplicate", func(s *Spec) { s.Models = []string{"cart", "cart"} }, "duplicate"},
+		{"too many samples", func(s *Spec) { s.Samples = MaxSamples + 1 }, "samples"},
+		{"hours", func(s *Spec) { s.Hours = 1e9 }, "hours"},
+	}
+	for _, tc := range cases {
+		sp := sweepSpec()
+		tc.mutate(&sp)
+		err := sp.Validate(reg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := sweepSpec().Validate(reg); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestRunTwelveCellSweepReproducible is the acceptance sweep: every cell
+// completes (treeshap×linear is a legitimate capability skip), metrics
+// are populated, and a second run under the same seed reproduces every
+// metric exactly.
+func TestRunTwelveCellSweepReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	run := func() *Matrix {
+		var r Runner
+		var progress []float64
+		var mu sync.Mutex
+		m, err := r.Run(context.Background(), sweepSpec(), func(f float64) {
+			mu.Lock()
+			progress = append(progress, f)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(progress) != 2+6+12 {
+			t.Fatalf("progress ticks = %d, want 20", len(progress))
+		}
+		if last := progress[len(progress)-1]; math.Abs(last-1) > 1e-9 {
+			t.Fatalf("final progress = %v", last)
+		}
+		return m
+	}
+	m1 := run()
+	if len(m1.Cells) != 12 {
+		t.Fatalf("cells = %d", len(m1.Cells))
+	}
+	evaluated, skipped := 0, 0
+	for _, c := range m1.Cells {
+		if c.Error != "" {
+			t.Errorf("cell %s/%s/%s/%s failed: %s", c.Scenario, c.Target, c.Model, c.Method, c.Error)
+			continue
+		}
+		if c.Skipped {
+			// treeshap only supports additive tree ensembles; linear cells
+			// skip.
+			if c.Method != "treeshap" || c.Model != "linear" {
+				t.Errorf("unexpected skip: %+v", c)
+			}
+			skipped++
+			continue
+		}
+		evaluated++
+		if c.N != 3 || c.MeanDeletionAUC == nil || c.MeanDeletionGap == nil {
+			t.Errorf("cell %+v missing metrics", c)
+		}
+		if c.MeanAdditivityErr == nil {
+			t.Errorf("additive method %s missing additivity", c.Method)
+		} else if c.Method == "treeshap" && *c.MeanAdditivityErr > 1e-9 {
+			t.Errorf("treeshap additivity %v", *c.MeanAdditivityErr)
+		}
+		if c.MeanLatencyMs <= 0 {
+			t.Errorf("cell %s/%s latency = %v", c.Model, c.Method, c.MeanLatencyMs)
+		}
+	}
+	if skipped != 2 || evaluated != 10 {
+		t.Fatalf("evaluated %d, skipped %d (want 10/2)", evaluated, skipped)
+	}
+	for _, mr := range m1.Models {
+		if mr.Error != "" {
+			t.Errorf("model %s/%s failed: %s", mr.Scenario, mr.Model, mr.Error)
+		}
+		if mr.R2 == nil {
+			t.Errorf("model %s/%s missing score", mr.Scenario, mr.Model)
+		}
+	}
+
+	// Reproducibility: identical spec + seed → identical metric values
+	// (latency and elapsed excluded — they are wall-clock).
+	m2 := run()
+	for i := range m1.Cells {
+		a, b := m1.Cells[i], m2.Cells[i]
+		if a.Skipped != b.Skipped || a.Error != b.Error {
+			t.Fatalf("cell %d lifecycle differs", i)
+		}
+		if !eqMetric(a.MeanAdditivityErr, b.MeanAdditivityErr) ||
+			!eqMetric(a.MeanDeletionAUC, b.MeanDeletionAUC) ||
+			!eqMetric(a.MeanDeletionGap, b.MeanDeletionGap) {
+			t.Fatalf("cell %d (%s/%s/%s) metrics not reproducible:\n%+v\n%+v",
+				i, a.Scenario, a.Model, a.Method, a, b)
+		}
+	}
+
+	// The matrix renders and serializes.
+	table := m1.Table()
+	if !strings.Contains(table, "web/util") || !strings.Contains(table, "treeshap") {
+		t.Errorf("table missing content:\n%s", table)
+	}
+	if _, err := json.Marshal(m1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eqMetric(a, b *float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || math.Float64bits(*a) == math.Float64bits(*b)
+}
+
+// TestRunTwoCellSpec is the small race-friendly smoke CI runs under
+// -race: 1 scenario × 2 models × 1 method with a single worker vs many.
+func TestRunTwoCellSpec(t *testing.T) {
+	sp := Spec{
+		Scenarios:      []string{"web"},
+		Models:         []string{"linear", "cart"},
+		Methods:        []string{"kernelshap"},
+		Hours:          0.2,
+		Seed:           3,
+		Samples:        2,
+		ShapSamples:    32,
+		DeletionTrials: 2,
+	}
+	one := Runner{Workers: 1}
+	m1, err := one.Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := Runner{Workers: 8}
+	m2, err := many.Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Cells) != 2 || len(m2.Cells) != 2 {
+		t.Fatalf("cells = %d/%d", len(m1.Cells), len(m2.Cells))
+	}
+	// Worker count must not change the numbers.
+	for i := range m1.Cells {
+		if !eqMetric(m1.Cells[i].MeanDeletionAUC, m2.Cells[i].MeanDeletionAUC) {
+			t.Fatalf("cell %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var r Runner
+	if _, err := r.Run(ctx, sweepSpec(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestUnsupportedCombinationsAreSkipsNotErrors pins the capability
+// semantics the sweep relies on: intgrad×cart is a skip.
+func TestUnsupportedCombinationsAreSkipsNotErrors(t *testing.T) {
+	sp := Spec{
+		Scenarios:      []string{"web"},
+		Models:         []string{"cart"},
+		Methods:        []string{"intgrad"},
+		Hours:          0.2,
+		Seed:           1,
+		Samples:        1,
+		ShapSamples:    16,
+		DeletionTrials: 2,
+	}
+	var r Runner
+	m, err := r.Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Cells[0]
+	if !c.Skipped || c.Error != "" {
+		t.Fatalf("cell = %+v, want skipped", c)
+	}
+	if !strings.Contains(c.Reason, xai.ErrUnsupportedModel.Error()) {
+		t.Errorf("reason = %q", c.Reason)
+	}
+}

@@ -1,0 +1,408 @@
+// The plan executor: a bounded worker pool walks the dependency graph —
+// datasets first, then the pipelines that train on them, then the
+// method-evaluation cells — with no stage barriers: a cell runs as soon
+// as its own pipeline is trained, even while other scenarios are still
+// simulating. Failures are recorded per unit (and inherited by dependent
+// units) so one bad cell never aborts the sweep.
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/registry"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/evalx"
+)
+
+// ModelResult is one trained pipeline of the sweep with its test-set
+// accuracy — the paper's Tables 1/2 axis of the matrix.
+type ModelResult struct {
+	Scenario string `json:"scenario"`
+	Target   string `json:"target"`
+	Model    string `json:"model"`
+	Error    string `json:"error,omitempty"`
+
+	Rows     int `json:"rows,omitempty"`
+	Features int `json:"features,omitempty"`
+	// TrainSeconds is wall time for the model fit (excluded from
+	// reproducibility guarantees, like every latency in the matrix).
+	TrainSeconds float64 `json:"train_seconds,omitempty"`
+	// Regression scores (nil for classification targets).
+	MAE *float64 `json:"mae,omitempty"`
+	R2  *float64 `json:"r2,omitempty"`
+	// Classification scores (nil for regression targets).
+	Accuracy *float64 `json:"accuracy,omitempty"`
+	F1       *float64 `json:"f1,omitempty"`
+	AUC      *float64 `json:"auc,omitempty"`
+}
+
+// CellResult is one scenario×target×model×method cell of the result
+// matrix — the paper's method-comparison axis.
+type CellResult struct {
+	Scenario string `json:"scenario"`
+	Target   string `json:"target"`
+	Model    string `json:"model"`
+	Method   string `json:"method"`
+
+	// Skipped marks method×model capability mismatches (with Reason);
+	// Error records evaluation failures. Both leave the metrics nil.
+	Skipped bool   `json:"skipped,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	// N is how many test instances were explained.
+	N int `json:"n,omitempty"`
+	// MeanAdditivityErr is mean |base + Σφ − f(x)| (additive methods
+	// only — for rule/delta methods the quantity is meaningless).
+	MeanAdditivityErr *float64 `json:"mean_additivity_err,omitempty"`
+	// MeanDeletionAUC is the mean attribution-guided deletion AUC; lower
+	// is a more faithful ranking.
+	MeanDeletionAUC *float64 `json:"mean_deletion_auc,omitempty"`
+	// MeanDeletionGap is the faithfulness gap: random-order deletion AUC
+	// minus guided AUC, averaged over instances — positive means the
+	// method beats chance.
+	MeanDeletionGap *float64 `json:"mean_deletion_gap,omitempty"`
+	// MeanLatencyMs is the mean wall time per explanation.
+	MeanLatencyMs float64 `json:"mean_latency_ms,omitempty"`
+}
+
+// Matrix is the persisted result of one experiment run.
+type Matrix struct {
+	Spec   Spec          `json:"spec"`
+	Models []ModelResult `json:"models"`
+	Cells  []CellResult  `json:"cells"`
+	// ElapsedSec is the whole sweep's wall time.
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// Runner executes compiled plans.
+type Runner struct {
+	// Scenarios resolves scenario names; nil uses a fresh builtin catalog.
+	Scenarios *core.ScenarioRegistry
+	// Workers overrides the spec's worker bound when > 0.
+	Workers int
+}
+
+// Run compiles and executes the spec, reporting progress in [0, 1] as
+// units complete (progress may be nil). Per-unit failures are recorded
+// in the matrix; the returned error is non-nil only for an invalid spec
+// or a cancelled context.
+func (r *Runner) Run(ctx context.Context, sp Spec, progress func(float64)) (*Matrix, error) {
+	scenarios := r.Scenarios
+	if scenarios == nil {
+		scenarios = core.NewScenarioRegistry()
+	}
+	plan, err := Compile(sp, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	sp = plan.Spec
+	workers := sp.Workers
+	if r.Workers > 0 {
+		workers = r.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	m := &Matrix{Spec: sp, Models: make([]ModelResult, len(plan.Pipelines)), Cells: make([]CellResult, len(plan.Cells))}
+	datasets := make([]*dataset.Dataset, len(plan.Datasets))
+	dsErrs := make([]error, len(plan.Datasets))
+	pipelines := make([]*core.Pipeline, len(plan.Pipelines))
+
+	// cellsOf[i] lists the cell indices depending on pipeline i;
+	// pipesOf[i] the pipeline indices depending on dataset i.
+	pipesOf := make([][]int, len(plan.Datasets))
+	for i, pu := range plan.Pipelines {
+		pipesOf[pu.Dataset] = append(pipesOf[pu.Dataset], i)
+	}
+	cellsOf := make([][]int, len(plan.Pipelines))
+	for i, cu := range plan.Cells {
+		cellsOf[cu.Pipeline] = append(cellsOf[cu.Pipeline], i)
+		pu := plan.Pipelines[cu.Pipeline]
+		du := plan.Datasets[pu.Dataset]
+		m.Cells[i] = CellResult{Scenario: du.Scenario, Target: du.Target, Model: pu.Model, Method: cu.Method}
+	}
+	for i, pu := range plan.Pipelines {
+		du := plan.Datasets[pu.Dataset]
+		m.Models[i] = ModelResult{Scenario: du.Scenario, Target: du.Target, Model: pu.Model}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, workers)
+		done atomic.Int64
+	)
+	total := float64(plan.Units())
+	tick := func() {
+		if progress != nil {
+			progress(float64(done.Add(1)) / total)
+		}
+	}
+	// schedule runs f on the bounded pool unless the context is already
+	// cancelled (cancelled units still tick so progress stays monotone
+	// and meaningful).
+	var schedule func(f func())
+	schedule = func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				tick()
+				return
+			}
+			defer func() { <-sem }()
+			f()
+		}()
+	}
+
+	runCells := func(pi int) {
+		for _, ci := range cellsOf[pi] {
+			ci := ci
+			schedule(func() {
+				defer tick()
+				r.runCell(ctx, sp, pipelines[pi], &m.Cells[ci])
+			})
+		}
+	}
+	runPipelines := func(di int) {
+		for _, pi := range pipesOf[di] {
+			pi := pi
+			schedule(func() {
+				res := &m.Models[pi]
+				if dsErrs[di] != nil {
+					res.Error = fmt.Sprintf("dataset: %v", dsErrs[di])
+					for _, ci := range cellsOf[pi] {
+						m.Cells[ci].Error = res.Error
+						tick()
+					}
+					tick()
+					return
+				}
+				kind, _ := registry.ModelKindFor(plan.Pipelines[pi].Model)
+				t0 := time.Now()
+				p, err := core.NewPipeline(kind, datasets[di], sp.Seed)
+				res.TrainSeconds = time.Since(t0).Seconds()
+				if err != nil {
+					res.Error = err.Error()
+					for _, ci := range cellsOf[pi] {
+						m.Cells[ci].Error = fmt.Sprintf("pipeline: %v", err)
+						tick()
+					}
+					tick()
+					return
+				}
+				p.ShapSamples = sp.ShapSamples
+				scoreModel(p, res)
+				pipelines[pi] = p
+				tick()
+				runCells(pi)
+			})
+		}
+	}
+	for di := range plan.Datasets {
+		di := di
+		schedule(func() {
+			du := plan.Datasets[di]
+			sc, err := scenarios.Scenario(du.Scenario)
+			if err == nil {
+				target, terr := registry.TargetFor(du.Target)
+				if terr != nil {
+					err = terr
+				} else {
+					datasets[di], err = sc.GenerateDataset(sp.Seed, sp.Hours, target)
+				}
+			}
+			dsErrs[di] = err
+			tick()
+			runPipelines(di)
+		})
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.ElapsedSec = time.Since(start).Seconds()
+	return m, nil
+}
+
+// scoreModel fills the test-set accuracy fields.
+func scoreModel(p *core.Pipeline, res *ModelResult) {
+	res.Rows = p.Train.Len() + p.Test.Len()
+	res.Features = p.Train.NumFeatures()
+	if p.Train.Task == dataset.Classification {
+		rep := p.EvaluateClassification()
+		res.Accuracy, res.F1, res.AUC = &rep.Accuracy, &rep.F1, &rep.AUC
+	} else {
+		rep := p.EvaluateRegression()
+		res.MAE, res.R2 = &rep.MAE, &rep.R2
+	}
+}
+
+// runCell evaluates one method against one trained pipeline: explain the
+// first N test instances and aggregate additivity, deletion and latency
+// metrics. Capability mismatches are recorded as skips.
+func (r *Runner) runCell(ctx context.Context, sp Spec, p *core.Pipeline, res *CellResult) {
+	if p == nil {
+		if res.Error == "" {
+			res.Error = "pipeline unavailable"
+		}
+		return
+	}
+	opts := xai.Options{Samples: sp.ShapSamples, Seed: sp.Seed}
+	e, method, err := p.ExplainerFor(res.Method, opts)
+	if err != nil {
+		if errors.Is(err, xai.ErrUnsupportedModel) {
+			res.Skipped, res.Reason = true, err.Error()
+		} else {
+			res.Error = err.Error()
+		}
+		return
+	}
+	n := sp.Samples
+	if n > p.Test.Len() {
+		n = p.Test.Len()
+	}
+	caps, _ := xai.LookupMethod(method)
+	var (
+		addSum, aucSum, gapSum float64
+		latSum                 time.Duration
+	)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			res.Error = err.Error()
+			return
+		}
+		x := p.Test.X[i]
+		t0 := time.Now()
+		attr, err := e.Explain(ctx, x)
+		latSum += time.Since(t0)
+		if err != nil {
+			res.Error = fmt.Sprintf("instance %d: %v", i, err)
+			return
+		}
+		if caps.Caps.Additive {
+			addSum += attr.AdditivityError()
+		}
+		curve, err := evalx.Deletion(p.Model, x, attr.Ranking(), p.Background)
+		if err != nil {
+			res.Error = fmt.Sprintf("deletion %d: %v", i, err)
+			return
+		}
+		aucSum += curve.AUC()
+		gap, err := evalx.DeletionGap(p.Model, x, attr, p.Background, sp.DeletionTrials, sp.Seed+int64(i))
+		if err != nil {
+			res.Error = fmt.Sprintf("deletion gap %d: %v", i, err)
+			return
+		}
+		gapSum += gap
+	}
+	if n == 0 {
+		res.Error = "no test instances"
+		return
+	}
+	res.N = n
+	fn := float64(n)
+	if caps.Caps.Additive {
+		v := addSum / fn
+		res.MeanAdditivityErr = &v
+	}
+	auc := aucSum / fn
+	gap := gapSum / fn
+	res.MeanDeletionAUC = &auc
+	res.MeanDeletionGap = &gap
+	res.MeanLatencyMs = latSum.Seconds() * 1000 / fn
+}
+
+// Table renders the matrix as the paper-style method-comparison table,
+// one block per scenario×target: model accuracy rows, then per-method
+// explanation metrics.
+func (m *Matrix) Table() string {
+	var sb sortedBlocks
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		sb.add(c.Scenario + "/" + c.Target)
+	}
+	var out []string
+	for _, block := range sb.keys {
+		out = append(out, fmt.Sprintf("=== %s (%gh, seed %d) ===", block, m.Spec.Hours, m.Spec.Seed))
+		out = append(out, fmt.Sprintf("%-8s %-14s %10s %12s %12s %12s %10s",
+			"model", "method", "score", "additivity", "del-AUC", "del-gap", "ms/expl"))
+		for i := range m.Cells {
+			c := &m.Cells[i]
+			if c.Scenario+"/"+c.Target != block {
+				continue
+			}
+			score := m.scoreFor(c.Scenario, c.Target, c.Model)
+			switch {
+			case c.Skipped:
+				out = append(out, fmt.Sprintf("%-8s %-14s %10s %12s", c.Model, c.Method, score, "(skipped)"))
+			case c.Error != "":
+				out = append(out, fmt.Sprintf("%-8s %-14s %10s %12s", c.Model, c.Method, score, "(error)"))
+			default:
+				out = append(out, fmt.Sprintf("%-8s %-14s %10s %12s %12s %12s %10.2f",
+					c.Model, c.Method, score, fmtMetric(c.MeanAdditivityErr, "%.2e"),
+					fmtMetric(c.MeanDeletionAUC, "%.4f"), fmtMetric(c.MeanDeletionGap, "%.4f"),
+					c.MeanLatencyMs))
+			}
+		}
+	}
+	return joinLines(out)
+}
+
+// scoreFor renders the model's headline accuracy for table rows.
+func (m *Matrix) scoreFor(scenario, target, model string) string {
+	for i := range m.Models {
+		r := &m.Models[i]
+		if r.Scenario == scenario && r.Target == target && r.Model == model {
+			switch {
+			case r.R2 != nil:
+				return fmt.Sprintf("R2=%.3f", *r.R2)
+			case r.AUC != nil:
+				return fmt.Sprintf("AUC=%.3f", *r.AUC)
+			case r.Error != "":
+				return "(failed)"
+			}
+		}
+	}
+	return "-"
+}
+
+func fmtMetric(v *float64, format string) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf(format, *v)
+}
+
+// sortedBlocks is an insertion-ordered string set.
+type sortedBlocks struct{ keys []string }
+
+func (s *sortedBlocks) add(k string) {
+	i := sort.SearchStrings(s.keys, k)
+	if i < len(s.keys) && s.keys[i] == k {
+		return
+	}
+	s.keys = append(s.keys, "")
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = k
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

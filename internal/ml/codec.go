@@ -1,0 +1,172 @@
+// Model serialization: every zoo member marshals to a versioned binary
+// blob (floats as exact IEEE-754 bit patterns, so a round trip is
+// bit-identical), and EncodeModel/DecodeModel wrap those blobs with a
+// self-describing kind tag. This is the layer the durable artifact plane
+// (core.Pipeline.Save/Load, the registry store) builds on.
+package ml
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+
+	"nfvxai/internal/ml/forest"
+	"nfvxai/internal/ml/linear"
+	"nfvxai/internal/ml/nn"
+	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/wire"
+)
+
+// Serialized kind tags. They name concrete model types, not zoo kinds:
+// "linear" resolves to Regression or Logistic depending on the task, and
+// the tag records which one was actually trained.
+const (
+	KindLinearRegression = "linear.regression"
+	KindLogistic         = "linear.logistic"
+	KindCART             = "tree.cart"
+	KindRandomForest     = "forest.rf"
+	KindGBT              = "forest.gbt"
+	KindMLP              = "nn.mlp"
+)
+
+// modelCodecVersion versions the EncodeModel envelope (magic + kind tag +
+// payload); each model payload carries its own codec version too.
+const modelCodecVersion = 1
+
+// modelMagic guards against feeding arbitrary bytes to the decoder.
+const modelMagic = "NFVM"
+
+// ErrUnknownModelKind reports a serialized kind tag with no registered
+// decoder (a newer artifact, or corruption) — and, from EncodeModel, a
+// model type without a serializer.
+var ErrUnknownModelKind = errors.New("ml: unknown serialized model kind")
+
+// ErrCodecVersion reports an envelope version this build cannot read.
+var ErrCodecVersion = errors.New("ml: unsupported model codec version")
+
+// ErrCorruptModel reports an envelope that is not a serialized model at
+// all (bad magic) — distinct from a truncated one (wire.ErrTruncated).
+var ErrCorruptModel = errors.New("ml: corrupt model envelope")
+
+// KindOf returns the serialization kind tag for a supported model, or ""
+// when the model has no codec.
+func KindOf(m Predictor) string {
+	switch m.(type) {
+	case *linear.Regression:
+		return KindLinearRegression
+	case *linear.Logistic:
+		return KindLogistic
+	case *tree.Tree:
+		return KindCART
+	case *forest.RandomForest:
+		return KindRandomForest
+	case *forest.GradientBoosting:
+		return KindGBT
+	case *nn.MLP:
+		return KindMLP
+	default:
+		return ""
+	}
+}
+
+// InputWidth reports the feature-vector width a supported model expects
+// (ok false for model types without a codec). The artifact plane uses it
+// to validate a decoded model against the dataset schema it travels
+// with — a width mismatch would otherwise panic at predict time, inside
+// ensemble worker goroutines that no HTTP recover covers.
+func InputWidth(m Predictor) (int, bool) {
+	switch t := m.(type) {
+	case *linear.Regression:
+		return len(t.Weights), true
+	case *linear.Logistic:
+		return len(t.Weights), true
+	case *tree.Tree:
+		return t.NumFeatures(), true
+	case *forest.RandomForest:
+		return ensembleWidth(t.Trees), true
+	case *forest.GradientBoosting:
+		return ensembleWidth(t.Trees), true
+	case *nn.MLP:
+		return t.InputDim(), true
+	default:
+		return 0, false
+	}
+}
+
+// ensembleWidth is the widest member tree's feature count (the width the
+// ensemble's batch routing may index).
+func ensembleWidth(trees []*tree.Tree) int {
+	w := 0
+	for _, t := range trees {
+		if n := t.NumFeatures(); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// EncodeModel serializes a supported model into a self-describing
+// envelope: magic, envelope version, kind tag, payload. Unsupported
+// model types (external Predictors) report ErrUnknownModelKind.
+func EncodeModel(m Predictor) ([]byte, error) {
+	kind := KindOf(m)
+	if kind == "" {
+		return nil, fmt.Errorf("%w: cannot serialize %T", ErrUnknownModelKind, m)
+	}
+	payload, err := m.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("ml: encoding %s: %w", kind, err)
+	}
+	var w wire.Writer
+	w.String(modelMagic)
+	w.U16(modelCodecVersion)
+	w.String(kind)
+	w.BytesField(payload)
+	return w.Bytes(), nil
+}
+
+// DecodeModel reconstructs a model from an EncodeModel envelope. The
+// returned Predictor is fully servable: tree models rebuild their
+// flattened batch-inference layouts during decode.
+func DecodeModel(data []byte) (Predictor, error) {
+	r := wire.NewReader(data)
+	magic := r.String()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ml: decode: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptModel, magic)
+	}
+	if v := r.U16(); r.Err() == nil && v != modelCodecVersion {
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrCodecVersion, v, modelCodecVersion)
+	}
+	kind := r.String()
+	payload := r.BytesField()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ml: decode: %w", err)
+	}
+	var m interface {
+		Predictor
+		encoding.BinaryUnmarshaler
+	}
+	switch kind {
+	case KindLinearRegression:
+		m = &linear.Regression{}
+	case KindLogistic:
+		m = &linear.Logistic{}
+	case KindCART:
+		m = &tree.Tree{}
+	case KindRandomForest:
+		m = &forest.RandomForest{}
+	case KindGBT:
+		m = &forest.GradientBoosting{}
+	case KindMLP:
+		m = &nn.MLP{}
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModelKind, kind)
+	}
+	if err := m.UnmarshalBinary(payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,224 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml/forest"
+	"nfvxai/internal/ml/linear"
+	"nfvxai/internal/ml/nn"
+	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/wire"
+)
+
+// synthDataset builds a small nonlinear dataset for codec round trips.
+func synthDataset(task dataset.Task, n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(task, "a", "b", "c", "d")
+	for i := 0; i < n; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y := 2*x[0] - x[1]*x[1] + 0.5*x[2] + 0.1*rng.NormFloat64()
+		if task == dataset.Classification {
+			if y > 0 {
+				y = 1
+			} else {
+				y = 0
+			}
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+// trainedModels fits one of every serializable model type.
+func trainedModels(t *testing.T) map[string]Predictor {
+	t.Helper()
+	reg := synthDataset(dataset.Regression, 300, 11)
+	cls := synthDataset(dataset.Classification, 300, 12)
+	models := map[string]Trainable{
+		KindLinearRegression: &linear.Regression{Ridge: 1e-3},
+		KindLogistic:         &linear.Logistic{LR: 0.05, Epochs: 40, BatchSize: 32, Seed: 3},
+		KindCART:             tree.New(tree.Config{Task: dataset.Regression, MaxDepth: 6, MinLeaf: 3, Seed: 5}),
+		KindRandomForest:     &forest.RandomForest{NumTrees: 12, MaxDepth: 6, MinLeaf: 2, Task: dataset.Regression, Seed: 7},
+		KindGBT:              &forest.GradientBoosting{NumRounds: 25, LearningRate: 0.1, MaxDepth: 3, Task: dataset.Classification, Seed: 9},
+		KindMLP:              &nn.MLP{Hidden: []int{16, 8}, Epochs: 20, BatchSize: 32, Task: dataset.Regression, Seed: 13},
+	}
+	out := map[string]Predictor{}
+	for kind, m := range models {
+		ds := reg
+		if kind == KindLogistic || kind == KindGBT {
+			ds = cls
+		}
+		if err := m.Fit(ds); err != nil {
+			t.Fatalf("fit %s: %v", kind, err)
+		}
+		out[kind] = m
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTripBitIdentical(t *testing.T) {
+	probe := synthDataset(dataset.Regression, 64, 99).X
+	for kind, m := range trainedModels(t) {
+		blob, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		loaded, err := DecodeModel(blob)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", kind, err)
+		}
+		if got := KindOf(loaded); got != kind {
+			t.Fatalf("%s: decoded kind %s", kind, got)
+		}
+		wantRow := make([]float64, len(probe))
+		gotRow := make([]float64, len(probe))
+		for i, x := range probe {
+			wantRow[i] = m.Predict(x)
+			gotRow[i] = loaded.Predict(x)
+		}
+		for i := range probe {
+			if math.Float64bits(wantRow[i]) != math.Float64bits(gotRow[i]) {
+				t.Fatalf("%s: Predict row %d: %v != %v (bits differ)", kind, i, gotRow[i], wantRow[i])
+			}
+		}
+		// The batch fast path of the loaded model (rebuilt flat layouts for
+		// tree models) must also be bit-identical.
+		wantBatch := PredictBatch(m, probe)
+		gotBatch := PredictBatch(loaded, probe)
+		for i := range probe {
+			if math.Float64bits(wantBatch[i]) != math.Float64bits(gotBatch[i]) {
+				t.Fatalf("%s: PredictBatch row %d: %v != %v (bits differ)", kind, i, gotBatch[i], wantBatch[i])
+			}
+		}
+		// Double round trip is byte-stable (canonical encoding).
+		blob2, err := EncodeModel(loaded)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", kind, err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("%s: re-encoded blob differs (%d vs %d bytes)", kind, len(blob), len(blob2))
+		}
+	}
+}
+
+func TestDecodeModelErrors(t *testing.T) {
+	m := &linear.Regression{Weights: []float64{1, 2}, Intercept: 3}
+	blob, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeModel(blob[:len(blob)-4]); !errors.Is(err, wire.ErrTruncated) {
+		t.Errorf("truncated: err = %v, want wire.ErrTruncated", err)
+	}
+	if _, err := DecodeModel([]byte("not a model artifact at all")); err == nil {
+		t.Error("garbage: expected error")
+	}
+
+	var w wire.Writer
+	w.String("XXXX")
+	if _, err := DecodeModel(w.Bytes()); !errors.Is(err, ErrCorruptModel) {
+		t.Errorf("bad magic: err = %v, want ErrCorruptModel", err)
+	}
+
+	var w2 wire.Writer
+	w2.String("NFVM")
+	w2.U16(99)
+	if _, err := DecodeModel(w2.Bytes()); !errors.Is(err, ErrCodecVersion) {
+		t.Errorf("future version: err = %v, want ErrCodecVersion", err)
+	}
+
+	var w3 wire.Writer
+	w3.String("NFVM")
+	w3.U16(1)
+	w3.String("quantum.annealer")
+	w3.BytesField(nil)
+	if _, err := DecodeModel(w3.Bytes()); !errors.Is(err, ErrUnknownModelKind) {
+		t.Errorf("unknown kind: err = %v, want ErrUnknownModelKind", err)
+	}
+
+	if _, err := EncodeModel(PredictorFunc(func(x []float64) float64 { return 0 })); !errors.Is(err, ErrUnknownModelKind) {
+		t.Errorf("unsupported type: err = %v, want ErrUnknownModelKind", err)
+	}
+}
+
+func TestDecodeTreeRejectsBadChildLinks(t *testing.T) {
+	fit := func() *tree.Tree {
+		tr := tree.New(tree.Config{Task: dataset.Regression, MaxDepth: 4, Seed: 1})
+		if err := tr.Fit(synthDataset(dataset.Regression, 100, 21)); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	// Every corruption of the node graph must fail decode — not panic
+	// later inside flatView/Predict/Depth (these artifacts arrive over
+	// POST /v1/models/import).
+	cases := map[string]func(*tree.Tree){
+		"out of range": func(tr *tree.Tree) { tr.Nodes[0].Left = 1 << 30 },
+		"negative":     func(tr *tree.Tree) { tr.Nodes[0].Right = -7 },
+		"self loop":    func(tr *tree.Tree) { tr.Nodes[0].Left = 0 },
+		"shared child": func(tr *tree.Tree) { tr.Nodes[0].Right = tr.Nodes[0].Left },
+		"cycle": func(tr *tree.Tree) {
+			// Point a deep interior node back at the root.
+			for i := range tr.Nodes {
+				if !tr.Nodes[i].IsLeaf() && i > 0 {
+					tr.Nodes[i].Left = 0
+					return
+				}
+			}
+			t.Skip("tree too small for cycle case")
+		},
+	}
+	for name, corrupt := range cases {
+		tr := fit()
+		corrupt(tr)
+		blob, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loaded tree.Tree
+		if err := loaded.UnmarshalBinary(blob); err == nil {
+			t.Errorf("%s: expected structure validation error", name)
+		}
+	}
+}
+
+// TestDecodeRejectsHugeLengthPrefixes: a tiny corrupt blob claiming a
+// huge element count must fail with ErrTruncated before allocating.
+func TestDecodeRejectsHugeLengthPrefixes(t *testing.T) {
+	var w wire.Writer
+	w.U16(1)       // dataset codec version
+	w.U8(0)        // task
+	w.Int(1 << 27) // names: claims 128M strings in a ~30-byte buffer
+	w.Int(0)       // (never reached)
+	if _, err := dataset.ReadWire(wire.NewReader(w.Bytes())); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("err = %v, want wire.ErrTruncated", err)
+	}
+}
+
+func TestDatasetWireRoundTrip(t *testing.T) {
+	d := synthDataset(dataset.Classification, 50, 33)
+	var w wire.Writer
+	d.AppendWire(&w)
+	got, err := dataset.ReadWire(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != d.Task || got.Len() != d.Len() || len(got.Names) != len(d.Names) {
+		t.Fatalf("shape mismatch: %v", got)
+	}
+	for i, row := range d.X {
+		for j, v := range row {
+			if math.Float64bits(got.X[i][j]) != math.Float64bits(v) {
+				t.Fatalf("X[%d][%d] differs", i, j)
+			}
+		}
+		if math.Float64bits(got.Y[i]) != math.Float64bits(d.Y[i]) {
+			t.Fatalf("Y[%d] differs", i)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package linear
+
+import (
+	"fmt"
+
+	"nfvxai/internal/wire"
+)
+
+// linearCodecVersion is bumped whenever either model's layout changes.
+const linearCodecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: the ridge penalty
+// and the fitted coefficients, bit-exact.
+func (m *Regression) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U16(linearCodecVersion)
+	w.F64(m.Ridge)
+	w.F64(m.Intercept)
+	w.F64s(m.Weights)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing any
+// previous state.
+func (m *Regression) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U16(); r.Err() == nil && v != linearCodecVersion {
+		return fmt.Errorf("linear: codec version %d, want %d", v, linearCodecVersion)
+	}
+	nm := Regression{Ridge: r.F64(), Intercept: r.F64(), Weights: r.F64s()}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("linear: decode: %w", err)
+	}
+	*m = nm
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the training
+// hyperparameters (so a loaded model can be refit identically) and the
+// fitted coefficients, bit-exact.
+func (m *Logistic) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U16(linearCodecVersion)
+	w.F64(m.L2)
+	w.F64(m.LR)
+	w.Int(m.Epochs)
+	w.Int(m.BatchSize)
+	w.I64(m.Seed)
+	w.F64(m.Intercept)
+	w.F64s(m.Weights)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing any
+// previous state.
+func (m *Logistic) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U16(); r.Err() == nil && v != linearCodecVersion {
+		return fmt.Errorf("linear: codec version %d, want %d", v, linearCodecVersion)
+	}
+	nm := Logistic{
+		L2:        r.F64(),
+		LR:        r.F64(),
+		Epochs:    r.Int(),
+		BatchSize: r.Int(),
+		Seed:      r.I64(),
+		Intercept: r.F64(),
+		Weights:   r.F64s(),
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("linear: decode: %w", err)
+	}
+	*m = nm
+	return nil
+}

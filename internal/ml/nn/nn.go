@@ -377,6 +377,16 @@ func (m *MLP) Gradient(x []float64) []float64 {
 	return append([]float64(nil), deltas[0]...)
 }
 
+// InputDim returns the input width the fitted network expects (0 before
+// Fit). The artifact plane validates loaded models against their
+// embedded dataset schema with this.
+func (m *MLP) InputDim() int {
+	if len(m.dims) == 0 {
+		return 0
+	}
+	return m.dims[0]
+}
+
 // NumParams returns the trainable parameter count.
 func (m *MLP) NumParams() int {
 	c := 0

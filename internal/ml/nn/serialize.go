@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/wire"
+)
+
+// nnCodecVersion is bumped whenever the encoded layout changes.
+const nnCodecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: architecture,
+// training hyperparameters and every weight matrix, bit-exact.
+func (m *MLP) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U16(nnCodecVersion)
+	w.Ints(m.Hidden)
+	w.U8(uint8(m.Act))
+	w.F64(m.LR)
+	w.Int(m.Epochs)
+	w.Int(m.BatchSize)
+	w.F64(m.L2)
+	w.U8(uint8(m.Task))
+	w.I64(m.Seed)
+	w.Ints(m.dims)
+	w.Int(len(m.weights))
+	for _, layer := range m.weights {
+		w.F64s(layer)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing any
+// previous parameters. The layer shapes are validated against dims so a
+// corrupted blob fails here instead of panicking inside forward.
+func (m *MLP) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U16(); r.Err() == nil && v != nnCodecVersion {
+		return fmt.Errorf("nn: codec version %d, want %d", v, nnCodecVersion)
+	}
+	nm := MLP{
+		Hidden:    r.Ints(),
+		Act:       Activation(r.U8()),
+		LR:        r.F64(),
+		Epochs:    r.Int(),
+		BatchSize: r.Int(),
+		L2:        r.F64(),
+		Task:      dataset.Task(r.U8()),
+		Seed:      r.I64(),
+		dims:      r.Ints(),
+	}
+	nLayers := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	// Each layer carries at least an 8-byte length prefix; bound the
+	// allocation by the bytes actually present.
+	if nLayers < 0 || nLayers > wire.MaxLen || r.Remaining() < nLayers*8 {
+		return fmt.Errorf("nn: decode: %w", wire.ErrTruncated)
+	}
+	weights := make([][]float64, nLayers)
+	for l := range weights {
+		weights[l] = r.F64s()
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	if nLayers > 0 {
+		if len(nm.dims) != nLayers+1 {
+			return fmt.Errorf("nn: decode: %d layers but %d dims: %w", nLayers, len(nm.dims), wire.ErrTruncated)
+		}
+		for l, layer := range weights {
+			in, out := nm.dims[l], nm.dims[l+1]
+			if in <= 0 || out <= 0 || len(layer) != (in+1)*out {
+				return fmt.Errorf("nn: decode: layer %d has %d weights, want (%d+1)*%d: %w",
+					l, len(layer), in, out, wire.ErrTruncated)
+			}
+		}
+	}
+	nm.weights = weights
+	*m = nm
+	return nil
+}

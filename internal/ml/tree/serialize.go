@@ -1,0 +1,131 @@
+package tree
+
+import (
+	"fmt"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/wire"
+)
+
+// treeCodecVersion is bumped whenever the encoded layout changes.
+const treeCodecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler: the fitted node
+// table, induction config and importance state, floats as exact bit
+// patterns. The flattened batch-inference layout is NOT encoded — it is
+// a derived structure rebuilt on load (see UnmarshalBinary).
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var w wire.Writer
+	w.U16(treeCodecVersion)
+	w.U8(uint8(t.Cfg.Task))
+	w.Int(t.Cfg.MaxDepth)
+	w.Int(t.Cfg.MinLeaf)
+	w.Int(t.Cfg.MinSplit)
+	w.Int(t.Cfg.MaxFeatures)
+	w.I64(t.Cfg.Seed)
+	w.Int(t.nFeatures)
+	w.F64s(t.importance)
+	w.Int(len(t.Nodes))
+	for _, n := range t.Nodes {
+		w.Int(n.Feature)
+		w.F64(n.Threshold)
+		w.Int(n.Left)
+		w.Int(n.Right)
+		w.F64(n.Value)
+		w.F64(n.Cover)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing any
+// previous state. The flattened CART routing layout (the PredictBatch
+// fast path) is rebuilt eagerly, exactly as FitIndices does at fit time,
+// so a loaded tree serves batch traffic without a lazy-build hiccup.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U16(); r.Err() == nil && v != treeCodecVersion {
+		return fmt.Errorf("tree: codec version %d, want %d", v, treeCodecVersion)
+	}
+	cfg := Config{
+		Task:        dataset.Task(r.U8()),
+		MaxDepth:    r.Int(),
+		MinLeaf:     r.Int(),
+		MinSplit:    r.Int(),
+		MaxFeatures: r.Int(),
+		Seed:        r.I64(),
+	}
+	nFeatures := r.Int()
+	importance := r.F64s()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("tree: decode: %w", err)
+	}
+	// Each node is 6 fixed-width fields (48 bytes); bound the allocation
+	// by the bytes actually present so a corrupt length prefix cannot
+	// demand gigabytes.
+	if n < 0 || n > wire.MaxLen || r.Remaining() < n*48 {
+		return fmt.Errorf("tree: decode: %w", wire.ErrTruncated)
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{
+			Feature:   r.Int(),
+			Threshold: r.F64(),
+			Left:      r.Int(),
+			Right:     r.Int(),
+			Value:     r.F64(),
+			Cover:     r.F64(),
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("tree: decode: %w", err)
+	}
+	// The node table must be an actual tree rooted at 0: every child link
+	// in range, every node reachable at most once, and every split
+	// feature inside the declared width. Range alone is not enough — a
+	// shared or self-referential child passes it but makes the BFS in
+	// flatView (and Depth's recursion) visit more nodes than exist, and
+	// an out-of-width Feature index panics inside the routing loop's
+	// x[feature] load at predict time (in ensemble worker goroutines,
+	// outside any HTTP recover). A corrupt artifact must fail decode,
+	// not crash later.
+	if nFeatures < 0 {
+		return fmt.Errorf("tree: decode: negative feature count: %w", wire.ErrTruncated)
+	}
+	if n > 0 {
+		visited := make([]bool, n)
+		queue := []int{0}
+		visited[0] = true
+		for len(queue) > 0 {
+			i := queue[0]
+			queue = queue[1:]
+			nd := nodes[i]
+			if nd.IsLeaf() {
+				continue
+			}
+			if nd.Feature < 0 || nd.Feature >= nFeatures {
+				return fmt.Errorf("tree: decode: node %d split feature %d outside width %d: %w",
+					i, nd.Feature, nFeatures, wire.ErrTruncated)
+			}
+			for _, c := range []int{nd.Left, nd.Right} {
+				if c < 0 || c >= n {
+					return fmt.Errorf("tree: decode: node %d child link %d out of range: %w", i, c, wire.ErrTruncated)
+				}
+				if visited[c] {
+					return fmt.Errorf("tree: decode: node %d reached twice (cycle or shared child): %w", c, wire.ErrTruncated)
+				}
+				visited[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	t.Cfg = cfg
+	t.nFeatures = nFeatures
+	t.importance = importance
+	t.Nodes = nodes
+	t.flat.Store(nil)
+	if n > 0 {
+		t.flatView() // rebuild the batch routing layout now, as Fit does
+	}
+	return nil
+}

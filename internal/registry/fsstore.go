@@ -1,0 +1,204 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FSStore is the filesystem Store: content-addressed artifacts under
+// <dir>/artifacts/<digest>, the manifest at <dir>/manifest.json, and
+// persisted experiment matrices under <dir>/experiments/<id>.json. All
+// writes go through a temp-file-plus-rename so a crash mid-write never
+// leaves a torn file behind — at worst a stale one.
+type FSStore struct {
+	dir string
+}
+
+// OpenFSStore opens (creating if needed) a filesystem store rooted at dir.
+func OpenFSStore(dir string) (*FSStore, error) {
+	for _, sub := range []string{"", "artifacts", "experiments"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("registry: open store: %w", err)
+		}
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+// writeAtomic writes data to path via a temp file in the same directory
+// and an atomic rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// PutArtifact implements Store.
+func (s *FSStore) PutArtifact(data []byte) (string, error) {
+	digest := Digest(data)
+	path := filepath.Join(s.dir, "artifacts", digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil // content-addressed: identical bytes already stored
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return "", fmt.Errorf("registry: put artifact: %w", err)
+	}
+	return digest, nil
+}
+
+// GetArtifact implements Store, verifying the content digest so silent
+// on-disk corruption surfaces as ErrCorruptArtifact instead of a decode
+// failure deeper in.
+func (s *FSStore) GetArtifact(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("%w: invalid digest %q", ErrArtifactNotFound, digest)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "artifacts", digest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrArtifactNotFound, digest)
+		}
+		return nil, fmt.Errorf("registry: get artifact: %w", err)
+	}
+	if got := Digest(data); got != digest {
+		return nil, fmt.Errorf("%w: digest %s, content hashes to %s", ErrCorruptArtifact, digest, got)
+	}
+	return data, nil
+}
+
+// DeleteArtifact implements Store.
+func (s *FSStore) DeleteArtifact(digest string) error {
+	if !validDigest(digest) {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(s.dir, "artifacts", digest)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("registry: delete artifact: %w", err)
+	}
+	return nil
+}
+
+// validDigest accepts hex SHA-256 strings only (also keeps digests safe
+// as file names).
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for _, c := range d {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// PutManifest implements Store.
+func (s *FSStore) PutManifest(m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: put manifest: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(s.dir, "manifest.json"), data); err != nil {
+		return fmt.Errorf("registry: put manifest: %w", err)
+	}
+	return nil
+}
+
+// GetManifest implements Store.
+func (s *FSStore) GetManifest() (Manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{}, false, nil
+		}
+		return Manifest{}, false, fmt.Errorf("registry: get manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("%w: manifest: %v", ErrCorruptArtifact, err)
+	}
+	return m, true, nil
+}
+
+// validExperimentID keeps experiment ids usable as file names.
+func validExperimentID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for _, c := range id {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-') {
+			return false
+		}
+	}
+	return !strings.HasPrefix(id, ".")
+}
+
+// PutExperiment implements Store.
+func (s *FSStore) PutExperiment(id string, data []byte) error {
+	if !validExperimentID(id) {
+		return fmt.Errorf("registry: put experiment: invalid id %q", id)
+	}
+	if err := writeAtomic(filepath.Join(s.dir, "experiments", id+".json"), data); err != nil {
+		return fmt.Errorf("registry: put experiment: %w", err)
+	}
+	return nil
+}
+
+// GetExperiment implements Store.
+func (s *FSStore) GetExperiment(id string) ([]byte, error) {
+	if !validExperimentID(id) {
+		return nil, fmt.Errorf("%w: invalid experiment id %q", ErrArtifactNotFound, id)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "experiments", id+".json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: experiment %s", ErrArtifactNotFound, id)
+		}
+		return nil, fmt.Errorf("registry: get experiment: %w", err)
+	}
+	return data, nil
+}
+
+// ListExperiments implements Store.
+func (s *FSStore) ListExperiments() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "experiments"))
+	if err != nil {
+		return nil, fmt.Errorf("registry: list experiments: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".json") {
+			ids = append(ids, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,335 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nfvxai/internal/core"
+)
+
+// UseStore attaches a persistence backend. Every subsequent successful
+// train (synchronous AddReady, background Create build, streaming Swap)
+// writes its artifact and refreshes the manifest; call WarmStart right
+// after UseStore to restore the previous process's state first.
+func (r *Registry) UseStore(st Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+	if r.digests == nil {
+		r.digests = map[string]string{}
+	}
+}
+
+// StoreBackend returns the attached store, or nil.
+func (r *Registry) StoreBackend() Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+// reportStoreErr routes asynchronous persistence failures to the
+// OnStoreError hook. Persistence is deliberately non-fatal for serving:
+// a full disk must not take down inference traffic.
+func (r *Registry) reportStoreErr(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.RLock()
+	hook := r.OnStoreError
+	r.mu.RUnlock()
+	if hook != nil {
+		hook(err)
+	}
+}
+
+// persistModel encodes the named ready model's pipeline, stores the
+// artifact and rewrites the manifest. It runs outside the registry lock
+// (encoding a pipeline is not cheap) and serializes store writes through
+// storeMu so concurrent retrains cannot interleave manifest versions.
+func (r *Registry) persistModel(name string) error {
+	r.mu.RLock()
+	st := r.store
+	var sp Spec
+	var p *core.Pipeline
+	if e, ok := r.models[name]; ok && e.status == StatusReady {
+		sp, p = e.spec, e.pipeline
+	}
+	r.mu.RUnlock()
+	if st == nil || p == nil {
+		return nil
+	}
+	art, err := EncodeArtifact(sp, p)
+	if err != nil {
+		return fmt.Errorf("registry: persist %q: %w", name, err)
+	}
+	digest, err := st.PutArtifact(art)
+	if err != nil {
+		return fmt.Errorf("registry: persist %q: %w", name, err)
+	}
+	r.mu.Lock()
+	if r.digests == nil {
+		r.digests = map[string]string{}
+	}
+	old := r.digests[name]
+	r.digests[name] = digest
+	// A live model supersedes any orphaned manifest record of its name.
+	delete(r.orphans, name)
+	r.mu.Unlock()
+	if err := r.persistManifest(); err != nil {
+		return err
+	}
+	// GC the superseded artifact (retrains would otherwise grow the store
+	// without bound) — but only after the manifest stopped referencing
+	// it, and only if nothing else still does (content addressing lets
+	// identical pipelines share a digest).
+	if old != "" && old != digest {
+		r.mu.RLock()
+		referenced := false
+		for _, d := range r.digests {
+			if d == old {
+				referenced = true
+				break
+			}
+		}
+		for _, rec := range r.orphans {
+			if rec.Digest == old {
+				referenced = true
+				break
+			}
+		}
+		r.mu.RUnlock()
+		if !referenced {
+			if err := st.DeleteArtifact(old); err != nil {
+				return fmt.Errorf("registry: gc %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// PersistManifest rewrites the manifest from the registry's current
+// state. The serving layer calls it after registering a scenario at
+// runtime so registered ScenarioSpecs survive restart; model persistence
+// calls it internally.
+func (r *Registry) PersistManifest() error { return r.persistManifest() }
+
+func (r *Registry) persistManifest() error {
+	// storeMu is held across BOTH the state snapshot and the write. If
+	// the snapshot were taken outside it, two near-simultaneous persists
+	// (a background build finishing while a retrain swaps) could write
+	// their manifests in the opposite order they snapshotted, committing
+	// the stale one last and dropping a just-trained model from disk.
+	// Lock order is storeMu → mu.RLock; no caller holds mu when calling
+	// persistManifest, so this cannot deadlock.
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
+	r.mu.RLock()
+	st := r.store
+	if st == nil {
+		r.mu.RUnlock()
+		return nil
+	}
+	m := Manifest{Version: ManifestVersion, SavedAt: time.Now(), Default: r.defaultKey}
+	for name, e := range r.models {
+		digest, ok := r.digests[name]
+		if !ok || e.status != StatusReady {
+			continue // never persisted (still training, failed, or no artifact)
+		}
+		m.Models = append(m.Models, ModelRecord{
+			Spec:      e.spec,
+			Digest:    digest,
+			CreatedAt: e.createdAt,
+			ReadyAt:   e.readyAt,
+			Retrains:  e.retrains,
+		})
+	}
+	// Carry forward records whose artifacts failed to restore this boot:
+	// dropping them here would turn a transient read error into permanent
+	// eviction of a model whose artifact is still on disk. Only a ready,
+	// persisted entry of the same name supersedes its orphan — a
+	// recreate attempt that is still training (or failed) must not evict
+	// the last good artifact.
+	for name, rec := range r.orphans {
+		if e, ok := r.models[name]; ok && e.status == StatusReady {
+			if _, persisted := r.digests[name]; persisted {
+				continue
+			}
+		}
+		m.Models = append(m.Models, rec)
+	}
+	scenarios := r.Scenarios
+	r.mu.RUnlock()
+	if scenarios != nil {
+		m.Scenarios = scenarios.List()
+	}
+	return st.PutManifest(m)
+}
+
+// RestoreError names one model that failed to restore during WarmStart.
+type RestoreError struct {
+	Name string
+	Err  error
+}
+
+// WarmStartReport summarizes what a WarmStart restored. Per-model
+// failures (missing/corrupt/unreadable artifacts) land in Errors while
+// the rest of the registry keeps serving — one bad artifact must not
+// block the process from coming up with the others.
+type WarmStartReport struct {
+	// Models are the restored model names, sorted by manifest order.
+	Models []string
+	// Scenarios counts scenario specs restored (builtins excluded).
+	Scenarios int
+	// Default is the restored default model name ("" if none).
+	Default string
+	// Errors lists models whose artifacts failed to restore.
+	Errors []RestoreError
+}
+
+// WarmStart restores the registry from the attached store's manifest:
+// runtime-registered scenarios first (model specs reference them), then
+// every persisted model as a ready entry with its original lifecycle
+// timestamps and retrain count, then the default alias. A manifest
+// written by an incompatible schema version is ErrManifestVersion; a
+// missing manifest is an empty (fresh-store) report.
+func (r *Registry) WarmStart(now time.Time) (WarmStartReport, error) {
+	var rep WarmStartReport
+	st := r.StoreBackend()
+	if st == nil {
+		return rep, ErrNoStore
+	}
+	m, ok, err := st.GetManifest()
+	if err != nil {
+		return rep, err
+	}
+	if !ok {
+		return rep, nil
+	}
+	if m.Version != ManifestVersion {
+		return rep, fmt.Errorf("%w: %d (want %d)", ErrManifestVersion, m.Version, ManifestVersion)
+	}
+	for _, sp := range m.Scenarios {
+		if _, err := r.Scenarios.Register(sp); err != nil {
+			if errors.Is(err, core.ErrScenarioExists) {
+				continue // builtin or already restored
+			}
+			rep.Errors = append(rep.Errors, RestoreError{Name: "scenario/" + sp.Name, Err: err})
+			continue
+		}
+		rep.Scenarios++
+	}
+	for _, rec := range m.Models {
+		name := rec.Spec.Name
+		if err := r.restoreModel(rec); err != nil {
+			rep.Errors = append(rep.Errors, RestoreError{Name: name, Err: err})
+			// Keep the record: future manifest rewrites must not evict a
+			// model just because one boot could not read its artifact.
+			// (Unless a ready, persisted pipeline already owns the name —
+			// then the current state supersedes the stale record.)
+			r.mu.Lock()
+			if r.orphans == nil {
+				r.orphans = map[string]ModelRecord{}
+			}
+			e, live := r.models[name]
+			_, persisted := r.digests[name]
+			if !(live && e.status == StatusReady && persisted) {
+				r.orphans[name] = rec
+			}
+			r.mu.Unlock()
+			continue
+		}
+		rep.Models = append(rep.Models, name)
+	}
+	if m.Default != "" {
+		r.mu.Lock()
+		if _, ok := r.models[m.Default]; ok {
+			r.defaultKey = m.Default
+		}
+		rep.Default = r.defaultKey
+		r.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// restoreModel loads one manifest record's artifact into a ready entry,
+// preserving its lifecycle metadata. The entry's digest is recorded so a
+// later manifest rewrite keeps pointing at the same artifact.
+func (r *Registry) restoreModel(rec ModelRecord) error {
+	st := r.StoreBackend()
+	data, err := st.GetArtifact(rec.Digest)
+	if err != nil {
+		return err
+	}
+	sp, p, err := DecodeArtifact(data)
+	if err != nil {
+		return err
+	}
+	if sp.Name != rec.Spec.Name {
+		return fmt.Errorf("%w: artifact spec name %q != manifest record %q", ErrCorruptArtifact, sp.Name, rec.Spec.Name)
+	}
+	if err := ValidateName(sp.Name); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptArtifact, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.models[sp.Name]; exists {
+		return fmt.Errorf("registry: %q: %w", sp.Name, ErrExists)
+	}
+	r.models[sp.Name] = &entry{
+		spec:      sp,
+		status:    StatusReady,
+		createdAt: rec.CreatedAt,
+		readyAt:   rec.ReadyAt,
+		retrains:  rec.Retrains,
+		pipeline:  p,
+	}
+	if r.digests == nil {
+		r.digests = map[string]string{}
+	}
+	r.digests[sp.Name] = rec.Digest
+	if r.defaultKey == "" {
+		r.defaultKey = sp.Name
+	}
+	return nil
+}
+
+// ExportArtifact serializes the named ready model into a self-contained
+// artifact — the bytes GET /v1/models/{name}/artifact serves. It encodes
+// from the live pipeline, so it works with or without an attached store.
+func (r *Registry) ExportArtifact(name string) ([]byte, error) {
+	r.mu.RLock()
+	e, ok := r.models[name]
+	var sp Spec
+	var p *core.Pipeline
+	if ok {
+		sp, p = e.spec, e.pipeline
+	}
+	status := StatusFailed
+	if ok {
+		status = e.status
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: %q: %w", name, ErrNotFound)
+	}
+	if status != StatusReady || p == nil {
+		return nil, fmt.Errorf("registry: %q is %s: %w", name, status, ErrNotReady)
+	}
+	return EncodeArtifact(sp, p)
+}
+
+// ImportArtifact registers an exported artifact as a ready model. An
+// empty overrideName keeps the name embedded in the artifact's spec. The
+// imported model persists to the attached store like any other ready
+// model. Returns the registered name.
+func (r *Registry) ImportArtifact(data []byte, overrideName string, now time.Time) (string, error) {
+	sp, p, err := DecodeArtifact(data)
+	if err != nil {
+		return "", err
+	}
+	if overrideName != "" {
+		sp.Name = overrideName
+	}
+	return r.AddReady(sp, p, now)
+}

@@ -154,7 +154,7 @@ var builtinScenarios = core.NewScenarioRegistry()
 // a name ending in one would shadow its own endpoints.
 var reservedSegments = map[string]bool{
 	"predict": true, "explain": true, "whatif": true, "importance": true, "schema": true,
-	"explainers": true, "jobs": true, "stream": true,
+	"explainers": true, "jobs": true, "stream": true, "artifact": true, "import": true,
 }
 
 // ValidateName checks that a model name is addressable over the HTTP API:
@@ -277,9 +277,27 @@ type Registry struct {
 	// registers new specs into it at runtime.
 	Scenarios *core.ScenarioRegistry
 
+	// OnStoreError observes asynchronous persistence failures (artifact
+	// or manifest writes that happen off the request path). nil drops
+	// them; explaind logs them. Set before concurrent use.
+	OnStoreError func(error)
+
 	mu         sync.RWMutex
 	models     map[string]*entry
 	defaultKey string
+	// store, when non-nil, is the durable artifact plane (UseStore);
+	// digests tracks each persisted model's current artifact address.
+	store   Store
+	digests map[string]string
+	// orphans are manifest records whose artifacts failed to restore at
+	// WarmStart (e.g. a transient I/O error). They are carried forward
+	// into every manifest rewrite so a blip never permanently evicts a
+	// model whose artifact is still intact on disk; a live model taking
+	// the same name supersedes its orphan.
+	orphans map[string]ModelRecord
+	// storeMu serializes manifest writes so concurrent retrains cannot
+	// interleave versions.
+	storeMu sync.Mutex
 	// done, when non-nil, receives each finished background build's name
 	// (tests use it to wait without polling).
 	done chan<- string
@@ -319,8 +337,8 @@ func (r *Registry) AddReady(sp Spec, p *core.Pipeline, now time.Time) (string, e
 		return "", err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.models[sp.Name]; ok {
+		r.mu.Unlock()
 		return "", fmt.Errorf("registry: %q: %w", sp.Name, ErrExists)
 	}
 	r.models[sp.Name] = &entry{
@@ -329,6 +347,9 @@ func (r *Registry) AddReady(sp Spec, p *core.Pipeline, now time.Time) (string, e
 	if r.defaultKey == "" {
 		r.defaultKey = sp.Name
 	}
+	r.mu.Unlock()
+	// Persist outside the lock: a store write must not block lookups.
+	r.reportStoreErr(r.persistModel(sp.Name))
 	return sp.Name, nil
 }
 
@@ -376,6 +397,12 @@ func (r *Registry) Create(sp Spec) (Entry, error) {
 		}
 		done := r.done
 		r.mu.Unlock()
+		if err == nil {
+			// The artifact lands before the completion notification, so a
+			// test (or operator) that observes "ready" can already restart
+			// from the store.
+			r.reportStoreErr(r.persistModel(sp.Name))
+		}
 		if done != nil {
 			done <- sp.Name
 		}
@@ -408,18 +435,25 @@ func (r *Registry) Swap(name string, p *core.Pipeline, now time.Time) (int, erro
 		return 0, fmt.Errorf("registry: swap %q: nil pipeline", name)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.models[name]
 	if !ok {
+		r.mu.Unlock()
 		return 0, fmt.Errorf("registry: %q: %w", name, ErrNotFound)
 	}
 	if e.status != StatusReady {
-		return 0, fmt.Errorf("registry: swap %q is %s: %w", name, e.status, ErrNotReady)
+		status := e.status
+		r.mu.Unlock()
+		return 0, fmt.Errorf("registry: swap %q is %s: %w", name, status, ErrNotReady)
 	}
 	e.pipeline = p
 	e.readyAt = now
 	e.retrains++
-	return e.retrains, nil
+	retrains := e.retrains
+	r.mu.Unlock()
+	// Persist the retrained pipeline so a restart serves the adapted
+	// model, not the stale pre-drift one.
+	r.reportStoreErr(r.persistModel(name))
+	return retrains, nil
 }
 
 // Get returns a snapshot of the named model.
@@ -471,11 +505,13 @@ func (r *Registry) DefaultName() string {
 // SetDefault redirects the legacy alias to the named model.
 func (r *Registry) SetDefault(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.models[name]; !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("registry: %q: %w", name, ErrNotFound)
 	}
 	r.defaultKey = name
+	r.mu.Unlock()
+	r.reportStoreErr(r.persistManifest())
 	return nil
 }
 

@@ -1,0 +1,157 @@
+// The durable artifact plane: a pluggable Store persists every trained
+// pipeline as a content-addressed artifact plus a manifest describing the
+// registry's state (models, digests, default, registered scenarios), so a
+// restarted explaind warm-starts serving the exact pipelines it was
+// serving when it died instead of retraining from scratch.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/wire"
+)
+
+// Store is the persistence backend of a registry. Artifacts are opaque
+// content-addressed blobs (the digest is the hex SHA-256 of the bytes);
+// the manifest is the small mutable index naming them. Implementations
+// must make PutManifest atomic — a reader never observes a torn manifest.
+// Experiments are persisted result matrices keyed by id.
+type Store interface {
+	// PutArtifact stores data and returns its content digest. Storing the
+	// same bytes twice is idempotent.
+	PutArtifact(data []byte) (digest string, err error)
+	// GetArtifact returns the artifact bytes for a digest, verifying
+	// content integrity: a missing artifact is ErrArtifactNotFound, a
+	// digest mismatch ErrCorruptArtifact.
+	GetArtifact(digest string) ([]byte, error)
+	// DeleteArtifact removes an artifact the manifest no longer
+	// references (retrain GC). Deleting a missing artifact is a no-op.
+	DeleteArtifact(digest string) error
+	// PutManifest atomically replaces the manifest.
+	PutManifest(m Manifest) error
+	// GetManifest loads the manifest; ok is false when none exists yet.
+	GetManifest() (m Manifest, ok bool, err error)
+	// PutExperiment persists one experiment result matrix (JSON) by id.
+	PutExperiment(id string, data []byte) error
+	// GetExperiment loads a persisted experiment result.
+	GetExperiment(id string) ([]byte, error)
+	// ListExperiments returns the persisted experiment ids, sorted.
+	ListExperiments() ([]string, error)
+}
+
+// ManifestVersion is the manifest schema version this build reads and
+// writes.
+const ManifestVersion = 1
+
+// Manifest is the registry's durable index: which artifacts exist, what
+// spec each was trained from, which model is the default, and which
+// scenario specs were registered at runtime.
+type Manifest struct {
+	Version int       `json:"version"`
+	SavedAt time.Time `json:"saved_at"`
+	Default string    `json:"default,omitempty"`
+	// Models lists every persisted ready model.
+	Models []ModelRecord `json:"models"`
+	// Scenarios are the registered scenario specs (builtins included;
+	// re-registering a builtin on warm start is a harmless no-op).
+	Scenarios []core.ScenarioSpec `json:"scenarios,omitempty"`
+}
+
+// ModelRecord names one persisted model artifact.
+type ModelRecord struct {
+	Spec      Spec      `json:"spec"`
+	Digest    string    `json:"digest"`
+	CreatedAt time.Time `json:"created_at"`
+	ReadyAt   time.Time `json:"ready_at"`
+	Retrains  int       `json:"retrains,omitempty"`
+}
+
+// Typed store failures. The corruption tests assert these with errors.Is;
+// decode-level causes (wire.ErrTruncated, ml.ErrUnknownModelKind,
+// core.ErrPipelineVersion) stay reachable through wrapping.
+var (
+	// ErrManifestVersion reports a manifest written by an incompatible
+	// schema version.
+	ErrManifestVersion = errors.New("registry: unsupported manifest version")
+	// ErrCorruptArtifact reports an artifact whose content does not match
+	// its digest or whose structure fails to decode.
+	ErrCorruptArtifact = errors.New("registry: corrupt artifact")
+	// ErrArtifactNotFound reports a digest with no stored artifact.
+	ErrArtifactNotFound = errors.New("registry: artifact not found")
+	// ErrArtifactVersion reports an artifact envelope written by an
+	// incompatible codec version.
+	ErrArtifactVersion = errors.New("registry: unsupported artifact version")
+	// ErrNoStore reports a persistence operation on a registry without an
+	// attached store.
+	ErrNoStore = errors.New("registry: no store attached")
+)
+
+// Digest returns the content address of artifact bytes (hex SHA-256).
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// artifactMagic and artifactCodecVersion frame the registry-level
+// artifact envelope: spec JSON + pipeline blob.
+const (
+	artifactMagic        = "NFVA"
+	artifactCodecVersion = 1
+)
+
+// EncodeArtifact serializes one (spec, trained pipeline) pair into a
+// self-contained artifact: the spec travels with the model so an artifact
+// can be imported into a fresh registry with no manifest at all.
+func EncodeArtifact(sp Spec, p *core.Pipeline) ([]byte, error) {
+	specJSON, err := json.Marshal(sp)
+	if err != nil {
+		return nil, fmt.Errorf("registry: encode artifact spec: %w", err)
+	}
+	blob, err := p.Save()
+	if err != nil {
+		return nil, fmt.Errorf("registry: encode artifact: %w", err)
+	}
+	var w wire.Writer
+	w.String(artifactMagic)
+	w.U16(artifactCodecVersion)
+	w.BytesField(specJSON)
+	w.BytesField(blob)
+	return w.Bytes(), nil
+}
+
+// DecodeArtifact reconstructs the (spec, pipeline) pair from an
+// EncodeArtifact blob. Truncation, bad structure and unknown embedded
+// model kinds surface as ErrCorruptArtifact wrapping the typed cause.
+func DecodeArtifact(data []byte) (Spec, *core.Pipeline, error) {
+	r := wire.NewReader(data)
+	magic := r.String()
+	if err := r.Err(); err != nil {
+		return Spec{}, nil, fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
+	}
+	if magic != artifactMagic {
+		return Spec{}, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptArtifact, magic)
+	}
+	if v := r.U16(); r.Err() == nil && v != artifactCodecVersion {
+		return Spec{}, nil, fmt.Errorf("%w: %d (want %d)", ErrArtifactVersion, v, artifactCodecVersion)
+	}
+	specJSON := r.BytesField()
+	blob := r.BytesField()
+	if err := r.Err(); err != nil {
+		return Spec{}, nil, fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
+	}
+	var sp Spec
+	if err := json.Unmarshal(specJSON, &sp); err != nil {
+		return Spec{}, nil, fmt.Errorf("%w: spec: %w", ErrCorruptArtifact, err)
+	}
+	p, err := core.LoadPipeline(blob)
+	if err != nil {
+		return Spec{}, nil, fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
+	}
+	return sp, p, nil
+}

@@ -73,6 +73,13 @@ func (s *Server) handleCreateScenario(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// Registered scenarios must survive restart: rewrite the manifest now
+	// rather than waiting for the next model persist to happen by luck.
+	// The in-memory registration already succeeded, so a store failure is
+	// reported through the registry's observer, not as a request error.
+	if err := s.reg.PersistManifest(); err != nil && s.reg.OnStoreError != nil {
+		s.reg.OnStoreError(err)
+	}
 	writeJSON(w, http.StatusCreated, s.scenarioInfo(norm))
 }
 

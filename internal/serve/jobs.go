@@ -96,8 +96,9 @@ type JobRequest struct {
 
 // JobInfo is one job as served by the API.
 type JobInfo struct {
-	ID     string `json:"id"`
-	Model  string `json:"model"`
+	ID string `json:"id"`
+	// Model is empty for jobs that span models (experiments).
+	Model  string `json:"model,omitempty"`
 	Kind   string `json:"kind"`
 	Status string `json:"status"`
 	// Progress advances 0 → 1 while the job runs.
@@ -142,12 +143,32 @@ const maxStoredJobs = 4096
 // batch amortizes the full-table scan across many submissions.
 const evictBatch = 64
 
+// errShuttingDown reports a submission racing shutdown; handlers map it
+// to 503 (fail over to another instance), distinct from the 429 a full
+// job table earns (back off and retry here).
+var errShuttingDown = errors.New("server is shutting down")
+
+// writeSubmitError maps jobStore.submit failures to HTTP.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errShuttingDown) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+}
+
 // jobStore is the concurrent-safe job table.
 type jobStore struct {
 	mu     sync.Mutex
 	seq    int
 	jobs   map[string]*job
 	notify chan<- string
+	// running tracks in-flight job goroutines so shutdown can wait for
+	// them to finish flushing their artifacts (cancelAllAndWait);
+	// closed rejects submissions that race shutdown — a job started
+	// after the cancel sweep would be neither cancelled nor waited for.
+	running sync.WaitGroup
+	closed  bool
 }
 
 func newJobStore() *jobStore {
@@ -293,7 +314,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request, name st
 			// the in-flight slot the CAS just claimed; release it here or
 			// no retrain could ever run again.
 			att.retraining.Store(false)
-			writeError(w, http.StatusTooManyRequests, "%v", err)
+			writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, snap)
@@ -302,7 +323,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request, name st
 
 	snap, err := s.jobs.submit(name, req.Kind, jp, p, run)
 	if err != nil {
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, snap)
@@ -312,6 +333,10 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request, name st
 // It fails only when the table is full of unfinished jobs.
 func (st *jobStore) submit(model, kind string, jp JobParams, p *core.Pipeline, run jobRunner) (JobInfo, error) {
 	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return JobInfo{}, errShuttingDown
+	}
 	if len(st.jobs) >= maxStoredJobs {
 		st.evictFinishedLocked()
 	}
@@ -332,6 +357,7 @@ func (st *jobStore) submit(model, kind string, jp JobParams, p *core.Pipeline, r
 	}
 	st.jobs[j.id] = j
 	snap := st.snapshotLocked(j)
+	st.running.Add(1)
 	st.mu.Unlock()
 
 	go st.run(ctx, j, p, run)
@@ -350,6 +376,22 @@ func (st *jobStore) cancelAll() {
 	for _, cancel := range cancels {
 		cancel()
 	}
+}
+
+// cancelAllAndWait closes the store to new submissions, cancels every
+// job and then blocks until every runner goroutine has returned.
+// Runners write their artifacts (retrained pipelines, experiment
+// matrices) before returning, so once this returns the store holds no
+// torn state from in-flight jobs — the ordering guarantee Server.Close
+// gives SIGTERM handling. The closed flag is set under the same mutex
+// the cancel sweep snapshots under, so a submission either lands before
+// the sweep (and is cancelled and waited for) or is rejected.
+func (st *jobStore) cancelAllAndWait() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	st.cancelAll()
+	st.running.Wait()
 }
 
 // run executes the job in its own goroutine, driving the lifecycle
@@ -394,6 +436,10 @@ func (st *jobStore) run(ctx context.Context, j *job, p *core.Pipeline, run jobRu
 	notify := st.notify
 	st.mu.Unlock()
 	j.cancel() // release the context's resources
+	// The runner has returned and its store writes are flushed: release
+	// shutdown waiters before the (possibly slow, test-drained) notify
+	// send so cancelAllAndWait never deadlocks on an undrained channel.
+	st.running.Done()
 	if notify != nil {
 		notify <- j.id
 	}

@@ -49,6 +49,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -97,6 +98,20 @@ func NewServer(reg *registry.Registry) *Server {
 		attachments: map[string][]*attachment{},
 	}
 	s.hub.Max = MaxFeeds
+	// Persisted experiment matrices are keyed by job id, and job ids
+	// restart from 1 in every process: advance the sequence past any ids
+	// already in the store so a post-restart experiment cannot mint a
+	// colliding id and silently overwrite a prior sweep's matrix.
+	if st := reg.StoreBackend(); st != nil {
+		if ids, err := st.ListExperiments(); err == nil {
+			for _, id := range ids {
+				var n int
+				if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.jobs.seq {
+					s.jobs.seq = n
+				}
+			}
+		}
+	}
 	// v1, model-scoped. {rest...} (not {name}) because model names contain
 	// slashes; routeModel* peel a trailing action segment off themselves.
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
@@ -104,10 +119,20 @@ func NewServer(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/models/{rest...}", s.routeModelGet)
 	s.mux.HandleFunc("POST /v1/models/{rest...}", s.routeModelPost)
 
+	// Artifact import: the explicit pattern wins over the {rest...}
+	// wildcard, and "import" is a reserved trailing segment, so no model
+	// route is shadowed.
+	s.mux.HandleFunc("POST /v1/models/import", s.handleImportModel)
+
 	// The explanation-jobs subsystem (jobs.go).
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+
+	// The experiment runner (experiments.go).
+	s.mux.HandleFunc("POST /v1/experiments", s.handleCreateExperiment)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGetExperiment)
 
 	// The streaming plane: scenario catalog and live feeds (feeds.go).
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleListScenarios)
@@ -133,10 +158,14 @@ func NewServer(reg *registry.Registry) *Server {
 // Hub returns the server's feed hub (explaind uses it for -feed flags).
 func (s *Server) Hub() *feed.Hub { return s.hub }
 
-// Close shuts the streaming plane down: every feed stops (which drains
-// the attached monitors) and every pending/running job is cancelled. It
-// is idempotent and safe to call while requests are in flight — graceful
-// shutdown calls it after http.Server.Shutdown returns.
+// Close shuts the serving planes down in dependency order: feeds stop
+// first (draining the attached monitors, so no new drift-retrain jobs
+// can be submitted), then every pending/running job is cancelled AND
+// waited for — an in-flight retrain or experiment finishes flushing its
+// artifact/matrix to the store before Close returns, so a SIGTERM never
+// leaves a torn manifest behind. Idempotent and safe to call while
+// requests are in flight — graceful shutdown calls it after
+// http.Server.Shutdown returns.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.hub.CloseAll()
@@ -150,7 +179,7 @@ func (s *Server) Close() {
 		for _, att := range mons {
 			att.mon.Stop()
 		}
-		s.jobs.cancelAll()
+		s.jobs.cancelAllAndWait()
 	})
 }
 
@@ -184,7 +213,7 @@ func (s *Server) Registry() *registry.Registry { return s.reg }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // modelActions are the reserved trailing path segments under a model.
-var modelGetActions = map[string]bool{"schema": true, "importance": true, "explainers": true, "jobs": true, "stream": true}
+var modelGetActions = map[string]bool{"schema": true, "importance": true, "explainers": true, "jobs": true, "stream": true, "artifact": true}
 var modelPostActions = map[string]bool{"predict": true, "explain": true, "whatif": true, "jobs": true}
 
 // splitAction splits "web/rf/util/predict" into ("web/rf/util", "predict")
@@ -209,6 +238,8 @@ func (s *Server) routeModelGet(w http.ResponseWriter, r *http.Request) {
 		s.handleListModelJobs(w, r, name)
 	case "stream":
 		s.handleModelStream(w, r, name)
+	case "artifact":
+		s.handleExportModel(w, r, name)
 	default:
 		s.handleModelInfo(w, r, name)
 	}
@@ -368,6 +399,68 @@ func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, modelInfo(e))
+}
+
+// MaxArtifactBytes bounds an imported model artifact (64 MiB — an order
+// of magnitude above the largest zoo pipeline trained at MaxHours).
+const MaxArtifactBytes = 64 << 20
+
+// handleExportModel serves the named ready model as a self-contained
+// binary artifact (spec + scaler + model + splits + background). The
+// bytes round-trip through POST /v1/models/import on any explaind.
+func (s *Server) handleExportModel(w http.ResponseWriter, _ *http.Request, name string) {
+	data, err := s.reg.ExportArtifact(name)
+	switch {
+	case err == nil:
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, registry.ErrNotReady):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", strings.ReplaceAll(name, "/", "_")+".nfva"))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleImportModel registers an exported artifact as a ready model
+// (hot: no training). The optional ?name= query overrides the name
+// embedded in the artifact's spec. Corrupt artifacts are the client's
+// 400; name collisions are 409.
+func (s *Server) handleImportModel(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxArtifactBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading artifact: %v", err)
+		return
+	}
+	if len(data) > MaxArtifactBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "artifact exceeds %d bytes", MaxArtifactBytes)
+		return
+	}
+	name, err := s.reg.ImportArtifact(data, r.URL.Query().Get("name"), time.Now())
+	switch {
+	case err == nil:
+	case errors.Is(err, registry.ErrExists):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, registry.ErrCorruptArtifact), errors.Is(err, registry.ErrArtifactVersion):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, modelInfo(e))
 }
 
 func (s *Server) handleModelInfo(w http.ResponseWriter, _ *http.Request, name string) {

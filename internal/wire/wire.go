@@ -1,0 +1,301 @@
+// Package wire implements the minimal binary encoding shared by the
+// durable-artifact plane: little-endian fixed-width scalars with
+// length-prefixed strings, slices and matrices. Floats are encoded as
+// their IEEE-754 bit patterns (math.Float64bits), so a round trip is
+// bit-identical — the property the model-serialization parity tests
+// assert all the way up through Pipeline.Save/Load.
+//
+// The Reader uses a sticky error: every accessor returns the zero value
+// once the input has been exhausted or corrupted, and Err() reports the
+// first failure. Decoders therefore read a whole structure linearly and
+// check Err() once at the end, which keeps the per-model codecs short and
+// makes "truncated artifact" a single typed error (ErrTruncated) the
+// registry's corruption tests can assert with errors.Is.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a read past the end of the input — the signature
+// of a torn or truncated artifact.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// MaxLen bounds any single length prefix (strings, slices, matrix rows).
+// It rejects absurd lengths from corrupted inputs before they turn into
+// multi-gigabyte allocations.
+const MaxLen = 1 << 28
+
+// Writer appends binary values to a growing buffer.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends an int64 (two's complement via uint64).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) BytesField(b []byte) {
+	w.Int(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// F64s appends a length-prefixed []float64.
+func (w *Writer) F64s(v []float64) {
+	w.Int(len(v))
+	for _, f := range v {
+		w.F64(f)
+	}
+}
+
+// Ints appends a length-prefixed []int (as int64s).
+func (w *Writer) Ints(v []int) {
+	w.Int(len(v))
+	for _, i := range v {
+		w.Int(i)
+	}
+}
+
+// Strings appends a length-prefixed []string.
+func (w *Writer) Strings(v []string) {
+	w.Int(len(v))
+	for _, s := range v {
+		w.String(s)
+	}
+}
+
+// F64Mat appends a row-count-prefixed [][]float64 (rows may differ in
+// width; each row carries its own length).
+func (w *Writer) F64Mat(m [][]float64) {
+	w.Int(len(m))
+	for _, row := range m {
+		w.F64s(row)
+	}
+}
+
+// Reader consumes binary values from a buffer with a sticky error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over data (not copied).
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Err returns the first decoding failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many bytes are left unread.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records the sticky error (first one wins).
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// take returns the next n bytes, or nil after recording ErrTruncated.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf)))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64 into an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// length reads and bounds-checks a length prefix.
+func (r *Reader) length() int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > MaxLen {
+		r.fail(fmt.Errorf("%w: implausible length %d", ErrTruncated, n))
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length()
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// BytesField reads a length-prefixed byte slice (copied).
+func (r *Reader) BytesField() []byte {
+	n := r.length()
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// F64s reads a length-prefixed []float64.
+func (r *Reader) F64s() []float64 {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	// Bound the allocation by the bytes actually present.
+	if r.Remaining() < n*8 {
+		r.fail(fmt.Errorf("%w: %d floats declared, %d bytes remain", ErrTruncated, n, r.Remaining()))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if r.Remaining() < n*8 {
+		r.fail(fmt.Errorf("%w: %d ints declared, %d bytes remain", ErrTruncated, n, r.Remaining()))
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// Strings reads a length-prefixed []string. Each element carries at
+// least an 8-byte length prefix, so the allocation is bounded by the
+// bytes actually present — a corrupt count cannot demand gigabytes.
+func (r *Reader) Strings() []string {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if r.Remaining() < n*8 {
+		r.fail(fmt.Errorf("%w: %d strings declared, %d bytes remain", ErrTruncated, n, r.Remaining()))
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// F64Mat reads a row-count-prefixed [][]float64. Like Strings, the row
+// allocation is bounded by the bytes present (8-byte length prefix per
+// row minimum).
+func (r *Reader) F64Mat() [][]float64 {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if r.Remaining() < n*8 {
+		r.fail(fmt.Errorf("%w: %d rows declared, %d bytes remain", ErrTruncated, n, r.Remaining()))
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = r.F64s()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

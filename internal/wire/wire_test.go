@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U16(65535)
+	w.U64(1 << 62)
+	w.I64(-42)
+	w.Int(123456789)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.F64(math.NaN())
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello, wire")
+	w.String("")
+	w.BytesField([]byte{1, 2, 3})
+	w.F64s(nil)
+	w.F64s([]float64{1.5, -2.25, math.SmallestNonzeroFloat64})
+	w.Ints([]int{-1, 0, 1 << 40})
+	w.Strings([]string{"a", "", "c"})
+	w.F64Mat([][]float64{{1, 2}, {3}, nil})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 65535 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := r.U64(); got != 1<<62 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 123456789 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 -Inf = %v", got)
+	}
+	if got := r.F64(); !math.IsNaN(got) {
+		t.Errorf("F64 NaN = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.String(); got != "hello, wire" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.BytesField(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("BytesField = %v", got)
+	}
+	if got := r.F64s(); got != nil {
+		t.Errorf("empty F64s = %v", got)
+	}
+	fs := r.F64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.25 || fs[2] != math.SmallestNonzeroFloat64 {
+		t.Errorf("F64s = %v", fs)
+	}
+	is := r.Ints()
+	if len(is) != 3 || is[0] != -1 || is[2] != 1<<40 {
+		t.Errorf("Ints = %v", is)
+	}
+	ss := r.Strings()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "c" {
+		t.Errorf("Strings = %v", ss)
+	}
+	m := r.F64Mat()
+	if len(m) != 3 || len(m[0]) != 2 || m[0][1] != 2 || len(m[1]) != 1 || m[2] != nil {
+		t.Errorf("F64Mat = %v", m)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestBitIdenticalFloats(t *testing.T) {
+	values := []float64{0, math.Copysign(0, -1), math.Pi, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, math.Inf(1), math.NaN()}
+	var w Writer
+	w.F64s(values)
+	r := NewReader(w.Bytes())
+	got := r.F64s()
+	for i, v := range values {
+		if math.Float64bits(got[i]) != math.Float64bits(v) {
+			t.Errorf("value %d: bits %x != %x", i, math.Float64bits(got[i]), math.Float64bits(v))
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.String("a long enough payload")
+	w.F64s([]float64{1, 2, 3})
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.String()
+		_ = r.F64s()
+		_ = r.U64() // always reads past the (already truncated) end
+		if err := r.Err(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestImplausibleLength(t *testing.T) {
+	var w Writer
+	w.Int(MaxLen + 1)
+	r := NewReader(w.Bytes())
+	_ = r.String()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+
+	var w2 Writer
+	w2.Int(-5)
+	r2 := NewReader(w2.Bytes())
+	_ = r2.F64s()
+	if !errors.Is(r2.Err(), ErrTruncated) {
+		t.Fatalf("negative length err = %v, want ErrTruncated", r2.Err())
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.U64()
+	first := r.Err()
+	_ = r.String()
+	_ = r.F64Mat()
+	if r.Err() != first {
+		t.Error("sticky error was replaced")
+	}
+}
