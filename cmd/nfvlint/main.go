@@ -1,0 +1,131 @@
+// Command nfvlint is the repo's multichecker: it runs the custom
+// analyzers in internal/analysis/... over the module and exits non-zero
+// on any finding. It is a CI gate (see .github/workflows/ci.yml) and a
+// local pre-commit check:
+//
+//	go run ./cmd/nfvlint ./...          # whole module
+//	go run ./cmd/nfvlint ./internal/... # subtree
+//	go run ./cmd/nfvlint -list          # analyzer catalogue
+//
+// Suppress a single finding with a justified directive on (or directly
+// above) the offending line:
+//
+//	//lint:allow ctxcancel loop is bounded by len(batch) ≤ 8
+//
+// The framework and the invariants each analyzer enforces are documented
+// in internal/analysis and CONTRIBUTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nfvxai/internal/analysis"
+	"nfvxai/internal/analysis/boundedmake"
+	"nfvxai/internal/analysis/ctxcancel"
+	"nfvxai/internal/analysis/errcmp"
+	"nfvxai/internal/analysis/lockedcall"
+	"nfvxai/internal/analysis/seededrand"
+)
+
+var all = []*analysis.Analyzer{
+	boundedmake.Analyzer,
+	ctxcancel.Analyzer,
+	errcmp.Analyzer,
+	lockedcall.Analyzer,
+	seededrand.Analyzer,
+}
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	testsFlag := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nfvlint [flags] [patterns]\n\npatterns are package dirs relative to the module root (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	analyzers := all
+	if *onlyFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nfvlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	modPath, err := analysis.ModuleInfo(root)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader(root, modPath)
+	loader.IncludeTests = *testsFlag
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		// Print module-relative paths so output is stable across machines.
+		if rel, err := filepath.Rel(root, f.Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Position.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "nfvlint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("nfvlint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nfvlint:", err)
+	os.Exit(2)
+}

@@ -106,6 +106,31 @@
 // equal metrics. Sweeps run through POST /v1/experiments on the jobs
 // lifecycle (progress, cancellation, persisted result matrices) or
 // offline via cmd/experiment.
+//
+// # Static analysis & invariants
+//
+// The contracts above are machine-enforced, not folklore. cmd/nfvlint
+// is a repo-aware multichecker (built on the stdlib-only framework in
+// internal/analysis) whose five analyzers each encode one invariant a
+// reviewer would otherwise have to hold in their head: ctxcancel
+// (explainer sampling loops poll their context, so serving deadlines
+// propagate), seededrand (randomness flows from spec-seeded
+// *rand.Rand values, never the global source — equal seeds must mean
+// equal results), boundedmake (wire-decoded lengths are bounds-checked
+// before sizing allocations — corrupt artifacts fail typed, never
+// OOM), lockedcall (no store I/O or blocking operation under a
+// registry hot lock; snapshot under lock, write after), and errcmp
+// (sentinel errors travel through errors.Is/As and %w so wrapped
+// corruption errors still match). `go run ./cmd/nfvlint ./...` must
+// stay clean — CI's lint job enforces it alongside go vet,
+// staticcheck and govulncheck — and ./scripts/check.sh runs the same
+// wall locally plus the native fuzz targets that probe the
+// decode-safety contract with hostile bytes (FuzzDecodeModel,
+// FuzzReadWire, FuzzParseSpec). Goroutine hygiene is checked the same
+// way: the serving, feed and experiment test binaries fail if
+// goroutines outlive the tests (internal/testutil/leakcheck).
+// CONTRIBUTING.md catalogs the invariants and the narrow
+// `//lint:allow` escape hatch.
 package nfvxai
 
 // Version identifies the reproduction snapshot.

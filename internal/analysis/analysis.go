@@ -1,0 +1,184 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis. The build environment for
+// this repository is hermetic (no module proxy), so the x/tools
+// multichecker cannot be vendored; this package reimplements the slice of
+// its API the repo's analyzers need — Analyzer, Pass, Diagnostic and a
+// package loader with full type information — on the standard library's
+// go/ast, go/parser and go/types. The shapes mirror x/tools deliberately:
+// if the toolchain ever gains network access, each analyzer's Run
+// function ports to the real framework by swapping the import path.
+//
+// The analyzers themselves live in subpackages (ctxcancel, seededrand,
+// boundedmake, lockedcall, errcmp) and machine-enforce the concurrency,
+// determinism and decode-safety invariants the stack's reproducibility
+// guarantees rest on. cmd/nfvlint is the multichecker that runs them all;
+// see CONTRIBUTING.md for the invariant catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name for diagnostics and the
+// //lint:allow escape hatch, a Doc string stating the enforced invariant,
+// and a Run function applied to one type-checked package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions. It
+	// must be a valid identifier (lowercase, no spaces).
+	Name string
+	// Doc states the invariant the analyzer enforces and why it exists.
+	// The first line is the summary shown by `nfvlint -list`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report. The
+	// returned value is ignored by the driver (kept for x/tools shape).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package; Pkg.Path() is the import path,
+	// which path-scoped analyzers (ctxcancel, boundedmake, …) match on.
+	Pkg *types.Package
+	// TypesInfo records types and object resolution for every expression
+	// in Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the package's FileSet and
+// a human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// Finding is a resolved diagnostic, ready for printing and sorting.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings, sorted by file, line and column. Diagnostics on lines carrying
+// a matching //lint:allow directive (same line or the line above) are
+// suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allow.allows(name, pos) {
+					return
+				}
+				out = append(out, Finding{Position: pos, Analyzer: name, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// allowSet maps file → line → set of analyzer names allowed on that line.
+// An entry on line N suppresses findings on lines N and N+1, so the
+// directive can sit either on the flagged line or on its own line above.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[ln]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans comments for "//lint:allow name1,name2 — reason"
+// directives.
+func collectAllows(pkg *Package) allowSet {
+	out := allowSet{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				// Everything past the first space is the (mandatory by
+				// convention, unenforced) justification.
+				names, _, _ := strings.Cut(text, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

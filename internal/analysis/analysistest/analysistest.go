@@ -1,0 +1,145 @@
+// Package analysistest runs an analyzer over golden testdata packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's stdlib-only
+// framework.
+//
+// Layout: testdata/src/<import/path>/*.go, loaded as module "testmod" so
+// path-scoped analyzers can be exercised with realistic package paths
+// (testdata/src/internal/xai/… → "testmod/internal/xai/…").
+//
+// Expectations: a comment `// want "substring"` on a line asserts that
+// the analyzer reports a diagnostic on that line whose message contains
+// the substring; several quoted strings assert several diagnostics. Every
+// diagnostic must be wanted and every want must be matched.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nfvxai/internal/analysis"
+)
+
+// Run loads each pattern (an import path relative to testdata/src) and
+// checks a's diagnostics against the // want comments in its files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(filepath.Join(testdata, "src"), "testmod")
+	for _, pat := range patterns {
+		pkg, err := loader.Load("testmod/" + pat)
+		if err != nil {
+			t.Errorf("load %s: %v", pat, err)
+			continue
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, pat, err)
+			continue
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern string
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		ok := false
+		for i := range wants {
+			w := &wants[i]
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if strings.Contains(f.Message, w.pattern) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants re-parses the package files for // want comments. The
+// loader's ASTs already carry comments, but scanning the files keeps the
+// expectations independent of comment attachment quirks.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var out []want
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(pkg.Dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", pkg.Dir, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(pkg.Dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parseQuoted(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", path, pos.Line, err)
+				}
+				for _, p := range patterns {
+					out = append(out, want{file: path, line: pos.Line, pattern: p})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted string at %q", s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			return nil, fmt.Errorf("unterminated string in %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+// Package boundedmake enforces the decode-safety invariant hardened in
+// PR 5: an allocation whose size comes from a decoded wire integer must
+// be bounded before it happens — a 100-byte artifact claiming 2^28
+// elements must fail with ErrTruncated, not allocate gigabytes. The
+// sanctioned pattern is the one wire.Reader.F64s and the model codecs
+// use: read the count, then check it against Remaining()/MaxLen (or any
+// explicit comparison) before make.
+package boundedmake
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nfvxai/internal/analysis"
+)
+
+// Analyzer flags make/append sized by unguarded decoded lengths in the
+// wire, model-codec and dataset decode paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedmake",
+	Doc: "decode paths must bound allocations read from the wire: a length " +
+		"decoded by a wire Reader must pass a comparison guard (Remaining()/MaxLen) before feeding make/append",
+	Run: run,
+}
+
+// readerMethods are wire-Reader accessors that yield attacker-controlled
+// integers. "length" and "Len" cover the package-internal helpers.
+var readerMethods = map[string]bool{
+	"U8": true, "U16": true, "U32": true, "U64": true,
+	"I64": true, "Int": true, "Len": true, "length": true,
+	"Uvarint": true, "Varint": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !pass.PathMatches("internal/wire", "internal/ml", "internal/dataset") {
+		return nil, nil
+	}
+	for _, fn := range pass.FuncDecls() {
+		checkFunc(pass, fn)
+	}
+	return nil, nil
+}
+
+// taint records where an object was last assigned from a reader call and
+// where if-statements mentioning it (its bounds guards) sit.
+type taint struct {
+	assigns []token.Pos
+	guards  []token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	taints := map[types.Object]*taint{}
+
+	// Pass 1: find reader-sourced assignments and guards.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if !isReaderCall(pass, rhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				t := taints[obj]
+				if t == nil {
+					t = &taint{}
+					taints[obj] = t
+				}
+				t.assigns = append(t.assigns, st.Pos())
+			}
+		case *ast.IfStmt:
+			for obj, t := range taints {
+				if pass.UsesObject(st.Cond, obj) {
+					t.guards = append(t.guards, st.Pos())
+				}
+			}
+			// Also catch guards registered before their taint is seen in
+			// this walk order: ast.Inspect is pre-order on positions, so
+			// assignments always precede their later guards; nothing to do.
+		}
+		return true
+	})
+
+	// Pass 2: flag unguarded uses in allocations.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "make" {
+				for _, arg := range st.Args[1:] { // length and cap positions
+					checkSize(pass, taints, arg, st.Pos())
+				}
+			}
+		case *ast.ForStmt:
+			// for i := 0; i < n; i++ { out = append(out, …) } with an
+			// unguarded decoded n grows allocations element by element —
+			// same OOM class, just amortized.
+			if st.Cond == nil || !bodyAllocates(st.Body) {
+				return true
+			}
+			if cmp, ok := st.Cond.(*ast.BinaryExpr); ok && isComparison(cmp.Op) {
+				for _, side := range [2]ast.Expr{cmp.X, cmp.Y} {
+					checkSize(pass, taints, side, st.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSize reports when sizeExpr is an unguarded decoded length.
+func checkSize(pass *analysis.Pass, taints map[types.Object]*taint, sizeExpr ast.Expr, usePos token.Pos) {
+	e := pass.Unconvert(sizeExpr)
+	if isReaderCall(pass, e) {
+		pass.Reportf(sizeExpr.Pos(),
+			"allocation sized straight from the wire; read the length into a variable and bound it (Remaining()/MaxLen) first")
+		return
+	}
+	// Strip arithmetic like n*8 or n+1 down to its identifiers.
+	ids := identsIn(e)
+	for _, id := range ids {
+		obj := pass.TypesInfo.Uses[id]
+		t := taints[obj]
+		if obj == nil || t == nil {
+			continue
+		}
+		// Latest reader assignment before this use.
+		var lastAssign token.Pos
+		for _, p := range t.assigns {
+			if p < usePos && p > lastAssign {
+				lastAssign = p
+			}
+		}
+		if lastAssign == token.NoPos {
+			continue
+		}
+		guarded := false
+		for _, g := range t.guards {
+			if g > lastAssign && g < usePos {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			pass.Reportf(sizeExpr.Pos(),
+				"allocation sized by %q, which was decoded from the wire and never bounds-checked; guard it against Remaining()/MaxLen before allocating", id.Name)
+		}
+	}
+}
+
+// isReaderCall reports whether e (conversions stripped) calls a length-
+// yielding accessor on a wire-style Reader.
+func isReaderCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(pass.Unconvert(e)).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !readerMethods[sel.Sel.Name] {
+		return false
+	}
+	named := pass.ReceiverNamed(sel)
+	return named != nil && named.Obj().Name() == "Reader"
+}
+
+func bodyAllocates(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "append" || id.Name == "make") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,18 @@
+package boundedmake_test
+
+import (
+	"testing"
+
+	"nfvxai/internal/analysis/analysistest"
+	"nfvxai/internal/analysis/boundedmake"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", boundedmake.Analyzer, "internal/wire/decode")
+}
+
+// TestOutOfScope: the invariant binds decode paths; unrelated packages
+// may size slices however they like.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", boundedmake.Analyzer, "outside")
+}

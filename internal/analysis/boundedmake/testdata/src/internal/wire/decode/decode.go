@@ -1,0 +1,102 @@
+// Package decode is boundedmake golden testdata: allocations sized by
+// wire-decoded integers must be bounds-checked first.
+package decode
+
+// MaxLen mirrors wire.MaxLen.
+const MaxLen = 1 << 28
+
+// Reader mimics the wire.Reader surface the analyzer keys on.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+func (r *Reader) Int() int       { return 0 }
+func (r *Reader) U64() uint64    { return 0 }
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+func (r *Reader) F64() float64   { return 0 }
+
+// unguarded allocates whatever the wire claims: flagged.
+func unguarded(r *Reader) []float64 {
+	n := r.Int()
+	out := make([]float64, n) // want "never bounds-checked"
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// direct feeds the decoded length straight into make: flagged.
+func direct(r *Reader) []byte {
+	return make([]byte, r.Int()) // want "sized straight from the wire"
+}
+
+// directConverted hides the call behind a conversion: still flagged.
+func directConverted(r *Reader) []byte {
+	return make([]byte, int(r.U64())) // want "sized straight from the wire"
+}
+
+// unguardedCap bounds the length but not the capacity: flagged.
+func unguardedCap(r *Reader) []float64 {
+	n := r.Int()
+	return make([]float64, 0, n) // want "never bounds-checked"
+}
+
+// appendLoop grows element by element under an unchecked decoded count:
+// same OOM class, flagged at the loop.
+func appendLoop(r *Reader) []float64 {
+	n := r.Int()
+	var out []float64
+	for i := 0; i < n; i++ { // want "never bounds-checked"
+		out = append(out, r.F64())
+	}
+	return out
+}
+
+// guarded is the sanctioned pattern: bound the count by the bytes
+// actually present before allocating.
+func guarded(r *Reader) []float64 {
+	n := r.Int()
+	if n < 0 || n > MaxLen || r.Remaining() < n*8 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// guardedLoop bounds the count before an append loop: allowed.
+func guardedLoop(r *Reader) []float64 {
+	n := r.Int()
+	if r.Remaining() < n*8 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, r.F64())
+	}
+	return out
+}
+
+// untainted sizes come from local facts, not the wire: allowed.
+func untainted(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	buf := make([]byte, 64)
+	_ = buf
+	return out
+}
+
+// reGuardEachUse: a guard only blesses uses after it; the second make
+// after re-reading is flagged again.
+func reGuardEachUse(r *Reader) ([]float64, []float64) {
+	n := r.Int()
+	if r.Remaining() < n*8 {
+		return nil, nil
+	}
+	a := make([]float64, n)
+	n = r.Int()
+	b := make([]float64, n) // want "never bounds-checked"
+	return a, b
+}

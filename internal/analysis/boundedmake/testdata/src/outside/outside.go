@@ -1,0 +1,11 @@
+// Package outside is not a decode path; the analyzer skips it entirely.
+package outside
+
+type Reader struct{}
+
+func (r *Reader) Int() int { return 0 }
+
+func unguarded(r *Reader) []float64 {
+	n := r.Int()
+	return make([]float64, n)
+}

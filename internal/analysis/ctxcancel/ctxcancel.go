@@ -1,0 +1,105 @@
+// Package ctxcancel enforces the explanation plane's cancellation
+// contract (PR 3): inside internal/xai, any loop that drives the model —
+// Predict/PredictBatch/Explain calls are where sampling time is actually
+// spent — must poll its context so DELETE /v1/jobs/{id}, request
+// timeouts and server shutdown can interrupt it. A sampling loop that
+// ignores ctx turns every cancellation into "wait for the full sample
+// budget anyway".
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nfvxai/internal/analysis"
+)
+
+// Analyzer flags evaluator-driving loops that never consult the
+// function's context.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc: "sampling loops in internal/xai that call an evaluator must poll ctx " +
+		"(ctx.Err/ctx.Done/xai.Canceled) so explanation jobs stay cancellable",
+	Run: run,
+}
+
+// evaluatorMethods are the model-driving calls whose enclosing loops
+// dominate explanation latency. The ml batch helpers are package
+// functions but appear as selector calls too (ml.PredictBatchParallel).
+var evaluatorMethods = map[string]bool{
+	"Predict":              true,
+	"PredictBatch":         true,
+	"PredictBatchInto":     true,
+	"PredictBatchParallel": true,
+	"PredictBatchAdd":      true,
+	"Explain":              true,
+	"ExplainBatch":         true,
+	"ExplainBatchGated":    true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !pass.PathMatches("internal/xai") {
+		return nil, nil
+	}
+	for _, fn := range pass.FuncDecls() {
+		ctxs := pass.CtxParams(fn)
+		if len(ctxs) == 0 {
+			// No context to poll: the cancellation contract starts at the
+			// functions a ctx actually reaches.
+			continue
+		}
+		checkBody(pass, fn.Body, ctxs)
+	}
+	return nil, nil
+}
+
+// checkBody walks n and inspects each OUTERMOST loop: if an outer loop
+// consults ctx every iteration, its inner per-background/per-row loops
+// are deliberately unchecked (PR 2's batching polls once per block), so
+// nested loops are only judged as part of their outermost loop's subtree.
+func checkBody(pass *analysis.Pass, n ast.Node, ctxs []types.Object) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := c.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if name := evaluatorCallIn(pass, body); name != "" && !usesAnyCtx(pass, c, ctxs) {
+			pass.Reportf(c.Pos(),
+				"loop calls %s but never polls its context; check ctx.Err()/ctx.Done() (or xai.Canceled) per iteration so the explanation stays cancellable", name)
+		}
+		return false // outermost loop handled; do not descend into nested loops
+	})
+}
+
+// evaluatorCallIn returns the name of the first evaluator call under n.
+func evaluatorCallIn(pass *analysis.Pass, n ast.Node) string {
+	name := ""
+	ast.Inspect(n, func(c ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && evaluatorMethods[sel.Sel.Name] {
+			name = sel.Sel.Name
+		}
+		return true
+	})
+	return name
+}
+
+func usesAnyCtx(pass *analysis.Pass, n ast.Node, ctxs []types.Object) bool {
+	for _, obj := range ctxs {
+		if pass.UsesObject(n, obj) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"nfvxai/internal/analysis/analysistest"
+	"nfvxai/internal/analysis/ctxcancel"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcancel.Analyzer, "internal/xai/sampler")
+}
+
+// TestOutOfScope ensures packages outside internal/xai are ignored even
+// when they contain the violating shape.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcancel.Analyzer, "internal/other")
+}

@@ -1,0 +1,17 @@
+// Package other is outside internal/xai: the cancellation contract is
+// scoped to the explanation plane, so nothing here is flagged.
+package other
+
+import "context"
+
+type model struct{}
+
+func (model) Predict(x []float64) float64 { return 0 }
+
+func loop(ctx context.Context, m model, xs [][]float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += m.Predict(x)
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+// Package sampler is ctxcancel golden testdata: loops that drive a model
+// evaluator from a context-carrying function must poll the context.
+package sampler
+
+import "context"
+
+type model struct{}
+
+func (model) Predict(x []float64) float64               { return 0 }
+func (model) PredictBatch(x [][]float64, out []float64) {}
+
+// uncheckedLoop ignores ctx entirely: the canonical violation.
+func uncheckedLoop(ctx context.Context, m model, xs [][]float64) float64 {
+	s := 0.0
+	for _, x := range xs { // want "never polls its context"
+		s += m.Predict(x)
+	}
+	return s
+}
+
+// uncheckedForLoop is the same violation with a 3-clause for.
+func uncheckedForLoop(ctx context.Context, m model, xs [][]float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ { // want "loop calls Predict"
+		s += m.Predict(xs[i])
+	}
+	return s
+}
+
+// errPolling checks ctx.Err every iteration: allowed.
+func errPolling(ctx context.Context, m model, xs [][]float64) (float64, error) {
+	s := 0.0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s += m.Predict(x)
+	}
+	return s, nil
+}
+
+// donePolling selects on ctx.Done: allowed.
+func donePolling(ctx context.Context, m model, xs [][]float64) (float64, error) {
+	s := 0.0
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+		}
+		s += m.Predict(x)
+	}
+	return s, nil
+}
+
+// propagating hands ctx to a helper each iteration: allowed (the helper
+// owns the polling contract).
+func propagating(ctx context.Context, m model, xs [][]float64) error {
+	for _, x := range xs {
+		if err := evalOne(ctx, m, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func evalOne(ctx context.Context, m model, x []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = m.Predict(x)
+	return nil
+}
+
+// outerPolled: the outer block loop polls; the inner per-row loop is the
+// sanctioned batched pattern (checked once per block) and is not flagged.
+func outerPolled(ctx context.Context, m model, blocks [][][]float64) error {
+	for _, block := range blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, x := range block {
+			_ = m.Predict(x)
+		}
+	}
+	return nil
+}
+
+// noCtx has no context parameter, so the contract does not start here.
+func noCtx(m model, xs [][]float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += m.Predict(x)
+	}
+	return s
+}
+
+// suppressed documents a justified escape hatch.
+func suppressed(ctx context.Context, m model, xs [][]float64) float64 {
+	s := 0.0
+	//lint:allow ctxcancel bounded by the 8-row probe batch
+	for _, x := range xs {
+		s += m.Predict(x)
+	}
+	return s
+}
+
+// nonEvaluator loops that never touch the model need no polling.
+func nonEvaluator(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+// Package errcmp enforces the error-matching contract the typed
+// sentinels (wire.ErrTruncated, ml.ErrCorruptModel, registry.ErrNotFound,
+// …) exist for: callers must match them with errors.Is/As and create
+// wrapped errors with %w. Direct == / != against a sentinel silently
+// stops matching the moment a decoder adds context with fmt.Errorf("%w"),
+// and string matching on err.Error() breaks on any message edit — both
+// turn typed corruption handling into dead code.
+package errcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"nfvxai/internal/analysis"
+)
+
+// Analyzer flags sentinel ==/!= comparisons, %v/%s-formatted error args
+// in fmt.Errorf, and string matching on err.Error().
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "match typed sentinel errors with errors.Is/As and wrap with %w: " +
+		"==/!= and Error()-string matching break as soon as an error is wrapped",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, e)
+			case *ast.CallExpr:
+				checkErrorf(pass, e)
+				checkStringMatch(pass, e)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkComparison flags err ==/!= Sentinel where Sentinel is a
+// package-level error variable (io.EOF, wire.ErrTruncated, …).
+func checkComparison(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	// Error()-string equality: err.Error() == "some text".
+	for _, side := range [2]ast.Expr{e.X, e.Y} {
+		if isErrorStringCall(pass, side) {
+			pass.Reportf(e.Pos(), "comparing err.Error() text; match the sentinel with errors.Is instead — messages change, types do not")
+			return
+		}
+	}
+	var sentinel types.Object
+	errorsCompared := 0
+	for _, side := range [2]ast.Expr{e.X, e.Y} {
+		tv, ok := pass.TypesInfo.Types[side]
+		if !ok || tv.Type == nil || !analysis.IsErrorType(tv.Type) {
+			return
+		}
+		if tv.IsNil() {
+			return // err == nil is the one sanctioned direct comparison
+		}
+		errorsCompared++
+		if obj := pkgLevelVar(pass, side); obj != nil {
+			sentinel = obj
+		}
+	}
+	if errorsCompared == 2 && sentinel != nil {
+		pass.Reportf(e.Pos(),
+			"direct %s comparison against sentinel %s misses wrapped errors; use errors.Is(err, %s)", e.Op, sentinel.Name(), sentinel.Name())
+	}
+}
+
+// pkgLevelVar resolves e to a package-scope variable object, or nil.
+func pkgLevelVar(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		if pass.SelectorPkg(x) == "" {
+			return nil // field or method access, not pkg.Var
+		}
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	return obj
+}
+
+// checkErrorf flags fmt.Errorf("... %v ...", err): the error loses its
+// identity; %w keeps errors.Is working on the result.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !pass.PkgFuncCall(call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			return
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+		if ok && atv.Type != nil && analysis.IsErrorType(atv.Type) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error formatted with %%%c loses its identity; use %%w so errors.Is/As still match the sentinel", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a Printf format in argument
+// order ("%%" skipped, flags/width ignored).
+func formatVerbs(format string) []byte {
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision and argument indexes.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' || c == '*' || c == '[' || c == ']' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] != '%' {
+			out = append(out, format[i])
+		}
+	}
+	return out
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix over
+// err.Error().
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || pass.SelectorPkg(sel) != "strings" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorStringCall(pass, arg) {
+			pass.Reportf(call.Pos(),
+				"matching on err.Error() text; use errors.Is/As against the typed sentinel — messages change, types do not")
+			return
+		}
+	}
+}
+
+// isErrorStringCall reports whether e is a call of Error() on an error.
+func isErrorStringCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && tv.Type != nil && analysis.IsErrorType(tv.Type)
+}

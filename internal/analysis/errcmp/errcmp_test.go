@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"nfvxai/internal/analysis/analysistest"
+	"nfvxai/internal/analysis/errcmp"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", errcmp.Analyzer, "errpkg")
+}

@@ -1,0 +1,69 @@
+// Package errpkg is errcmp golden testdata: sentinels match with
+// errors.Is/As and wrap with %w.
+package errpkg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrTruncated mirrors the repo's typed sentinels.
+var ErrTruncated = errors.New("truncated")
+
+func decode() error { return ErrTruncated }
+
+// directSentinel misses wrapped errors: flagged.
+func directSentinel() bool {
+	err := decode()
+	return err == ErrTruncated // want "use errors.Is(err, ErrTruncated)"
+}
+
+// directStdlibSentinel: io.EOF is a package-level sentinel too.
+func directStdlibSentinel(err error) bool {
+	return err != io.EOF // want "use errors.Is(err, EOF)"
+}
+
+// lostIdentity formats the error with %v, so errors.Is on the result
+// stops matching: flagged.
+func lostIdentity(err error) error {
+	return fmt.Errorf("decode failed: %v", err) // want "use %w"
+}
+
+// lostIdentityS: %s loses identity the same way.
+func lostIdentityS(err error) error {
+	return fmt.Errorf("decode failed: %s", err) // want "use %w"
+}
+
+// stringMatch greps the message: flagged.
+func stringMatch(err error) bool {
+	return strings.Contains(err.Error(), "truncated") // want "matching on err.Error() text"
+}
+
+// stringEquality compares the message: flagged.
+func stringEquality(err error) bool {
+	return err.Error() == "truncated" // want "comparing err.Error() text"
+}
+
+// sanctioned shows the enforced idioms: errors.Is, %w wrapping, nil
+// comparisons and non-sentinel locals are all allowed.
+func sanctioned(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTruncated) {
+		return fmt.Errorf("artifact torn: %w", err)
+	}
+	other := decode()
+	if err == other { // two locals, no package-level sentinel involved
+		return err
+	}
+	return fmt.Errorf("value %v of %s", 42, "kind") // non-error %v args are fine
+}
+
+// suppressed: csv.Reader documents returning io.EOF unwrapped; a
+// justified allow keeps the exception auditable.
+func suppressed(err error) bool {
+	return err == io.EOF //lint:allow errcmp csv.Read documents unwrapped io.EOF
+}

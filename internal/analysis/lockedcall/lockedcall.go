@@ -1,0 +1,281 @@
+// Package lockedcall enforces the registry's locking discipline: the
+// state RWMutex (`mu`) guards the maps every serving request reads, so
+// nothing slow or blocking may run while it is held — no Store I/O
+// (disk/object-store writes), no blocking channel sends, no sleeping.
+// The sanctioned pattern (see Registry.persistModel/persistManifest) is
+// snapshot-under-lock, write-after; a DEDICATED plain sync.Mutex like
+// storeMu that exists to serialize I/O is exempt by design — the
+// analyzer only tracks RWMutexes, which mark hot read paths.
+package lockedcall
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nfvxai/internal/analysis"
+)
+
+// Analyzer flags blocking work while a registry state RWMutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedcall",
+	Doc: "no Store I/O, blocking channel sends or sleeps while a registry state " +
+		"RWMutex is held: snapshot under the lock, do the slow work after (stale-manifest/stall class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !pass.PathMatches("registry") {
+		return nil, nil
+	}
+	for _, fn := range pass.FuncDecls() {
+		checkFunc(pass, fn)
+	}
+	return nil, nil
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call on an RWMutex-typed
+// expression, keyed by the receiver's printed form ("r.mu").
+type lockEvent struct {
+	pos token.Pos
+	key string
+	// delta: +1 acquire, -1 release. deferUntilEnd marks `defer x.Unlock()`,
+	// which keeps the mutex held for the rest of the function.
+	delta          int
+	deferUntilEnd  bool
+	condReleaseRet bool // release inside a block that returns (early-exit path)
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var events []lockEvent
+
+	// Collect lock events, noting defer and early-return releases.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run later, under their own discipline
+		case *ast.DeferStmt:
+			if key, delta := mutexOp(pass, st.Call); delta < 0 {
+				events = append(events, lockEvent{pos: st.Pos(), key: key, delta: delta, deferUntilEnd: true})
+			}
+			return false
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if key, delta := mutexOp(pass, call); delta != 0 {
+					events = append(events, lockEvent{pos: st.Pos(), key: key, delta: delta})
+				}
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+	// Mark releases that sit in an early-exit block (`if … { mu.Unlock();
+	// return err }`): on the fall-through path the mutex is still held, so
+	// a linear scan must not treat them as releases.
+	markEarlyExitReleases(pass, fn.Body, events)
+
+	// Flag blocking ops at positions where some RWMutex is held.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			if heldAt(events, st.Pos()) != "" && !inSelectWithDefault(fn.Body, st) {
+				pass.Reportf(st.Pos(),
+					"blocking channel send while %s is held; a slow receiver stalls every reader of the registry state", heldAt(events, st.Pos()))
+			}
+		case *ast.CallExpr:
+			key := heldAt(events, st.Pos())
+			if key == "" {
+				return true
+			}
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.PkgFuncCall(st, "time", "Sleep") {
+				pass.Reportf(st.Pos(), "time.Sleep while %s is held stalls every reader of the registry state", key)
+				return true
+			}
+			if isStoreMethod(pass, sel) {
+				pass.Reportf(st.Pos(),
+					"Store I/O (%s) while %s is held; snapshot under the lock and write after it is released (stale-manifest class)", sel.Sel.Name, key)
+			}
+		}
+		return true
+	})
+}
+
+// heldAt returns the printed name of an RWMutex held at pos, or "".
+// Deferred and early-exit releases never decrement the balance: a
+// `defer Unlock` holds to function end, and an `if … { Unlock(); return }`
+// leaves the fall-through path locked.
+func heldAt(events []lockEvent, pos token.Pos) string {
+	held := map[string]int{}
+	for _, e := range events {
+		if e.pos >= pos {
+			break
+		}
+		if e.deferUntilEnd || e.condReleaseRet {
+			continue
+		}
+		held[e.key] += e.delta
+	}
+	for k, n := range held {
+		if n > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// mutexOp classifies call as an RWMutex Lock/RLock (+1) or
+// Unlock/RUnlock (-1) and returns the receiver's printed key.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	var delta int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0
+	}
+	if !isRWMutex(pass.TypesInfo.Types[sel.X].Type) {
+		return "", 0
+	}
+	return types.ExprString(sel.X), delta
+}
+
+func isRWMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "RWMutex" && o.Pkg() != nil && o.Pkg().Path() == "sync"
+}
+
+// isStoreMethod reports whether sel calls a method on a value whose
+// static type is an interface named Store (the registry's persistence
+// backend) or a concrete implementation of one.
+func isStoreMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if pass.SelectorPkg(sel) != "" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() == "Store" {
+		return true
+	}
+	// Concrete store types: named *Store implementations (FSStore, …)
+	// whose package also declares a Store interface they satisfy.
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	if obj, ok := pkg.Scope().Lookup("Store").(*types.TypeName); ok {
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			if types.Implements(tv.Type, iface) || types.Implements(types.NewPointer(tv.Type), iface) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markEarlyExitReleases sets condReleaseRet on release events whose
+// enclosing block ends in a return/panic — `if bad { mu.Unlock(); return }`.
+func markEarlyExitReleases(pass *analysis.Pass, body *ast.BlockStmt, events []lockEvent) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, blk := range []*ast.BlockStmt{ifst.Body, elseBlock(ifst)} {
+			if blk == nil || len(blk.List) == 0 {
+				continue
+			}
+			if !terminates(blk.List[len(blk.List)-1]) {
+				continue
+			}
+			for i := range events {
+				e := &events[i]
+				if e.delta < 0 && !e.deferUntilEnd && e.pos >= blk.Pos() && e.pos <= blk.End() {
+					e.condReleaseRet = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func elseBlock(ifst *ast.IfStmt) *ast.BlockStmt {
+	if b, ok := ifst.Else.(*ast.BlockStmt); ok {
+		return b
+	}
+	return nil
+}
+
+func terminates(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inSelectWithDefault reports whether send is a select case in a select
+// that has a default branch (a non-blocking send).
+func inSelectWithDefault(body *ast.BlockStmt, send *ast.SendStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || found {
+			return !found
+		}
+		hasDefault, hasSend := false, false
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			} else if s, ok := cc.Comm.(*ast.SendStmt); ok && s == send {
+				hasSend = true
+			}
+		}
+		if hasDefault && hasSend {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package lockedcall_test
+
+import (
+	"testing"
+
+	"nfvxai/internal/analysis/analysistest"
+	"nfvxai/internal/analysis/lockedcall"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", lockedcall.Analyzer, "internal/registry")
+}

@@ -1,0 +1,83 @@
+// Package seededrand enforces the reproducibility contract the
+// experiment runner depends on: equal (spec, seed) must reproduce equal
+// metrics. Library code therefore may not draw from math/rand's global
+// source (shared, goroutine-interleaved, unseedable per component) or
+// seed a source from the clock — every sampler takes an injected
+// *rand.Rand built from a spec-derived seed.
+package seededrand
+
+import (
+	"go/ast"
+
+	"nfvxai/internal/analysis"
+)
+
+// Analyzer flags global math/rand draws and time-seeded sources in
+// library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "library code must use an injected, spec-seeded *rand.Rand: no global " +
+		"math/rand top-level draws, no time-seeded sources (reproducibility contract)",
+	Run: run,
+}
+
+// constructors on math/rand that do NOT draw from the global source.
+var allowedTopLevel = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+const randPkg = "math/rand"
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		// Binaries and examples may use convenience randomness; the
+		// contract binds the library packages experiments run through.
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pass.SelectorPkg(sel) {
+			case randPkg, randPkg + "/v2":
+				if !allowedTopLevel[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global math/rand source; inject a seeded *rand.Rand so equal (spec, seed) reproduce equal results", sel.Sel.Name)
+				}
+				// Time-seeding is reported where the seed enters (NewSource),
+				// not on an enclosing rand.New that merely wraps the source.
+				if sel.Sel.Name != "New" && allowedTopLevel[sel.Sel.Name] && callsTimeNow(pass, call) {
+					pass.Reportf(call.Pos(),
+						"time-seeded rand.%s breaks reproducibility; derive the seed from the scenario/experiment spec", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// callsTimeNow reports whether any argument subtree calls time.Now.
+func callsTimeNow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok && pass.PkgFuncCall(c, "time", "Now") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

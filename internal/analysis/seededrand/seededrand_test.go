@@ -1,0 +1,18 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"nfvxai/internal/analysis/analysistest"
+	"nfvxai/internal/analysis/seededrand"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "lib")
+}
+
+// TestMainPackageExempt: binaries are outside the reproducibility
+// contract.
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "cmd/tool")
+}

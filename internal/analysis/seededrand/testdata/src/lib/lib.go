@@ -1,0 +1,33 @@
+// Package lib is seededrand golden testdata: library code must draw from
+// an injected, spec-seeded *rand.Rand.
+package lib
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraws use the shared source: flagged.
+func globalDraws(n int) int {
+	v := rand.Intn(n)                  // want "rand.Intn draws from the global math/rand source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the global"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the global"
+	return v
+}
+
+// timeSeeded defeats reproducibility even though the source is local.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time-seeded rand.NewSource breaks reproducibility"
+}
+
+// seeded is the sanctioned pattern: a source derived from a spec seed.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed + 0x9E37))
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Intn(n)
+}
+
+// suppressed keeps a justified exception visible.
+func suppressed(n int) int {
+	return rand.Intn(n) //lint:allow seededrand jitter only, never observed by metrics
+}

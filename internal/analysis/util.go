@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathMatches reports whether the package's import path contains any of
+// the given fragments. Path-scoped analyzers (decode paths, the xai
+// sampling plane, the registry) use it so their golden testdata packages
+// can mirror the real layout under a fake module root.
+func (p *Pass) PathMatches(fragments ...string) bool {
+	for _, f := range fragments {
+		if strings.Contains(p.Pkg.Path(), f) {
+			return true
+		}
+	}
+	return false
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsErrorType reports whether t is (or implements) error.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType) || types.Identical(t, errorType.Underlying())
+}
+
+// Unconvert strips type conversions (int(x), uint32(x), …) so taint and
+// callee checks see the underlying expression.
+func (p *Pass) Unconvert(e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		if tv, ok := p.TypesInfo.Types[call.Fun]; !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+// PkgFuncCall reports whether call invokes pkgPath.name (e.g.
+// "math/rand".Intn) and returns the selector if so.
+func (p *Pass) PkgFuncCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return p.SelectorPkg(sel) == pkgPath
+}
+
+// SelectorPkg returns the imported package path when sel.X names a
+// package (rand.Intn → "math/rand"), or "".
+func (p *Pass) SelectorPkg(sel *ast.SelectorExpr) string {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// ReceiverNamed returns the named type of a method call's receiver
+// (pointers dereferenced), or nil when the selector is not a method call
+// on a value (e.g. it is a package selector).
+func (p *Pass) ReceiverNamed(sel *ast.SelectorExpr) *types.Named {
+	if p.SelectorPkg(sel) != "" {
+		return nil
+	}
+	tv, ok := p.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// UsesObject reports whether any identifier under n resolves to obj.
+func (p *Pass) UsesObject(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// FuncDecls yields every function declaration (with a body) in the pass.
+func (p *Pass) FuncDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// CtxParams returns the objects of fn's context.Context parameters.
+func (p *Pass) CtxParams(fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				o := named.Obj()
+				if o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context" {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -46,7 +47,7 @@ func ReadCSV(r io.Reader, task Task) (*Dataset, error) {
 	d := New(task, header[:len(header)-1]...)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -84,6 +84,7 @@ func TestSpecValidation(t *testing.T) {
 		sp := sweepSpec()
 		tc.mutate(&sp)
 		err := sp.Validate(reg)
+		//lint:allow errcmp asserting the message NAMES the bad field; no per-field sentinel exists
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
 		}
@@ -263,6 +264,7 @@ func TestUnsupportedCombinationsAreSkipsNotErrors(t *testing.T) {
 	if !c.Skipped || c.Error != "" {
 		t.Fatalf("cell = %+v, want skipped", c)
 	}
+	//lint:allow errcmp Cell.Reason is a rendered string field, not an error value
 	if !strings.Contains(c.Reason, xai.ErrUnsupportedModel.Error()) {
 		t.Errorf("reason = %q", c.Reason)
 	}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nfvxai/internal/core"
+)
+
+// FuzzParseSpec hardens every spec-decoding surface an operator (or the
+// HTTP API) can feed: experiment sweep specs and scenario specs, both
+// JSON. Contract: arbitrary bytes either fail Validate with a typed
+// error or produce a spec whose Validate/Compile path cannot panic —
+// the experiment runner trusts validated specs completely (bounded cell
+// counts, registered names), so Validate is where hostility must stop.
+// Seeded with real marshaled specs so mutations explore field values,
+// not JSON syntax.
+func FuzzParseSpec(f *testing.F) {
+	sweep := Spec{
+		Name:      "fuzz-seed",
+		Scenarios: []string{"web"},
+		Models:    []string{"linear", "cart"},
+		Methods:   []string{"perm"},
+		Targets:   []string{"util"},
+		Hours:     0.5,
+		Seed:      7,
+	}
+	if b, err := json.Marshal(sweep); err == nil {
+		f.Add(b)
+	}
+	for _, sc := range core.NewScenarioRegistry().List() {
+		if b, err := json.Marshal(sc); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"scenarios":["web"],"models":["rf"],"methods":["kernelshap"],"workers":-1}`))
+	f.Add([]byte(`{"name":"x","groups":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		catalog := core.NewScenarioRegistry()
+
+		var sp Spec
+		if err := json.Unmarshal(data, &sp); err == nil {
+			sp = sp.WithDefaults()
+			_ = sp.Cells()
+			if err := sp.Validate(catalog); err == nil {
+				// A validated sweep must compile into a bounded plan.
+				plan, err := Compile(sp, catalog)
+				if err != nil {
+					t.Fatalf("validated spec failed to compile: %v", err)
+				}
+				if len(plan.Cells) > MaxCells {
+					t.Fatalf("validated spec compiled to %d cells (max %d)", len(plan.Cells), MaxCells)
+				}
+			}
+		}
+
+		var sc core.ScenarioSpec
+		if err := json.Unmarshal(data, &sc); err == nil {
+			if err := sc.Validate(); err == nil {
+				if _, err := sc.Compile(); err != nil {
+					t.Fatalf("validated scenario spec failed to compile: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,11 @@
+package experiment
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package when sweep worker goroutines outlive the
+// tests — Runner.Run must join its pool even on cancellation.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

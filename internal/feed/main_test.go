@@ -1,0 +1,11 @@
+package feed
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package when feed goroutines (simulation loops,
+// fan-out, monitors) outlive the tests — Hub/Feed Close must reap them.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

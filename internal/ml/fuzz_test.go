@@ -1,0 +1,74 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/ml/forest"
+	"nfvxai/internal/ml/linear"
+	"nfvxai/internal/ml/nn"
+	"nfvxai/internal/ml/tree"
+)
+
+// FuzzDecodeModel throws hostile artifact bytes at the model codec. The
+// decode-safety contract (PR 5, machine-enforced by nfvlint's
+// boundedmake): arbitrary input must produce a typed error or a model
+// whose whole Predict surface is safe — never a panic and never an
+// allocation beyond the bytes present. Seeds are real encoded artifacts
+// of every model kind, so the fuzzer starts inside the format and
+// mutates envelopes, counts and node graphs rather than flailing at
+// magic-byte checks.
+func FuzzDecodeModel(f *testing.F) {
+	reg := synthDataset(dataset.Regression, 60, 11)
+	cls := synthDataset(dataset.Classification, 60, 12)
+	seeds := []struct {
+		m  Trainable
+		ds *dataset.Dataset
+	}{
+		{&linear.Regression{Ridge: 1e-3}, reg},
+		{&linear.Logistic{LR: 0.05, Epochs: 8, BatchSize: 32, Seed: 3}, cls},
+		{tree.New(tree.Config{Task: dataset.Regression, MaxDepth: 4, MinLeaf: 3, Seed: 5}), reg},
+		{&forest.RandomForest{NumTrees: 3, MaxDepth: 4, MinLeaf: 2, Task: dataset.Regression, Seed: 7}, reg},
+		{&forest.GradientBoosting{NumRounds: 4, LearningRate: 0.1, MaxDepth: 3, Task: dataset.Classification, Seed: 9}, cls},
+		{&nn.MLP{Hidden: []int{6}, Epochs: 4, BatchSize: 32, Task: dataset.Regression, Seed: 13}, reg},
+	}
+	for _, s := range seeds {
+		if err := s.m.Fit(s.ds); err != nil {
+			f.Fatalf("fit seed model: %v", err)
+		}
+		blob, err := EncodeModel(s.m)
+		if err != nil {
+			f.Fatalf("encode seed model: %v", err)
+		}
+		f.Add(blob)
+		// A truncated and a bit-flipped variant steer mutation toward the
+		// sticky-error and validation paths.
+		f.Add(blob[:len(blob)/2])
+		flip := bytes.Clone(blob)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(data)
+		if err != nil {
+			return // typed rejection is the expected path for garbage
+		}
+		// A decode that claims success must yield a fully servable model:
+		// the width is declared, prediction cannot panic, and the model
+		// re-encodes (the registry persists decoded models on import).
+		w, ok := InputWidth(m)
+		if !ok || w < 0 {
+			t.Fatalf("decoded model has no usable input width (%d, %v)", w, ok)
+		}
+		x := make([]float64, w)
+		_ = m.Predict(x)
+		out := make([]float64, 1)
+		if bp, ok := m.(BatchPredictor); ok {
+			bp.PredictBatch([][]float64{x}, out)
+		}
+		if _, err := EncodeModel(m); err != nil {
+			t.Fatalf("decoded model does not re-encode: %v", err)
+		}
+	})
+}

@@ -66,6 +66,12 @@ func (m *MLP) UnmarshalBinary(data []byte) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("nn: decode: %w", err)
 	}
+	// Fit keeps len(dims) == len(weights)+1 (and both empty before Fit);
+	// an unfit blob with free-standing dims would otherwise report an
+	// arbitrary InputDim that callers size predict buffers from.
+	if nLayers == 0 && len(nm.dims) != 0 {
+		return fmt.Errorf("nn: decode: 0 layers but %d dims: %w", len(nm.dims), wire.ErrTruncated)
+	}
 	if nLayers > 0 {
 		if len(nm.dims) != nLayers+1 {
 			return fmt.Errorf("nn: decode: %d layers but %d dims: %w", nLayers, len(nm.dims), wire.ErrTruncated)

@@ -92,6 +92,15 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if nFeatures < 0 {
 		return fmt.Errorf("tree: decode: negative feature count: %w", wire.ErrTruncated)
 	}
+	// Fit allocates one importance slot per feature, so the declared width
+	// is bound to the byte-bounded importance table. Without this check a
+	// leaf-only artifact can declare an arbitrarily huge width that every
+	// split-feature check below vacuously accepts — and callers that size
+	// predict buffers from InputWidth then die in makeslice.
+	if len(importance) != nFeatures {
+		return fmt.Errorf("tree: decode: %d importance slots for width %d: %w",
+			len(importance), nFeatures, wire.ErrTruncated)
+	}
 	if n > 0 {
 		visited := make([]bool, n)
 		queue := []int{0}

@@ -141,7 +141,7 @@ func (s *FSStore) GetManifest() (Manifest, bool, error) {
 	}
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return Manifest{}, false, fmt.Errorf("%w: manifest: %v", ErrCorruptArtifact, err)
+		return Manifest{}, false, fmt.Errorf("%w: manifest: %w", ErrCorruptArtifact, err)
 	}
 	return m, true, nil
 }

@@ -269,7 +269,7 @@ func (r *Registry) restoreModel(rec ModelRecord) error {
 		return fmt.Errorf("%w: artifact spec name %q != manifest record %q", ErrCorruptArtifact, sp.Name, rec.Spec.Name)
 	}
 	if err := ValidateName(sp.Name); err != nil {
-		return fmt.Errorf("%w: %v", ErrCorruptArtifact, err)
+		return fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,12 @@
+package serve
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package when serving goroutines (job runners, SSE
+// writers, feed attachments) outlive the tests — the shutdown contract
+// Server.Close promises.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

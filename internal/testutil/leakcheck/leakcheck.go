@@ -1,0 +1,129 @@
+// Package leakcheck verifies that a test binary's goroutines wind down
+// after the tests finish — the machine-checked form of the serving
+// plane's shutdown contract (Server.Close waits for job runners, feeds
+// stop their simulation goroutines, SSE writers exit with their
+// requests). A leaked goroutine in these packages is a process that can
+// never drain cleanly in production.
+//
+// Wire it into a package with a TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// The check retries until a deadline because goroutine teardown is
+// asynchronous (closed servers unwind handlers, worker pools notice
+// cancellation); only goroutines still alive at the deadline are leaks.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultDeadline bounds how long Main waits for goroutines to unwind.
+const DefaultDeadline = 5 * time.Second
+
+// benign identifies goroutine stacks that are expected to outlive tests:
+// the testing framework itself, signal handling, and net/http keep-alive
+// connections owned by default transports (they die on their own idle
+// timeout and hold no test resources).
+var benign = []string{
+	"testing.(*M).Run",
+	"testing.Main(",
+	"testing.tRunner", // sibling tests mid-run (CheckTest); hangs are testing's to report
+	"testing.runFuzzing",
+	"runtime.Goexit",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.(*Transport).dialConn",
+}
+
+// Main runs the package's tests and fails the binary when goroutines are
+// still alive DefaultDeadline after the last test returned.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(DefaultDeadline); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until every non-benign goroutine has exited, or returns an
+// error describing the leaked stacks once the deadline passes.
+func Check(deadline time.Duration) error {
+	var leaked []string
+	delay := 1 * time.Millisecond
+	for end := time.Now().Add(deadline); ; {
+		leaked = leakedStacks()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(end) {
+			break
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+	return fmt.Errorf("%d goroutine(s) still running after tests:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n"))
+}
+
+// CheckTest registers a cleanup that fails t if goroutines spawned
+// during the test have not exited shortly after it finishes. Prefer
+// Main for whole-package coverage; use this to pin down a single test.
+func CheckTest(t *testing.T, deadline time.Duration) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := Check(deadline); err != nil {
+			t.Errorf("leakcheck: %v", err)
+		}
+	})
+}
+
+// leakedStacks returns the non-benign goroutine stack stanzas. The
+// calling goroutine is excluded by id, not by frame matching, so leaks
+// inside this package's own helpers stay visible.
+func leakedStacks() []string {
+	self := goroutineHeader(false)
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+stanzas:
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		if strings.TrimSpace(stanza) == "" || strings.HasPrefix(stanza, self) {
+			continue
+		}
+		for _, b := range benign {
+			if strings.Contains(stanza, b) {
+				continue stanzas
+			}
+		}
+		leaked = append(leaked, stanza)
+	}
+	return leaked
+}
+
+// goroutineHeader returns "goroutine N " for the current goroutine.
+func goroutineHeader(all bool) string {
+	buf := make([]byte, 64)
+	runtime.Stack(buf, all)
+	line, _, _ := strings.Cut(string(buf), "[")
+	return line
+}

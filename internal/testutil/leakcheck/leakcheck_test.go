@@ -1,0 +1,39 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCatchesLeak proves the detector sees a blocked goroutine and
+// recovers once it exits.
+func TestCatchesLeak(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Check missed a blocked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakcheck_test") {
+		t.Errorf("leak report does not name the leaking test: %v", err)
+	}
+
+	close(block)
+	if err := Check(DefaultDeadline); err != nil {
+		t.Errorf("Check still failing after goroutine exit: %v", err)
+	}
+}
+
+// TestBenignFiltered: the test framework's own goroutines never count.
+func TestBenignFiltered(t *testing.T) {
+	if err := Check(50 * time.Millisecond); err != nil {
+		t.Errorf("baseline not clean: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate, mirroring what CI runs: tier-1
+# (build + tests), the lint wall (gofmt, go vet, nfvlint, and
+# staticcheck/govulncheck when installed), and a short fuzz smoke over
+# the three hostile-input surfaces. Run it from anywhere inside the
+# repo before pushing.
+#
+#   ./scripts/check.sh            # everything, ~2 min
+#   FUZZTIME=0 ./scripts/check.sh # skip the fuzz smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step gofmt
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" && echo "$out" && exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step nfvlint
+go run ./cmd/nfvlint ./...
+
+# Optional linters: CI installs pinned versions (see
+# .github/workflows/ci.yml); locally they run only when already on PATH
+# so the script works in offline containers.
+if command -v staticcheck >/dev/null 2>&1; then
+  step staticcheck
+  staticcheck ./...
+else
+  echo "skipping staticcheck (not installed)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+  step govulncheck
+  govulncheck ./...
+else
+  echo "skipping govulncheck (not installed)"
+fi
+
+step build
+go build ./...
+
+step test
+go test ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+  step "fuzz smoke ($FUZZTIME per target)"
+  go test -fuzz 'FuzzDecodeModel' -fuzztime "$FUZZTIME" -run '^$' ./internal/ml
+  go test -fuzz 'FuzzReadWire' -fuzztime "$FUZZTIME" -run '^$' ./internal/dataset
+  go test -fuzz 'FuzzParseSpec' -fuzztime "$FUZZTIME" -run '^$' ./internal/experiment
+fi
+
+printf '\nall checks passed\n'
