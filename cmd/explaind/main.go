@@ -100,6 +100,10 @@ func main() {
 		target   = flag.String("target", "util", "target for bare-kind -model flags (util | latency | violation)")
 		storeDir = flag.String("store", "", "artifact store directory: warm-start previously trained models "+
 			"from it and persist every trained/retrained model into it")
+		budgetMs = flag.Int("budget-ms", 0, "default latency budget (ms) for explain/whatif/importance requests "+
+			"that carry none; 0 = unbudgeted. Per-request budget_ms / X-Budget-Ms override it.")
+		maxInflight = flag.Int("max-inflight", 0, "per-model concurrent explain/whatif/importance limit "+
+			"(0 = GOMAXPROCS); excess requests queue briefly, then shed with 503 + Retry-After")
 	)
 	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
 		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
@@ -141,7 +145,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		reg.UseStore(st)
+		// Retry/backoff + circuit breaker in front of the filesystem: a
+		// transient I/O failure retries with jitter instead of dropping a
+		// manifest write, and a dead disk trips the breaker (visible in
+		// /readyz) rather than hanging every persist.
+		reg.UseStore(registry.NewRetryStore(st, registry.RetryConfig{}))
 		rep, err := reg.WarmStart(time.Now())
 		if err != nil {
 			log.Fatal(err)
@@ -222,6 +230,8 @@ func main() {
 	}
 
 	s := serve.NewServer(reg)
+	s.DefaultBudgetMs = *budgetMs
+	s.MaxInflight = *maxInflight
 	defer s.Close()
 
 	// Boot-time feeds: -feed name:scenario[:rate], the CLI twin of
@@ -241,7 +251,16 @@ func main() {
 		log.Printf("feed %s streaming scenario %s (rate %.0fx)", name, sp.Name, rate)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s}
+	// ReadHeaderTimeout bounds a slow-loris client's grip on a connection;
+	// IdleTimeout reaps idle keep-alives. No blanket write timeout: SSE
+	// streams (/v1/models/{name}/stream) are long-lived by design, and
+	// request work is bounded by latency budgets instead.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil {
 			select {

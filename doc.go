@@ -131,6 +131,34 @@
 // goroutines outlive the tests (internal/testutil/leakcheck).
 // CONTRIBUTING.md catalogs the invariants and the narrow
 // `//lint:allow` escape hatch.
+//
+// # The resilience plane
+//
+// Serving is SLO-aware end to end. Every expensive request can carry a
+// latency budget (body budget_ms, X-Budget-Ms header, or the explaind
+// -budget-ms default) that becomes a context deadline; budgeted
+// KernelSHAP runs progressively — fixed-size coalition blocks with
+// per-feature confidence intervals, stopping at convergence or when the
+// remaining budget cannot fit another block — and a deadline landing
+// mid-run yields the partial estimate (tagged with converged,
+// samples_used and ci_half) instead of an error. Before running, a
+// capability-aware degradation ladder (treeshap → kernelshap with
+// reduced samples → occlusion) prices the request against the model's
+// measured per-prediction cost and degrades fidelity, never latency;
+// the chosen rung travels in the response's anytime block. Overload is
+// shed, not queued: per-model concurrency budgets with a bounded wait
+// queue return 503+Retry-After when saturated, and /healthz + /readyz
+// report per-model state (ready/degraded/shedding/training/failed)
+// plus store health. Persistence failures never gate inference — the
+// store sits behind a retrying decorator (jittered exponential backoff,
+// transient-vs-permanent classification, circuit breaker with half-open
+// probes) and a full outage degrades health while explains keep
+// answering. The whole contract is chaos-tested: registry.ChaosStore
+// (seeded deterministic error/latency/torn-write injection) and
+// feed.Fault (stalls, bursts) drive the internal/chaos suite, which
+// asserts — under -race, at a 20% store error rate — that every
+// response is a valid, possibly degraded or partial, result or a typed
+// 4xx/5xx, with no panics, leaks or wedged locks.
 package nfvxai
 
 // Version identifies the reproduction snapshot.

@@ -1,0 +1,12 @@
+package chaos
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+// TestMain fails the suite when chaos-injected failures strand goroutines
+// (stuck retries, wedged swaps, undrained feeds) — the core "no wedged
+// locks, no leaks" invariant of the resilience plane.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/ml"
@@ -39,6 +40,16 @@ type Pipeline struct {
 	// pre-registry per-request behavior. Benchmarks use it to measure what
 	// the cache saves; serving code must leave it false.
 	DisableExplainerCache bool
+	// PredCostNs overrides the measured per-prediction cost consulted by
+	// PredictCostNs (nanoseconds per single-row prediction). Tests set it
+	// to force deterministic budget-ladder decisions; 0 measures lazily.
+	// Set before serving starts — it is read without synchronization.
+	PredCostNs float64
+
+	// The measured prediction cost is a property of the frozen model, so
+	// it is sampled once, on first demand.
+	costOnce sync.Once
+	costNs   float64
 
 	// Explainers are expensive to run but cheap to share: all the
 	// repository's explainers are stateless across Explain calls, so one
@@ -219,6 +230,47 @@ func (p *Pipeline) shapSamples() int {
 		return p.ShapSamples
 	}
 	return 1024
+}
+
+// ShapSampleBudget is the KernelSHAP coalition budget an option-less
+// explain request runs with — the reference point the serving layer's
+// budget ladder reduces from.
+func (p *Pipeline) ShapSampleBudget() int { return p.shapSamples() }
+
+// PredictCostNs returns the amortized wall cost of one single-row model
+// prediction in nanoseconds, measured once (lazily) through the batch
+// path over the background sample. The budget-degradation ladder prices
+// KernelSHAP coalitions with it. A zero return means unmeasurable (no
+// rows to time); the ladder then assumes everything fits and leaves
+// enforcement to the context deadline. The PredCostNs field overrides
+// measurement entirely.
+func (p *Pipeline) PredictCostNs() float64 {
+	if p.PredCostNs > 0 {
+		return p.PredCostNs
+	}
+	p.costOnce.Do(func() {
+		rows := p.Background
+		if len(rows) == 0 && p.Train != nil {
+			n := len(p.Train.X)
+			if n > 64 {
+				n = 64
+			}
+			rows = p.Train.X[:n]
+		}
+		if len(rows) == 0 {
+			return
+		}
+		preds := make([]float64, len(rows))
+		ml.PredictBatchParallel(p.Model, rows, preds, 0) // warm up caches
+		start := time.Now()
+		iters := 0
+		for time.Since(start) < 2*time.Millisecond && iters < 50 {
+			ml.PredictBatchParallel(p.Model, rows, preds, 0)
+			iters++
+		}
+		p.costNs = float64(time.Since(start).Nanoseconds()) / float64(iters*len(rows))
+	})
+	return p.costNs
 }
 
 // PredictBatch scores many instances through the model's batch-inference

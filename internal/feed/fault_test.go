@@ -1,0 +1,79 @@
+package feed
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestFaultStallSilencesFeed(t *testing.T) {
+	h := NewHub()
+	defer h.CloseAll()
+	// StallProb 1: every fault draw stalls, so after the first tick the
+	// feed is permanently silent (each stall ends into another stall).
+	f, err := h.Open("stalling", tinySpec(), Options{
+		Simulate: true, Rate: 86400,
+		Fault: &Fault{StallProb: 1, StallTicks: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return f.Stats().Stalls >= 2 }, "stalls")
+	st := f.Stats()
+	if st.SimEpochs != 0 {
+		// The very first tick already stalls (the fault draw precedes the
+		// world step), so a fully stalled feed publishes nothing.
+		t.Fatalf("stats = %+v; a StallProb=1 feed must publish no epochs", st)
+	}
+}
+
+func TestFaultBurstFloodsSubscribers(t *testing.T) {
+	h := NewHub()
+	defer h.CloseAll()
+	// BurstProb 1 with a tiny subscriber buffer: every tick replays the
+	// full catch-up step, flooding the buffer and forcing drops — the
+	// exact overload the serving plane must absorb.
+	f, err := h.Open("bursting", tinySpec(), Options{
+		Simulate: true, Rate: 60, Buffer: 1,
+		Fault: &Fault{BurstProb: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cancel, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	waitFor(t, 2*time.Second, func() bool {
+		st := f.Stats()
+		return st.Bursts >= 2 && st.Dropped > 0
+	}, "bursts and dropped records")
+	if st := f.Stats(); st.SimEpochs == 0 {
+		t.Fatalf("stats = %+v; bursts must still publish records", st)
+	}
+}
+
+func TestFaultFreeFeedUnchanged(t *testing.T) {
+	h := NewHub()
+	defer h.CloseAll()
+	f, err := h.Open("plain", tinySpec(), Options{Simulate: true, Rate: 86400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return f.Stats().SimEpochs >= 3 }, "epochs")
+	if st := f.Stats(); st.Stalls != 0 || st.Bursts != 0 {
+		t.Fatalf("stats = %+v; fault counters must stay zero without Fault", st)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -48,6 +49,24 @@ type Options struct {
 	// Buffer is the per-subscriber channel depth (default 256). A slow
 	// subscriber drops records rather than stalling the feed.
 	Buffer int `json:"buffer,omitempty"`
+	// Fault, when set on a simulated feed, injects delivery faults —
+	// stalls and burst floods — for resilience testing (chaos suite).
+	Fault *Fault `json:"fault,omitempty"`
+}
+
+// Fault configures deterministic fault injection on a simulated feed:
+// each simulator tick may start a stall (the feed goes silent, then the
+// catch-up cap bounds the replay) or a burst (the tick replays the
+// maximum catch-up step at once, flooding subscribers). Faults draw from
+// their own seeded stream, so a given seed and tick count always injects
+// the same fault sequence.
+type Fault struct {
+	// StallProb is the per-tick probability of starting a stall.
+	StallProb float64 `json:"stall_prob,omitempty"`
+	// StallTicks is how many ticks a stall silences (default 5).
+	StallTicks int `json:"stall_ticks,omitempty"`
+	// BurstProb is the per-tick probability of a catch-up burst.
+	BurstProb float64 `json:"burst_prob,omitempty"`
 }
 
 // MaxRate bounds how fast a simulated feed may run (one virtual day per
@@ -81,6 +100,9 @@ type Stats struct {
 	Subscribers int `json:"subscribers"`
 	// VirtualSec is how far the simulated world has advanced.
 	VirtualSec float64 `json:"virtual_sec"`
+	// Stalls and Bursts count injected feed faults (Options.Fault).
+	Stalls uint64 `json:"stalls,omitempty"`
+	Bursts uint64 `json:"bursts,omitempty"`
 }
 
 // subscriber is one fan-out target.
@@ -104,6 +126,8 @@ type Feed struct {
 	simEpochs uint64
 	dropped   uint64
 	virtual   float64
+	stalls    uint64
+	bursts    uint64
 	simErr    error
 
 	cancel context.CancelFunc
@@ -174,6 +198,21 @@ func (f *Feed) runSim(ctx context.Context, sc core.Scenario) {
 	// Cap per-tick catch-up so a stalled process bursts at most this much
 	// virtual time instead of replaying the whole gap at once.
 	maxStep := 100 * sc.EpochSec
+	// Fault injection draws from its own seeded stream, decoupled from the
+	// world's traffic randomness: the same seed and tick sequence injects
+	// the same stalls and bursts regardless of scenario.
+	var (
+		faultRng   *rand.Rand
+		stallLeft  int
+		stallTicks int
+	)
+	if f.opts.Fault != nil {
+		faultRng = rand.New(rand.NewSource(f.opts.Seed ^ 0x5DEECE66D))
+		stallTicks = f.opts.Fault.StallTicks
+		if stallTicks <= 0 {
+			stallTicks = 5
+		}
+	}
 	ticker := time.NewTicker(epochWall)
 	defer ticker.Stop()
 	last := time.Now()
@@ -186,6 +225,29 @@ func (f *Feed) runSim(ctx context.Context, sc core.Scenario) {
 			last = now
 			if dv > maxStep {
 				dv = maxStep
+			}
+			if fault := f.opts.Fault; fault != nil {
+				if stallLeft > 0 {
+					// Mid-stall: the feed stays silent; virtual time does
+					// not advance, so the stall reads as a telemetry gap.
+					stallLeft--
+					continue
+				}
+				switch {
+				case fault.StallProb > 0 && faultRng.Float64() < fault.StallProb:
+					stallLeft = stallTicks
+					f.mu.Lock()
+					f.stalls++
+					f.mu.Unlock()
+					continue
+				case fault.BurstProb > 0 && faultRng.Float64() < fault.BurstProb:
+					// Burst flood: replay the maximum catch-up step in one
+					// tick, stressing subscriber buffers and drop paths.
+					dv = maxStep
+					f.mu.Lock()
+					f.bursts++
+					f.mu.Unlock()
+				}
 			}
 			w.Run(dv)
 		}
@@ -273,6 +335,8 @@ func (f *Feed) Stats() Stats {
 		Dropped:     f.dropped,
 		Subscribers: len(f.subs),
 		VirtualSec:  f.virtual,
+		Stalls:      f.stalls,
+		Bursts:      f.bursts,
 	}
 }
 

@@ -1,0 +1,12 @@
+package registry
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package when background goroutines (build workers,
+// retry sleepers) outlive the tests — persistence failures must degrade,
+// never leak.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+)
+
+// postBudget posts an explain request with an X-Budget-Ms header.
+func postBudget(t *testing.T, srv *httptest.Server, path, headerMs string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if headerMs != "" {
+		req.Header.Set("X-Budget-Ms", headerMs)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func testInstance(p *core.Pipeline) []float64 {
+	return append([]float64(nil), p.Train.X[0]...)
+}
+
+func TestBudgetedExplainReportsAnytime(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{
+		"features":  testInstance(p),
+		"method":    "kernelshap",
+		"budget_ms": 5000,
+	})
+	wantStatus(t, resp, http.StatusOK)
+	er := decode[ExplainResponse](t, resp)
+	if er.Anytime == nil {
+		t.Fatal("budgeted request must report an anytime block")
+	}
+	if er.Anytime.BudgetMs != 5000 {
+		t.Fatalf("budget_ms = %d want 5000", er.Anytime.BudgetMs)
+	}
+	if er.Anytime.Rung == "" {
+		t.Fatalf("anytime = %+v; want the ladder rung reported", er.Anytime)
+	}
+	if len(er.Contributions) == 0 {
+		t.Fatal("no contributions")
+	}
+}
+
+func TestBudgetPrecedenceBodyOverHeaderOverDefault(t *testing.T) {
+	p := pipeline(t)
+	s := New(p)
+	s.DefaultBudgetMs = 9000
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Server default applies when neither body nor header carry one.
+	resp := postJSON(t, srv, "/explain", map[string]any{"features": testInstance(p)})
+	wantStatus(t, resp, http.StatusOK)
+	if er := decode[ExplainResponse](t, resp); er.Anytime == nil || er.Anytime.BudgetMs != 9000 {
+		t.Fatalf("anytime = %+v; want server default 9000", er.Anytime)
+	}
+
+	// Header beats the server default.
+	resp = postBudget(t, srv, "/explain", "7000", map[string]any{"features": testInstance(p)})
+	wantStatus(t, resp, http.StatusOK)
+	if er := decode[ExplainResponse](t, resp); er.Anytime == nil || er.Anytime.BudgetMs != 7000 {
+		t.Fatalf("anytime = %+v; want header 7000", er.Anytime)
+	}
+
+	// Body beats both.
+	resp = postBudget(t, srv, "/explain", "7000", map[string]any{
+		"features": testInstance(p), "budget_ms": 6000,
+	})
+	wantStatus(t, resp, http.StatusOK)
+	if er := decode[ExplainResponse](t, resp); er.Anytime == nil || er.Anytime.BudgetMs != 6000 {
+		t.Fatalf("anytime = %+v; want body 6000", er.Anytime)
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	resp := postJSON(t, srv, "/explain", map[string]any{
+		"features": testInstance(p), "budget_ms": -5,
+	})
+	wantStatus(t, resp, http.StatusBadRequest)
+	resp.Body.Close()
+
+	resp = postJSON(t, srv, "/explain", map[string]any{
+		"features": testInstance(p), "budget_ms": MaxBudgetMs + 1,
+	})
+	wantStatus(t, resp, http.StatusBadRequest)
+	resp.Body.Close()
+
+	resp = postBudget(t, srv, "/explain", "not-a-number", map[string]any{"features": testInstance(p)})
+	wantStatus(t, resp, http.StatusBadRequest)
+	resp.Body.Close()
+}
+
+func TestTinyBudgetDegradesNeverEmpty200(t *testing.T) {
+	// A budget smaller than one sampling block must still produce either
+	// a valid degraded explanation (the occlusion floor) or a typed 504 —
+	// never an empty 200. PredCostNs is pinned high so the ladder prices
+	// kernelshap far over a 1 ms budget deterministically.
+	p := pipeline(t)
+	old := p.PredCostNs
+	p.PredCostNs = 50_000 // 50 µs per prediction: 1 ms fits no kernel block
+	defer func() { p.PredCostNs = old }()
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{
+		"features":  testInstance(p),
+		"method":    "kernelshap",
+		"budget_ms": 1,
+	})
+	switch resp.StatusCode {
+	case http.StatusOK:
+		er := decode[ExplainResponse](t, resp)
+		if len(er.Contributions) == 0 {
+			t.Fatal("200 with zero contributions: empty success is forbidden")
+		}
+		if er.Anytime == nil || !er.Anytime.Downgraded {
+			t.Fatalf("anytime = %+v; a 1 ms kernelshap must be downgraded", er.Anytime)
+		}
+		if er.Method != "occlusion" {
+			t.Fatalf("method = %q; want the occlusion floor rung", er.Method)
+		}
+	case http.StatusGatewayTimeout:
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+			t.Fatalf("504 must carry a typed error body: %v, %v", body, err)
+		}
+		resp.Body.Close()
+	default:
+		t.Fatalf("status %d; want 200 (degraded) or 504 (typed timeout)", resp.StatusCode)
+	}
+}
+
+func TestBudgetExpiringMidBatch(t *testing.T) {
+	// A batch under a budget that cannot cover every instance returns
+	// 200 with per-instance errors (partial results), or 504 when nothing
+	// finished — never a torn or empty success.
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	instances := make([][]float64, 16)
+	for i := range instances {
+		instances[i] = testInstance(p)
+	}
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{
+		"instances": instances,
+		"method":    "kernelshap",
+		"budget_ms": 30,
+	})
+	switch resp.StatusCode {
+	case http.StatusOK:
+		br := decode[BatchExplainResponse](t, resp)
+		if br.Count != len(instances) {
+			t.Fatalf("count = %d want %d", br.Count, len(instances))
+		}
+		okN := 0
+		for i, er := range br.Explanations {
+			if er.Error != "" {
+				continue
+			}
+			if len(er.Contributions) == 0 {
+				t.Fatalf("explanation %d: no error and no contributions", i)
+			}
+			okN++
+		}
+		if okN == 0 {
+			t.Fatal("200 with zero successful explanations; must have been a 504")
+		}
+		if br.Failed != len(instances)-okN {
+			t.Fatalf("failed = %d want %d", br.Failed, len(instances)-okN)
+		}
+	case http.StatusGatewayTimeout:
+		resp.Body.Close()
+	default:
+		t.Fatalf("status %d; want 200 (partial) or 504", resp.StatusCode)
+	}
+}
+
+func TestUnbudgetedExplainUnchanged(t *testing.T) {
+	// No budget anywhere: the legacy contract — no Anytime block, no
+	// deadline, kernelshap at full fidelity.
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{
+		"features": testInstance(p),
+	})
+	wantStatus(t, resp, http.StatusOK)
+	if er := decode[ExplainResponse](t, resp); er.Anytime != nil {
+		t.Fatalf("unbudgeted reply has anytime block %+v", er.Anytime)
+	}
+}
+
+func TestAdmissionShedsWith503RetryAfter(t *testing.T) {
+	p := pipeline(t)
+	s := New(p)
+	s.MaxInflight = 1
+	s.AdmitQueue = 1
+	s.AdmitWait = 10 * time.Millisecond
+	adm := s.ensureAdmit()
+
+	// Saturate the model: one admitted, one queued.
+	ctx := context.Background()
+	rel1, err := adm.acquire(ctx, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := adm.acquire(ctx, "default")
+		if err == nil {
+			defer rel()
+		}
+		queued <- err
+	}()
+	// Wait until the second caller occupies the queue slot.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, waiting, _ := adm.snapshot("default"); waiting >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued caller never showed up in the wait queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{
+		"features": testInstance(p),
+	})
+	wantStatus(t, resp, http.StatusServiceUnavailable)
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 shed must carry Retry-After")
+	}
+	resp.Body.Close()
+	<-queued
+
+	// With capacity free again the same request succeeds.
+	rel1()
+	resp = postJSON(t, srv, "/v1/models/default/explain", map[string]any{
+		"features": testInstance(p),
+	})
+	wantStatus(t, resp, http.StatusOK)
+	resp.Body.Close()
+
+	// The shed shows up as "shedding" state in /healthz for a few seconds.
+	resp = getJSON(t, srv, "/healthz")
+	h := decode[HealthResponse](t, resp)
+	if h.States["default"] != StateShedding {
+		t.Fatalf("states = %v; want default shedding after a recent shed", h.States)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status = %q; shedding default must degrade health (still 200)", h.Status)
+	}
+}
+
+func TestReadyzReportsModels(t *testing.T) {
+	p := pipeline(t)
+	srv := httptest.NewServer(New(p))
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/readyz")
+	wantStatus(t, resp, http.StatusOK)
+	rr := decode[ReadyResponse](t, resp)
+	if rr.Status != "ok" || rr.Default != "default" {
+		t.Fatalf("readyz = %+v", rr)
+	}
+	if len(rr.Models) != 1 || rr.Models[0].State != StateReady {
+		t.Fatalf("models = %+v; want one ready model", rr.Models)
+	}
+	if rr.Models[0].LastSwap.IsZero() {
+		t.Fatal("last_swap must carry the ready time")
+	}
+	if rr.Store != nil {
+		t.Fatalf("store = %+v; want absent without an instrumented store", rr.Store)
+	}
+}

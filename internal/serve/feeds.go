@@ -108,6 +108,8 @@ type FeedRequest struct {
 	Seed   int64   `json:"seed,omitempty"`
 	Rate   float64 `json:"rate,omitempty"`
 	Buffer int     `json:"buffer,omitempty"`
+	// Fault injects stalls/bursts on a simulated feed (chaos testing).
+	Fault *feed.Fault `json:"fault,omitempty"`
 }
 
 // FeedInfo is one feed as served by the API.
@@ -163,7 +165,7 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := feed.Options{Simulate: true, Seed: req.Seed, Rate: req.Rate, Buffer: req.Buffer}
+	opts := feed.Options{Simulate: true, Seed: req.Seed, Rate: req.Rate, Buffer: req.Buffer, Fault: req.Fault}
 	if req.Simulate != nil {
 		opts.Simulate = *req.Simulate
 	}

@@ -1,0 +1,134 @@
+// The health pair: GET /healthz is the cheap liveness + traffic-gate
+// summary (unchanged contract: 503 exactly when the default model is not
+// servable), and GET /readyz is the operator's detail view — per-model
+// state including degradation while a drift-triggered retrain is in
+// flight, admission pressure, retrain counts and last hot-swap times, and
+// the artifact store's fault-tolerance state (retry/breaker health when
+// the store is wrapped in a registry.RetryStore).
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"nfvxai/internal/registry"
+)
+
+// Model health states, coarsest first. "ready" means serving normally;
+// "degraded" means serving but impaired (a retrain is replacing the
+// pipeline, or the model was restored without its training split);
+// "shedding" means admission control rejected load within the last few
+// seconds; "training"/"failed" mirror the registry lifecycle.
+const (
+	StateReady    = "ready"
+	StateDegraded = "degraded"
+	StateShedding = "shedding"
+	StateTraining = "training"
+	StateFailed   = "failed"
+)
+
+// ModelHealth is one model's entry in the /readyz reply.
+type ModelHealth struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Retrains and LastSwap track drift-triggered hot-swaps: LastSwap is
+	// the latest time a (re)trained pipeline went live.
+	Retrains int       `json:"retrains,omitempty"`
+	LastSwap time.Time `json:"last_swap"`
+	// Retraining is true while a drift-triggered retrain is in flight.
+	Retraining bool `json:"retraining,omitempty"`
+	// Admission pressure: current in-flight work, queued waiters, and
+	// total requests shed since start.
+	Inflight int    `json:"inflight,omitempty"`
+	Waiting  int    `json:"waiting,omitempty"`
+	Shed     uint64 `json:"shed,omitempty"`
+}
+
+// ReadyResponse is the GET /readyz reply.
+type ReadyResponse struct {
+	// Status is "ok" when the default model is servable and the store (if
+	// any) is not tripped open; else "degraded". The HTTP status is 503
+	// only when the default model cannot serve — store trouble degrades
+	// the report but never gates traffic, because serving does not need
+	// the store.
+	Status  string        `json:"status"`
+	Default string        `json:"default,omitempty"`
+	Models  []ModelHealth `json:"models"`
+	// Store is the artifact store's fault-tolerance state when the
+	// registry's store is instrumented (registry.RetryStore); absent for
+	// bare or missing stores.
+	Store *registry.StoreHealth `json:"store,omitempty"`
+}
+
+// retrainingModel reports whether any attached feed is retraining name.
+func (s *Server) retrainingModel(name string) bool {
+	s.attachMu.Lock()
+	defer s.attachMu.Unlock()
+	for _, atts := range s.attachments {
+		for _, att := range atts {
+			if att.model == name && att.retraining.Load() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// modelState derives one model's health state from the registry
+// lifecycle, the retrain-in-flight flag, and recent admission shedding.
+func (s *Server) modelState(e registry.Entry) string {
+	switch e.Status {
+	case registry.StatusTraining:
+		return StateTraining
+	case registry.StatusFailed:
+		return StateFailed
+	}
+	if s.retrainingModel(e.Spec.Name) {
+		return StateDegraded
+	}
+	if s.ensureAdmit().shedding(e.Spec.Name) {
+		return StateShedding
+	}
+	return StateReady
+}
+
+// storeHealth returns the store's health snapshot when instrumented.
+func (s *Server) storeHealth() *registry.StoreHealth {
+	if sh, ok := s.reg.StoreHealth(); ok {
+		return &sh
+	}
+	return nil
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := ReadyResponse{Status: "ok", Default: s.reg.DefaultName()}
+	adm := s.ensureAdmit()
+	defaultServable := false
+	for _, e := range s.reg.List() {
+		mh := ModelHealth{
+			Name:       e.Spec.Name,
+			State:      s.modelState(e),
+			Retrains:   e.Retrains,
+			LastSwap:   e.ReadyAt,
+			Retraining: s.retrainingModel(e.Spec.Name),
+		}
+		mh.Inflight, mh.Waiting, mh.Shed = adm.snapshot(e.Spec.Name)
+		resp.Models = append(resp.Models, mh)
+		if e.Spec.Name == resp.Default && e.Status == registry.StatusReady {
+			defaultServable = true
+			if mh.State != StateReady {
+				resp.Status = "degraded"
+			}
+		}
+	}
+	resp.Store = s.storeHealth()
+	if resp.Store != nil && resp.Store.State == registry.StoreStateOpen {
+		resp.Status = "degraded"
+	}
+	status := http.StatusOK
+	if !defaultServable {
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

@@ -46,12 +46,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -78,8 +80,23 @@ type Server struct {
 	// shared gate is sized once, lazily.
 	BatchWorkers int
 
+	// DefaultBudgetMs is the latency budget applied to explain/whatif/
+	// importance requests that carry no budget of their own (0 = none:
+	// requests run unbounded, the pre-budget behavior).
+	DefaultBudgetMs int
+
+	// Admission knobs (admission.go): per-model concurrency budget, wait
+	// queue depth, and queue patience. Zero values take the defaults. Set
+	// before the first request; the table is sized once, lazily.
+	MaxInflight int
+	AdmitQueue  int
+	AdmitWait   time.Duration
+
 	gateOnce sync.Once
 	gate     chan struct{}
+
+	admitOnce sync.Once
+	adm       *admission
 
 	// attachments index the streaming monitors by feed name (feeds.go).
 	attachMu    sync.Mutex
@@ -144,6 +161,10 @@ func NewServer(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("DELETE /v1/feeds/{name}", s.handleDeleteFeed)
 	s.mux.HandleFunc("POST /v1/feeds/{name}/records", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/feeds/{name}/attach", s.handleAttach)
+
+	// Health pair: /healthz (liveness + summary) and /readyz (per-model
+	// readiness detail; health.go).
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 
 	// Legacy unversioned aliases onto the default model.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -486,19 +507,36 @@ type HealthResponse struct {
 	// kind when servable (legacy field).
 	Default string `json:"default,omitempty"`
 	Model   string `json:"model,omitempty"`
+	// States maps each model to its health state (ready | degraded |
+	// shedding | training | failed; see health.go). A model mid-retrain
+	// keeps serving its old pipeline but reports "degraded" here.
+	States map[string]string `json:"states,omitempty"`
+	// Store summarizes the artifact store's fault-tolerance state when
+	// the store is instrumented (registry.RetryStore).
+	Store *registry.StoreHealth `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{Status: "ok", Default: s.reg.DefaultName()}
-	for _, e := range s.reg.List() {
+	entries := s.reg.List()
+	resp.States = make(map[string]string, len(entries))
+	for _, e := range entries {
 		resp.Models++
 		if e.Status == registry.StatusReady {
 			resp.Ready++
 		}
+		resp.States[e.Spec.Name] = s.modelState(e)
 	}
+	resp.Store = s.storeHealth()
 	status := http.StatusOK
 	if p, err := s.reg.Lookup(resp.Default); err == nil {
 		resp.Model = p.Kind.String()
+		// Servable but impaired (mid-retrain or shedding): report
+		// "degraded" without gating traffic — the old pipeline still
+		// answers every request.
+		if st := resp.States[resp.Default]; st == StateDegraded || st == StateShedding {
+			resp.Status = "degraded"
+		}
 	} else {
 		// The default model is missing, training or failed: every legacy
 		// endpoint would 404/409, so health checks must not admit traffic.
@@ -546,6 +584,41 @@ type featureRequest struct {
 	Params json.RawMessage `json:"params,omitempty"`
 	// Evaluate attaches evalx faithfulness metrics to each explanation.
 	Evaluate bool `json:"evaluate,omitempty"`
+	// BudgetMs is the request's latency budget in milliseconds. It wins
+	// over the X-Budget-Ms header, which wins over the server default.
+	// Zero inherits; the work runs under a context deadline and the
+	// degradation ladder fits the method to it.
+	BudgetMs int `json:"budget_ms,omitempty"`
+}
+
+// MaxBudgetMs caps a request latency budget (10 minutes): beyond it, use
+// the async jobs API instead of holding a connection open.
+const MaxBudgetMs = 600_000
+
+// requestBudget resolves the effective latency budget for one request:
+// body "budget_ms" > X-Budget-Ms header > Server.DefaultBudgetMs. Zero
+// means unbudgeted.
+func (s *Server) requestBudget(r *http.Request, bodyMs int) (time.Duration, error) {
+	ms := bodyMs
+	if ms == 0 {
+		if h := r.Header.Get("X-Budget-Ms"); h != "" {
+			v, err := strconv.Atoi(h)
+			if err != nil {
+				return 0, fmt.Errorf("invalid X-Budget-Ms %q: not an integer", h)
+			}
+			ms = v
+		}
+	}
+	if ms == 0 {
+		ms = s.DefaultBudgetMs
+	}
+	if ms < 0 {
+		return 0, fmt.Errorf("budget_ms must be >= 0, got %d", ms)
+	}
+	if ms > MaxBudgetMs {
+		return 0, fmt.Errorf("budget_ms %d exceeds limit %d; use the jobs API for long explanations", ms, MaxBudgetMs)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 // decodeStrict decodes a raw "params" object into v, rejecting unknown
@@ -631,6 +704,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 type Contribution struct {
 	Feature string  `json:"feature"`
 	Phi     float64 `json:"phi"`
+	// CIHalf is the 95% confidence half-width of Phi when the progressive
+	// estimator produced it (budgeted KernelSHAP); omitted for exact or
+	// single-pass methods.
+	CIHalf *float64 `json:"ci_half,omitempty"`
 }
 
 // Evaluation carries evalx faithfulness metrics for one explanation,
@@ -669,6 +746,30 @@ func evaluateAttr(p *core.Pipeline, attr xai.Attribution, x []float64, method st
 	return &ev
 }
 
+// AnytimeInfo reports how a latency-budgeted request was actually served:
+// which degradation-ladder rung ran, whether fidelity was reduced, and how
+// far the progressive estimator got before stopping.
+type AnytimeInfo struct {
+	// BudgetMs is the effective budget the request ran under.
+	BudgetMs int64 `json:"budget_ms,omitempty"`
+	// Rung is the method that ran; Requested is what the client asked for
+	// (or the model default) when the ladder changed it.
+	Rung      string `json:"rung,omitempty"`
+	Requested string `json:"requested,omitempty"`
+	// Downgraded is true when the rung or its sample budget was reduced to
+	// fit the latency budget; Reason says why in one clause.
+	Downgraded bool   `json:"downgraded,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	// Converged reports whether the progressive estimator's confidence
+	// intervals tightened below tolerance (false = deadline or sample
+	// budget cut it short: a valid partial result). Omitted for
+	// non-progressive methods.
+	Converged *bool `json:"converged,omitempty"`
+	// SamplesUsed / Blocks are the coalitions and blocks actually spent.
+	SamplesUsed int `json:"samples_used,omitempty"`
+	Blocks      int `json:"blocks,omitempty"`
+}
+
 // ExplainResponse is the single-instance explain reply, and one element of
 // a batch reply.
 type ExplainResponse struct {
@@ -678,6 +779,12 @@ type ExplainResponse struct {
 	Contributions []Contribution `json:"contributions"`
 	Report        string         `json:"report,omitempty"`
 	Evaluation    *Evaluation    `json:"evaluation,omitempty"`
+	// Anytime is present on latency-budgeted requests (and whenever the
+	// progressive estimator ran) — see AnytimeInfo.
+	Anytime *AnytimeInfo `json:"anytime,omitempty"`
+	// Error marks a failed instance in a budgeted batch reply; the other
+	// fields are zero when set.
+	Error string `json:"error,omitempty"`
 }
 
 // BatchExplainResponse is the explain reply when "instances" was sent.
@@ -685,6 +792,12 @@ type BatchExplainResponse struct {
 	Method       string            `json:"method"`
 	Count        int               `json:"count"`
 	Explanations []ExplainResponse `json:"explanations"`
+	// Failed counts instances whose Error field is set (budgeted batches
+	// return partial results rather than failing the whole request).
+	Failed int `json:"failed,omitempty"`
+	// Anytime carries the request-level budget/ladder decision; per-item
+	// progress is on each explanation.
+	Anytime *AnytimeInfo `json:"anytime,omitempty"`
 }
 
 func explainResponse(p *core.Pipeline, attr xai.Attribution, x []float64, method string, topK int, withReport, evaluate bool) ExplainResponse {
@@ -697,15 +810,45 @@ func explainResponse(p *core.Pipeline, attr xai.Attribution, x []float64, method
 		resp.Report = core.OperatorReport("prediction explanation", attr, method, topK)
 	}
 	for _, j := range attr.TopK(topK) {
-		resp.Contributions = append(resp.Contributions, Contribution{
+		c := Contribution{
 			Feature: featureName(p.Train.Names, j),
 			Phi:     attr.Phi[j],
-		})
+		}
+		if attr.Diag != nil && j < len(attr.Diag.CIHalf) {
+			half := attr.Diag.CIHalf[j]
+			c.CIHalf = &half
+		}
+		resp.Contributions = append(resp.Contributions, c)
+	}
+	if d := attr.Diag; d != nil {
+		conv := d.Converged
+		resp.Anytime = &AnytimeInfo{Converged: &conv, SamplesUsed: d.SamplesUsed, Blocks: d.Blocks}
 	}
 	if evaluate {
 		resp.Evaluation = evaluateAttr(p, attr, x, method)
 	}
 	return resp
+}
+
+// decorateAnytime overlays the budget/ladder decision onto a response's
+// Anytime block (creating it when the method produced no Diag).
+func decorateAnytime(a *AnytimeInfo, plan *xai.Plan, budget time.Duration) *AnytimeInfo {
+	if plan == nil && budget == 0 {
+		return a
+	}
+	if a == nil {
+		a = &AnytimeInfo{}
+	}
+	a.BudgetMs = budget.Milliseconds()
+	if plan != nil {
+		a.Rung = plan.Method
+		a.Downgraded = plan.Downgraded
+		a.Reason = plan.Reason
+		if plan.Downgraded {
+			a.Requested = plan.Requested
+		}
+	}
+	return a
 }
 
 // writeExplainerError maps method-resolution failures to HTTP: unknown
@@ -748,12 +891,51 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 	if topK <= 0 {
 		topK = 5
 	}
-	e, method, err := p.ExplainerFor(req.Method, opts)
+	budget, err := s.requestBudget(r, req.BudgetMs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission: per-model concurrency budget with a bounded wait queue;
+	// a saturated model sheds this request with 503 + Retry-After.
+	release, ok := s.admitRequest(w, r, name)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	method := req.Method
+	var plan *xai.Plan
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+		// Fit the method to the budget: resolve the effective method and
+		// sample count first so the ladder reduces relative to what would
+		// actually run, then walk down rungs if it still cannot fit.
+		if method == "" {
+			method = core.DefaultMethod(p.Model)
+		}
+		eff := opts
+		if eff.Samples <= 0 && method == "kernelshap" {
+			eff.Samples = p.ShapSampleBudget()
+		}
+		pl := xai.PlanBudget(p.Model, method, eff, budget, xai.CostModel{
+			PredNs:     p.PredictCostNs(),
+			Background: len(p.Background),
+			Features:   p.Train.NumFeatures(),
+		})
+		plan = &pl
+		method = pl.Method
+		opts = pl.Opts
+	}
+	e, method, err := p.ExplainerFor(method, opts)
 	if err != nil {
 		writeExplainerError(w, err)
 		return
 	}
-	ctx := r.Context()
 	if req.Instances != nil {
 		// Batch fan-out shares one explainer instance across workers, so
 		// methods registered without the concurrent-use capability only
@@ -765,9 +947,28 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 		// One server-wide gate bounds explain concurrency: K simultaneous
 		// batch requests share cap(gate) workers rather than each spawning
 		// a GOMAXPROCS pool and oversubscribing the cores.
-		attrs, err := xai.ExplainBatchGated(ctx, e, req.Instances, s.ensureGate())
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		attrs, errs := xai.ExplainBatchGatedErrs(ctx, e, req.Instances, s.ensureGate())
+		nOK, failed := 0, 0
+		var firstErr error
+		for _, ie := range errs {
+			if ie == nil {
+				nOK++
+			} else {
+				failed++
+				if firstErr == nil {
+					firstErr = ie
+				}
+			}
+		}
+		if nOK == 0 && firstErr != nil {
+			// Nothing to return: a budget that expired before any instance
+			// finished is a typed timeout, anything else a plain failure.
+			writeExplainFailure(w, firstErr, budget)
+			return
+		}
+		if budget == 0 && firstErr != nil {
+			// Unbudgeted batches keep the legacy all-or-nothing contract.
+			writeError(w, http.StatusInternalServerError, "explain: %v", firstErr)
 			return
 		}
 		// Per-instance evaluation is model work too (a deletion sweep per
@@ -778,6 +979,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 			evals = make([]*Evaluation, len(attrs))
 			var wg sync.WaitGroup
 			for i := range attrs {
+				if errs[i] != nil {
+					continue
+				}
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
@@ -792,8 +996,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 			}
 			wg.Wait()
 		}
-		resp := BatchExplainResponse{Method: method, Count: len(attrs)}
+		resp := BatchExplainResponse{Method: method, Count: len(attrs), Failed: failed}
 		for i, attr := range attrs {
+			if errs[i] != nil {
+				resp.Explanations = append(resp.Explanations, ExplainResponse{Error: explainErrorLabel(errs[i])})
+				continue
+			}
 			// Batch replies skip the prose report: dashboards consuming
 			// batches want the numbers, and N reports dominate the payload.
 			er := explainResponse(p, attr, req.Instances[i], method, topK, false, false)
@@ -802,15 +1010,42 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 			}
 			resp.Explanations = append(resp.Explanations, er)
 		}
+		resp.Anytime = decorateAnytime(resp.Anytime, plan, budget)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	attr, err := e.Explain(ctx, req.Features)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "explain: %v", err)
+		writeExplainFailure(w, err, budget)
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse(p, attr, req.Features, method, topK, true, req.Evaluate))
+	resp := explainResponse(p, attr, req.Features, method, topK, true, req.Evaluate)
+	resp.Anytime = decorateAnytime(resp.Anytime, plan, budget)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeExplainFailure maps an explain-path error to HTTP: an expired
+// latency budget with no result in hand is a typed 504 (the client can
+// retry with a larger budget), everything else the legacy 500.
+func writeExplainFailure(w http.ResponseWriter, err error, budget time.Duration) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		if budget > 0 {
+			writeError(w, http.StatusGatewayTimeout, "explain: latency budget of %s exhausted before any result: %v", budget, err)
+		} else {
+			writeError(w, http.StatusGatewayTimeout, "explain: deadline exceeded: %v", err)
+		}
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "explain: %v", err)
+}
+
+// explainErrorLabel renders one failed batch instance's error, typing
+// budget exhaustion so clients can distinguish it from model failures.
+func explainErrorLabel(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "latency budget exhausted: " + err.Error()
+	}
+	return err.Error()
 }
 
 // ─── explainer discovery ────────────────────────────────────────────────
@@ -864,6 +1099,8 @@ type WhatIfRequest struct {
 	Op        string    `json:"op"`    // "<=" or ">="
 	Value     float64   `json:"value"` // prediction target
 	Immutable []string  `json:"immutable,omitempty"`
+	// BudgetMs is the latency budget (same precedence as explain).
+	BudgetMs int `json:"budget_ms,omitempty"`
 }
 
 // Change is one modified feature of a counterfactual.
@@ -899,12 +1136,31 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, name strin
 		writeError(w, http.StatusBadRequest, "op must be <= or >=")
 		return
 	}
-	target := counterfactual.Target{Op: req.Op, Value: req.Value}
-	cf, err := p.WhatIf(r.Context(), req.Features, target, req.Immutable)
+	budget, err := s.requestBudget(r, req.BudgetMs)
 	if err != nil {
-		if errors.Is(err, core.ErrUnknownFeature) {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, ok := s.admitRequest(w, r, name)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	target := counterfactual.Target{Op: req.Op, Value: req.Value}
+	cf, err := p.WhatIf(ctx, req.Features, target, req.Immutable)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrUnknownFeature):
 			writeError(w, http.StatusBadRequest, "%v", err)
-		} else {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "whatif: latency budget exhausted: %v", err)
+		default:
 			writeError(w, http.StatusInternalServerError, "whatif: %v", err)
 		}
 		return
@@ -943,8 +1199,29 @@ func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request, name s
 	if !ok {
 		return
 	}
-	shapImp, permImp, err := p.GlobalImportance(r.Context(), importanceInstances)
+	// GET request: the budget arrives via header or server default only.
+	budget, err := s.requestBudget(r, 0)
 	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, ok := s.admitRequest(w, r, name)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	shapImp, permImp, err := p.GlobalImportance(ctx, importanceInstances)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "importance: latency budget exhausted: %v", err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "importance: %v", err)
 		return
 	}

@@ -61,6 +61,17 @@ dispatch:
 // still waiting for a slot when ctx is cancelled are abandoned with the
 // context error.
 func ExplainBatchGated(ctx context.Context, e Explainer, xs [][]float64, gate chan struct{}) ([]Attribution, error) {
+	attrs, errs := ExplainBatchGatedErrs(ctx, e, xs, gate)
+	return attrs, firstError(errs)
+}
+
+// ExplainBatchGatedErrs is ExplainBatchGated returning the per-instance
+// errors instead of collapsing them to the first one. The serving layer
+// uses it for deadline-budgeted batches, where some instances completing
+// and others timing out is a partial success to report per item, not a
+// request-level failure. errs is nil when xs is empty; otherwise
+// len(errs) == len(xs) and errs[i] == nil marks a valid attrs[i].
+func ExplainBatchGatedErrs(ctx context.Context, e Explainer, xs [][]float64, gate chan struct{}) ([]Attribution, []error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
@@ -82,7 +93,7 @@ func ExplainBatchGated(ctx context.Context, e Explainer, xs [][]float64, gate ch
 		}(i)
 	}
 	wg.Wait()
-	return attrs, firstError(errs)
+	return attrs, errs
 }
 
 func firstError(errs []error) error {

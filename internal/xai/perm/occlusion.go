@@ -1,0 +1,113 @@
+package perm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
+)
+
+// init registers single-feature occlusion as a *local* method: the
+// cheapest attribution in the registry (d × background predictions in one
+// batched call) and therefore the floor rung of the serving layer's
+// budget-degradation ladder (treeshap → kernelshap → occlusion). Its
+// scores are interventional sensitivities, not an additive decomposition,
+// so Additive stays false and additivity metrics are never reported for
+// it.
+func init() {
+	xai.Register(xai.Method{
+		Name: "occlusion",
+		Kind: xai.KindLocal,
+		Caps: xai.Capabilities{
+			NeedsBackground: true,
+			SupportsBatch:   true,
+			Deterministic:   true,
+		},
+		Build: func(t xai.Target, _ xai.Options) (xai.Explainer, error) {
+			return &Occlusion{Model: t.Model, Background: t.Background, Names: t.Names}, nil
+		},
+	})
+}
+
+// Occlusion attributes a prediction by single-feature interventional
+// occlusion: phi[j] = f(x) − E_b[f(x with x[j] ← b[j])], the drop in
+// output when feature j alone is replaced by background values. It is the
+// d-coalition corner of the KernelSHAP design — no sampling, no solve —
+// trading interaction awareness for a hard d×|background| prediction
+// budget.
+type Occlusion struct {
+	Model ml.Predictor
+	// Background rows define the replacement distribution and base value.
+	Background [][]float64
+	// Names are optional feature names copied into attributions.
+	Names []string
+
+	// The base value depends only on the frozen model and background;
+	// computed once and shared across concurrent Explain calls.
+	baseOnce sync.Once
+	baseVal  float64
+}
+
+// Explain computes the occlusion attribution of the model at x.
+func (o *Occlusion) Explain(ctx context.Context, x []float64) (xai.Attribution, error) {
+	d := len(x)
+	if d == 0 {
+		return xai.Attribution{}, errors.New("occlusion: empty input")
+	}
+	nb := len(o.Background)
+	if nb == 0 {
+		return xai.Attribution{}, errors.New("occlusion: empty background")
+	}
+	for i, b := range o.Background {
+		if len(b) != d {
+			return xai.Attribution{}, fmt.Errorf("occlusion: background row %d has %d features, want %d", i, len(b), d)
+		}
+	}
+	if err := xai.Canceled(ctx, "occlusion"); err != nil {
+		return xai.Attribution{}, err
+	}
+	fx := o.Model.Predict(x)
+	o.baseOnce.Do(func() {
+		preds := make([]float64, nb)
+		ml.PredictBatchParallel(o.Model, o.Background, preds, 0)
+		var s float64
+		for _, p := range preds {
+			s += p
+		}
+		o.baseVal = s / float64(nb)
+	})
+
+	// One flat (feature × background) perturbation matrix, one batched
+	// model call: row j*nb+b is x with feature j occluded by background b.
+	backing := make([]float64, d*nb*d)
+	rows := make([][]float64, d*nb)
+	r := 0
+	for j := 0; j < d; j++ {
+		for _, bg := range o.Background {
+			row := backing[r*d : (r+1)*d]
+			copy(row, x)
+			row[j] = bg[j]
+			rows[r] = row
+			r++
+		}
+	}
+	if err := xai.Canceled(ctx, "occlusion"); err != nil {
+		return xai.Attribution{}, err
+	}
+	preds := make([]float64, len(rows))
+	ml.PredictBatchParallel(o.Model, rows, preds, 0)
+	phi := make([]float64, d)
+	r = 0
+	for j := 0; j < d; j++ {
+		var s float64
+		for b := 0; b < nb; b++ {
+			s += preds[r]
+			r++
+		}
+		phi[j] = fx - s/float64(nb)
+	}
+	return xai.Attribution{Names: o.Names, Phi: phi, Base: o.baseVal, Value: fx}, nil
+}

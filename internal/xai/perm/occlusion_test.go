@@ -1,0 +1,133 @@
+package perm
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nfvxai/internal/ml"
+	"nfvxai/internal/xai"
+)
+
+// linModel is a linear model with closed-form occlusion sensitivities:
+// phi_j = w_j (x_j − mean_B(x_j)).
+type linModel struct{ w []float64 }
+
+func (m linModel) Predict(x []float64) float64 {
+	var s float64
+	for j, v := range x {
+		s += m.w[j] * v
+	}
+	return s
+}
+
+func occlusionFixture(t *testing.T, d, nb int, seed int64) (linModel, [][]float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := linModel{w: make([]float64, d)}
+	x := make([]float64, d)
+	bg := make([][]float64, nb)
+	for j := 0; j < d; j++ {
+		m.w[j] = rng.NormFloat64()
+		x[j] = rng.NormFloat64()
+	}
+	for i := range bg {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		bg[i] = row
+	}
+	return m, bg, x
+}
+
+func TestOcclusionClosedForm(t *testing.T) {
+	m, bg, x := occlusionFixture(t, 6, 40, 1)
+	o := &Occlusion{Model: m, Background: bg}
+	attr, err := o.Explain(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		var mean float64
+		for _, b := range bg {
+			mean += b[j]
+		}
+		mean /= float64(len(bg))
+		want := m.w[j] * (x[j] - mean)
+		if math.Abs(attr.Phi[j]-want) > 1e-9 {
+			t.Fatalf("phi[%d] = %v want %v", j, attr.Phi[j], want)
+		}
+	}
+	if attr.Value != m.Predict(x) {
+		t.Fatalf("value = %v want %v", attr.Value, m.Predict(x))
+	}
+}
+
+func TestOcclusionRegisteredAsLadderFloor(t *testing.T) {
+	m, ok := xai.LookupMethod("occlusion")
+	if !ok {
+		t.Fatal("occlusion not registered")
+	}
+	if m.Kind != xai.KindLocal {
+		t.Fatalf("kind = %v, want local", m.Kind)
+	}
+	if m.Caps.Additive {
+		t.Fatal("occlusion sensitivities are not an additive decomposition; Additive must be false")
+	}
+	if !m.Caps.NeedsBackground || !m.Caps.SupportsBatch || !m.Caps.Deterministic {
+		t.Fatalf("caps = %+v; want background+batch+deterministic", m.Caps)
+	}
+	if xai.LadderRungs[len(xai.LadderRungs)-1] != "occlusion" {
+		t.Fatalf("ladder = %v; occlusion must be the floor rung", xai.LadderRungs)
+	}
+}
+
+func TestOcclusionValidation(t *testing.T) {
+	m, bg, x := occlusionFixture(t, 4, 10, 2)
+	o := &Occlusion{Model: m, Background: bg}
+	if _, err := o.Explain(context.Background(), x[:2]); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	empty := &Occlusion{Model: m}
+	if _, err := empty.Explain(context.Background(), x); err == nil {
+		t.Fatal("empty background must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.Explain(ctx, x); err == nil {
+		t.Fatal("cancelled context must error")
+	}
+}
+
+func TestOcclusionConcurrentBaseOnce(t *testing.T) {
+	m, bg, x := occlusionFixture(t, 5, 20, 3)
+	o := &Occlusion{Model: m, Background: bg}
+	const n = 16
+	results := make([]float64, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			attr, err := o.Explain(context.Background(), x)
+			if err == nil {
+				results[i] = attr.Base
+			}
+			errs[i] = err
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("base diverged across concurrent calls: %v vs %v", results[i], results[0])
+		}
+	}
+	var _ ml.Predictor = m // occlusion serves any predictor
+}

@@ -75,6 +75,15 @@ type Kernel struct {
 	// reproducing the seed's one-Predict-per-perturbation behavior. It
 	// exists as the benchmark baseline; serving code leaves it false.
 	RowAtATime bool
+	// BlockSamples sets the progressive path's per-block coalition count
+	// (default 128). Smaller blocks react to deadlines faster at the cost
+	// of more WLS solves.
+	BlockSamples int
+	// ConvergeTol is the progressive path's relative convergence tolerance
+	// (default 0.02): sampling stops early once every per-feature 95% CI
+	// half-width falls below ConvergeTol × the attribution scale. Negative
+	// disables early convergence (tests use this for a fixed block count).
+	ConvergeTol float64
 
 	// The base value E[f(background)] depends only on the frozen model and
 	// background, so it is computed once and shared across Explain calls —
@@ -118,6 +127,13 @@ func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, err
 	if budget <= 0 {
 		budget = 2048
 	}
+	// A context deadline selects the progressive anytime estimator: sample
+	// in blocks, stop at convergence or at the deadline, and return the
+	// partial estimate instead of a timeout error. Without a deadline the
+	// classic single-solve path below runs bit-identically to before.
+	if _, hasDeadline := ctx.Deadline(); hasDeadline && !k.RowAtATime {
+		return k.explainProgressive(ctx, x, base, fx, budget)
+	}
 	var masks [][]bool
 	var weights []float64
 	if total := (1 << uint(d)) - 2; d <= 20 && total <= budget {
@@ -139,8 +155,27 @@ func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, err
 		return xai.Attribution{}, err
 	}
 
-	// Solve the constrained WLS: eliminate phi[d-1] via the efficiency
-	// constraint Σ phi = fx − base, regress on the remaining d−1 columns.
+	phi, err := solvePhi(masks, weights, vals, base, fx, k.ridge())
+	if err != nil {
+		return xai.Attribution{}, err
+	}
+	return xai.Attribution{Names: k.Names, Phi: phi, Base: base, Value: fx}, nil
+}
+
+func (k *Kernel) ridge() float64 {
+	if k.Ridge > 0 {
+		return k.Ridge
+	}
+	return 1e-9
+}
+
+// solvePhi solves the constrained WLS for one set of evaluated coalitions:
+// phi[d-1] is eliminated via the efficiency constraint Σ phi = fx − base
+// and recovered from the remainder, so every solution — including the
+// per-block solutions of the progressive estimator — sums exactly to
+// fx − base.
+func solvePhi(masks [][]bool, weights, vals []float64, base, fx, ridge float64) ([]float64, error) {
+	d := len(masks[0])
 	a := mat.NewDense(len(masks), d-1)
 	b := make([]float64, len(masks))
 	for i, m := range masks {
@@ -158,13 +193,9 @@ func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, err
 		}
 		b[i] = vals[i] - base - zd*(fx-base)
 	}
-	ridge := k.Ridge
-	if ridge <= 0 {
-		ridge = 1e-9
-	}
 	sol, err := mat.SolveWeightedRidge(a, b, weights, ridge)
 	if err != nil {
-		return xai.Attribution{}, fmt.Errorf("shap: WLS solve: %w", err)
+		return nil, fmt.Errorf("shap: WLS solve: %w", err)
 	}
 	phi := make([]float64, d)
 	copy(phi, sol)
@@ -173,7 +204,7 @@ func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, err
 		sum += p
 	}
 	phi[d-1] = (fx - base) - sum
-	return xai.Attribution{Names: k.Names, Phi: phi, Base: base, Value: fx}, nil
+	return phi, nil
 }
 
 func (k *Kernel) baseValue() float64 {
@@ -338,7 +369,15 @@ func enumerateCoalitions(d int) ([][]bool, []float64) {
 // sampled masks carry uniform weight since the kernel is absorbed into the
 // sampling distribution.
 func sampleCoalitions(d, budget int, seed int64) ([][]bool, []float64) {
-	rng := rand.New(rand.NewSource(seed + 0x9E3779B9))
+	return sampleCoalitionsFrom(rand.New(rand.NewSource(seed+0x9E3779B9)), d, budget)
+}
+
+// sampleCoalitionsFrom is sampleCoalitions drawing from a caller-owned
+// rng, so the progressive estimator's blocks continue one deterministic
+// stream: block b's masks depend only on the seed and how many draws
+// preceded them, which is what makes partial results reproducible for a
+// fixed seed and block count.
+func sampleCoalitionsFrom(rng *rand.Rand, d, budget int) ([][]bool, []float64) {
 	// Size distribution p(s) ∝ (d−1)/(s(d−s)) for s in 1..d−1.
 	sizeW := make([]float64, d)
 	for s := 1; s < d; s++ {

@@ -25,6 +25,31 @@ type Attribution struct {
 	Base float64
 	// Value is the model output being explained.
 	Value float64
+	// Diag carries anytime-estimation diagnostics for explainers that can
+	// return partial results under a deadline (progressive KernelSHAP).
+	// Nil for exact or non-progressive methods.
+	Diag *Diag
+}
+
+// Diag describes how an anytime estimator arrived at an attribution:
+// whether it ran to statistical convergence or was cut short by a
+// deadline, how much of its sampling budget it spent, and how uncertain
+// each Phi[j] still is. A partial (Converged == false) attribution is a
+// valid estimate — it still satisfies the efficiency constraint — just a
+// noisier one.
+type Diag struct {
+	// Converged is true when the estimator stopped because its confidence
+	// intervals tightened below tolerance (or the estimate is exact), false
+	// when it stopped at a deadline or exhausted its sample budget first.
+	Converged bool
+	// SamplesUsed counts the coalition evaluations actually spent.
+	SamplesUsed int
+	// Blocks counts the completed sampling blocks the estimate averages.
+	Blocks int
+	// CIHalf is the per-feature 95% confidence half-width of Phi, estimated
+	// from the spread of per-block estimates. Nil when fewer than two
+	// blocks completed (no spread to measure) or the estimate is exact.
+	CIHalf []float64
 }
 
 // Sum returns Base + Σ Phi, which should match Value for methods that

@@ -1,0 +1,115 @@
+package nfvxai
+
+// Benchmark pair for the latency-budgeted anytime explanation path
+// (PR 7): the same KernelSHAP request served unbudgeted (full-fidelity,
+// unbounded tail) and under a 100 ms budget (ladder pricing + progressive
+// sampling + context deadline). Each benchmark reports the p50/p99 of
+// the per-request wall latency as custom metrics; the headline numbers —
+// and the acceptance bound p99(budgeted) < 2 x budget — are recorded in
+// BENCH_PR7.json:
+//
+//	go test -run '^$' -bench 'ExplainLatency' -benchtime 50x .
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/serve"
+)
+
+var (
+	resilienceOnce sync.Once
+	resiliencePipe *core.Pipeline
+)
+
+// resiliencePipeline trains the forest the explaind default config would
+// serve, with a coalition budget large enough that unbudgeted KernelSHAP
+// has a tail worth bounding.
+func resiliencePipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	resilienceOnce.Do(func() {
+		ds, err := core.WebScenario().GenerateDataset(2, 1, telemetry.TargetBottleneckUtil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.NewPipeline(core.ModelForest, ds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.ShapSamples = 2048
+		resiliencePipe = p
+	})
+	return resiliencePipe
+}
+
+func benchExplainLatency(b *testing.B, budgetMs int) {
+	p := resiliencePipeline(b)
+	s := serve.New(p)
+	srv := httptest.NewServer(s)
+	defer func() {
+		srv.Close()
+		s.Close()
+	}()
+
+	body := func(i int) []byte {
+		req := map[string]any{
+			"features": p.Train.X[i%len(p.Train.X)],
+			"method":   "kernelshap",
+		}
+		if budgetMs > 0 {
+			req["budget_ms"] = budgetMs
+		}
+		buf, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return buf
+	}
+	post := func(i int) {
+		resp, err := http.Post(srv.URL+"/v1/models/default/explain", "application/json",
+			bytes.NewReader(body(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, out)
+		}
+	}
+	post(0) // warm: cost measurement, background setup, HTTP keep-alive
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		post(i)
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(f float64) float64 {
+		idx := int(f * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(q(0.50), "p50-ms")
+	b.ReportMetric(q(0.99), "p99-ms")
+	if budgetMs > 0 {
+		fmt.Printf("# budget %d ms: p50 %.1f ms p99 %.1f ms (bound 2x budget = %d ms)\n",
+			budgetMs, q(0.50), q(0.99), 2*budgetMs)
+	}
+}
+
+func BenchmarkExplainLatencyUnbudgeted(b *testing.B) { benchExplainLatency(b, 0) }
+func BenchmarkExplainLatencyBudget100(b *testing.B)  { benchExplainLatency(b, 100) }

@@ -48,6 +48,9 @@ go build ./...
 step test
 go test ./...
 
+step "chaos smoke (fault-injected store + feeds under -race)"
+go test -race -timeout 5m ./internal/chaos
+
 if [ "$FUZZTIME" != "0" ]; then
   step "fuzz smoke ($FUZZTIME per target)"
   go test -fuzz 'FuzzDecodeModel' -fuzztime "$FUZZTIME" -run '^$' ./internal/ml
