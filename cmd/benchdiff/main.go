@@ -1,0 +1,269 @@
+// Command benchdiff is the bench-regression gate: it fails (exit 1)
+// when performance numbers move the wrong way by more than a threshold.
+// It runs in two modes.
+//
+// History mode (the CI gate) audits the repo's committed BENCH_*.json
+// records:
+//
+//	benchdiff -history .            # compare BENCH_*.json across PRs
+//	benchdiff -history . -threshold 5
+//
+// Records are ordered by their "pr" field. For every results[] entry
+// sharing the same "pair" string across two records, the later record
+// must not regress against the earlier one:
+//
+//   - any shared numeric "*_ns_op" field increasing by more than
+//     -threshold percent fails (lower is better);
+//   - a shared "speedup" field dropping by more than -threshold percent
+//     fails (higher is better);
+//   - independent of any comparison, a recorded "p99_within_bound":
+//     false fails outright — a committed bench record must not document
+//     a broken latency bound.
+//
+// Two-file mode diffs raw `go test -bench` outputs, for local before/
+// after runs:
+//
+//	go test -bench . -count 1 ./internal/ml > old.txt
+//	# ... make changes ...
+//	go test -bench . -count 1 ./internal/ml > new.txt
+//	benchdiff old.txt new.txt
+//
+// Benchmarks present in both files compare by ns/op; an increase beyond
+// -threshold percent fails. Benchmarks appearing or disappearing are
+// reported but never fail the gate (new benches land with new code).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		history   = flag.String("history", "", "directory of BENCH_*.json records to audit (history mode)")
+		threshold = flag.Float64("threshold", 10, "max tolerated regression, percent")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff -history DIR [-threshold PCT]\n"+
+				"       benchdiff [-threshold PCT] OLD.txt NEW.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var regressions []string
+	var err error
+	switch {
+	case *history != "":
+		regressions, err = auditHistory(*history, *threshold)
+	case flag.NArg() == 2:
+		regressions, err = diffBenchOutput(flag.Arg(0), flag.Arg(1), *threshold)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Println("REGRESSION:", r)
+		}
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", len(regressions), *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// benchRecord is one committed BENCH_PRn.json file. Results stay as raw
+// maps: each PR's bench records its own fields, and the gate keys off
+// naming conventions (pair, *_ns_op, speedup, p99_within_bound) rather
+// than a fixed schema.
+type benchRecord struct {
+	PR      int              `json:"pr"`
+	Title   string           `json:"title"`
+	Results []map[string]any `json:"results"`
+	path    string
+}
+
+// auditHistory loads every BENCH_*.json under dir and checks the
+// regression rules across PR order.
+func auditHistory(dir string, threshold float64) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json under %s", dir)
+	}
+	var recs []benchRecord
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r benchRecord
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		r.path = filepath.Base(p)
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].PR < recs[j].PR })
+
+	var regressions []string
+	// Latest-seen occurrence of each pair, in PR order, so each record
+	// compares against the most recent earlier measurement of that pair.
+	type seen struct {
+		rec    benchRecord
+		result map[string]any
+	}
+	last := map[string]seen{}
+	for _, rec := range recs {
+		for _, res := range rec.Results {
+			pair, _ := res["pair"].(string)
+			if b, ok := res["p99_within_bound"].(bool); ok && !b {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %q records p99_within_bound=false", rec.path, pair))
+			}
+			if pair == "" {
+				continue
+			}
+			if prev, ok := last[pair]; ok {
+				regressions = append(regressions,
+					comparePair(prev.rec.path, prev.result, rec.path, res, pair, threshold)...)
+			}
+			last[pair] = seen{rec, res}
+		}
+		fmt.Printf("audited %s (PR %d, %d result(s))\n", rec.path, rec.PR, len(rec.Results))
+	}
+	return regressions, nil
+}
+
+// comparePair applies the field conventions between two measurements of
+// the same pair string.
+func comparePair(oldPath string, old map[string]any, newPath string, cur map[string]any, pair string, threshold float64) []string {
+	var out []string
+	for k, v := range cur {
+		nv, ok := toFloat(v)
+		if !ok {
+			continue
+		}
+		ov, ok := toFloat(old[k])
+		if !ok || ov == 0 {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(k, "_ns_op"):
+			if pct := (nv - ov) / ov * 100; pct > threshold {
+				out = append(out, fmt.Sprintf("%s vs %s: %q %s %.4g -> %.4g (+%.1f%%)",
+					newPath, oldPath, pair, k, ov, nv, pct))
+			}
+		case k == "speedup":
+			if pct := (ov - nv) / ov * 100; pct > threshold {
+				out = append(out, fmt.Sprintf("%s vs %s: %q speedup %.3g -> %.3g (-%.1f%%)",
+					newPath, oldPath, pair, ov, nv, pct))
+			}
+		}
+	}
+	return out
+}
+
+func toFloat(v any) (float64, bool) {
+	f, ok := v.(float64) // encoding/json decodes every JSON number as float64
+	return f, ok
+}
+
+// diffBenchOutput compares two `go test -bench` text outputs by ns/op.
+func diffBenchOutput(oldPath, newPath string, threshold float64) ([]string, error) {
+	old, err := parseBenchOutput(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := parseBenchOutput(newPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(cur) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", newPath)
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		ov, ok := old[name]
+		if !ok {
+			fmt.Printf("%-60s new (%.4g ns/op)\n", name, cur[name])
+			continue
+		}
+		nv := cur[name]
+		pct := (nv - ov) / ov * 100
+		fmt.Printf("%-60s %.4g -> %.4g ns/op (%+.1f%%)\n", name, ov, nv, pct)
+		if pct > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.4g -> %.4g ns/op (+%.1f%%)", name, ov, nv, pct))
+		}
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-60s removed\n", name)
+		}
+	}
+	return regressions, nil
+}
+
+// parseBenchOutput pulls "BenchmarkX-N  iters  ns ns/op ..." lines out
+// of go test output, averaging repeated -count runs. The -N GOMAXPROCS
+// suffix is stripped so runs from different machines still line up.
+func parseBenchOutput(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err == nil {
+					ns, found = v, true
+				}
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		sums[name] += ns
+		counts[name]++
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditHistoryCleanAndRegressed(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "BENCH_PR1.json"), `{
+		"pr": 1,
+		"results": [{"pair": "batch predict", "batched_ns_op": 1000, "speedup": 4.0}]
+	}`)
+	// Within threshold: +5% ns/op, -5% speedup.
+	writeFile(t, filepath.Join(dir, "BENCH_PR2.json"), `{
+		"pr": 2,
+		"results": [{"pair": "batch predict", "batched_ns_op": 1050, "speedup": 3.8}]
+	}`)
+	regs, err := auditHistory(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("clean history flagged: %v", regs)
+	}
+
+	// A later record regresses both conventions and breaks a bound.
+	writeFile(t, filepath.Join(dir, "BENCH_PR3.json"), `{
+		"pr": 3,
+		"results": [
+			{"pair": "batch predict", "batched_ns_op": 2000, "speedup": 2.0},
+			{"pair": "explain tail", "p99_within_bound": false}
+		]
+	}`)
+	regs, err = auditHistory(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %v, want ns_op + speedup + bound", regs)
+	}
+	// The pair compares against its most recent occurrence (PR2), not PR1.
+	for _, r := range regs {
+		if strings.Contains(r, "BENCH_PR1") {
+			t.Fatalf("compared against stale occurrence: %q", r)
+		}
+	}
+}
+
+func TestAuditHistoryDisjointPairsPass(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "BENCH_PR1.json"),
+		`{"pr": 1, "results": [{"pair": "a", "x_ns_op": 10}]}`)
+	writeFile(t, filepath.Join(dir, "BENCH_PR2.json"),
+		`{"pr": 2, "results": [{"pair": "b", "y_ns_op": 99999}]}`)
+	regs, err := auditHistory(dir, 10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("disjoint pairs: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestDiffBenchOutput(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.txt")
+	newP := filepath.Join(dir, "new.txt")
+	writeFile(t, oldP, `
+goos: linux
+BenchmarkPredict-8   	1000	      1000 ns/op	     120 B/op
+BenchmarkExplain-8   	 100	     50000 ns/op
+`)
+	writeFile(t, newP, `
+BenchmarkPredict-4   	1000	      1050 ns/op
+BenchmarkExplain-4   	 100	     80000 ns/op
+BenchmarkNewThing-4  	 100	    999999 ns/op
+`)
+	regs, err := diffBenchOutput(oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict +5% passes; Explain +60% fails; NewThing is informational.
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkExplain") {
+		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+func TestParseBenchOutputAveragesCounts(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "b.txt")
+	writeFile(t, p, `
+BenchmarkX-8 100 1000 ns/op
+BenchmarkX-8 100 3000 ns/op
+`)
+	m, err := parseBenchOutput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["BenchmarkX"] != 2000 {
+		t.Fatalf("average = %v", m["BenchmarkX"])
+	}
+}

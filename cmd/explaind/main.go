@@ -47,6 +47,18 @@
 // cause and exits non-zero instead of serving a permanently failed
 // model.
 //
+// With -node-id and -peers (or -peers-file), several explaind processes
+// sharing one -store form a serving cluster: a seeded consistent-hash
+// ring assigns each model to -replication owner nodes, any node proxies
+// /v1/models/{name}/* requests to the owner (falling back to its own
+// synced copy when every owner is down), and a manifest-watch loop
+// (-sync-interval) pulls models trained or retrained on other nodes out
+// of the shared store. /healthz reports ring ownership, peer liveness
+// and sync lag; every response names the answering node in X-Served-By
+// and carries an X-Request-Id for cross-node tracing:
+//
+//	explaind -addr :8081 -node-id a -peers "a=http://h1:8081,b=http://h2:8081,c=http://h3:8081" -store /shared
+//
 // The process shuts down gracefully: SIGINT/SIGTERM stop the listener
 // (draining in-flight requests with a timeout), then cancel running jobs
 // and stop feed goroutines.
@@ -69,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"nfvxai/internal/cluster"
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/feed"
 	"nfvxai/internal/registry"
@@ -104,6 +117,15 @@ func main() {
 			"that carry none; 0 = unbudgeted. Per-request budget_ms / X-Budget-Ms override it.")
 		maxInflight = flag.Int("max-inflight", 0, "per-model concurrent explain/whatif/importance limit "+
 			"(0 = GOMAXPROCS); excess requests queue briefly, then shed with 503 + Retry-After")
+		nodeID = flag.String("node-id", "", "this node's id in a serving cluster; required with -peers/-peers-file, "+
+			"also reported standalone in /healthz and X-Served-By")
+		peers = flag.String("peers", "", "static cluster membership as id=url,id=url,... (must include this node); "+
+			"enables consistent-hash routing of /v1/models/{name}/* to shard owners")
+		peersFile = flag.String("peers-file", "", "JSON [{\"id\":..,\"url\":..},...] membership file re-read every probe "+
+			"tick; alternative to -peers for rolling membership changes")
+		replication  = flag.Int("replication", 0, "shard owners per model on the hash ring (default 2, clamped to fleet size)")
+		syncInterval = flag.Duration("sync-interval", 2*time.Second, "manifest-watch period: how often this node pulls "+
+			"models trained elsewhere from the shared -store (0 disables; needs -store)")
 	)
 	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
 		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
@@ -232,7 +254,59 @@ func main() {
 	s := serve.NewServer(reg)
 	s.DefaultBudgetMs = *budgetMs
 	s.MaxInflight = *maxInflight
+	s.NodeID = *nodeID
+	s.Logf = log.Printf
 	defer s.Close()
+
+	// Serving cluster: -peers/-peers-file turn this process into one shard
+	// of a fleet — a consistent-hash ring routes /v1/models/{name}/* to
+	// owners, liveness probes demote dead peers, and the manifest-watch
+	// syncer pulls models trained on other nodes out of the shared store.
+	if *peers != "" || *peersFile != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "explaind: -peers/-peers-file require -node-id")
+			os.Exit(2)
+		}
+		ccfg := cluster.Config{
+			Self:        *nodeID,
+			Replication: *replication,
+			Seed:        uint64(*seed),
+			MembersFile: *peersFile,
+		}
+		if *peers != "" {
+			nodes, err := cluster.ParsePeers(*peers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ccfg.Nodes = nodes
+		}
+		c, err := cluster.New(ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Start()
+		defer c.Stop()
+		s.Cluster = c
+		var ids []string
+		for _, n := range c.Peers() {
+			ids = append(ids, n.ID)
+		}
+		log.Printf("cluster: node %s joined ring of %d (replication %d): %s",
+			*nodeID, len(ids), c.Replication(), strings.Join(ids, " "))
+		if *storeDir == "" {
+			log.Printf("cluster: WARNING: no -store; models trained on other nodes will not sync here")
+		}
+	}
+	if *storeDir != "" && *syncInterval > 0 {
+		syn := &cluster.Syncer{
+			Reg:      reg,
+			Interval: *syncInterval,
+			OnError:  func(err error) { log.Printf("sync: %v", err) },
+		}
+		syn.Start()
+		defer syn.Stop()
+		s.Syncer = syn
+	}
 
 	// Boot-time feeds: -feed name:scenario[:rate], the CLI twin of
 	// POST /v1/feeds.

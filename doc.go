@@ -159,6 +159,39 @@
 // asserts — under -race, at a 20% store error rate — that every
 // response is a valid, possibly degraded or partial, result or a typed
 // 4xx/5xx, with no panics, leaks or wedged locks.
+//
+// # The cluster plane
+//
+// explaind is a stateless, shardable frontend: several processes
+// sharing one -store form a serving cluster with no coordinator and no
+// new dependencies (internal/cluster). A seeded consistent-hash ring —
+// FNV-1a with an avalanche finalizer over 64 virtual nodes per member —
+// deterministically maps every model name to -replication owner nodes,
+// so each node computes identical placement from identical membership
+// (static -peers or a -peers-file re-read every probe tick). Requests
+// land anywhere: a node that does not own the model reverse-proxies
+// /v1/models/{name}/* to the first alive owner (one hop, X-Forwarded-By
+// loop guard) and falls back to its own synced copy when owners are
+// unreachable. Liveness comes from per-peer /readyz probes that snapshot
+// membership under the lock, dial without it, and apply results after —
+// a discipline the lockedcall analyzer enforces (no network I/O under
+// any cluster mutex). Model state replicates through the store, not the
+// peer network: registry.SyncManifest pulls the shared manifest on a
+// short interval, adopting models trained or imported elsewhere and
+// hot-swapping strictly-newer retrains (last-writer-wins per record;
+// persistManifest merges concurrent writers so fleets never clobber
+// each other). The store itself is object-store-shaped:
+// registry.BlobBackend is a put/get/delete/list bucket surface an S3
+// adapter can satisfy, registry.NewBlobStore lifts any bucket into a
+// full artifact store, and a shared conformance suite pins FSStore,
+// MemStore and their retry-wrapped variants to identical semantics.
+// Requests carry X-Request-Id end to end (minted when absent, echoed in
+// error bodies) and X-Served-By names the answering node; /healthz
+// reports ring ownership, peer liveness and sync lag. The 3-node
+// in-process e2e and chaos node-down/partition scenarios assert the
+// contract: a model trained on one node serves from every node within a
+// sync interval, and killing an owner re-routes with nothing worse than
+// a typed shed.
 package nfvxai
 
 // Version identifies the reproduction snapshot.

@@ -6,30 +6,44 @@
 // snapshot-under-lock, write-after; a DEDICATED plain sync.Mutex like
 // storeMu that exists to serialize I/O is exempt by design — the
 // analyzer only tracks RWMutexes, which mark hot read paths.
+//
+// In internal/cluster the discipline tightens: the cluster mutex guards
+// the ring and peer table every routing decision reads, so network I/O
+// (http.Get and friends, http.Client methods, net.Dial*) is forbidden
+// under ANY mutex there, plain sync.Mutex included — a probe holding
+// the lock across a dial to a dead peer stalls every request router for
+// the full timeout. The sanctioned pattern (see Cluster.tick) is
+// snapshot-under-lock, probe-without-lock, apply-under-lock.
 package lockedcall
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"nfvxai/internal/analysis"
 )
 
-// Analyzer flags blocking work while a registry state RWMutex is held.
+// Analyzer flags blocking work while a registry state RWMutex — or, in
+// internal/cluster, any mutex — is held.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockedcall",
-	Doc: "no Store I/O, blocking channel sends or sleeps while a registry state " +
-		"RWMutex is held: snapshot under the lock, do the slow work after (stale-manifest/stall class)",
+	Doc: "no Store I/O, network I/O, blocking channel sends or sleeps while a state " +
+		"mutex is held: snapshot under the lock, do the slow work after (stale-manifest/probe-stall class)",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !pass.PathMatches("registry") {
+	if !pass.PathMatches("registry", "cluster") {
 		return nil, nil
 	}
+	// The cluster's routing lock is hotter than the registry's state
+	// lock: every proxied request takes it, so even a plain sync.Mutex
+	// must never be held across a dial.
+	trackPlain := pass.PathMatches("cluster")
 	for _, fn := range pass.FuncDecls() {
-		checkFunc(pass, fn)
+		checkFunc(pass, fn, trackPlain)
 	}
 	return nil, nil
 }
@@ -46,7 +60,7 @@ type lockEvent struct {
 	condReleaseRet bool // release inside a block that returns (early-exit path)
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, trackPlain bool) {
 	var events []lockEvent
 
 	// Collect lock events, noting defer and early-return releases.
@@ -55,13 +69,13 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		case *ast.FuncLit:
 			return false // closures run later, under their own discipline
 		case *ast.DeferStmt:
-			if key, delta := mutexOp(pass, st.Call); delta < 0 {
+			if key, delta := mutexOp(pass, st.Call, trackPlain); delta < 0 {
 				events = append(events, lockEvent{pos: st.Pos(), key: key, delta: delta, deferUntilEnd: true})
 			}
 			return false
 		case *ast.ExprStmt:
 			if call, ok := st.X.(*ast.CallExpr); ok {
-				if key, delta := mutexOp(pass, call); delta != 0 {
+				if key, delta := mutexOp(pass, call, trackPlain); delta != 0 {
 					events = append(events, lockEvent{pos: st.Pos(), key: key, delta: delta})
 				}
 			}
@@ -104,9 +118,34 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				pass.Reportf(st.Pos(),
 					"Store I/O (%s) while %s is held; snapshot under the lock and write after it is released (stale-manifest class)", sel.Sel.Name, key)
 			}
+			if isNetCall(pass, sel) {
+				pass.Reportf(st.Pos(),
+					"network I/O (%s) while %s is held; snapshot under the lock, dial after it is released (probe-stall class)", sel.Sel.Name, key)
+			}
 		}
 		return true
 	})
+}
+
+// isNetCall reports whether sel is an HTTP or dial call: the package
+// functions http.Get/Post/PostForm/Head, any method on an http.Client,
+// or net.Dial / net.DialTimeout / net.Dial{TCP,UDP,IP,Unix}.
+func isNetCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch pass.SelectorPkg(sel) {
+	case "net/http":
+		switch sel.Sel.Name {
+		case "Get", "Post", "PostForm", "Head":
+			return true
+		}
+		return false
+	case "net":
+		return strings.HasPrefix(sel.Sel.Name, "Dial")
+	}
+	if named := pass.ReceiverNamed(sel); named != nil {
+		o := named.Obj()
+		return o.Name() == "Client" && o.Pkg() != nil && o.Pkg().Path() == "net/http"
+	}
+	return false
 }
 
 // heldAt returns the printed name of an RWMutex held at pos, or "".
@@ -132,9 +171,11 @@ func heldAt(events []lockEvent, pos token.Pos) string {
 	return ""
 }
 
-// mutexOp classifies call as an RWMutex Lock/RLock (+1) or
-// Unlock/RUnlock (-1) and returns the receiver's printed key.
-func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
+// mutexOp classifies call as a mutex Lock/RLock (+1) or Unlock/RUnlock
+// (-1) and returns the receiver's printed key. Plain sync.Mutex is
+// tracked only when trackPlain (cluster scope); elsewhere a dedicated
+// I/O-serializing Mutex is the sanctioned pattern.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr, trackPlain bool) (string, int) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", 0
@@ -148,13 +189,13 @@ func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (string, int) {
 	default:
 		return "", 0
 	}
-	if !isRWMutex(pass.TypesInfo.Types[sel.X].Type) {
+	if !isMutex(pass.TypesInfo.Types[sel.X].Type, trackPlain) {
 		return "", 0
 	}
 	return types.ExprString(sel.X), delta
 }
 
-func isRWMutex(t types.Type) bool {
+func isMutex(t types.Type, trackPlain bool) bool {
 	if t == nil {
 		return false
 	}
@@ -166,7 +207,10 @@ func isRWMutex(t types.Type) bool {
 		return false
 	}
 	o := named.Obj()
-	return o.Name() == "RWMutex" && o.Pkg() != nil && o.Pkg().Path() == "sync"
+	if o.Pkg() == nil || o.Pkg().Path() != "sync" {
+		return false
+	}
+	return o.Name() == "RWMutex" || (trackPlain && o.Name() == "Mutex")
 }
 
 // isStoreMethod reports whether sel calls a method on a value whose

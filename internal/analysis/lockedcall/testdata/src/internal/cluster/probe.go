@@ -1,0 +1,100 @@
+// Package cluster is lockedcall golden testdata for the cluster scope:
+// no network I/O while any mutex is held — the routing lock is taken by
+// every proxied request, so a dial under it stalls the whole data plane
+// for the probe timeout. Plain sync.Mutex is NOT exempt here.
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+type Cluster struct {
+	mu     sync.RWMutex
+	pmu    sync.Mutex
+	client *http.Client
+	peers  map[string]string
+}
+
+// probeUnderRLock holds the routing lock across an HTTP probe: flagged.
+func (c *Cluster) probeUnderRLock() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	resp, err := c.client.Get(c.peers["a"]) // want "network I/O (Get) while c.mu is held"
+	if err == nil {
+		resp.Body.Close()
+	}
+	return err
+}
+
+// clientDoUnderLock: any http.Client method under the write lock: flagged.
+func (c *Cluster) clientDoUnderLock(req *http.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.client.Do(req) // want "network I/O (Do) while c.mu is held"
+	if err == nil {
+		resp.Body.Close()
+	}
+	return err
+}
+
+// plainMutexNotExempt: in cluster scope a dedicated plain Mutex stalls
+// routing just the same: flagged.
+func (c *Cluster) plainMutexNotExempt() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	resp, err := http.Get(c.peers["a"]) // want "network I/O (Get) while c.pmu is held"
+	if err == nil {
+		resp.Body.Close()
+	}
+	return err
+}
+
+// dialUnderLock: raw dials are network I/O too: flagged.
+func (c *Cluster) dialUnderLock() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := net.Dial("tcp", c.peers["a"]) // want "network I/O (Dial) while c.mu is held"
+	if err == nil {
+		conn.Close()
+	}
+	return err
+}
+
+// snapshotProbeApply is the sanctioned pattern (Cluster.tick): snapshot
+// the peer list under the lock, probe with no lock held, apply results
+// under the lock again.
+func (c *Cluster) snapshotProbeApply() {
+	c.mu.RLock()
+	urls := make([]string, 0, len(c.peers))
+	for _, u := range c.peers {
+		urls = append(urls, u)
+	}
+	c.mu.RUnlock()
+
+	alive := map[string]bool{}
+	for _, u := range urls {
+		resp, err := c.client.Get(u)
+		if err == nil {
+			resp.Body.Close()
+		}
+		alive[u] = err == nil
+	}
+
+	c.mu.Lock()
+	for u, ok := range alive {
+		if ok {
+			c.peers[u] = u
+		}
+	}
+	c.mu.Unlock()
+}
+
+// newRequestUnderLock builds (but does not send) a request under the
+// lock: allowed — only the dial/roundtrip is I/O.
+func (c *Cluster) newRequestUnderLock() (*http.Request, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return http.NewRequest("GET", c.peers["a"], nil)
+}

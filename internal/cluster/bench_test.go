@@ -1,0 +1,62 @@
+package cluster_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"nfvxai/internal/serve"
+)
+
+// BenchmarkClusterPredict prices the routing plane: the same predict
+// against the node that owns the model (served in-process) vs a
+// non-owner (one reverse-proxy hop to the owner). The delta is the
+// whole cost of sharding — request-id middleware, ring lookup, body
+// buffering, and one localhost HTTP round trip.
+func BenchmarkClusterPredict(b *testing.B) {
+	nodes := newFleet(b, 3)
+	frontend := nodes[1]
+	name := modelNotOwnedBy(b, frontend.cl, frontend.id)
+	if _, err := nodes[0].reg.AddReady(e2eSpec(name), trainPipeline(b, 1), time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	for _, nd := range nodes {
+		nd := nd
+		waitUntil(b, 5*time.Second, nd.id+" adopting "+name, func() bool {
+			_, err := nd.reg.Lookup(name)
+			return err == nil
+		})
+	}
+	var owner *e2eNode
+	for _, nd := range nodes {
+		for _, o := range frontend.cl.Owners(name) {
+			if nd.id == o.ID {
+				owner = nd
+			}
+		}
+	}
+	body := []byte(`{"features":[0.5,-0.2,1.0]}`)
+
+	run := func(b *testing.B, url string, wantServedBy string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url+"/v1/models/"+name+"/predict", "application/json",
+				bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			if got := resp.Header.Get(serve.HeaderServedBy); got != wantServedBy {
+				b.Fatalf("served by %q, want %q", got, wantServedBy)
+			}
+		}
+	}
+	b.Run("local", func(b *testing.B) { run(b, owner.hs.URL, owner.id) })
+	b.Run("proxied", func(b *testing.B) { run(b, frontend.hs.URL, owner.id) })
+}

@@ -1,0 +1,454 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Node is one member of the fleet: a stable id plus the base URL its
+// explaind listens on (e.g. "http://10.0.0.7:8080").
+type Node struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// RouteDecision says how a request for a model should be handled by this
+// node.
+type RouteDecision int
+
+const (
+	// RouteLocal: this node is an owner (or the cluster is degenerate);
+	// serve from the local registry.
+	RouteLocal RouteDecision = iota
+	// RouteProxy: another node owns the model and looks alive; forward.
+	RouteProxy
+	// RouteFallback: every remote owner is down; serve locally from the
+	// synced registry rather than failing the request.
+	RouteFallback
+)
+
+func (d RouteDecision) String() string {
+	switch d {
+	case RouteLocal:
+		return "local"
+	case RouteProxy:
+		return "proxy"
+	case RouteFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("RouteDecision(%d)", int(d))
+	}
+}
+
+// Config assembles a Cluster. Self must be one of Nodes.
+type Config struct {
+	Self  string // this node's id
+	Nodes []Node // full membership, including self
+
+	VNodes      int    // virtual nodes per member; DefaultVNodes when 0
+	Replication int    // owners per model; DefaultReplication when 0, clamped to [1, len(Nodes)]
+	Seed        uint64 // ring placement seed; must match across the fleet
+
+	ProbeInterval time.Duration // liveness probe period (default 2s)
+	ProbeTimeout  time.Duration // per-probe HTTP timeout (default 1s)
+	DownAfter     int           // consecutive probe failures before a peer is down (default 2)
+
+	// MembersFile, when set, is a JSON array of Node re-read every probe
+	// tick; membership changes (mtime or size) rebuild the ring. Self
+	// must stay in the file.
+	MembersFile string
+
+	// Probe overrides the liveness check (tests). Default probes
+	// GET <url>/readyz; any HTTP response counts as alive — a node
+	// shedding or degraded still owns its shard, only transport-level
+	// failure marks it down.
+	Probe func(url string) error
+}
+
+// peerState tracks liveness for one remote node.
+type peerState struct {
+	node     Node
+	alive    bool
+	failures int       // consecutive probe failures
+	lastSeen time.Time // last successful probe (or zero)
+	lastErr  string
+}
+
+// PeerStatus is the exported liveness view of one member, as reported by
+// /healthz.
+type PeerStatus struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	Self     bool      `json:"self,omitempty"`
+	Alive    bool      `json:"alive"`
+	Failures int       `json:"failures,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+	LastErr  string    `json:"last_error,omitempty"`
+}
+
+// Cluster is the membership + liveness + placement view for one node.
+// All methods are safe for concurrent use. The probe loop never holds
+// the cluster lock across network I/O: it snapshots peers, probes, then
+// applies results.
+type Cluster struct {
+	cfg    Config
+	client *http.Client
+
+	mu      sync.RWMutex
+	ring    *Ring
+	self    Node
+	peers   map[string]*peerState // remote members only
+	fileErr string                // last members-file reload error, if any
+
+	fileMod  time.Time
+	fileSize int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New validates cfg and builds the cluster view. It does not start the
+// probe loop; call Start.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self node id required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 2
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = DefaultReplication
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.ProbeTimeout},
+		done:   make(chan struct{}),
+	}
+	if cfg.Probe == nil {
+		c.cfg.Probe = c.httpProbe
+	}
+	if cfg.MembersFile != "" {
+		nodes, mod, size, err := readMembersFile(cfg.MembersFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Nodes, c.fileMod, c.fileSize = nodes, mod, size
+	}
+	if err := c.install(cfg.Nodes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// install replaces the membership view. Caller must not hold c.mu.
+func (c *Cluster) install(nodes []Node) error {
+	ids := make([]string, 0, len(nodes))
+	var self Node
+	found := false
+	for _, n := range nodes {
+		ids = append(ids, n.ID)
+		if n.ID == c.cfg.Self {
+			self, found = n, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: self %q not in membership %v", c.cfg.Self, ids)
+	}
+	ring, err := NewRing(c.cfg.Seed, c.cfg.VNodes, ids)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.peers
+	c.ring = ring
+	c.self = self
+	c.peers = make(map[string]*peerState, len(nodes)-1)
+	for _, n := range nodes {
+		if n.ID == c.cfg.Self {
+			continue
+		}
+		if prev, ok := old[n.ID]; ok && prev.node.URL == n.URL {
+			c.peers[n.ID] = prev // keep liveness history across reloads
+			continue
+		}
+		// New peers start alive: optimism avoids a routing blackout
+		// until the first probe round lands.
+		c.peers[n.ID] = &peerState{node: n, alive: true}
+	}
+	return nil
+}
+
+func readMembersFile(path string) ([]Node, time.Time, int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, time.Time{}, 0, fmt.Errorf("cluster: members file: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, time.Time{}, 0, fmt.Errorf("cluster: members file: %w", err)
+	}
+	var nodes []Node
+	if err := json.Unmarshal(data, &nodes); err != nil {
+		return nil, time.Time{}, 0, fmt.Errorf("cluster: members file %s: %w", path, err)
+	}
+	return nodes, fi.ModTime(), fi.Size(), nil
+}
+
+// ParsePeers parses the -peers flag form "id=url,id=url".
+func ParsePeers(s string) ([]Node, error) {
+	var nodes []Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		nodes = append(nodes, Node{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: no peers parsed")
+	}
+	return nodes, nil
+}
+
+// Start launches the probe loop.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+				c.tick()
+			}
+		}
+	}()
+}
+
+// Stop terminates the probe loop and waits for it.
+func (c *Cluster) Stop() {
+	c.once.Do(func() { close(c.done) })
+	c.wg.Wait()
+}
+
+// tick runs one maintenance round: reload membership if the members file
+// changed, then probe every remote peer in parallel.
+func (c *Cluster) tick() {
+	c.maybeReload()
+	type probeResult struct {
+		id  string
+		err error
+	}
+	c.mu.RLock()
+	targets := make([]Node, 0, len(c.peers))
+	for _, p := range c.peers {
+		targets = append(targets, p.node)
+	}
+	probe := c.cfg.Probe
+	c.mu.RUnlock()
+
+	results := make(chan probeResult, len(targets))
+	for _, n := range targets {
+		go func(n Node) {
+			results <- probeResult{id: n.ID, err: probe(n.URL)}
+		}(n)
+	}
+	now := time.Now()
+	for range targets {
+		r := <-results
+		c.mu.Lock()
+		if p, ok := c.peers[r.id]; ok {
+			if r.err == nil {
+				p.alive, p.failures, p.lastSeen, p.lastErr = true, 0, now, ""
+			} else {
+				p.failures++
+				p.lastErr = r.err.Error()
+				if p.failures >= c.cfg.DownAfter {
+					p.alive = false
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Cluster) maybeReload() {
+	if c.cfg.MembersFile == "" {
+		return
+	}
+	fi, err := os.Stat(c.cfg.MembersFile)
+	if err != nil {
+		c.mu.Lock()
+		c.fileErr = err.Error()
+		c.mu.Unlock()
+		return
+	}
+	c.mu.RLock()
+	unchanged := fi.ModTime().Equal(c.fileMod) && fi.Size() == c.fileSize
+	c.mu.RUnlock()
+	if unchanged {
+		return
+	}
+	nodes, mod, size, err := readMembersFile(c.cfg.MembersFile)
+	if err == nil {
+		err = c.install(nodes)
+	}
+	c.mu.Lock()
+	if err != nil {
+		c.fileErr = err.Error()
+	} else {
+		c.fileErr = ""
+		c.fileMod, c.fileSize = mod, size
+	}
+	c.mu.Unlock()
+}
+
+// httpProbe is the default liveness check: any HTTP response from
+// <url>/readyz counts as alive (a shedding node still owns its shard).
+func (c *Cluster) httpProbe(url string) error {
+	resp, err := c.client.Get(url + "/readyz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Self returns this node's membership record.
+func (c *Cluster) Self() Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.self
+}
+
+// Replication returns the effective owner count per model.
+func (c *Cluster) Replication() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicationLocked()
+}
+
+func (c *Cluster) replicationLocked() int {
+	r := c.cfg.Replication
+	if n := len(c.ring.ids); r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Owners returns the nodes owning model, primary first, replication-many.
+func (c *Cluster) Owners(model string) []Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ownersLocked(model)
+}
+
+func (c *Cluster) ownersLocked(model string) []Node {
+	ids := c.ring.Owners(model, c.replicationLocked())
+	out := make([]Node, 0, len(ids))
+	for _, id := range ids {
+		if id == c.self.ID {
+			out = append(out, c.self)
+		} else if p, ok := c.peers[id]; ok {
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Route decides how this node should handle a request for model: serve
+// locally when self is an owner, proxy to the first alive owner
+// otherwise, and fall back to local serving when every owner is down.
+func (c *Cluster) Route(model string) (Node, RouteDecision) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := c.ring.Owners(model, c.replicationLocked())
+	for _, id := range ids {
+		if id == c.self.ID {
+			return c.self, RouteLocal
+		}
+	}
+	for _, id := range ids {
+		if p, ok := c.peers[id]; ok && p.alive {
+			return p.node, RouteProxy
+		}
+	}
+	return c.self, RouteFallback
+}
+
+// ReportFailure immediately marks a peer down after a proxy transport
+// error, without waiting for the probe loop to notice.
+func (c *Cluster) ReportFailure(id string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[id]; ok {
+		p.alive = false
+		p.failures++
+		if err != nil {
+			p.lastErr = err.Error()
+		}
+	}
+}
+
+// Peers returns the liveness view of every member (self included,
+// always alive), sorted by id.
+func (c *Cluster) Peers() []PeerStatus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]PeerStatus, 0, len(c.peers)+1)
+	out = append(out, PeerStatus{ID: c.self.ID, URL: c.self.URL, Self: true, Alive: true})
+	for _, p := range c.peers {
+		out = append(out, PeerStatus{
+			ID: p.node.ID, URL: p.node.URL,
+			Alive: p.alive, Failures: p.failures,
+			LastSeen: p.lastSeen, LastErr: p.lastErr,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OwnersFor maps each of the given model names to its owner node ids,
+// primary first — the ring-ownership view /healthz reports.
+func (c *Cluster) OwnersFor(models []string) map[string][]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]string, len(models))
+	for _, m := range models {
+		ids := c.ring.Owners(m, c.replicationLocked())
+		out[m] = append([]string(nil), ids...)
+	}
+	return out
+}
+
+// FileError reports the last members-file reload error ("" when healthy).
+func (c *Cluster) FileError() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.fileErr
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "a", URL: "http://a.invalid"},
+		{ID: "b", URL: "http://b.invalid"},
+		{ID: "c", URL: "http://c.invalid"},
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("a=http://h1:8080, b=http://h2:8080/")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	want := []Node{{ID: "a", URL: "http://h1:8080"}, {ID: "b", URL: "http://h2:8080"}}
+	if len(nodes) != 2 || nodes[0] != want[0] || nodes[1] != want[1] {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	for _, bad := range []string{"", "a", "=url", "a=", "a=u,b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) must error", bad)
+		}
+	}
+}
+
+func TestNewRejectsUnknownSelf(t *testing.T) {
+	_, err := New(Config{Self: "zz", Nodes: threeNodes(), Probe: func(string) error { return nil }})
+	if err == nil {
+		t.Fatal("self outside membership must error")
+	}
+}
+
+// TestRouteDecisions drives the three routing outcomes: local when self
+// owns, proxy to a live remote owner, fallback when every owner is down.
+func TestRouteDecisions(t *testing.T) {
+	c, err := New(Config{
+		Self: "a", Nodes: threeNodes(), Replication: 2,
+		Probe: func(string) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a model self owns and one it does not (ring placement is
+	// deterministic, so scan until both are found).
+	var selfOwned, remoteOwned string
+	for i := 0; i < 1000 && (selfOwned == "" || remoteOwned == ""); i++ {
+		m := fmt.Sprintf("web/rf/m%d", i)
+		owned := false
+		for _, n := range c.Owners(m) {
+			if n.ID == "a" {
+				owned = true
+			}
+		}
+		if owned && selfOwned == "" {
+			selfOwned = m
+		}
+		if !owned && remoteOwned == "" {
+			remoteOwned = m
+		}
+	}
+	if selfOwned == "" || remoteOwned == "" {
+		t.Fatal("could not find both self-owned and remote-owned models")
+	}
+
+	if n, d := c.Route(selfOwned); d != RouteLocal || n.ID != "a" {
+		t.Fatalf("self-owned: %v via %v", n, d)
+	}
+	n, d := c.Route(remoteOwned)
+	if d != RouteProxy || n.ID == "a" {
+		t.Fatalf("remote-owned: %v via %v", n, d)
+	}
+	// Kill the chosen owner: routing moves to the replica.
+	c.ReportFailure(n.ID, errors.New("connection refused"))
+	n2, d2 := c.Route(remoteOwned)
+	if d2 != RouteProxy || n2.ID == n.ID || n2.ID == "a" {
+		t.Fatalf("after owner down: %v via %v", n2, d2)
+	}
+	// Kill the replica too: every owner down ⇒ local fallback.
+	c.ReportFailure(n2.ID, errors.New("connection refused"))
+	if n3, d3 := c.Route(remoteOwned); d3 != RouteFallback || n3.ID != "a" {
+		t.Fatalf("all owners down: %v via %v", n3, d3)
+	}
+}
+
+// TestProbeLoopMarksDownAndRecovers: a peer failing DownAfter
+// consecutive probes goes down; one success brings it back.
+func TestProbeLoopMarksDownAndRecovers(t *testing.T) {
+	failing := make(map[string]bool)
+	var mu sync.Mutex
+	c, err := New(Config{
+		Self:          "a",
+		Nodes:         threeNodes(),
+		ProbeInterval: 10 * time.Millisecond,
+		DownAfter:     2,
+		Probe: func(url string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if failing[url] {
+				return errors.New("dial refused")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	mu.Lock()
+	failing["http://b.invalid"] = true
+	mu.Unlock()
+
+	if !waitFor(t, time.Second, func() bool { return peerAlive(c, "b") == false }) {
+		t.Fatalf("peer b never went down: %+v", c.Peers())
+	}
+	if peerAlive(c, "c") != true {
+		t.Fatalf("peer c must stay alive: %+v", c.Peers())
+	}
+
+	mu.Lock()
+	failing["http://b.invalid"] = false
+	mu.Unlock()
+	if !waitFor(t, time.Second, func() bool { return peerAlive(c, "b") == true }) {
+		t.Fatalf("peer b never recovered: %+v", c.Peers())
+	}
+}
+
+func peerAlive(c *Cluster, id string) bool {
+	for _, p := range c.Peers() {
+		if p.ID == id {
+			return p.Alive
+		}
+	}
+	return false
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestMembersFileReload: membership grows when the watched file gains a
+// node, and liveness history survives the reload.
+func TestMembersFileReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "members.json")
+	writeMembers(t, path, threeNodes())
+
+	c, err := New(Config{
+		Self:          "a",
+		MembersFile:   path,
+		ProbeInterval: 10 * time.Millisecond,
+		Probe:         func(string) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if got := len(c.Peers()); got != 3 {
+		t.Fatalf("initial members = %d", got)
+	}
+
+	// Grow the fleet. Rewriting with a distinct mtime/size is what the
+	// watcher keys on.
+	writeMembers(t, path, append(threeNodes(), Node{ID: "d", URL: "http://d.invalid"}))
+	if !waitFor(t, 2*time.Second, func() bool { return len(c.Peers()) == 4 }) {
+		t.Fatalf("members never grew: %+v", c.Peers())
+	}
+	if c.FileError() != "" {
+		t.Fatalf("file error: %s", c.FileError())
+	}
+
+	// A file that drops self must be rejected, keeping the old view.
+	writeMembers(t, path, []Node{{ID: "b", URL: "http://b.invalid"}})
+	if !waitFor(t, 2*time.Second, func() bool { return c.FileError() != "" }) {
+		t.Fatal("dropping self from the members file must surface an error")
+	}
+	if got := len(c.Peers()); got != 4 {
+		t.Fatalf("membership must hold the last good view, got %d", got)
+	}
+}
+
+func writeMembers(t *testing.T, path string, nodes []Node) {
+	t.Helper()
+	data, err := json.Marshal(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+// Probe loops, sync loops and the e2e fleet's servers must all wind down
+// when their tests finish — a leaked probe goroutine is a node that
+// never stops dialing dead peers.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustRing(t *testing.T, seed uint64, vnodes int, ids ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(seed, vnodes, ids)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return r
+}
+
+// TestRingDeterministic: two nodes that share (seed, vnodes, members)
+// must compute byte-identical placement — the property that lets a
+// stateless fleet route without a coordinator.
+func TestRingDeterministic(t *testing.T) {
+	a := mustRing(t, 7, 64, "n1", "n2", "n3")
+	b := mustRing(t, 7, 64, "n3", "n1", "n2") // member order must not matter
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("scenario/model-%d/target", i)
+		if got, want := a.Owners(key, 2), b.Owners(key, 2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q: owners diverge: %v vs %v", key, got, want)
+		}
+	}
+}
+
+// TestRingOwnersDistinct: R owners are distinct nodes, primary first,
+// clamped to the member count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := mustRing(t, 1, 64, "a", "b", "c")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("m-%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("key %q: owners %v", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %q: primary %q != Owner %q", key, owners[0], r.Owner(key))
+		}
+	}
+	if got := r.Owners("x", 10); len(got) != 3 {
+		t.Fatalf("over-replication must clamp to member count, got %v", got)
+	}
+	if got := r.Owners("x", 0); len(got) != 1 {
+		t.Fatalf("n=0 must yield the primary, got %v", got)
+	}
+}
+
+// TestRingBalance: with virtual nodes, no member of a 3-node ring is
+// starved across a spread of keys.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, 1, 64, "a", "b", "c")
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("web/rf/target-%d", i))]++
+	}
+	for _, id := range r.Members() {
+		if frac := float64(counts[id]) / keys; frac < 0.15 {
+			t.Fatalf("node %s owns %.1f%% of keys (counts %v); vnodes should balance better", id, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingStability: adding a fourth node must not reshuffle the world —
+// consistent hashing moves roughly 1/N of the keys, so well under half.
+func TestRingStability(t *testing.T) {
+	before := mustRing(t, 1, 64, "a", "b", "c")
+	after := mustRing(t, 1, 64, "a", "b", "c", "d")
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("m-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / keys; frac > 0.5 {
+		t.Fatalf("%.1f%% of keys moved on member add; consistent hashing should move ~25%%", 100*frac)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node; it would be idle")
+	}
+}
+
+// TestRingSeed: a different seed produces a different placement (the
+// rebalance knob actually does something).
+func TestRingSeed(t *testing.T) {
+	a := mustRing(t, 1, 64, "a", "b", "c")
+	b := mustRing(t, 2, 64, "a", "b", "c")
+	diff := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("m-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed change did not move any key")
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(1, 64, nil); err == nil {
+		t.Fatal("empty membership must error")
+	}
+	if _, err := NewRing(1, 64, []string{"a", "a"}); err == nil {
+		t.Fatal("duplicate id must error")
+	}
+	if _, err := NewRing(1, 64, []string{"a", ""}); err == nil {
+		t.Fatal("empty id must error")
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"nfvxai/internal/registry"
+)
+
+// ManifestSyncer is the slice of *registry.Registry the sync loop needs:
+// one call that reconciles local state against the shared store's
+// manifest.
+type ManifestSyncer interface {
+	SyncManifest(now time.Time) (registry.SyncReport, error)
+}
+
+// SyncStatus is the sync loop's health view, reported by /healthz so
+// operators can see replication lag per node.
+type SyncStatus struct {
+	Interval time.Duration `json:"interval_ns"`
+	LastSync time.Time     `json:"last_sync,omitempty"`
+	// LagSeconds is time since the last successful sync; a node whose lag
+	// grows past a few intervals is not converging.
+	LagSeconds float64 `json:"lag_seconds"`
+	Rounds     int64   `json:"rounds"`
+	Adopted    int64   `json:"adopted"`
+	Swapped    int64   `json:"swapped"`
+	Errors     int64   `json:"errors"`
+	LastError  string  `json:"last_error,omitempty"`
+}
+
+// Syncer polls the shared store's manifest and adopts models trained,
+// imported, or hot-swapped on other nodes. One poll interval bounds how
+// stale any node's registry can be relative to the fleet.
+type Syncer struct {
+	Reg      ManifestSyncer
+	Interval time.Duration    // poll period (default 2s)
+	OnError  func(error)      // optional hook for sync failures
+	Now      func() time.Time // test override; time.Now when nil
+
+	mu       sync.Mutex
+	lastSync time.Time
+	rounds   int64
+	adopted  int64
+	swapped  int64
+	errors   int64
+	lastErr  string
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// Start launches the poll loop.
+func (s *Syncer) Start() {
+	if s.Interval <= 0 {
+		s.Interval = 2 * time.Second
+	}
+	s.mu.Lock()
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				s.SyncOnce()
+			}
+		}
+	}()
+}
+
+// Stop terminates the poll loop and waits for it.
+func (s *Syncer) Stop() {
+	s.mu.Lock()
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// SyncOnce runs a single reconcile round and records its outcome. Safe
+// to call directly (tests, manual kick) alongside the loop.
+func (s *Syncer) SyncOnce() (registry.SyncReport, error) {
+	now := time.Now()
+	if s.Now != nil {
+		now = s.Now()
+	}
+	rep, err := s.Reg.SyncManifest(now)
+	s.mu.Lock()
+	s.rounds++
+	if err != nil {
+		s.errors++
+		s.lastErr = err.Error()
+	} else {
+		s.lastSync = now
+		s.lastErr = ""
+		s.adopted += int64(len(rep.Adopted))
+		s.swapped += int64(len(rep.Swapped))
+	}
+	s.mu.Unlock()
+	if err != nil && s.OnError != nil {
+		s.OnError(err)
+	}
+	return rep, err
+}
+
+// Status reports the loop's counters and lag.
+func (s *Syncer) Status() SyncStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SyncStatus{
+		Interval:  s.Interval,
+		LastSync:  s.lastSync,
+		Rounds:    s.rounds,
+		Adopted:   s.adopted,
+		Swapped:   s.swapped,
+		Errors:    s.errors,
+		LastError: s.lastErr,
+	}
+	if !s.lastSync.IsZero() {
+		st.LagSeconds = time.Since(s.lastSync).Seconds()
+	}
+	return st
+}

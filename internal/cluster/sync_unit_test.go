@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nfvxai/internal/registry"
+)
+
+// fakeSyncer scripts SyncManifest outcomes.
+type fakeSyncer struct {
+	reports []registry.SyncReport
+	errs    []error
+	calls   int
+}
+
+func (f *fakeSyncer) SyncManifest(time.Time) (registry.SyncReport, error) {
+	i := f.calls
+	f.calls++
+	var rep registry.SyncReport
+	if i < len(f.reports) {
+		rep = f.reports[i]
+	}
+	var err error
+	if i < len(f.errs) {
+		err = f.errs[i]
+	}
+	return rep, err
+}
+
+func TestSyncerCounters(t *testing.T) {
+	f := &fakeSyncer{
+		reports: []registry.SyncReport{
+			{Adopted: []string{"m1", "m2"}},
+			{},
+			{Swapped: []string{"m1"}},
+		},
+		errs: []error{nil, errors.New("store offline"), nil},
+	}
+	var hookErrs int
+	s := &Syncer{Reg: f, Interval: time.Hour, OnError: func(error) { hookErrs++ }}
+
+	if _, err := s.SyncOnce(); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if _, err := s.SyncOnce(); err == nil {
+		t.Fatal("round 2 must surface the store error")
+	}
+	if _, err := s.SyncOnce(); err != nil {
+		t.Fatalf("round 3: %v", err)
+	}
+
+	st := s.Status()
+	if st.Rounds != 3 || st.Adopted != 2 || st.Swapped != 1 || st.Errors != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.LastError != "" {
+		t.Fatalf("a later success must clear last_error, got %q", st.LastError)
+	}
+	if st.LastSync.IsZero() || st.LagSeconds < 0 {
+		t.Fatalf("lag bookkeeping: %+v", st)
+	}
+	if hookErrs != 1 {
+		t.Fatalf("OnError fired %d times", hookErrs)
+	}
+}
+
+func TestSyncerStartStop(t *testing.T) {
+	f := &fakeSyncer{}
+	s := &Syncer{Reg: f, Interval: 5 * time.Millisecond}
+	s.Start()
+	if !waitFor(t, time.Second, func() bool { return s.Status().Rounds >= 2 }) {
+		t.Fatalf("loop never ran: %+v", s.Status())
+	}
+	s.Stop()
+	rounds := s.Status().Rounds
+	time.Sleep(30 * time.Millisecond)
+	if got := s.Status().Rounds; got != rounds {
+		t.Fatalf("loop still running after Stop: %d -> %d", rounds, got)
+	}
+}

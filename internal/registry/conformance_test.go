@@ -1,0 +1,288 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The Store-conformance suite: every backend — FSStore, the
+// object-store-shaped BlobStore/MemStore, and their RetryStore-wrapped
+// variants — must present the identical contract to the registry:
+// content-addressed idempotent artifacts, digest verification on read,
+// the sentinel-error taxonomy (ErrArtifactNotFound, ErrCorruptArtifact),
+// no-op deletes of missing artifacts, an atomic never-torn manifest, and
+// experiment id validation. The cluster plane leans on this hard: sync
+// and warm-start code paths are backend-agnostic only because the
+// contract is.
+
+// storeFixture opens a fresh store of one backend family. corrupt, when
+// non-nil, flips bytes inside the stored artifact behind the store's
+// back so digest verification can be exercised; nil skips that case
+// (a backend with no reachable internals).
+type storeFixture struct {
+	name    string
+	open    func(t *testing.T) Store
+	corrupt func(t *testing.T, st Store, digest string)
+}
+
+// corruptFS flips a byte of the artifact file on disk.
+func corruptFS(dirOf func(Store) string) func(*testing.T, Store, string) {
+	return func(t *testing.T, st Store, digest string) {
+		t.Helper()
+		path := filepath.Join(dirOf(st), "artifacts", digest)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// corruptBlob flips a byte through the blob backend.
+func corruptBlob(backendOf func(Store) BlobBackend) func(*testing.T, Store, string) {
+	return func(t *testing.T, st Store, digest string) {
+		t.Helper()
+		b := backendOf(st)
+		data, err := b.Get(blobArtifactPrefix + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff
+		if err := b.Put(blobArtifactPrefix+digest, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// retryWrap wraps a fixture's store in a RetryStore with no real
+// sleeping, reaching through Inner() for corruption.
+func retryWrap(f storeFixture) storeFixture {
+	wrapped := storeFixture{
+		name: "Retry" + f.name,
+		open: func(t *testing.T) Store {
+			return NewRetryStore(f.open(t), RetryConfig{Seed: 1, Sleep: func(time.Duration) {}})
+		},
+	}
+	if f.corrupt != nil {
+		wrapped.corrupt = func(t *testing.T, st Store, digest string) {
+			f.corrupt(t, st.(*RetryStore).Inner(), digest)
+		}
+	}
+	return wrapped
+}
+
+func storeFixtures() []storeFixture {
+	fs := storeFixture{
+		name: "FSStore",
+		open: func(t *testing.T) Store {
+			st, err := OpenFSStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		},
+		corrupt: corruptFS(func(st Store) string { return st.(*FSStore).Dir() }),
+	}
+	mem := storeFixture{
+		name: "MemStore",
+		open: func(t *testing.T) Store { return NewMemStore() },
+		corrupt: corruptBlob(func(st Store) BlobBackend {
+			return st.(*BlobStore).Backend()
+		}),
+	}
+	return []storeFixture{fs, mem, retryWrap(fs), retryWrap(mem)}
+}
+
+// TestStoreConformance runs the shared contract against every backend.
+func TestStoreConformance(t *testing.T) {
+	for _, f := range storeFixtures() {
+		t.Run(f.name, func(t *testing.T) {
+			t.Run("ArtifactRoundTrip", func(t *testing.T) { conformArtifactRoundTrip(t, f) })
+			t.Run("ArtifactSentinels", func(t *testing.T) { conformArtifactSentinels(t, f) })
+			t.Run("ArtifactDelete", func(t *testing.T) { conformArtifactDelete(t, f) })
+			t.Run("DigestVerification", func(t *testing.T) { conformDigestVerification(t, f) })
+			t.Run("ManifestAtomicity", func(t *testing.T) { conformManifestAtomicity(t, f) })
+			t.Run("Experiments", func(t *testing.T) { conformExperiments(t, f) })
+		})
+	}
+}
+
+func conformArtifactRoundTrip(t *testing.T, f storeFixture) {
+	st := f.open(t)
+	data := []byte("conformance artifact payload")
+	d1, err := st.PutArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != Digest(data) {
+		t.Fatalf("digest %s != content address %s", d1, Digest(data))
+	}
+	d2, err := st.PutArtifact(data)
+	if err != nil || d2 != d1 {
+		t.Fatalf("re-put not idempotent: %s vs %s (%v)", d1, d2, err)
+	}
+	got, err := st.GetArtifact(d1)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+}
+
+func conformArtifactSentinels(t *testing.T, f storeFixture) {
+	st := f.open(t)
+	if _, err := st.GetArtifact(Digest([]byte("never stored"))); !errors.Is(err, ErrArtifactNotFound) {
+		t.Errorf("missing artifact: %v, want ErrArtifactNotFound", err)
+	}
+	for _, bad := range []string{"", "zz", "../../etc/passwd", "ABCDEF"} {
+		if _, err := st.GetArtifact(bad); !errors.Is(err, ErrArtifactNotFound) {
+			t.Errorf("invalid digest %q: %v, want ErrArtifactNotFound", bad, err)
+		}
+	}
+	if _, err := st.GetExperiment("no-such-experiment"); !errors.Is(err, ErrArtifactNotFound) {
+		t.Errorf("missing experiment: %v, want ErrArtifactNotFound", err)
+	}
+	if _, err := st.GetExperiment("../escape"); !errors.Is(err, ErrArtifactNotFound) {
+		t.Errorf("invalid experiment id: %v, want ErrArtifactNotFound", err)
+	}
+	if err := st.PutExperiment("../escape", []byte("{}")); err == nil {
+		t.Error("invalid experiment id must not store")
+	}
+}
+
+func conformArtifactDelete(t *testing.T, f storeFixture) {
+	st := f.open(t)
+	if err := st.DeleteArtifact(Digest([]byte("missing"))); err != nil {
+		t.Fatalf("delete of missing artifact must be a no-op, got %v", err)
+	}
+	if err := st.DeleteArtifact("not-a-digest"); err != nil {
+		t.Fatalf("delete of invalid digest must be a no-op, got %v", err)
+	}
+	d, err := st.PutArtifact([]byte("delete me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteArtifact(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetArtifact(d); !errors.Is(err, ErrArtifactNotFound) {
+		t.Fatalf("deleted artifact: %v, want ErrArtifactNotFound", err)
+	}
+}
+
+func conformDigestVerification(t *testing.T, f storeFixture) {
+	if f.corrupt == nil {
+		t.Skip("backend exposes no corruption hook")
+	}
+	st := f.open(t)
+	d, err := st.PutArtifact([]byte("soon to be corrupted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.corrupt(t, st, d)
+	if _, err := st.GetArtifact(d); !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("corrupted artifact: %v, want ErrCorruptArtifact", err)
+	}
+}
+
+func conformManifestAtomicity(t *testing.T, f storeFixture) {
+	st := f.open(t)
+	if _, ok, err := st.GetManifest(); err != nil || ok {
+		t.Fatalf("fresh store manifest: ok=%v err=%v, want absent", ok, err)
+	}
+
+	// Writers race readers; a reader must only ever observe a complete
+	// manifest from some writer — never a torn or half-written one. The
+	// SavedAt/Default pair is written consistently by each writer, so
+	// tearing would show as a mismatch.
+	stamp := func(i int) Manifest {
+		return Manifest{
+			Version: ManifestVersion,
+			SavedAt: time.Unix(int64(i), 0).UTC(),
+			Default: fmt.Sprintf("model-%d", i),
+			Models: []ModelRecord{{
+				Spec:    testSpec(fmt.Sprintf("model-%d", i)),
+				Digest:  Digest([]byte(fmt.Sprintf("payload-%d", i))),
+				ReadyAt: time.Unix(int64(i), 0).UTC(),
+			}},
+		}
+	}
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				if err := st.PutManifest(stamp(w*50 + i)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m, ok, err := st.GetManifest()
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			if !ok || len(m.Models) != 1 {
+				continue
+			}
+			want := fmt.Sprintf("model-%d", m.SavedAt.Unix())
+			if m.Default != want || m.Models[0].Spec.Name != want {
+				t.Errorf("torn manifest: saved_at=%v default=%q model=%q",
+					m.SavedAt.Unix(), m.Default, m.Models[0].Spec.Name)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	m, ok, err := st.GetManifest()
+	if err != nil || !ok {
+		t.Fatalf("final manifest: ok=%v err=%v", ok, err)
+	}
+	if m.Version != ManifestVersion {
+		t.Fatalf("version %d", m.Version)
+	}
+}
+
+func conformExperiments(t *testing.T, f storeFixture) {
+	st := f.open(t)
+	ids, err := st.ListExperiments()
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("fresh store experiments = %v, %v", ids, err)
+	}
+	if err := st.PutExperiment("job-2", []byte(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutExperiment("job-1", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.GetExperiment("job-1")
+	if err != nil || string(got) != `{"a":1}` {
+		t.Fatalf("get experiment = %q, %v", got, err)
+	}
+	ids, err = st.ListExperiments()
+	if err != nil || len(ids) != 2 || ids[0] != "job-1" || ids[1] != "job-2" {
+		t.Fatalf("list = %v, %v (want sorted ids)", ids, err)
+	}
+}

@@ -126,10 +126,21 @@ func (r *Registry) persistManifest() error {
 	defer r.storeMu.Unlock()
 	r.mu.RLock()
 	st := r.store
+	r.mu.RUnlock()
 	if st == nil {
-		r.mu.RUnlock()
 		return nil
 	}
+	// On a shared (cluster) store the manifest also carries records
+	// written by other nodes. Read the previous manifest first — still
+	// under storeMu, so local writers cannot interleave — and merge it
+	// below so a rewrite from this node never evicts another node's
+	// models. A missing, unreadable or incompatible previous manifest
+	// degrades to the single-node behavior: write our own state only.
+	prev, prevOK, prevErr := st.GetManifest()
+	if prevErr != nil || prev.Version != ManifestVersion {
+		prevOK = false
+	}
+	r.mu.RLock()
 	m := Manifest{Version: ManifestVersion, SavedAt: time.Now(), Default: r.defaultKey}
 	for name, e := range r.models {
 		digest, ok := r.digests[name]
@@ -163,7 +174,52 @@ func (r *Registry) persistManifest() error {
 	if scenarios != nil {
 		m.Scenarios = scenarios.List()
 	}
+	if prevOK {
+		mergeManifest(&m, prev)
+	}
 	return st.PutManifest(m)
+}
+
+// mergeManifest folds the previous (shared) manifest into the local
+// snapshot m, last-writer-wins per model on ReadyAt. Names this node
+// knows keep the local record unless the previous manifest's record is
+// strictly newer (another node retrained the model after our snapshot);
+// names this node has never persisted are carried through verbatim —
+// they belong to other nodes. Scenario specs union by name with the
+// local list winning; the default falls back to the previous manifest's
+// when this node has none. Local ties win so a node's own just-written
+// artifact is never displaced by an equal-aged record.
+//
+// One deliberate gap: a clock-skewed peer could stamp a record newer
+// than a local retrain that just GC'd the digest that record names. The
+// sync loop then reports ErrArtifactNotFound for it until the peer
+// persists again; serving is unaffected (adoption is best-effort).
+func mergeManifest(m *Manifest, prev Manifest) {
+	local := make(map[string]int, len(m.Models))
+	for i, rec := range m.Models {
+		local[rec.Spec.Name] = i
+	}
+	for _, rec := range prev.Models {
+		if i, ok := local[rec.Spec.Name]; ok {
+			if rec.ReadyAt.After(m.Models[i].ReadyAt) {
+				m.Models[i] = rec
+			}
+			continue
+		}
+		m.Models = append(m.Models, rec)
+	}
+	haveScenario := make(map[string]bool, len(m.Scenarios))
+	for _, sp := range m.Scenarios {
+		haveScenario[sp.Name] = true
+	}
+	for _, sp := range prev.Scenarios {
+		if !haveScenario[sp.Name] {
+			m.Scenarios = append(m.Scenarios, sp)
+		}
+	}
+	if m.Default == "" {
+		m.Default = prev.Default
+	}
 }
 
 // RestoreError names one model that failed to restore during WarmStart.

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRequestIDMinting: every response carries X-Request-Id — minted
+// when absent, echoed verbatim when the client (or a proxying peer)
+// supplies one — and error bodies embed it.
+func TestRequestIDMinting(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/healthz")
+	wantStatus(t, resp, http.StatusOK)
+	minted := resp.Header.Get(HeaderRequestID)
+	resp.Body.Close()
+	if len(minted) != 16 {
+		t.Fatalf("minted request id %q, want 16 hex chars", minted)
+	}
+
+	resp2 := getJSON(t, srv, "/healthz")
+	id2 := resp2.Header.Get(HeaderRequestID)
+	resp2.Body.Close()
+	if id2 == minted {
+		t.Fatalf("two requests share id %q", minted)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderRequestID, "trace-abc-123")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get(HeaderRequestID); got != "trace-abc-123" {
+		t.Fatalf("supplied id not echoed: %q", got)
+	}
+}
+
+// TestErrorBodyCarriesRequestID: the JSON error body repeats the
+// response's request id so body-only logs can stitch traces.
+func TestErrorBodyCarriesRequestID(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/v1/models/no/such/model/schema")
+	wantStatus(t, resp, http.StatusNotFound)
+	rid := resp.Header.Get(HeaderRequestID)
+	body := decode[map[string]string](t, resp)
+	if body["error"] == "" {
+		t.Fatalf("error body = %v", body)
+	}
+	if body["request_id"] == "" || body["request_id"] != rid {
+		t.Fatalf("body request_id %q != header %q", body["request_id"], rid)
+	}
+}
+
+// TestHealthNodeIdentity: node_id, version and X-Served-By identify the
+// node behind a load balancer; the cluster block stays absent for
+// unclustered servers.
+func TestHealthNodeIdentity(t *testing.T) {
+	s := New(pipeline(t))
+	s.NodeID = "node-7"
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp := getJSON(t, srv, "/healthz")
+	wantStatus(t, resp, http.StatusOK)
+	if got := resp.Header.Get(HeaderServedBy); got != "node-7" {
+		t.Fatalf("X-Served-By = %q", got)
+	}
+	h := decode[HealthResponse](t, resp)
+	if h.NodeID != "node-7" || h.Version != Version {
+		t.Fatalf("health identity = %q/%q", h.NodeID, h.Version)
+	}
+	if h.Cluster != nil {
+		t.Fatalf("unclustered server must omit cluster block: %+v", h.Cluster)
+	}
+
+	resp2 := getJSON(t, srv, "/readyz")
+	wantStatus(t, resp2, http.StatusOK)
+	rr := decode[ReadyResponse](t, resp2)
+	if rr.NodeID != "node-7" || rr.Version != Version || rr.Cluster != nil {
+		t.Fatalf("readyz identity = %+v", rr)
+	}
+}

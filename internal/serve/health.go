@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"nfvxai/internal/cluster"
 	"nfvxai/internal/registry"
 )
 
@@ -58,6 +59,64 @@ type ReadyResponse struct {
 	// registry's store is instrumented (registry.RetryStore); absent for
 	// bare or missing stores.
 	Store *registry.StoreHealth `json:"store,omitempty"`
+	// NodeID and Version identify the node and build behind a load
+	// balancer; Cluster is the fleet view when this node is clustered.
+	NodeID  string         `json:"node_id,omitempty"`
+	Version string         `json:"version,omitempty"`
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the fleet view a clustered node reports on /healthz
+// and /readyz: this node's ring role, every peer's liveness, who owns
+// which model, and how far the sync loop lags the shared store.
+type ClusterHealth struct {
+	NodeID      string `json:"node_id"`
+	Replication int    `json:"replication"`
+	// Peers is the liveness view of every member (self included).
+	Peers []cluster.PeerStatus `json:"peers"`
+	// Owns lists the locally registered models this node is a ring owner
+	// of; Owners maps every local model to its owner node ids, primary
+	// first.
+	Owns   []string            `json:"owns,omitempty"`
+	Owners map[string][]string `json:"owners,omitempty"`
+	// MembersFileError surfaces a failing members-file reload.
+	MembersFileError string `json:"members_file_error,omitempty"`
+	// Sync is the manifest sync loop's lag and counters, when running.
+	Sync *cluster.SyncStatus `json:"sync,omitempty"`
+}
+
+// clusterHealth assembles the ClusterHealth block (nil when the server
+// is not clustered).
+func (s *Server) clusterHealth() *ClusterHealth {
+	c := s.Cluster
+	if c == nil {
+		return nil
+	}
+	self := c.Self()
+	ch := &ClusterHealth{
+		NodeID:           self.ID,
+		Replication:      c.Replication(),
+		Peers:            c.Peers(),
+		MembersFileError: c.FileError(),
+	}
+	names := make([]string, 0, s.reg.Len())
+	for _, e := range s.reg.List() {
+		names = append(names, e.Spec.Name)
+	}
+	ch.Owners = c.OwnersFor(names)
+	for _, name := range names {
+		for _, id := range ch.Owners[name] {
+			if id == self.ID {
+				ch.Owns = append(ch.Owns, name)
+				break
+			}
+		}
+	}
+	if s.Syncer != nil {
+		st := s.Syncer.Status()
+		ch.Sync = &st
+	}
+	return ch
 }
 
 // retrainingModel reports whether any attached feed is retraining name.
@@ -101,7 +160,10 @@ func (s *Server) storeHealth() *registry.StoreHealth {
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	resp := ReadyResponse{Status: "ok", Default: s.reg.DefaultName()}
+	resp := ReadyResponse{
+		Status: "ok", Default: s.reg.DefaultName(),
+		NodeID: s.NodeID, Version: Version, Cluster: s.clusterHealth(),
+	}
 	adm := s.ensureAdmit()
 	defaultServable := false
 	for _, e := range s.reg.List() {

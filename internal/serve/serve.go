@@ -58,6 +58,7 @@ import (
 	"sync"
 	"time"
 
+	"nfvxai/internal/cluster"
 	"nfvxai/internal/core"
 	"nfvxai/internal/feed"
 	"nfvxai/internal/registry"
@@ -91,6 +92,23 @@ type Server struct {
 	MaxInflight int
 	AdmitQueue  int
 	AdmitWait   time.Duration
+
+	// Cluster plane (cluster.go): when Cluster is non-nil this server is
+	// one node of a sharded fleet — model-scoped requests are
+	// reverse-proxied to their consistent-hash owner, and /healthz
+	// reports ring ownership, peer liveness and sync lag. NodeID names
+	// this node in X-Served-By and health replies (set it even without a
+	// Cluster to tell single nodes apart behind a load balancer). Syncer,
+	// when set, is only reported on — explaind owns its lifecycle. Logf
+	// receives proxy/cluster log lines (nil drops them). All four are set
+	// before the first request.
+	Cluster *cluster.Cluster
+	Syncer  *cluster.Syncer
+	NodeID  string
+	Logf    func(format string, args ...any)
+
+	proxyOnce sync.Once
+	proxy     *http.Client
 
 	gateOnce sync.Once
 	gate     chan struct{}
@@ -230,8 +248,23 @@ func New(p *core.Pipeline) *Server {
 // Registry returns the server's model registry.
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request gets a request id —
+// minted here unless the client (or the proxying peer node) already
+// supplied one — echoed on the response and kept on r.Header so a proxy
+// hop forwards the same id. X-Served-By names this node so multi-node
+// traces show which registry answered.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get(HeaderRequestID)
+	if rid == "" {
+		rid = newRequestID()
+		r.Header.Set(HeaderRequestID, rid)
+	}
+	w.Header().Set(HeaderRequestID, rid)
+	if s.NodeID != "" {
+		w.Header().Set(HeaderServedBy, s.NodeID)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // modelActions are the reserved trailing path segments under a model.
 var modelGetActions = map[string]bool{"schema": true, "importance": true, "explainers": true, "jobs": true, "stream": true, "artifact": true}
@@ -248,6 +281,9 @@ func splitAction(rest string, actions map[string]bool) (name, action string) {
 
 func (s *Server) routeModelGet(w http.ResponseWriter, r *http.Request) {
 	name, action := splitAction(r.PathValue("rest"), modelGetActions)
+	if s.proxyToOwner(w, r, name, action) {
+		return
+	}
 	switch action {
 	case "schema":
 		s.handleSchema(w, r, name)
@@ -268,6 +304,9 @@ func (s *Server) routeModelGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) routeModelPost(w http.ResponseWriter, r *http.Request) {
 	name, action := splitAction(r.PathValue("rest"), modelPostActions)
+	if s.proxyToOwner(w, r, name, action) {
+		return
+	}
 	switch action {
 	case "predict":
 		s.handlePredict(w, r, name)
@@ -331,7 +370,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	// The request id was echoed onto the response headers by ServeHTTP;
+	// repeating it in the body lets clients that only log bodies stitch
+	// multi-node traces together.
+	if rid := w.Header().Get(HeaderRequestID); rid != "" {
+		body["request_id"] = rid
+	}
+	writeJSON(w, status, body)
 }
 
 // featureName is the one shared feature-index → display-name resolution
@@ -514,10 +560,19 @@ type HealthResponse struct {
 	// Store summarizes the artifact store's fault-tolerance state when
 	// the store is instrumented (registry.RetryStore).
 	Store *registry.StoreHealth `json:"store,omitempty"`
+	// NodeID and Version identify the node and build behind a load
+	// balancer; Cluster is the fleet view when this node is clustered
+	// (ring ownership, peer liveness, sync lag — health.go).
+	NodeID  string         `json:"node_id,omitempty"`
+	Version string         `json:"version,omitempty"`
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	resp := HealthResponse{Status: "ok", Default: s.reg.DefaultName()}
+	resp := HealthResponse{
+		Status: "ok", Default: s.reg.DefaultName(),
+		NodeID: s.NodeID, Version: Version, Cluster: s.clusterHealth(),
+	}
 	entries := s.reg.List()
 	resp.States = make(map[string]string, len(entries))
 	for _, e := range entries {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# benchdiff.sh — the bench-regression gate (see cmd/benchdiff).
+#
+#   ./scripts/benchdiff.sh                 # audit committed BENCH_*.json history
+#   ./scripts/benchdiff.sh old.txt new.txt # diff two `go test -bench` outputs
+#
+# THRESHOLD (percent, default 10) tunes how much regression is tolerated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${THRESHOLD:-10}"
+
+if [ "$#" -eq 2 ]; then
+  exec go run ./cmd/benchdiff -threshold "$THRESHOLD" "$1" "$2"
+fi
+exec go run ./cmd/benchdiff -threshold "$THRESHOLD" -history .

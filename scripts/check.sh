@@ -48,8 +48,14 @@ go build ./...
 step test
 go test ./...
 
-step "chaos smoke (fault-injected store + feeds under -race)"
+step "chaos smoke (fault-injected store + feeds + cluster node-down under -race)"
 go test -race -timeout 5m ./internal/chaos
+
+step "cluster e2e smoke (3-node fleet under -race)"
+go test -race -run 'TestCluster' -timeout 5m ./internal/cluster
+
+step "bench-regression gate (BENCH_*.json history)"
+go run ./cmd/benchdiff -history .
 
 if [ "$FUZZTIME" != "0" ]; then
   step "fuzz smoke ($FUZZTIME per target)"
