@@ -1,0 +1,30 @@
+package nfvxai
+
+// Allocation benchmarks for the pooled explainer buffers (PR 9): the
+// coalition-mask / perturbation-matrix working sets in shap and lime are
+// drawn from sync.Pools, so steady-state allocs/op stays flat in the
+// neighborhood size instead of growing with it. Run with -benchmem:
+//
+//	go test -run '^$' -bench 'KernelShap|LimeExplain' -benchmem .
+
+import (
+	"context"
+	"testing"
+
+	"nfvxai/internal/xai/lime"
+)
+
+// BenchmarkLimeExplain explains one instance per iteration at the default
+// 1000-sample neighborhood over the default forest — the buffer-pooling
+// twin of BenchmarkKernelShapBatched for the lime perturbation builder.
+func BenchmarkLimeExplain(b *testing.B) {
+	perfModels(b)
+	e := &lime.Explainer{Model: perfRF, Background: perfDS.X[:60], NumSamples: 1000, Seed: 7}
+	x := perfDS.X[100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(context.Background(), x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package nfvxai
+
+// PR 9 benchmarks: the content-addressed explanation result cache.
+//
+// BenchmarkExplainCacheHit prices the two ways the same request can be
+// served — computing default-option KernelSHAP cold versus returning the
+// cached attribution — on one pipeline, one instance, one method. The
+// acceptance bar is a >=50x win for the hit path; in practice it is
+// orders of magnitude beyond that, because a hit is a shard-mutex map
+// lookup while a cold KernelSHAP is thousands of model evaluations plus
+// a weighted ridge solve.
+//
+// BenchmarkExplainCoalesced prices the stampede case: 64 goroutines ask
+// for the same uncached explanation at once. Single-flight admits one
+// leader; the other 63 block on its result. The whole burst therefore
+// costs ~one cold computation, not 64 — the per-op time here is the
+// leader's compute amortized over nothing, bounded below by the cold
+// benchmark above.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/xcache"
+)
+
+var (
+	cachePipeOnce sync.Once
+	cachePipe     *core.Pipeline
+	cachePipeErr  error
+)
+
+func cachePipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	perfModels(b)
+	cachePipeOnce.Do(func() {
+		cachePipe, cachePipeErr = core.NewPipeline(core.ModelForest, perfDS, 2)
+	})
+	if cachePipeErr != nil {
+		b.Fatal(cachePipeErr)
+	}
+	return cachePipe
+}
+
+// BenchmarkExplainCacheHit/cold computes default-option KernelSHAP fresh
+// every iteration (the no_cache path: same code, no cache consulted).
+// BenchmarkExplainCacheHit/hit serves the identical request from the
+// result cache.
+func BenchmarkExplainCacheHit(b *testing.B) {
+	p := cachePipeline(b)
+	p.ResultCache = xcache.New(xcache.Config{})
+	defer func() { p.ResultCache = nil }()
+	ctx := context.Background()
+	x := p.Test.X[0]
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := p.ExplainCached(ctx, "kernelshap", xai.Options{}, x, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		// Seed the entry, then measure pure hits.
+		if _, _, _, err := p.ExplainCached(ctx, "kernelshap", xai.Options{}, x, false); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _, outcome, err := p.ExplainCached(ctx, "kernelshap", xai.Options{}, x, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if outcome != xcache.OutcomeHit {
+				b.Fatalf("outcome %v, want hit", outcome)
+			}
+		}
+	})
+}
+
+// BenchmarkExplainCoalesced: 64 concurrent identical requests against an
+// empty cache per iteration — one computation serves the whole burst.
+func BenchmarkExplainCoalesced(b *testing.B) {
+	p := cachePipeline(b)
+	defer func() { p.ResultCache = nil }()
+	ctx := context.Background()
+	x := p.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := xcache.New(xcache.Config{})
+		p.ResultCache = c
+		b.StartTimer()
+
+		var wg sync.WaitGroup
+		for g := 0; g < 64; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, _, err := p.ExplainCached(ctx, "kernelshap", xai.Options{}, x, false); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+
+		b.StopTimer()
+		if st := c.Stats(); st.Misses != 1 {
+			b.Fatalf("iteration computed %d times, want 1", st.Misses)
+		}
+		b.StartTimer()
+	}
+}

@@ -76,6 +76,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -86,6 +87,7 @@ import (
 	"nfvxai/internal/feed"
 	"nfvxai/internal/registry"
 	"nfvxai/internal/serve"
+	"nfvxai/internal/xai/xcache"
 )
 
 // stringList collects repeated -model / -feed flags.
@@ -126,6 +128,12 @@ func main() {
 		replication  = flag.Int("replication", 0, "shard owners per model on the hash ring (default 2, clamped to fleet size)")
 		syncInterval = flag.Duration("sync-interval", 2*time.Second, "manifest-watch period: how often this node pulls "+
 			"models trained elsewhere from the shared -store (0 disables; needs -store)")
+		cacheMB = flag.Int("cache-mb", 256, "explanation result cache budget (MiB of in-process entries); "+
+			"0 disables caching entirely (no X-Cache header, /v1/cachez reports disabled)")
+		cacheTTL = flag.Duration("cache-ttl", 0, "max age of a cached explanation (0 = entries live until "+
+			"evicted by byte pressure or their artifact digest is swapped out)")
+		cacheTier2 = flag.Bool("cache-tier2", false, "persist hot cache entries under -store (DIR/xcache) so a "+
+			"restarted or newly joined node serves explanations computed by the previous process or the fleet; needs -store")
 	)
 	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
 		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
@@ -183,6 +191,30 @@ func main() {
 			log.Printf("warm start: restored %d model(s) %v and %d scenario(s) from %s",
 				len(rep.Models), rep.Models, rep.Scenarios, *storeDir)
 		}
+	}
+
+	// Explanation result cache: content-addressed (entries keyed by the
+	// artifact digest, never the model name) with single-flight
+	// coalescing of concurrent identical requests. -cache-tier2 spills
+	// hot entries under the artifact store so a restarted process — or a
+	// freshly joined cluster node sharing the store — serves
+	// explanations the previous process or the rest of the fleet already
+	// computed.
+	if *cacheMB > 0 {
+		ccfg := xcache.Config{MaxBytes: int64(*cacheMB) << 20, TTL: *cacheTTL}
+		if *cacheTier2 {
+			if *storeDir == "" {
+				fmt.Fprintln(os.Stderr, "explaind: -cache-tier2 requires -store")
+				os.Exit(2)
+			}
+			t2, err := xcache.NewDirStore(filepath.Join(*storeDir, "xcache"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ccfg.Tier2 = t2
+		}
+		reg.UseExplainCache(xcache.New(ccfg))
+		log.Printf("explanation cache: %d MiB, ttl %v, tier2 %v", *cacheMB, *cacheTTL, *cacheTier2)
 	}
 
 	// Track the initial background builds: a -model flag whose training

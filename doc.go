@@ -119,7 +119,9 @@
 // equal results), boundedmake (wire-decoded lengths are bounds-checked
 // before sizing allocations — corrupt artifacts fail typed, never
 // OOM), lockedcall (no store I/O or blocking operation under a
-// registry hot lock; snapshot under lock, write after), and errcmp
+// registry hot lock, no network I/O under any cluster mutex, no tier-2
+// store round trip under an explanation-cache shard lock; snapshot
+// under lock, do the slow work after), and errcmp
 // (sentinel errors travel through errors.Is/As and %w so wrapped
 // corruption errors still match). `go run ./cmd/nfvlint ./...` must
 // stay clean — CI's lint job enforces it alongside go vet,
@@ -170,9 +172,10 @@
 // so each node computes identical placement from identical membership
 // (static -peers or a -peers-file re-read every probe tick). Requests
 // land anywhere: a node that does not own the model reverse-proxies
-// /v1/models/{name}/* to the first alive owner (one hop, X-Forwarded-By
-// loop guard) and falls back to its own synced copy when owners are
-// unreachable. Liveness comes from per-peer /readyz probes that snapshot
+// /v1/models/{name}/* to the least-loaded alive owner (one hop,
+// X-Forwarded-By loop guard; ring order breaks load ties) and falls
+// back to its own synced copy when owners are unreachable. Liveness and
+// load come from per-peer /readyz probes that snapshot
 // membership under the lock, dial without it, and apply results after —
 // a discipline the lockedcall analyzer enforces (no network I/O under
 // any cluster mutex). Model state replicates through the store, not the
@@ -192,6 +195,36 @@
 // contract: a model trained on one node serves from every node within a
 // sync interval, and killing an owner re-routes with nothing worse than
 // a typed shed.
+//
+// # The explanation cache
+//
+// Explanations are pure functions of (artifact, method, options,
+// instance) — every method seeds its own randomness from the options —
+// so repeated results are cached by content, never recomputed
+// (internal/xai/xcache). The key is sha256(artifact) x method x the
+// normalized option fingerprint x sha256(instance), which makes
+// invalidation structural: a retrain or hot-swap produces a new digest
+// and simply misses (Swap additionally drops the retired digest's
+// entries, pure memory hygiene), two models serving one imported
+// artifact share entries, and no flush exists anywhere. Entries live in
+// a sharded in-process LRU under a byte budget with optional TTL; only
+// deterministic local methods cache, and anytime results only once
+// converged. A single-flight coalescer collapses request stampedes: 64
+// concurrent identical explains run exactly one KernelSHAP, the other
+// 63 inherit the leader's result (leadership migrates if the leader
+// dies of its own deadline). The serving layer tags every response
+// X-Cache: hit|miss|coalesced|bypass (no_cache opts out per request),
+// splits batches so only misses reach the worker pool, and reports
+// per-digest counters on /readyz and GET /v1/cachez. An optional tier 2
+// persists cacheable entries through the same registry store the
+// cluster shards artifacts over (explaind -cache-tier2), so a
+// warm-started or newly joined node serves explanations the fleet
+// already computed; store round trips happen strictly outside shard
+// locks, enforced by lockedcall's internal/xai scope. A cache hit is
+// ~16,800x cheaper than the cold default-option KernelSHAP it replaces
+// (BENCH_PR9.json, gated by cmd/benchdiff), and the sampling hot paths
+// it fronts recycle their big allocations — coalition masks, LIME
+// neighborhoods, tree-path accumulators — through sync.Pools.
 package nfvxai
 
 // Version identifies the reproduction snapshot.

@@ -14,6 +14,13 @@
 // the lock across a dial to a dead peer stalls every request router for
 // the full timeout. The sanctioned pattern (see Cluster.tick) is
 // snapshot-under-lock, probe-without-lock, apply-under-lock.
+//
+// internal/xai (the explanation-cache plane, internal/xai/xcache) gets
+// the same plain-mutex treatment: the cache's shard mutexes sit on the
+// hit path of every explain request, so tier-2 Store I/O under a shard
+// lock turns a blob-store hiccup into a serving stall. The sanctioned
+// pattern (see Cache.flight/tier2) is lookup-under-lock, fetch/persist
+// with no lock held, insert-under-lock.
 package lockedcall
 
 import (
@@ -35,13 +42,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !pass.PathMatches("registry", "cluster") {
+	// "internal/xai", not bare "xai": the module root is nfvxai, so a bare
+	// fragment would scope every package in the module.
+	if !pass.PathMatches("registry", "cluster", "internal/xai") {
 		return nil, nil
 	}
-	// The cluster's routing lock is hotter than the registry's state
-	// lock: every proxied request takes it, so even a plain sync.Mutex
-	// must never be held across a dial.
-	trackPlain := pass.PathMatches("cluster")
+	// The cluster's routing lock and the explanation cache's shard locks
+	// are hotter than the registry's state lock: every proxied request
+	// (resp. every cache hit) takes one, so even a plain sync.Mutex must
+	// never be held across a dial or a Store round trip.
+	trackPlain := pass.PathMatches("cluster", "internal/xai")
 	for _, fn := range pass.FuncDecls() {
 		checkFunc(pass, fn, trackPlain)
 	}

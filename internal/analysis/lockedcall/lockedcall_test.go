@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, "testdata", lockedcall.Analyzer, "internal/registry", "internal/cluster")
+	analysistest.Run(t, "testdata", lockedcall.Analyzer, "internal/registry", "internal/cluster", "internal/xai/xcache")
 }

@@ -1,0 +1,79 @@
+// Package xcache is lockedcall golden testdata for the explanation-cache
+// scope: no tier-2 Store I/O while a cache shard mutex is held — every
+// explain hit takes a shard lock, so a blob-store round trip under it
+// turns store latency into serving latency. Plain sync.Mutex is NOT
+// exempt here (the shards are plain mutexes).
+package xcache
+
+import "sync"
+
+// Store is the tier-2 persistence backend; the name is what the
+// analyzer keys on, mirroring the real xcache.Store.
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, bool, error)
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+}
+
+type Cache struct {
+	shard shard
+	tier2 Store
+}
+
+// putUnderShardLock persists to tier 2 while holding the shard mutex:
+// flagged — the store round trip stalls every hit on this shard.
+func (c *Cache) putUnderShardLock(key string, data []byte) {
+	c.shard.mu.Lock()
+	defer c.shard.mu.Unlock()
+	c.shard.entries[key] = data
+	c.tier2.Put(key, data) // want "Store I/O (Put) while c.shard.mu is held"
+}
+
+// getThroughTier2UnderLock fills a miss from tier 2 without dropping the
+// shard lock first: flagged.
+func (c *Cache) getThroughTier2UnderLock(key string) ([]byte, bool) {
+	c.shard.mu.Lock()
+	defer c.shard.mu.Unlock()
+	if data, ok := c.shard.entries[key]; ok {
+		return data, true
+	}
+	data, ok, err := c.tier2.Get(key) // want "Store I/O (Get) while c.shard.mu is held"
+	if err != nil || !ok {
+		return nil, false
+	}
+	c.shard.entries[key] = data
+	return data, true
+}
+
+// insertThenPersist is the sanctioned pattern (Cache.lead): mutate the
+// shard under its lock, release, then do the tier-2 write with no lock
+// held.
+func (c *Cache) insertThenPersist(key string, data []byte) {
+	c.shard.mu.Lock()
+	c.shard.entries[key] = data
+	c.shard.mu.Unlock()
+	c.tier2.Put(key, data)
+}
+
+// lookupThenFill: miss path that drops the lock before the tier-2 read
+// and re-takes it to insert — allowed.
+func (c *Cache) lookupThenFill(key string) ([]byte, bool) {
+	c.shard.mu.Lock()
+	data, ok := c.shard.entries[key]
+	c.shard.mu.Unlock()
+	if ok {
+		return data, true
+	}
+	data, ok, err := c.tier2.Get(key)
+	if err != nil || !ok {
+		return nil, false
+	}
+	c.shard.mu.Lock()
+	c.shard.entries[key] = data
+	c.shard.mu.Unlock()
+	return data, true
+}

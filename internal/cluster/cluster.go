@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -65,20 +66,24 @@ type Config struct {
 	// must stay in the file.
 	MembersFile string
 
-	// Probe overrides the liveness check (tests). Default probes
-	// GET <url>/readyz; any HTTP response counts as alive — a node
-	// shedding or degraded still owns its shard, only transport-level
-	// failure marks it down.
-	Probe func(url string) error
+	// Probe overrides the liveness check (tests). It returns the peer's
+	// observed load — total in-flight plus queued explain work, as
+	// summed from /readyz admission counters — which Route uses to pick
+	// the least-loaded alive owner. Default probes GET <url>/readyz; any
+	// HTTP response counts as alive — a node shedding or degraded still
+	// owns its shard, only transport-level failure marks it down — and a
+	// response whose body does not parse simply reports load 0.
+	Probe func(url string) (load int, err error)
 }
 
-// peerState tracks liveness for one remote node.
+// peerState tracks liveness and load for one remote node.
 type peerState struct {
 	node     Node
 	alive    bool
 	failures int       // consecutive probe failures
 	lastSeen time.Time // last successful probe (or zero)
 	lastErr  string
+	load     int // in-flight + queued work reported by the last good probe
 }
 
 // PeerStatus is the exported liveness view of one member, as reported by
@@ -91,6 +96,9 @@ type PeerStatus struct {
 	Failures int       `json:"failures,omitempty"`
 	LastSeen time.Time `json:"last_seen,omitempty"`
 	LastErr  string    `json:"last_error,omitempty"`
+	// Load is the in-flight + queued explain work the peer reported on
+	// its last successful probe; Route prefers the least-loaded owner.
+	Load int `json:"load,omitempty"`
 }
 
 // Cluster is the membership + liveness + placement view for one node.
@@ -258,8 +266,9 @@ func (c *Cluster) Stop() {
 func (c *Cluster) tick() {
 	c.maybeReload()
 	type probeResult struct {
-		id  string
-		err error
+		id   string
+		load int
+		err  error
 	}
 	c.mu.RLock()
 	targets := make([]Node, 0, len(c.peers))
@@ -272,7 +281,8 @@ func (c *Cluster) tick() {
 	results := make(chan probeResult, len(targets))
 	for _, n := range targets {
 		go func(n Node) {
-			results <- probeResult{id: n.ID, err: probe(n.URL)}
+			load, err := probe(n.URL)
+			results <- probeResult{id: n.ID, load: load, err: err}
 		}(n)
 	}
 	now := time.Now()
@@ -282,6 +292,7 @@ func (c *Cluster) tick() {
 		if p, ok := c.peers[r.id]; ok {
 			if r.err == nil {
 				p.alive, p.failures, p.lastSeen, p.lastErr = true, 0, now, ""
+				p.load = r.load
 			} else {
 				p.failures++
 				p.lastErr = r.err.Error()
@@ -325,15 +336,38 @@ func (c *Cluster) maybeReload() {
 	c.mu.Unlock()
 }
 
-// httpProbe is the default liveness check: any HTTP response from
-// <url>/readyz counts as alive (a shedding node still owns its shard).
-func (c *Cluster) httpProbe(url string) error {
+// readyzLoad is the minimal slice of serve's /readyz reply the default
+// probe decodes (this package cannot import serve — serve imports
+// cluster): the per-model admission counters whose sum is the node's
+// current explain load.
+type readyzLoad struct {
+	Models []struct {
+		Inflight int `json:"inflight"`
+		Waiting  int `json:"waiting"`
+	} `json:"models"`
+}
+
+// httpProbe is the default liveness + load check: any HTTP response
+// from <url>/readyz counts as alive (a shedding node still owns its
+// shard), and the body's admission counters — in-flight plus queued
+// across all models — become the peer's load. A body that fails to
+// parse (older node, proxy error page) degrades gracefully to load 0
+// rather than marking the peer down.
+func (c *Cluster) httpProbe(url string) (int, error) {
 	resp, err := c.client.Get(url + "/readyz")
 	if err != nil {
-		return err
+		return 0, err
 	}
-	resp.Body.Close()
-	return nil
+	defer resp.Body.Close()
+	var rz readyzLoad
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rz); err != nil {
+		return 0, nil
+	}
+	load := 0
+	for _, m := range rz.Models {
+		load += m.Inflight + m.Waiting
+	}
+	return load, nil
 }
 
 // Self returns this node's membership record.
@@ -382,8 +416,11 @@ func (c *Cluster) ownersLocked(model string) []Node {
 }
 
 // Route decides how this node should handle a request for model: serve
-// locally when self is an owner, proxy to the first alive owner
-// otherwise, and fall back to local serving when every owner is down.
+// locally when self is an owner, proxy to the least-loaded alive owner
+// otherwise (load is the in-flight + queued work each owner reported on
+// its last probe; ties break in ring order, so equal-load routing
+// matches the old first-alive behavior exactly), and fall back to local
+// serving when every owner is down.
 func (c *Cluster) Route(model string) (Node, RouteDecision) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -393,10 +430,16 @@ func (c *Cluster) Route(model string) (Node, RouteDecision) {
 			return c.self, RouteLocal
 		}
 	}
+	var best *peerState
 	for _, id := range ids {
 		if p, ok := c.peers[id]; ok && p.alive {
-			return p.node, RouteProxy
+			if best == nil || p.load < best.load {
+				best = p
+			}
 		}
+	}
+	if best != nil {
+		return best.node, RouteProxy
 	}
 	return c.self, RouteFallback
 }
@@ -427,6 +470,7 @@ func (c *Cluster) Peers() []PeerStatus {
 			ID: p.node.ID, URL: p.node.URL,
 			Alive: p.alive, Failures: p.failures,
 			LastSeen: p.lastSeen, LastErr: p.lastErr,
+			Load: p.load,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -36,7 +36,7 @@ func TestParsePeers(t *testing.T) {
 }
 
 func TestNewRejectsUnknownSelf(t *testing.T) {
-	_, err := New(Config{Self: "zz", Nodes: threeNodes(), Probe: func(string) error { return nil }})
+	_, err := New(Config{Self: "zz", Nodes: threeNodes(), Probe: func(string) (int, error) { return 0, nil }})
 	if err == nil {
 		t.Fatal("self outside membership must error")
 	}
@@ -47,7 +47,7 @@ func TestNewRejectsUnknownSelf(t *testing.T) {
 func TestRouteDecisions(t *testing.T) {
 	c, err := New(Config{
 		Self: "a", Nodes: threeNodes(), Replication: 2,
-		Probe: func(string) error { return nil },
+		Probe: func(string) (int, error) { return 0, nil },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,13 +104,13 @@ func TestProbeLoopMarksDownAndRecovers(t *testing.T) {
 		Nodes:         threeNodes(),
 		ProbeInterval: 10 * time.Millisecond,
 		DownAfter:     2,
-		Probe: func(url string) error {
+		Probe: func(url string) (int, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if failing[url] {
-				return errors.New("dial refused")
+				return 0, errors.New("dial refused")
 			}
-			return nil
+			return 0, nil
 		},
 	})
 	if err != nil {
@@ -170,7 +170,7 @@ func TestMembersFileReload(t *testing.T) {
 		Self:          "a",
 		MembersFile:   path,
 		ProbeInterval: 10 * time.Millisecond,
-		Probe:         func(string) error { return nil },
+		Probe:         func(string) (int, error) { return 0, nil },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,5 +209,78 @@ func writeMembers(t *testing.T, path string, nodes []Node) {
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRouteLeastLoaded: with both remote owners alive, Route proxies to
+// the one reporting the lighter /readyz load, follows load shifts on
+// subsequent probe rounds, and breaks ties in ring order (the old
+// first-alive behavior).
+func TestRouteLeastLoaded(t *testing.T) {
+	loads := map[string]int{}
+	var mu sync.Mutex
+	c, err := New(Config{
+		Self: "a", Nodes: threeNodes(), Replication: 2,
+		Probe: func(url string) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return loads[url], nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a model both of whose owners are remote (ring placement is
+	// deterministic, so scan until one turns up).
+	var model string
+	var owners []Node
+	for i := 0; i < 1000 && model == ""; i++ {
+		m := fmt.Sprintf("web/rf/m%d", i)
+		own := c.Owners(m)
+		remote := len(own) == 2
+		for _, n := range own {
+			if n.ID == "a" {
+				remote = false
+			}
+		}
+		if remote {
+			model, owners = m, own
+		}
+	}
+	if model == "" {
+		t.Fatal("no fully remote model found")
+	}
+	primary, replica := owners[0], owners[1]
+
+	// Equal (zero) load: ring order wins, matching first-alive routing.
+	if n, d := c.Route(model); d != RouteProxy || n.ID != primary.ID {
+		t.Fatalf("equal load: %v via %v, want primary %s", n, d, primary.ID)
+	}
+	// Load up the primary; the next probe round shifts routing away.
+	mu.Lock()
+	loads[primary.URL] = 7
+	mu.Unlock()
+	c.tick()
+	if n, d := c.Route(model); d != RouteProxy || n.ID != replica.ID {
+		t.Fatalf("loaded primary: %v via %v, want replica %s", n, d, replica.ID)
+	}
+	// Load moves to the replica: routing follows back.
+	mu.Lock()
+	loads[primary.URL], loads[replica.URL] = 1, 9
+	mu.Unlock()
+	c.tick()
+	if n, d := c.Route(model); d != RouteProxy || n.ID != primary.ID {
+		t.Fatalf("loaded replica: %v via %v, want primary %s", n, d, primary.ID)
+	}
+	// A loaded owner still beats a dead light one.
+	c.ReportFailure(primary.ID, errors.New("connection refused"))
+	if n, d := c.Route(model); d != RouteProxy || n.ID != replica.ID {
+		t.Fatalf("dead primary: %v via %v, want replica %s", n, d, replica.ID)
+	}
+	// Peers surfaces the probed loads.
+	for _, p := range c.Peers() {
+		if p.ID == replica.ID && p.Load != 9 {
+			t.Fatalf("replica load = %d, want 9", p.Load)
+		}
 	}
 }

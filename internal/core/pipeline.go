@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nfvxai/internal/dataset"
@@ -18,6 +19,7 @@ import (
 	"nfvxai/internal/xai/counterfactual"
 	"nfvxai/internal/xai/perm"
 	"nfvxai/internal/xai/shap"
+	"nfvxai/internal/xai/xcache"
 )
 
 // Pipeline is the end-to-end explainable NFV analytics workflow: a trained
@@ -45,11 +47,25 @@ type Pipeline struct {
 	// to force deterministic budget-ladder decisions; 0 measures lazily.
 	// Set before serving starts — it is read without synchronization.
 	PredCostNs float64
+	// ResultCache, when non-nil, memoizes attributions content-addressed
+	// by (artifact digest, method, normalized options, instance) — see
+	// explain_cache.go. Like the knobs above it is set before serving
+	// (the registry attaches it under its own lock) and read without
+	// synchronization afterwards.
+	ResultCache *xcache.Cache
 
 	// The measured prediction cost is a property of the frozen model, so
 	// it is sampled once, on first demand.
 	costOnce sync.Once
 	costNs   float64
+
+	// The content digest is a property of the frozen model too: sha256 of
+	// the serialized artifact, computed once on first cache-aware explain.
+	// digestDone is set (with release ordering) after digestOnce runs, so
+	// DigestIfComputed can answer without forcing a serialization.
+	digestOnce sync.Once
+	digestDone atomic.Bool
+	digest     string
 
 	// Explainers are expensive to run but cheap to share: all the
 	// repository's explainers are stateless across Explain calls, so one
@@ -145,18 +161,7 @@ func (p *Pipeline) Explainer() (xai.Explainer, string) {
 // dropped. Unknown methods and capability mismatches surface as
 // xai.ErrUnknownMethod / xai.ErrUnsupportedModel.
 func (p *Pipeline) ExplainerFor(method string, opts xai.Options) (xai.Explainer, string, error) {
-	if method == "" {
-		method = DefaultMethod(p.Model)
-	}
-	if opts.Seed == 0 {
-		opts.Seed = p.Seed
-	}
-	if opts.Samples <= 0 && method == "kernelshap" {
-		opts.Samples = p.shapSamples()
-	}
-	// TopK shapes the caller's rendering, not the explainer; normalize it
-	// out so bit-identical explainers are not duplicated per topk value.
-	opts.TopK = 0
+	method, opts = p.NormalizeOptions(method, opts)
 	if p.DisableExplainerCache {
 		e, m, err := p.buildExplainer(method, opts)
 		if err != nil {
@@ -192,6 +197,28 @@ func (p *Pipeline) ExplainerFor(method string, opts xai.Options) (xai.Explainer,
 	}
 	p.explCache[key] = &cachedExplainer{e: e, method: m.Name, tick: p.explTick}
 	return e, m.Name, nil
+}
+
+// NormalizeOptions resolves an explain request to its canonical
+// (method, options) identity: an empty method selects the model's
+// default, a zero seed inherits p.Seed, a zero sample budget inherits
+// ShapSamples on the KernelSHAP path, and TopK — which shapes the
+// caller's rendering, not the explainer — is normalized out. The result
+// keys both the explainer LRU and the content-addressed result cache,
+// so two requests normalize equal iff they compute bit-identical
+// attributions. Idempotent.
+func (p *Pipeline) NormalizeOptions(method string, opts xai.Options) (string, xai.Options) {
+	if method == "" {
+		method = DefaultMethod(p.Model)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = p.Seed
+	}
+	if opts.Samples <= 0 && method == "kernelshap" {
+		opts.Samples = p.shapSamples()
+	}
+	opts.TopK = 0
+	return method, opts
 }
 
 // buildExplainer constructs a new explainer through the method registry.
@@ -282,10 +309,10 @@ func (p *Pipeline) PredictBatch(xs [][]float64) []float64 {
 }
 
 // ExplainInstance attributes the model's prediction at x with the default
-// explainer.
+// explainer, through the result cache when one is attached.
 func (p *Pipeline) ExplainInstance(ctx context.Context, x []float64) (xai.Attribution, string, error) {
 	e, method := p.Explainer()
-	attr, err := e.Explain(ctx, x)
+	attr, _, err := p.ExplainWith(ctx, e, method, xai.Options{}, x, false)
 	return attr, method, err
 }
 

@@ -164,15 +164,23 @@ func (r *Registry) adoptRecord(st Store, rec ModelRecord) (adoptAction, error) {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	action = r.decideAdoptLocked(rec)
 	if action == adoptSkip {
+		r.mu.Unlock()
 		return adoptSkip, nil
+	}
+	// An adoptSwap replaces a ready pipeline whose artifact digest is now
+	// unreachable through this registry; capture it so its result-cache
+	// entries can be released once the lock is down.
+	var old *core.Pipeline
+	if prev, ok := r.models[name]; ok {
+		old = prev.pipeline
 	}
 	// Install the remote state verbatim — spec, pipeline, lifecycle
 	// timestamps and retrain count mirror the owning node, so every
 	// replica reports the same /v1/models metadata. No store write
 	// happens here or after: the artifact and record came FROM the store.
+	r.attachCacheLocked(p)
 	r.models[name] = &entry{
 		spec:      sp,
 		status:    StatusReady,
@@ -189,6 +197,9 @@ func (r *Registry) adoptRecord(st Store, rec ModelRecord) (adoptAction, error) {
 	if r.defaultKey == "" {
 		r.defaultKey = name
 	}
+	c := r.xcache
+	r.mu.Unlock()
+	r.dropCacheEntries(old, c)
 	return action, nil
 }
 

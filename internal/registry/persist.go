@@ -332,6 +332,7 @@ func (r *Registry) restoreModel(rec ModelRecord) error {
 	if _, exists := r.models[sp.Name]; exists {
 		return fmt.Errorf("registry: %q: %w", sp.Name, ErrExists)
 	}
+	r.attachCacheLocked(p)
 	r.models[sp.Name] = &entry{
 		spec:      sp,
 		status:    StatusReady,

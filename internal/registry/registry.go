@@ -18,6 +18,7 @@ import (
 
 	"nfvxai/internal/core"
 	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/xai/xcache"
 )
 
 // Status is a model's lifecycle state.
@@ -298,6 +299,9 @@ type Registry struct {
 	// storeMu serializes manifest writes so concurrent retrains cannot
 	// interleave versions.
 	storeMu sync.Mutex
+	// xcache, when non-nil, is the explanation result cache attached to
+	// every installed pipeline (UseExplainCache).
+	xcache *xcache.Cache
 	// done, when non-nil, receives each finished background build's name
 	// (tests use it to wait without polling).
 	done chan<- string
@@ -341,6 +345,7 @@ func (r *Registry) AddReady(sp Spec, p *core.Pipeline, now time.Time) (string, e
 		r.mu.Unlock()
 		return "", fmt.Errorf("registry: %q: %w", sp.Name, ErrExists)
 	}
+	r.attachCacheLocked(p)
 	r.models[sp.Name] = &entry{
 		spec: sp, status: StatusReady, createdAt: now, readyAt: now, pipeline: p,
 	}
@@ -393,6 +398,7 @@ func (r *Registry) Create(sp Spec) (Entry, error) {
 		} else {
 			// Hot swap: readers holding a pipeline from a previous Lookup
 			// keep serving it; new lookups see the trained one.
+			r.attachCacheLocked(p)
 			e.status, e.pipeline, e.readyAt = StatusReady, p, time.Now()
 		}
 		done := r.done
@@ -445,11 +451,18 @@ func (r *Registry) Swap(name string, p *core.Pipeline, now time.Time) (int, erro
 		r.mu.Unlock()
 		return 0, fmt.Errorf("registry: swap %q is %s: %w", name, status, ErrNotReady)
 	}
+	old := e.pipeline
+	r.attachCacheLocked(p)
 	e.pipeline = p
 	e.readyAt = now
 	e.retrains++
 	retrains := e.retrains
+	c := r.xcache
 	r.mu.Unlock()
+	// The swapped-out artifact's digest can never be requested again —
+	// cache keys embed the digest — so its in-process entries are dead
+	// weight; release them (outside the lock, like the store write).
+	r.dropCacheEntries(old, c)
 	// Persist the retrained pipeline so a restart serves the adapted
 	// model, not the stale pre-drift one.
 	r.reportStoreErr(r.persistModel(name))

@@ -1,0 +1,59 @@
+package registry
+
+import (
+	"nfvxai/internal/core"
+	"nfvxai/internal/xai/xcache"
+)
+
+// UseExplainCache attaches the process-wide explanation result cache:
+// every pipeline the registry currently serves or later installs
+// (AddReady, background builds, Swap, warm start, manifest adoption)
+// gets it as its ResultCache. Invalidation is structural — cache keys
+// embed the artifact digest, never the model name — so nothing is
+// flushed here or on retrain; the registry's only cache duty is dropping
+// a swapped-out pipeline's dead-digest entries to bound memory.
+//
+// Call before serving starts, like UseStore: attachment writes
+// Pipeline.ResultCache, which live explain paths read unsynchronized.
+func (r *Registry) UseExplainCache(c *xcache.Cache) {
+	r.mu.Lock()
+	r.xcache = c
+	for _, e := range r.models {
+		if e.pipeline != nil {
+			e.pipeline.ResultCache = c
+		}
+	}
+	r.mu.Unlock()
+}
+
+// ExplainCache returns the attached result cache, or nil.
+func (r *Registry) ExplainCache() *xcache.Cache {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.xcache
+}
+
+// attachCacheLocked wires the result cache into a pipeline about to be
+// installed. Callers hold r.mu.
+func (r *Registry) attachCacheLocked(p *core.Pipeline) {
+	if p != nil && r.xcache != nil {
+		p.ResultCache = r.xcache
+	}
+}
+
+// dropCacheEntries releases the in-process cache entries of a pipeline
+// that just left the serving set (hot swap, manifest adoption). Its
+// digest can never be requested again through this registry, so the
+// entries are pure memory waste — but only a pipeline that actually
+// served cache-aware explains has a computed digest, and one that never
+// did must not pay a serialization on its way out (DigestIfComputed).
+// Runs strictly after r.mu is released: DropDigest walks every cache
+// shard, and shard locks must never nest inside the registry state lock.
+func (r *Registry) dropCacheEntries(old *core.Pipeline, c *xcache.Cache) {
+	if old == nil || c == nil {
+		return
+	}
+	if digest, ok := old.DigestIfComputed(); ok {
+		c.DropDigest(digest)
+	}
+}

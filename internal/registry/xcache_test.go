@@ -1,0 +1,131 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/xai"
+	"nfvxai/internal/xai/xcache"
+)
+
+func cacheKey(digest string, i int) xcache.Key {
+	return xcache.Key{Digest: digest, Method: "kernelshap", Opts: "o", Instance: string(rune('a' + i))}
+}
+
+// TestSwapDropsOldDigestEntries pins the swap-time invalidation
+// contract: invalidation is structural (the new artifact has a new
+// digest and simply misses), but Swap must still release the retired
+// digest's in-process entries — they can never be requested again and
+// are pure memory waste. Run with -race: readers hammer the cache while
+// the swap drops.
+func TestSwapDropsOldDigestEntries(t *testing.T) {
+	r := New()
+	c := xcache.New(xcache.Config{})
+	r.UseExplainCache(c)
+	if r.ExplainCache() != c {
+		t.Fatal("ExplainCache getter")
+	}
+
+	oldPipe := &core.Pipeline{}
+	if _, err := r.AddReady(Spec{Scenario: "web", Model: "rf", Target: "util"}, oldPipe, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	oldDigest := oldPipe.ContentDigest() // as the first explain would
+	keep := &core.Pipeline{}
+	if _, err := r.AddReady(Spec{Scenario: "nat", Model: "rf", Target: "util"}, keep, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	keepDigest := keep.ContentDigest()
+
+	attr := xai.Attribution{Phi: []float64{1, 2}}
+	for i := 0; i < 16; i++ {
+		c.Put(cacheKey(oldDigest, i), attr)
+		c.Put(cacheKey(keepDigest, i), attr)
+	}
+
+	// Concurrent readers across the swap: -race proves the shard locks
+	// and the drop path compose.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Get(cacheKey(oldDigest, 3))
+					c.Get(cacheKey(keepDigest, 3))
+				}
+			}
+		}()
+	}
+
+	newPipe := &core.Pipeline{}
+	if _, err := r.Swap("web/rf/util", newPipe, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	for i := 0; i < 16; i++ {
+		if _, ok := c.Get(cacheKey(oldDigest, i)); ok {
+			t.Fatalf("entry %d for the retired digest survived the swap", i)
+		}
+		if _, ok := c.Get(cacheKey(keepDigest, i)); !ok {
+			t.Fatalf("entry %d for the untouched model was dropped", i)
+		}
+	}
+	if c.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", c.Len())
+	}
+}
+
+// TestSwapWithoutDigestIsFree: swapping out a pipeline that never served
+// a cache-aware explain must not force an artifact serialization just to
+// find entries that cannot exist.
+func TestSwapWithoutDigestIsFree(t *testing.T) {
+	r := New()
+	c := xcache.New(xcache.Config{})
+	r.UseExplainCache(c)
+	p := &core.Pipeline{}
+	if _, err := r.AddReady(Spec{Scenario: "web", Model: "rf", Target: "util"}, p, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.DigestIfComputed(); ok {
+		t.Fatal("digest must not be computed by registration alone")
+	}
+	if _, err := r.Swap("web/rf/util", &core.Pipeline{}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.DigestIfComputed(); ok {
+		t.Fatal("swap must not force the retired pipeline's digest")
+	}
+}
+
+// TestUseExplainCacheAttachesExisting: attaching a cache after models
+// are registered wires every live pipeline, and later additions inherit
+// it.
+func TestUseExplainCacheAttachesExisting(t *testing.T) {
+	r := New()
+	p1 := &core.Pipeline{}
+	if _, err := r.AddReady(Spec{Scenario: "web", Model: "rf", Target: "util"}, p1, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c := xcache.New(xcache.Config{})
+	r.UseExplainCache(c)
+	if p1.ResultCache != c {
+		t.Fatal("existing pipeline not attached")
+	}
+	p2 := &core.Pipeline{}
+	if _, err := r.AddReady(Spec{Scenario: "nat", Model: "rf", Target: "util"}, p2, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if p2.ResultCache != c {
+		t.Fatal("later pipeline not attached")
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+// The explanation result cache's serving surface: every explain response
+// is tagged X-Cache (hit | miss | coalesced | bypass), per-model counters
+// ride on /readyz, and GET /v1/cachez exposes the full global +
+// per-artifact picture.
+
+import (
+	"net/http"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/registry"
+	"nfvxai/internal/xai/xcache"
+)
+
+// HeaderCache is the response header naming how an explain was served.
+const HeaderCache = "X-Cache"
+
+// setCacheHeader tags the response when a result cache is attached; an
+// uncached deployment emits no header at all, preserving the pre-cache
+// wire surface byte for byte.
+func setCacheHeader(w http.ResponseWriter, p *core.Pipeline, outcome string) {
+	if p.ResultCache != nil {
+		w.Header().Set(HeaderCache, outcome)
+	}
+}
+
+// batchOutcome collapses a batch's cache tally to one header value: any
+// bypassed instance marks the batch bypass, any computed instance marks
+// it miss, a batch served entirely without computing is coalesced when
+// any instance joined a flight and hit when all came from the cache.
+func batchOutcome(st core.BatchCacheStats) string {
+	switch {
+	case st.Bypassed > 0:
+		return xcache.OutcomeBypass.String()
+	case st.Misses > 0:
+		return xcache.OutcomeMiss.String()
+	case st.Coalesced > 0:
+		return xcache.OutcomeCoalesced.String()
+	default:
+		return xcache.OutcomeHit.String()
+	}
+}
+
+// ModelCacheHealth is one model's slice of the result-cache counters, as
+// reported on /readyz and /v1/cachez. Counters are per artifact digest —
+// a cache entry is keyed by artifact digest, never by model name — so a
+// freshly retrained model starts from zero while its predecessor's
+// counters age out with the dropped digest.
+type ModelCacheHealth struct {
+	Digest    string `json:"digest"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Coalesced int64  `json:"coalesced"`
+	Evicted   int64  `json:"evicted"`
+	Entries   int64  `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// modelCacheHealth resolves one ready pipeline's counters without
+// forcing work: a pipeline that never served a cache-aware explain has
+// no digest yet (DigestIfComputed) and reports nothing.
+func modelCacheHealth(c *xcache.Cache, p *core.Pipeline) *ModelCacheHealth {
+	if c == nil || p == nil {
+		return nil
+	}
+	digest, ok := p.DigestIfComputed()
+	if !ok {
+		return nil
+	}
+	ds, ok := c.DigestStatsFor(digest)
+	if !ok {
+		return &ModelCacheHealth{Digest: digest}
+	}
+	return &ModelCacheHealth{
+		Digest:    ds.Digest,
+		Hits:      ds.Hits,
+		Misses:    ds.Misses,
+		Coalesced: ds.Coalesced,
+		Evicted:   ds.Evicted,
+		Entries:   ds.Entries,
+		Bytes:     ds.Bytes,
+	}
+}
+
+// CachezModel pairs a model name with its per-digest counters.
+type CachezModel struct {
+	Name string `json:"name"`
+	ModelCacheHealth
+}
+
+// CachezResponse is the GET /v1/cachez reply.
+type CachezResponse struct {
+	// Enabled is false (with everything else zero) when no result cache
+	// is attached.
+	Enabled bool         `json:"enabled"`
+	Global  xcache.Stats `json:"global,omitempty"`
+	// Models lists every ready model whose artifact has touched the
+	// cache. Digests with no live model (recently swapped out, tier-2
+	// only) appear under digests instead.
+	Models []CachezModel `json:"models,omitempty"`
+	// Digests is the raw per-artifact view, including digests no model
+	// currently maps to.
+	Digests []xcache.DigestStats `json:"digests,omitempty"`
+}
+
+func (s *Server) handleCachez(w http.ResponseWriter, _ *http.Request) {
+	c := s.reg.ExplainCache()
+	if c == nil {
+		writeJSON(w, http.StatusOK, CachezResponse{})
+		return
+	}
+	resp := CachezResponse{Enabled: true, Global: c.Stats(), Digests: c.PerDigest()}
+	for _, e := range s.reg.List() {
+		if e.Status != registry.StatusReady || e.Pipeline == nil {
+			continue
+		}
+		if mh := modelCacheHealth(c, e.Pipeline); mh != nil {
+			resp.Models = append(resp.Models, CachezModel{Name: e.Spec.Name, ModelCacheHealth: *mh})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"nfvxai/internal/core"
+	"nfvxai/internal/nfv/telemetry"
+	"nfvxai/internal/registry"
+	"nfvxai/internal/xai/xcache"
+)
+
+// cachedServer builds a server over a fresh pipeline (NOT the shared
+// test fixture — these tests mutate cache state) with an explanation
+// result cache attached to its registry.
+func cachedServer(t *testing.T, cfg xcache.Config) (*httptest.Server, *core.Pipeline, *xcache.Cache) {
+	t.Helper()
+	ds, err := core.WebScenario().GenerateDataset(1, 1, telemetry.TargetBottleneckUtil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPipeline(core.ModelForest, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ShapSamples = 128
+	reg := registry.New()
+	if _, err := reg.AddReady(registry.Spec{Name: "default"}, p, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c := xcache.New(cfg)
+	reg.UseExplainCache(c)
+	s := NewServer(reg)
+	// The coalescing test fires 64 identical requests at once; admission
+	// must admit them all so the cache — not the shed path — absorbs the
+	// stampede.
+	s.MaxInflight = 64
+	t.Cleanup(func() { s.Close() })
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv, p, c
+}
+
+// TestExplainCacheHeaderLifecycle: miss → hit → bypass on the X-Cache
+// header, with /v1/cachez and /readyz counters tracking each step.
+func TestExplainCacheHeaderLifecycle(t *testing.T) {
+	srv, p, c := cachedServer(t, xcache.Config{})
+	x := p.Test.X[0]
+
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "miss" {
+		t.Fatalf("first explain X-Cache = %q, want miss", got)
+	}
+	first := decode[ExplainResponse](t, resp)
+
+	resp = postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "hit" {
+		t.Fatalf("second explain X-Cache = %q, want hit", got)
+	}
+	second := decode[ExplainResponse](t, resp)
+	if len(first.Contributions) == 0 || len(first.Contributions) != len(second.Contributions) {
+		t.Fatalf("contribution counts %d vs %d", len(first.Contributions), len(second.Contributions))
+	}
+	for j, fc := range first.Contributions {
+		if sc := second.Contributions[j]; sc.Feature != fc.Feature || sc.Phi != fc.Phi {
+			t.Fatalf("cached contribution[%d] = %+v, fresh %+v (not bit-identical)", j, sc, fc)
+		}
+	}
+	if second.Prediction != first.Prediction || second.Base != first.Base {
+		t.Fatal("cached prediction/base drift")
+	}
+
+	resp = postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x, "no_cache": true})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "bypass" {
+		t.Fatalf("no_cache explain X-Cache = %q, want bypass", got)
+	}
+	resp.Body.Close()
+
+	// /v1/cachez: one compute, one hit, entries > 0, model mapped.
+	cz := decode[CachezResponse](t, getJSON(t, srv, "/v1/cachez"))
+	if !cz.Enabled {
+		t.Fatal("cachez must report enabled")
+	}
+	if cz.Global.Misses != 1 || cz.Global.Hits != 1 || cz.Global.Entries != 1 {
+		t.Fatalf("cachez global: %+v", cz.Global)
+	}
+	if len(cz.Models) != 1 || cz.Models[0].Name != "default" {
+		t.Fatalf("cachez models: %+v", cz.Models)
+	}
+	digest, ok := p.DigestIfComputed()
+	if !ok || cz.Models[0].Digest != digest {
+		t.Fatalf("cachez digest %q, pipeline %q (%v)", cz.Models[0].Digest, digest, ok)
+	}
+
+	// /readyz: the same counters ride on the model's health entry.
+	rz := decode[ReadyResponse](t, getJSON(t, srv, "/readyz"))
+	if len(rz.Models) != 1 || rz.Models[0].Cache == nil {
+		t.Fatalf("readyz cache block missing: %+v", rz.Models)
+	}
+	mc := rz.Models[0].Cache
+	if mc.Digest != digest || mc.Hits != 1 || mc.Misses != 1 {
+		t.Fatalf("readyz cache: %+v", mc)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("stats misses = %d (bypass must not compute through the cache)", st.Misses)
+	}
+}
+
+// TestUncachedServerKeepsWireSurface: without a cache there is no
+// X-Cache header, /v1/cachez reports disabled, and /readyz has no cache
+// block — the pre-cache wire surface byte for byte.
+func TestUncachedServerKeepsWireSurface(t *testing.T) {
+	srv := httptest.NewServer(New(pipeline(t)))
+	defer srv.Close()
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": pipeline(t).Test.X[0]})
+	wantStatus(t, resp, 200)
+	if _, ok := resp.Header[HeaderCache]; ok {
+		t.Fatalf("uncached deployment must emit no X-Cache header, got %q", resp.Header.Get(HeaderCache))
+	}
+	resp.Body.Close()
+	cz := decode[CachezResponse](t, getJSON(t, srv, "/v1/cachez"))
+	if cz.Enabled {
+		t.Fatal("cachez must report disabled")
+	}
+	rz := decode[ReadyResponse](t, getJSON(t, srv, "/readyz"))
+	if rz.Models[0].Cache != nil {
+		t.Fatal("readyz must carry no cache block")
+	}
+}
+
+// TestBatchExplainCacheSplit: a batch mixing cached, duplicate and new
+// instances reports the split and tags the response with the collapsed
+// outcome.
+func TestBatchExplainCacheSplit(t *testing.T) {
+	srv, p, _ := cachedServer(t, xcache.Config{})
+	x0, x1 := p.Test.X[0], p.Test.X[1]
+
+	resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x0})
+	wantStatus(t, resp, 200)
+	resp.Body.Close()
+
+	resp = postJSON(t, srv, "/v1/models/default/explain", map[string]any{"instances": [][]float64{x0, x1, x1}})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "miss" {
+		t.Fatalf("batch with fresh instances X-Cache = %q, want miss", got)
+	}
+	br := decode[BatchExplainResponse](t, resp)
+	if br.Cache == nil {
+		t.Fatal("batch response must carry cache stats when a cache is attached")
+	}
+	if br.Cache.Hits != 1 || br.Cache.Misses+br.Cache.Coalesced != 2 {
+		t.Fatalf("batch cache split: %+v", br.Cache)
+	}
+	if br.Failed != 0 || len(br.Explanations) != 3 {
+		t.Fatalf("batch: failed %d, %d explanations", br.Failed, len(br.Explanations))
+	}
+
+	// Re-sending the same batch is served entirely from cache.
+	resp = postJSON(t, srv, "/v1/models/default/explain", map[string]any{"instances": [][]float64{x0, x1, x1}})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "hit" {
+		t.Fatalf("all-cached batch X-Cache = %q, want hit", got)
+	}
+	br = decode[BatchExplainResponse](t, resp)
+	if br.Cache == nil || br.Cache.Hits != 3 {
+		t.Fatalf("all-cached batch stats: %+v", br.Cache)
+	}
+
+	// no_cache on a batch bypasses wholesale.
+	resp = postJSON(t, srv, "/v1/models/default/explain", map[string]any{"instances": [][]float64{x0}, "no_cache": true})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "bypass" {
+		t.Fatalf("no_cache batch X-Cache = %q, want bypass", got)
+	}
+	resp.Body.Close()
+}
+
+// TestConcurrentIdenticalHTTPRequests pins the acceptance criterion at
+// the HTTP layer: 64 concurrent identical explain requests run exactly
+// one computation — one miss, 63 served as hits or coalesced joins.
+func TestConcurrentIdenticalHTTPRequests(t *testing.T) {
+	srv, p, c := cachedServer(t, xcache.Config{})
+	x := p.Test.X[3]
+	var wg sync.WaitGroup
+	outcomes := make([]string, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, srv, "/v1/models/default/explain", map[string]any{"features": x})
+			outcomes[i] = resp.Header.Get(HeaderCache)
+			if resp.StatusCode != 200 {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("computations = %d, want exactly 1 (64 identical requests must coalesce)", st.Misses)
+	}
+	if st.Hits+st.Coalesced != 63 {
+		t.Fatalf("hits %d + coalesced %d != 63", st.Hits, st.Coalesced)
+	}
+	var misses int
+	for _, o := range outcomes {
+		if o == "miss" {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("miss-tagged responses = %d, want 1", misses)
+	}
+}
+
+// TestTier2ServesAcrossNodes: two nodes sharing one blob bucket — node B
+// imports the same artifact and serves node A's computed explanation as
+// a hit without computing.
+func TestTier2ServesAcrossNodes(t *testing.T) {
+	blob := registry.NewMemBlob()
+	srvA, p, cA := cachedServer(t, xcache.Config{Tier2: blob})
+	x := p.Test.X[4]
+
+	resp := postJSON(t, srvA, "/v1/models/default/explain", map[string]any{"features": x})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "miss" {
+		t.Fatalf("node A X-Cache = %q", got)
+	}
+	want := decode[ExplainResponse](t, resp)
+	if st := cA.Stats(); st.Tier2Puts != 1 {
+		t.Fatalf("node A tier-2 puts = %d", st.Tier2Puts)
+	}
+
+	// Node B: same artifact bytes (save/load round trip preserves the
+	// content digest), fresh in-process cache, same bucket.
+	data, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := core.LoadPipeline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB := registry.New()
+	if _, err := regB.AddReady(registry.Spec{Name: "default"}, pB, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	cB := xcache.New(xcache.Config{Tier2: blob})
+	regB.UseExplainCache(cB)
+	sB := NewServer(regB)
+	t.Cleanup(func() { sB.Close() })
+	srvB := httptest.NewServer(sB)
+	defer srvB.Close()
+
+	resp = postJSON(t, srvB, "/v1/models/default/explain", map[string]any{"features": x})
+	wantStatus(t, resp, 200)
+	if got := resp.Header.Get(HeaderCache); got != "hit" {
+		t.Fatalf("node B first request X-Cache = %q, want hit (tier-2)", got)
+	}
+	got := decode[ExplainResponse](t, resp)
+	if len(got.Contributions) != len(want.Contributions) {
+		t.Fatalf("cross-node contribution counts %d vs %d", len(got.Contributions), len(want.Contributions))
+	}
+	for j, wc := range want.Contributions {
+		if gc := got.Contributions[j]; gc.Phi != wc.Phi || gc.Feature != wc.Feature {
+			t.Fatalf("cross-node contribution[%d] = %+v want %+v", j, gc, wc)
+		}
+	}
+	st := cB.Stats()
+	if st.Tier2Hits != 1 || st.Misses != 0 {
+		t.Fatalf("node B must serve from tier 2 without computing: %+v", st)
+	}
+}

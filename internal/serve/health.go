@@ -43,6 +43,10 @@ type ModelHealth struct {
 	Inflight int    `json:"inflight,omitempty"`
 	Waiting  int    `json:"waiting,omitempty"`
 	Shed     uint64 `json:"shed,omitempty"`
+	// Cache is this model's slice of the explanation result cache —
+	// hit/miss/coalesced/evicted counters keyed by its artifact digest
+	// (cachez.go); absent until the artifact first touches the cache.
+	Cache *ModelCacheHealth `json:"cache,omitempty"`
 }
 
 // ReadyResponse is the GET /readyz reply.
@@ -175,6 +179,7 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 			Retraining: s.retrainingModel(e.Spec.Name),
 		}
 		mh.Inflight, mh.Waiting, mh.Shed = adm.snapshot(e.Spec.Name)
+		mh.Cache = modelCacheHealth(s.reg.ExplainCache(), e.Pipeline)
 		resp.Models = append(resp.Models, mh)
 		if e.Spec.Name == resp.Default && e.Status == registry.StatusReady {
 			defaultServable = true

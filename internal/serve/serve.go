@@ -184,6 +184,9 @@ func NewServer(reg *registry.Registry) *Server {
 	// readiness detail; health.go).
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 
+	// The explanation result cache's observability surface (cachez.go).
+	s.mux.HandleFunc("GET /v1/cachez", s.handleCachez)
+
 	// Legacy unversioned aliases onto the default model.
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /schema", s.aliasGet(s.handleSchema))
@@ -644,6 +647,10 @@ type featureRequest struct {
 	// Zero inherits; the work runs under a context deadline and the
 	// degradation ladder fits the method to it.
 	BudgetMs int `json:"budget_ms,omitempty"`
+	// NoCache forces a fresh computation, bypassing the explanation
+	// result cache in both directions (no read, no store). The response
+	// is tagged X-Cache: bypass.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // MaxBudgetMs caps a request latency budget (10 minutes): beyond it, use
@@ -853,6 +860,9 @@ type BatchExplainResponse struct {
 	// Anytime carries the request-level budget/ladder decision; per-item
 	// progress is on each explanation.
 	Anytime *AnytimeInfo `json:"anytime,omitempty"`
+	// Cache tallies how the batch was served (hits never touched the
+	// worker pool); present when a result cache is attached.
+	Cache *core.BatchCacheStats `json:"cache,omitempty"`
 }
 
 func explainResponse(p *core.Pipeline, attr xai.Attribution, x []float64, method string, topK int, withReport, evaluate bool) ExplainResponse {
@@ -1001,8 +1011,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 		}
 		// One server-wide gate bounds explain concurrency: K simultaneous
 		// batch requests share cap(gate) workers rather than each spawning
-		// a GOMAXPROCS pool and oversubscribing the cores.
-		attrs, errs := xai.ExplainBatchGatedErrs(ctx, e, req.Instances, s.ensureGate())
+		// a GOMAXPROCS pool and oversubscribing the cores. The cache-aware
+		// path serves tier-1 hits without consuming gate slots and fans
+		// only the misses out (single-flighted across concurrent batches).
+		attrs, errs, cstats := p.ExplainBatchWith(ctx, e, method, opts, req.Instances, s.ensureGate(), req.NoCache)
+		setCacheHeader(w, p, batchOutcome(cstats))
 		nOK, failed := 0, 0
 		var firstErr error
 		for _, ie := range errs {
@@ -1052,6 +1065,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 			wg.Wait()
 		}
 		resp := BatchExplainResponse{Method: method, Count: len(attrs), Failed: failed}
+		if p.ResultCache != nil {
+			cs := cstats
+			resp.Cache = &cs
+		}
 		for i, attr := range attrs {
 			if errs[i] != nil {
 				resp.Explanations = append(resp.Explanations, ExplainResponse{Error: explainErrorLabel(errs[i])})
@@ -1069,11 +1086,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	attr, err := e.Explain(ctx, req.Features)
+	attr, outcome, err := p.ExplainWith(ctx, e, method, opts, req.Features, req.NoCache)
 	if err != nil {
 		writeExplainFailure(w, err, budget)
 		return
 	}
+	setCacheHeader(w, p, outcome.String())
 	resp := explainResponse(p, attr, req.Features, method, topK, true, req.Evaluate)
 	resp.Anytime = decorateAnytime(resp.Anytime, plan, budget)
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,76 @@
+// Pooled scratch buffers for the KernelSHAP hot path. One Explain call
+// allocates three large transient regions — the coalition-mask backing
+// (budget × d bools), the coalition values, and either the perturbed-row
+// block (generic evaluator) or the per-background accumulator (masked
+// tree evaluator). Under a serving workload those are re-allocated for
+// every request; sync.Pool recycles them across calls and across the
+// progressive estimator's blocks.
+//
+// Zeroing discipline: the mask backing MUST be cleared before a draw —
+// sampleCoalitionsBuf only sets true bits (complement masks overwrite
+// fully, primary masks do not), so stale bits from a previous draw would
+// corrupt the coalition distribution. The treefast accumulator MUST be
+// cleared because it is written with +=. The generic evaluator's row and
+// prediction buffers, and the coalition values, are fully overwritten on
+// every use and are handed out dirty.
+package shap
+
+import "sync"
+
+// coalitionBuf holds one sampling draw's storage: the flat bool backing
+// the masks are carved from, the mask and weight headers, and the
+// coalition-value vector sized to the draw.
+type coalitionBuf struct {
+	backing []bool
+	masks   [][]bool
+	weights []float64
+	vals    []float64
+}
+
+var coalitionPool = sync.Pool{New: func() any { return new(coalitionBuf) }}
+
+func getCoalitionBuf() *coalitionBuf { return coalitionPool.Get().(*coalitionBuf) }
+
+// release returns the buffer to the pool. The caller must be done with
+// every mask, weight and value slice handed out from it: they alias the
+// pooled storage and will be scribbled over by the next draw.
+func (b *coalitionBuf) release() { coalitionPool.Put(b) }
+
+// valsFor returns a coalition-value slice of length n. Contents are
+// undefined; every evaluator writes all n entries before reading any.
+func (b *coalitionBuf) valsFor(n int) []float64 {
+	if cap(b.vals) < n {
+		b.vals = make([]float64, n)
+	}
+	return b.vals[:n]
+}
+
+// evalBuf is the generic batched evaluator's block scratch: the flat
+// row backing, the row headers re-carved per call (d varies between
+// models sharing the pool), and the prediction vector.
+type evalBuf struct {
+	backing []float64
+	rows    [][]float64
+	preds   []float64
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalBuf) }}
+
+// accPool recycles the masked tree evaluator's (background × coalition)
+// accumulator — the single largest allocation of a forest Explain.
+var accPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getAcc returns a zeroed accumulator of length n (it is accumulated
+// into with +=, so stale sums must be cleared).
+func getAcc(n int) *[]float64 {
+	p := accPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	} else {
+		*p = (*p)[:n]
+		clear(*p)
+	}
+	return p
+}
+
+func putAcc(p *[]float64) { accPool.Put(p) }

@@ -71,6 +71,11 @@ func (k *Kernel) explainProgressive(ctx context.Context, x []float64, base, fx f
 	deadline, _ := ctx.Deadline()
 
 	rng := rand.New(rand.NewSource(k.Seed + 0x9E3779B9))
+	// One pooled draw buffer serves every block: each sampleCoalitionsBuf
+	// call clears and re-carves it, and no block reads a predecessor's
+	// masks or vals.
+	buf := getCoalitionBuf()
+	defer buf.release()
 	mean := make([]float64, d)
 	m2 := make([]float64, d)
 	blocks, used := 0, 0
@@ -94,8 +99,8 @@ func (k *Kernel) explainProgressive(ctx context.Context, x []float64, base, fx f
 			n = rem
 		}
 		start := time.Now()
-		masks, weights := sampleCoalitionsFrom(rng, d, n)
-		vals := make([]float64, len(masks))
+		masks, weights := sampleCoalitionsBuf(rng, d, n, buf)
+		vals := buf.valsFor(len(masks))
 		if err := k.evalCoalitions(ctx, x, masks, vals); err != nil {
 			if blocks > 0 && errors.Is(err, context.DeadlineExceeded) {
 				break

@@ -134,16 +134,20 @@ func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, err
 	if _, hasDeadline := ctx.Deadline(); hasDeadline && !k.RowAtATime {
 		return k.explainProgressive(ctx, x, base, fx, budget)
 	}
+	// Pooled draw scratch: masks and vals alias buf until release, which
+	// is safe because solvePhi below copies nothing out of them.
+	buf := getCoalitionBuf()
+	defer buf.release()
 	var masks [][]bool
 	var weights []float64
 	if total := (1 << uint(d)) - 2; d <= 20 && total <= budget {
 		masks, weights = enumerateCoalitions(d)
 	} else {
-		masks, weights = sampleCoalitions(d, budget, k.Seed)
+		masks, weights = sampleCoalitionsBuf(rand.New(rand.NewSource(k.Seed+0x9E3779B9)), d, budget, buf)
 	}
 
 	// Evaluate the value function for every coalition.
-	vals := make([]float64, len(masks))
+	vals := buf.valsFor(len(masks))
 	if k.RowAtATime {
 		for i, m := range masks {
 			if err := xai.Canceled(ctx, "shap"); err != nil {
@@ -277,12 +281,26 @@ func (k *Kernel) evalCoalitions(ctx context.Context, x []float64, masks [][]bool
 		perBlock = 1
 	}
 	rowsCap := perBlock * nb
-	backing := make([]float64, rowsCap*d)
-	rows := make([][]float64, rowsCap)
+	// Pooled block scratch: rows are fully rewritten (copy + overrides)
+	// and preds fully rewritten before any read, so no zeroing; the row
+	// headers are re-carved because d differs between pooled users.
+	eb := evalPool.Get().(*evalBuf)
+	defer evalPool.Put(eb)
+	if cap(eb.backing) < rowsCap*d {
+		eb.backing = make([]float64, rowsCap*d)
+	}
+	backing := eb.backing[:rowsCap*d]
+	if cap(eb.rows) < rowsCap {
+		eb.rows = make([][]float64, rowsCap)
+	}
+	rows := eb.rows[:rowsCap]
 	for r := range rows {
 		rows[r] = backing[r*d : (r+1)*d]
 	}
-	preds := make([]float64, rowsCap)
+	if cap(eb.preds) < rowsCap {
+		eb.preds = make([]float64, rowsCap)
+	}
+	preds := eb.preds[:rowsCap]
 	kept := make([]int, 0, d) // mask-true feature indices, rebuilt per coalition
 	for lo := 0; lo < len(masks); lo += perBlock {
 		if err := xai.Canceled(ctx, "shap"); err != nil {
@@ -378,17 +396,46 @@ func sampleCoalitions(d, budget int, seed int64) ([][]bool, []float64) {
 // preceded them, which is what makes partial results reproducible for a
 // fixed seed and block count.
 func sampleCoalitionsFrom(rng *rand.Rand, d, budget int) ([][]bool, []float64) {
+	return sampleCoalitionsBuf(rng, d, budget, nil)
+}
+
+// sampleCoalitionsBuf is sampleCoalitionsFrom drawing into buf's pooled
+// storage when buf is non-nil (fresh allocations otherwise). The
+// returned masks alias buf.backing and are valid only until the buffer
+// is released. The draw itself is identical either way: storage reuse
+// never changes which coalitions a given rng stream produces.
+func sampleCoalitionsBuf(rng *rand.Rand, d, budget int, buf *coalitionBuf) ([][]bool, []float64) {
 	// Size distribution p(s) ∝ (d−1)/(s(d−s)) for s in 1..d−1.
 	sizeW := make([]float64, d)
 	for s := 1; s < d; s++ {
 		sizeW[s] = float64(d-1) / (float64(s) * float64(d-s))
 	}
 	sizeWSum := sum(sizeW) // invariant across draws; hoisted out of the loop
-	masks := make([][]bool, 0, budget)
-	weights := make([]float64, 0, budget)
-	// One backing array carved into per-mask slices: a single allocation
-	// for the whole draw instead of one (or two) per iteration.
-	backing := make([]bool, budget*d)
+	var masks [][]bool
+	var weights []float64
+	var backing []bool
+	if buf != nil {
+		if cap(buf.backing) < budget*d {
+			buf.backing = make([]bool, budget*d)
+		}
+		// The loop below only SETS bits on primary masks, so a reused
+		// backing must come in all-false.
+		backing = buf.backing[:budget*d]
+		clear(backing)
+		if cap(buf.masks) < budget {
+			buf.masks = make([][]bool, 0, budget)
+		}
+		if cap(buf.weights) < budget {
+			buf.weights = make([]float64, 0, budget)
+		}
+		masks, weights = buf.masks[:0], buf.weights[:0]
+	} else {
+		masks = make([][]bool, 0, budget)
+		weights = make([]float64, 0, budget)
+		// One backing array carved into per-mask slices: a single allocation
+		// for the whole draw instead of one (or two) per iteration.
+		backing = make([]bool, budget*d)
+	}
 	nextMask := func() []bool {
 		m := backing[:d:d]
 		backing = backing[d:]
@@ -424,6 +471,11 @@ func sampleCoalitionsFrom(rng *rand.Rand, d, budget int) ([][]bool, []float64) {
 			masks = append(masks, c)
 			weights = append(weights, 1)
 		}
+	}
+	if buf != nil {
+		// Keep the (possibly regrown) headers so the next draw from this
+		// buffer reuses their capacity.
+		buf.masks, buf.weights = masks, weights
 	}
 	return masks, weights
 }

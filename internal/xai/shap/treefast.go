@@ -165,8 +165,12 @@ func (e *maskedEvaluator) evalCoalitions(ctx context.Context, x []float64, bg []
 	nb := len(bg)
 	// acc[bi*nc+ci] accumulates Σ_t w_t·tree_t(hybrid); the bi-major
 	// layout keeps each (tree, background) sweep writing one contiguous
-	// nc-length stripe.
-	acc := make([]float64, nb*nc)
+	// nc-length stripe. Pooled (and therefore pre-cleared — it is
+	// written with +=): this is the largest allocation of a forest
+	// Explain, nb·nc floats per call.
+	accp := getAcc(nb * nc)
+	defer putAcc(accp)
+	acc := *accp
 	var r reduced
 	for bi, b := range bg {
 		if err := xai.Canceled(ctx, "shap"); err != nil {

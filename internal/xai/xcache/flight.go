@@ -1,0 +1,129 @@
+package xcache
+
+import (
+	"context"
+	"errors"
+
+	"nfvxai/internal/xai"
+)
+
+// Outcome classifies how one request through Do (or the pipeline's
+// cache-aware paths) was served. Its String form is what the serving
+// layer reports in the X-Cache response header.
+type Outcome uint8
+
+const (
+	// OutcomeBypass: the request never touched the cache (no cache
+	// configured, non-deterministic method, or an explicit no_cache).
+	OutcomeBypass Outcome = iota
+	// OutcomeMiss: this request ran the underlying computation.
+	OutcomeMiss
+	// OutcomeHit: served from tier 1 or tier 2 without computing.
+	OutcomeHit
+	// OutcomeCoalesced: joined an identical in-flight computation and
+	// received the leader's result.
+	OutcomeCoalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCoalesced:
+		return "coalesced"
+	default:
+		return "bypass"
+	}
+}
+
+// call is one in-flight computation; followers block on done and then
+// read attr/err. Fields are written exactly once, before close(done).
+type call struct {
+	done chan struct{}
+	attr xai.Attribution
+	err  error
+}
+
+// Do returns the cached attribution for k, computing it via compute on a
+// miss. Concurrent Do calls for the same key coalesce: one leader runs
+// compute under its own context while followers wait on the leader's
+// result (inheriting its budget semantics — a converged-early or partial
+// anytime result fans out as-is). The result is stored only when
+// Cacheable; callers gate method-level determinism before calling Do.
+//
+// A follower whose own context expires stops waiting with its context
+// error. If the leader fails with a context error (its budget, not the
+// follower's), a follower whose context is still live retries as the new
+// leader instead of inheriting a foreign timeout.
+func (c *Cache) Do(ctx context.Context, k Key, compute func(context.Context) (xai.Attribution, error)) (xai.Attribution, Outcome, error) {
+	ks := k.String()
+	for {
+		if attr, ok := c.Get(k); ok {
+			return attr, OutcomeHit, nil
+		}
+		c.flightMu.Lock()
+		if f, ok := c.flight[ks]; ok {
+			c.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					c.coalesced.Add(1)
+					c.digCounters(k.Digest).coalesced.Add(1)
+					return f.attr, OutcomeCoalesced, nil
+				}
+				if isCtxErr(f.err) && ctx.Err() == nil {
+					continue
+				}
+				return xai.Attribution{}, OutcomeCoalesced, f.err
+			case <-ctx.Done():
+				return xai.Attribution{}, OutcomeCoalesced, ctx.Err()
+			}
+		}
+		f := &call{done: make(chan struct{})}
+		c.flight[ks] = f
+		c.flightMu.Unlock()
+
+		attr, outcome, err := c.lead(ctx, k, ks, compute)
+
+		f.attr, f.err = attr, err
+		c.flightMu.Lock()
+		delete(c.flight, ks)
+		c.flightMu.Unlock()
+		close(f.done)
+		return attr, outcome, err
+	}
+}
+
+// lead runs the leader's side of one flight: consult tier 2, else
+// compute, then populate both tiers when the result is cacheable. No
+// shard lock is held anywhere in this path — tier-2 Store I/O and the
+// model computation run lock-free by construction.
+func (c *Cache) lead(ctx context.Context, k Key, ks string, compute func(context.Context) (xai.Attribution, error)) (xai.Attribution, Outcome, error) {
+	if c.tier2 != nil {
+		if attr, ok := c.tier2Get(k); ok {
+			c.Put(k, attr)
+			c.hits.Add(1)
+			c.digCounters(k.Digest).hits.Add(1)
+			return attr, OutcomeHit, nil
+		}
+	}
+	// One miss per underlying computation: misses counts computes,
+	// hits+misses+coalesced counts requests.
+	c.misses.Add(1)
+	c.digCounters(k.Digest).misses.Add(1)
+	attr, err := compute(ctx)
+	if err != nil {
+		return xai.Attribution{}, OutcomeMiss, err
+	}
+	if Cacheable(attr) {
+		c.Put(k, attr)
+		c.tier2Put(k, attr)
+	}
+	return attr, OutcomeMiss, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

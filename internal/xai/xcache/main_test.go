@@ -1,0 +1,9 @@
+package xcache
+
+import (
+	"testing"
+
+	"nfvxai/internal/testutil/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }
