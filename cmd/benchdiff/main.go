@@ -14,6 +14,9 @@
 //
 //   - any shared numeric "*_ns_op" field increasing by more than
 //     -threshold percent fails (lower is better);
+//   - any shared numeric "*_allocs_op" field increasing by more than
+//     -threshold percent fails (lower is better) — the zero-alloc
+//     kernel-plane work is gated the same way latency is;
 //   - a shared "speedup" field dropping by more than -threshold percent
 //     fails (higher is better);
 //   - independent of any comparison, a recorded "p99_within_bound":
@@ -28,9 +31,11 @@
 //	go test -bench . -count 1 ./internal/ml > new.txt
 //	benchdiff old.txt new.txt
 //
-// Benchmarks present in both files compare by ns/op; an increase beyond
-// -threshold percent fails. Benchmarks appearing or disappearing are
-// reported but never fail the gate (new benches land with new code).
+// Benchmarks present in both files compare by ns/op — and, when both
+// runs carried -benchmem, by allocs/op — with an increase beyond
+// -threshold percent failing either way. Benchmarks appearing or
+// disappearing are reported but never fail the gate (new benches land
+// with new code).
 package main
 
 import (
@@ -161,7 +166,7 @@ func comparePair(oldPath string, old map[string]any, newPath string, cur map[str
 			continue
 		}
 		switch {
-		case strings.HasSuffix(k, "_ns_op"):
+		case strings.HasSuffix(k, "_ns_op"), strings.HasSuffix(k, "_allocs_op"):
 			if pct := (nv - ov) / ov * 100; pct > threshold {
 				out = append(out, fmt.Sprintf("%s vs %s: %q %s %.4g -> %.4g (+%.1f%%)",
 					newPath, oldPath, pair, k, ov, nv, pct))
@@ -181,7 +186,18 @@ func toFloat(v any) (float64, bool) {
 	return f, ok
 }
 
-// diffBenchOutput compares two `go test -bench` text outputs by ns/op.
+// benchStat is one benchmark's averaged measurements from a -bench run.
+// allocs/op (and B/op, informational) are present only when the run
+// carried -benchmem.
+type benchStat struct {
+	ns        float64
+	bytes     float64
+	allocs    float64
+	hasMemory bool
+}
+
+// diffBenchOutput compares two `go test -bench` text outputs by ns/op
+// and — when both runs carry -benchmem columns — by allocs/op.
 func diffBenchOutput(oldPath, newPath string, threshold float64) ([]string, error) {
 	old, err := parseBenchOutput(oldPath)
 	if err != nil {
@@ -202,18 +218,34 @@ func diffBenchOutput(oldPath, newPath string, threshold float64) ([]string, erro
 
 	var regressions []string
 	for _, name := range names {
+		nv := cur[name]
 		ov, ok := old[name]
 		if !ok {
-			fmt.Printf("%-60s new (%.4g ns/op)\n", name, cur[name])
+			fmt.Printf("%-60s new (%.4g ns/op)\n", name, nv.ns)
 			continue
 		}
-		nv := cur[name]
-		pct := (nv - ov) / ov * 100
-		fmt.Printf("%-60s %.4g -> %.4g ns/op (%+.1f%%)\n", name, ov, nv, pct)
+		pct := (nv.ns - ov.ns) / ov.ns * 100
+		line := fmt.Sprintf("%-60s %.4g -> %.4g ns/op (%+.1f%%)", name, ov.ns, nv.ns, pct)
 		if pct > threshold {
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %.4g -> %.4g ns/op (+%.1f%%)", name, ov, nv, pct))
+				fmt.Sprintf("%s: %.4g -> %.4g ns/op (+%.1f%%)", name, ov.ns, nv.ns, pct))
 		}
+		if ov.hasMemory && nv.hasMemory {
+			line += fmt.Sprintf("  %.4g -> %.4g allocs/op", ov.allocs, nv.allocs)
+			// A benchmark that allocated nothing before must stay at zero;
+			// otherwise the percent rule applies, exactly like ns/op.
+			switch {
+			case ov.allocs == 0 && nv.allocs > 0:
+				regressions = append(regressions,
+					fmt.Sprintf("%s: 0 -> %.4g allocs/op (was allocation-free)", name, nv.allocs))
+			case ov.allocs > 0:
+				if apct := (nv.allocs - ov.allocs) / ov.allocs * 100; apct > threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.4g -> %.4g allocs/op (+%.1f%%)", name, ov.allocs, nv.allocs, apct))
+				}
+			}
+		}
+		fmt.Println(line)
 	}
 	for name := range old {
 		if _, ok := cur[name]; !ok {
@@ -223,30 +255,38 @@ func diffBenchOutput(oldPath, newPath string, threshold float64) ([]string, erro
 	return regressions, nil
 }
 
-// parseBenchOutput pulls "BenchmarkX-N  iters  ns ns/op ..." lines out
-// of go test output, averaging repeated -count runs. The -N GOMAXPROCS
-// suffix is stripped so runs from different machines still line up.
-func parseBenchOutput(path string) (map[string]float64, error) {
+// parseBenchOutput pulls "BenchmarkX-N  iters  ns ns/op [B B/op allocs
+// allocs/op]" lines out of go test output, averaging repeated -count
+// runs. The -N GOMAXPROCS suffix is stripped so runs from different
+// machines still line up.
+func parseBenchOutput(path string) (map[string]benchStat, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	sums := map[string]float64{}
+	sums := map[string]*benchStat{}
 	counts := map[string]int{}
+	memCounts := map[string]int{}
 	for _, line := range strings.Split(string(data), "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		var ns float64
+		var st benchStat
 		found := false
 		for i := 2; i < len(fields); i++ {
-			if fields[i] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i-1], 64)
-				if err == nil {
-					ns, found = v, true
-				}
-				break
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				st.ns, found = v, true
+			case "B/op":
+				st.bytes = v
+			case "allocs/op":
+				st.allocs = v
+				st.hasMemory = true
 			}
 		}
 		if !found {
@@ -258,12 +298,28 @@ func parseBenchOutput(path string) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		sums[name] += ns
+		agg := sums[name]
+		if agg == nil {
+			agg = &benchStat{}
+			sums[name] = agg
+		}
+		agg.ns += st.ns
+		agg.bytes += st.bytes
+		agg.allocs += st.allocs
 		counts[name]++
+		if st.hasMemory {
+			memCounts[name]++
+		}
 	}
-	out := make(map[string]float64, len(sums))
-	for name, sum := range sums {
-		out[name] = sum / float64(counts[name])
+	out := make(map[string]benchStat, len(sums))
+	for name, agg := range sums {
+		n := float64(counts[name])
+		out[name] = benchStat{
+			ns:        agg.ns / n,
+			bytes:     agg.bytes / n,
+			allocs:    agg.allocs / n,
+			hasMemory: memCounts[name] == counts[name],
+		}
 	}
 	return out, nil
 }

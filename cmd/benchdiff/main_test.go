@@ -103,7 +103,59 @@ BenchmarkX-8 100 3000 ns/op
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m["BenchmarkX"] != 2000 {
-		t.Fatalf("average = %v", m["BenchmarkX"])
+	if m["BenchmarkX"].ns != 2000 {
+		t.Fatalf("average = %v", m["BenchmarkX"].ns)
+	}
+	if m["BenchmarkX"].hasMemory {
+		t.Fatal("no -benchmem columns, hasMemory should be false")
+	}
+}
+
+func TestDiffBenchOutputAllocs(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.txt")
+	newP := filepath.Join(dir, "new.txt")
+	// ns/op steady everywhere; allocs/op move. Steady loses its zero,
+	// Grown regresses past threshold, Wobble stays within it, NoMem has
+	// no -benchmem columns on one side so allocs are not compared.
+	writeFile(t, oldP, `
+BenchmarkSteady-8   1000   1000 ns/op     0 B/op    0 allocs/op
+BenchmarkGrown-8    1000   1000 ns/op   800 B/op   10 allocs/op
+BenchmarkWobble-8   1000   1000 ns/op   800 B/op   10 allocs/op
+BenchmarkNoMem-8    1000   1000 ns/op
+`)
+	writeFile(t, newP, `
+BenchmarkSteady-8   1000   1000 ns/op    64 B/op    2 allocs/op
+BenchmarkGrown-8    1000   1000 ns/op   800 B/op   15 allocs/op
+BenchmarkWobble-8   1000   1000 ns/op   800 B/op   11 allocs/op
+BenchmarkNoMem-8    1000   1000 ns/op   999 B/op   99 allocs/op
+`)
+	regs, err := diffBenchOutput(oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want Steady (lost zero) + Grown (+50%%)", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"BenchmarkSteady", "BenchmarkGrown", "allocs/op"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("regressions %v missing %q", regs, want)
+		}
+	}
+}
+
+func TestAuditHistoryAllocsOp(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "BENCH_PR1.json"),
+		`{"pr": 1, "results": [{"pair": "kshap", "explain_allocs_op": 6}]}`)
+	writeFile(t, filepath.Join(dir, "BENCH_PR2.json"),
+		`{"pr": 2, "results": [{"pair": "kshap", "explain_allocs_op": 57}]}`)
+	regs, err := auditHistory(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "explain_allocs_op") {
+		t.Fatalf("regressions = %v, want one explain_allocs_op regression", regs)
 	}
 }

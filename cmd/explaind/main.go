@@ -85,7 +85,9 @@ import (
 	"nfvxai/internal/cluster"
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/feed"
+	"nfvxai/internal/mat"
 	"nfvxai/internal/registry"
+	"nfvxai/internal/sched"
 	"nfvxai/internal/serve"
 	"nfvxai/internal/xai/xcache"
 )
@@ -134,12 +136,33 @@ func main() {
 			"evicted by byte pressure or their artifact digest is swapped out)")
 		cacheTier2 = flag.Bool("cache-tier2", false, "persist hot cache entries under -store (DIR/xcache) so a "+
 			"restarted or newly joined node serves explanations computed by the previous process or the fleet; needs -store")
+		matBackend = flag.String("matbackend", "", "dense-kernel backend for the explainer hot loops "+
+			"(go | blocked); default: the build-tag default. The active backend is reported on /readyz.")
+		schedWorkers = flag.Int("sched-workers", 0, "shared kernel worker-pool size (0 = GOMAXPROCS); "+
+			"bounds batch predict/explain fan-out process-wide")
+		schedPin = flag.Bool("sched-pin", false, "pin kernel pool workers to OS threads (steadier tail "+
+			"latency on dedicated cores at the cost of scheduler flexibility)")
 	)
 	flag.Var(&raw, "model", "scenario:model:target[:hours] spec; repeat to serve several models. "+
 		"A bare kind (e.g. just \"rf\") combines with -scenario/-target, matching the pre-v1 CLI.")
 	flag.Var(&rawFeeds, "feed", "name:scenario[:rate] live feed to start at boot; repeat for several feeds. "+
 		"rate is virtual seconds per wall second (default 60).")
 	flag.Parse()
+
+	// Kernel plane: select the dense-kernel backend and size (optionally
+	// pin) the shared worker pool before any model trains, so every
+	// computation in the process runs on the configured plane.
+	if *matBackend != "" {
+		if err := mat.Use(*matBackend); err != nil {
+			fmt.Fprintln(os.Stderr, "explaind:", err)
+			os.Exit(2)
+		}
+	}
+	if *schedWorkers > 0 || *schedPin {
+		sched.Configure(*schedWorkers, *schedPin)
+	}
+	log.Printf("kernel plane: mat backend %s, sched workers %d (pin %v)",
+		mat.Active().Name(), *schedWorkers, *schedPin)
 
 	if len(raw) == 0 {
 		raw = stringList{"rf"}

@@ -28,6 +28,7 @@ import (
 	"nfvxai/internal/analysis/ctxcancel"
 	"nfvxai/internal/analysis/errcmp"
 	"nfvxai/internal/analysis/lockedcall"
+	"nfvxai/internal/analysis/poolalloc"
 	"nfvxai/internal/analysis/seededrand"
 )
 
@@ -36,6 +37,7 @@ var all = []*analysis.Analyzer{
 	ctxcancel.Analyzer,
 	errcmp.Analyzer,
 	lockedcall.Analyzer,
+	poolalloc.Analyzer,
 	seededrand.Analyzer,
 }
 

@@ -72,6 +72,32 @@
 // identical results. Benchmark pairs in perf_bench_test.go quantify the
 // win (see BENCH_PR2.json and the Performance section of API.md).
 //
+// # The kernel plane
+//
+// Under the batch layer sits a mechanical-sympathy kernel plane
+// (internal/mat, internal/sched, the quantized tree kernels in
+// internal/ml/tree). Dense linear algebra routes through a swappable
+// mat.Backend — a portable "go" backend and a cache-blocked,
+// register-tiled "blocked" backend selected at build time (-tags
+// matblocked) or at startup (explaind -matbackend); the active backend
+// is reported on /readyz as mat_backend, and both pass one shared parity
+// suite. The weighted least-squares solves at the heart of KernelSHAP
+// and LIME run through SolveWeightedRidgeInto: pooled gram/rhs/factor
+// workspaces and an in-place Cholesky, so a steady-state explanation
+// performs no solver allocation (batched KernelSHAP runs at 6 allocs/op,
+// LIME at 3 — BENCH_PR10.json). Tree ensembles gain an opt-in quantized
+// path (RandomForest/GradientBoosting Quantize): float32 SoA routing
+// slabs with floor-rounded thresholds, swept tree-major over float32 row
+// blocks with 16 rows advanced in lock-step so independent node loads
+// overlap instead of serializing on one row's pointer chase — 1.8x the
+// float64 flat path on a 40-tree forest. The path is contract-gated: the
+// first quantized batch is served exact while a row-by-row probe checks
+// the 1e-6 relative-error bound, any violation permanently falls back,
+// and QuantActive() reports which path is serving. Fan-out across all of
+// it flows through one core-aware worker pool (internal/sched) with
+// per-worker float arenas, configured once (explaind -sched-workers,
+// -sched-pin) instead of per-call-site goroutine spawning.
+//
 // # The durable artifact plane
 //
 // Nothing trained is lost on exit. Every model kind serializes to a
@@ -111,7 +137,7 @@
 //
 // The contracts above are machine-enforced, not folklore. cmd/nfvlint
 // is a repo-aware multichecker (built on the stdlib-only framework in
-// internal/analysis) whose five analyzers each encode one invariant a
+// internal/analysis) whose six analyzers each encode one invariant a
 // reviewer would otherwise have to hold in their head: ctxcancel
 // (explainer sampling loops poll their context, so serving deadlines
 // propagate), seededrand (randomness flows from spec-seeded
@@ -121,9 +147,12 @@
 // OOM), lockedcall (no store I/O or blocking operation under a
 // registry hot lock, no network I/O under any cluster mutex, no tier-2
 // store round trip under an explanation-cache shard lock; snapshot
-// under lock, do the slow work after), and errcmp
+// under lock, do the slow work after), errcmp
 // (sentinel errors travel through errors.Is/As and %w so wrapped
-// corruption errors still match). `go run ./cmd/nfvlint ./...` must
+// corruption errors still match), and poolalloc (no bare float-slice
+// make on the kernel hot paths — scratch comes from sync.Pools or
+// sched.Worker arenas, with //lint:allow documenting every legitimate
+// escape). `go run ./cmd/nfvlint ./...` must
 // stay clean — CI's lint job enforces it alongside go vet,
 // staticcheck and govulncheck — and ./scripts/check.sh runs the same
 // wall locally plus the native fuzz targets that probe the

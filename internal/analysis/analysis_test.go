@@ -55,10 +55,10 @@ func TestLoadPatternsExpandsTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The subtree holds this package plus the five analyzers and the
+	// The subtree holds this package plus the six analyzers and the
 	// analysistest harness; testdata must have been skipped.
-	if len(pkgs) < 6 {
-		t.Fatalf("loaded %d packages, want >= 6", len(pkgs))
+	if len(pkgs) < 7 {
+		t.Fatalf("loaded %d packages, want >= 7", len(pkgs))
 	}
 	for _, p := range pkgs {
 		if filepath.Base(filepath.Dir(p.Dir)) == "testdata" || filepath.Base(p.Dir) == "testdata" {

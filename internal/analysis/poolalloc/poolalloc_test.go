@@ -1,0 +1,18 @@
+package poolalloc_test
+
+import (
+	"testing"
+
+	"nfvxai/internal/analysis/analysistest"
+	"nfvxai/internal/analysis/poolalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", poolalloc.Analyzer, "internal/mat")
+}
+
+// TestOutOfScope: the invariant binds the kernel-plane packages;
+// unrelated packages may allocate however they like.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", poolalloc.Analyzer, "outside")
+}

@@ -1,0 +1,56 @@
+// Package mat is poolalloc golden testdata: float-slice makes on the
+// kernel hot path are findings unless they are pool plumbing, growth
+// guards, or carry a justified allow.
+package mat
+
+import "sync"
+
+type ws struct {
+	gram []float64
+	rhs  []float64
+}
+
+var pool = sync.Pool{New: func() any { return new(ws) }}
+
+// getWS is pool plumbing: exempt by name, allocations expected here.
+func getWS(n int) *ws {
+	w := pool.Get().(*ws)
+	if cap(w.gram) < n*n {
+		w.gram = make([]float64, n*n)
+	}
+	w.gram = w.gram[:n*n]
+	w.rhs = make([]float64, n)
+	return w
+}
+
+// NewVector is a constructor: exempt by name.
+func NewVector(n int) []float64 {
+	return make([]float64, n)
+}
+
+// releaseWS is pool plumbing too.
+func releaseWS(w *ws) { pool.Put(w) }
+
+// solve allocates scratch per call: flagged, both element widths.
+func solve(n int) float64 {
+	tmp := make([]float64, n)   // want "pooled workspace"
+	tmp32 := make([]float32, n) // want "pooled workspace"
+	idx := make([]int, n)       // ints are not kernel scratch: clean
+	_, _, _ = tmp, tmp32, idx
+	return 0
+}
+
+// grow refills its own buffer under a cap guard: the amortized-growth
+// idiom is clean even outside a get/put function.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// escape returns a fresh result with a justified allow: suppressed.
+func escape(n int) []float64 {
+	out := make([]float64, n) //lint:allow poolalloc escaping API result
+	return out
+}

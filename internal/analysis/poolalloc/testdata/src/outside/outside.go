@@ -1,0 +1,7 @@
+// Package outside is poolalloc golden testdata: the invariant binds the
+// kernel-plane packages only; everyone else may allocate freely.
+package outside
+
+func anything(n int) []float64 {
+	return make([]float64, n)
+}

@@ -213,3 +213,42 @@ func TestConcurrentIdenticalExplains(t *testing.T) {
 		}
 	}
 }
+
+// TestNegativeCacheVerdict pins the unsupported-pair fast path: the
+// first build failure for a capability mismatch records a (digest,
+// method) verdict, and every later request for the pair answers from
+// it — same typed error, no registry rebuild — while supported methods
+// are untouched.
+func TestNegativeCacheVerdict(t *testing.T) {
+	p := planePipeline(t, ModelForest)
+	p.ResultCache = xcache.New(xcache.Config{})
+
+	// First request: real build failure, verdict recorded.
+	if _, _, err := p.ExplainerFor("intgrad", xai.Options{}); !errors.Is(err, xai.ErrUnsupportedModel) {
+		t.Fatalf("intgrad on forest: %v", err)
+	}
+	if st := p.ResultCache.Stats(); st.NegEntries != 1 || st.NegHits != 0 {
+		t.Fatalf("after first failure: NegEntries=%d NegHits=%d, want 1/0", st.NegEntries, st.NegHits)
+	}
+
+	// Repeat request: answered from the verdict, same typed error.
+	if _, _, err := p.ExplainerFor("intgrad", xai.Options{}); !errors.Is(err, xai.ErrUnsupportedModel) {
+		t.Fatalf("cached verdict: %v", err)
+	}
+	if st := p.ResultCache.Stats(); st.NegHits != 1 {
+		t.Fatalf("after repeat: NegHits=%d, want 1", st.NegHits)
+	}
+
+	// Unknown methods are not artifact verdicts and must not be filed.
+	if _, _, err := p.ExplainerFor("not-a-method", xai.Options{}); !errors.Is(err, xai.ErrUnknownMethod) {
+		t.Fatalf("unknown method: %v", err)
+	}
+	if st := p.ResultCache.Stats(); st.NegEntries != 1 {
+		t.Fatalf("unknown method filed a verdict: NegEntries=%d", st.NegEntries)
+	}
+
+	// Supported methods still build and explain.
+	if _, _, err := p.ExplainerFor("treeshap", xai.Options{}); err != nil {
+		t.Fatalf("treeshap: %v", err)
+	}
+}

@@ -1,0 +1,433 @@
+// Kernel-plane backend abstraction. The explainer hot loops funnel into a
+// handful of dense kernels — GEMM/GEMV, masked hybrid-row assembly, and
+// the weighted normal-equations solve behind every LIME/KernelSHAP ridge
+// regression. Backend packages those kernels behind one interface so an
+// alternative implementation (blocked/unrolled today, BLAS or GPU
+// offload tomorrow — the XAI-on-RAN direction in PAPERS.md) is a build
+// tag or a flag, not a rewrite.
+//
+// Two backends are always compiled in:
+//
+//   - "go": the straightforward loops the repo has always run. Its Gemm
+//     and Gemv reproduce the historical Mul/MulVec bit-for-bit, so the
+//     default path stays bit-identical across the refactor.
+//   - "blocked": cache-line-blocked loops with a register-tiled 4×4 GEMM
+//     micro-kernel and 4-way-unrolled reductions. Results agree with "go"
+//     to floating-point reassociation (the parity suite bounds it), not
+//     bit-for-bit.
+//
+// The build-time default is "go"; building with -tags matblocked flips
+// the default to "blocked" (see default_go.go / default_blocked.go).
+// Either can be selected at runtime via Use — explaind surfaces that as
+// -matbackend and reports the active backend on /readyz.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is the pluggable kernel set. All matrices are fully-packed
+// row-major float64 slices; implementations may not retain any argument.
+type Backend interface {
+	// Name identifies the backend in Use/Active and /readyz.
+	Name() string
+	// Gemm overwrites c (m×n) with the product a (m×k) · b (k×n).
+	Gemm(m, n, k int, a, b, c []float64)
+	// Gemv overwrites y (m) with a (m×n) · x (n).
+	Gemv(m, n int, a, x, y []float64)
+	// HybridRow assembles one masked perturbation row: dst = bg, then
+	// dst[j] = x[j] for every j in kept. This is the inner row-assembly
+	// step of KernelSHAP's generic coalition evaluator.
+	HybridRow(dst, bg, x []float64, kept []int)
+	// WeightedGram accumulates the ridge normal-equations system for
+	// a (rows×n), targets b, non-negative weights w: gram (n×n) gets
+	// AᵀWA + lambda·I and rhs (n) gets AᵀWb. Both outputs are fully
+	// overwritten.
+	WeightedGram(rows, n int, a, b, w []float64, lambda float64, gram, rhs []float64)
+	// SolveSPDInPlace solves g·dst = rhs for symmetric positive-definite
+	// g (n×n), factoring g in place (its contents are destroyed). rhs is
+	// left intact; dst (n) receives the solution. Returns ErrSingular
+	// when g is not (numerically) positive definite.
+	SolveSPDInPlace(n int, g, rhs, dst []float64) error
+}
+
+var (
+	backendMu  sync.Mutex
+	backends   = map[string]Backend{}
+	activeBack atomic.Value // Backend
+)
+
+func init() {
+	RegisterBackend(goBackend{})
+	RegisterBackend(blockedBackend{})
+	if err := Use(defaultBackendName); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterBackend adds b to the registry. Registering a name twice
+// replaces the earlier backend (tests use this to inject probes).
+func RegisterBackend(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	backends[b.Name()] = b
+}
+
+// Use selects the active backend by name. It is meant for startup
+// (flag parsing); switching mid-computation is safe but pointless.
+func Use(name string) error {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	b, ok := backends[name]
+	if !ok {
+		return fmt.Errorf("mat: unknown backend %q (have %v)", name, backendNamesLocked())
+	}
+	activeBack.Store(&b)
+	return nil
+}
+
+// Active returns the currently selected backend.
+func Active() Backend { return *activeBack.Load().(*Backend) }
+
+// BackendNames lists the registered backends, sorted.
+func BackendNames() []string {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	return backendNamesLocked()
+}
+
+func backendNamesLocked() []string {
+	out := make([]string, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HybridRow dispatches to the active backend; see Backend.HybridRow.
+func HybridRow(dst, bg, x []float64, kept []int) {
+	Active().HybridRow(dst, bg, x, kept)
+}
+
+// ---- "go" backend: the historical straightforward loops ----
+
+type goBackend struct{}
+
+func (goBackend) Name() string { return "go" }
+
+// Gemm is the exact loop Mul has always run (i-k-j order, skipping zero
+// a-elements), so Mul results remain bit-identical across the backend
+// refactor.
+func (goBackend) Gemm(m, n, k int, a, b, c []float64) {
+	clear(c[:m*n])
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func (goBackend) Gemv(m, n int, a, x, y []float64) {
+	for i := 0; i < m; i++ {
+		y[i] = Dot(a[i*n:(i+1)*n], x)
+	}
+}
+
+func (goBackend) HybridRow(dst, bg, x []float64, kept []int) {
+	copy(dst, bg)
+	for _, j := range kept {
+		dst[j] = x[j]
+	}
+}
+
+func (goBackend) WeightedGram(rows, n int, a, b, w []float64, lambda float64, gram, rhs []float64) {
+	weightedGramUpper(rows, n, a, b, w, gram, rhs, false)
+	finishGram(n, lambda, gram)
+}
+
+func (goBackend) SolveSPDInPlace(n int, g, rhs, dst []float64) error {
+	return solveSPDInPlace(n, g, rhs, dst)
+}
+
+// ---- "blocked" backend: cache-blocked, register-tiled, unrolled ----
+
+type blockedBackend struct{}
+
+func (blockedBackend) Name() string { return "blocked" }
+
+// Cache-blocking parameters: a 64×64 float64 tile is 32 KiB — one L1d's
+// worth shared between the a-panel and b-panel of a block multiply.
+const (
+	gemmBlockM = 64
+	gemmBlockN = 64
+	gemmBlockK = 64
+)
+
+// Gemm computes c = a·b with k-outer cache blocking and a 4×4
+// register-tiled micro-kernel on the interior; edges fall back to
+// scalar loops. Accumulation order differs from the "go" backend, so
+// results agree to reassociation error only.
+func (blockedBackend) Gemm(m, n, k int, a, b, c []float64) {
+	clear(c[:m*n])
+	for kk := 0; kk < k; kk += gemmBlockK {
+		kmax := min(kk+gemmBlockK, k)
+		for ii := 0; ii < m; ii += gemmBlockM {
+			imax := min(ii+gemmBlockM, m)
+			for jj := 0; jj < n; jj += gemmBlockN {
+				jmax := min(jj+gemmBlockN, n)
+				gemmBlock(ii, imax, jj, jmax, kk, kmax, n, k, a, b, c)
+			}
+		}
+	}
+}
+
+// gemmBlock multiplies one (i,j,k) block, 4×4 register tiles first.
+func gemmBlock(ii, imax, jj, jmax, kk, kmax, n, k int, a, b, c []float64) {
+	i := ii
+	for ; i+4 <= imax; i += 4 {
+		j := jj
+		for ; j+4 <= jmax; j += 4 {
+			micro4x4(i, j, kk, kmax, n, k, a, b, c)
+		}
+		for ; j < jmax; j++ {
+			for r := i; r < i+4; r++ {
+				var s float64
+				arow := a[r*k:]
+				for p := kk; p < kmax; p++ {
+					s += arow[p] * b[p*n+j]
+				}
+				c[r*n+j] += s
+			}
+		}
+	}
+	for ; i < imax; i++ {
+		arow := a[i*k:]
+		crow := c[i*n:]
+		for p := kk; p < kmax; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n:]
+			for j := jj; j < jmax; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// micro4x4 is the register tile: 16 accumulators live across the k-loop,
+// with one a-column load and one b-row load per step.
+func micro4x4(i, j, kk, kmax, n, k int, a, b, c []float64) {
+	a0 := a[i*k:]
+	a1 := a[(i+1)*k:]
+	a2 := a[(i+2)*k:]
+	a3 := a[(i+3)*k:]
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for p := kk; p < kmax; p++ {
+		bp := b[p*n+j : p*n+j+4 : p*n+j+4]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		av := a0[p]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[p]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[p]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[p]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	r0 := c[i*n+j : i*n+j+4 : i*n+j+4]
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r1 := c[(i+1)*n+j : (i+1)*n+j+4 : (i+1)*n+j+4]
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
+	r2 := c[(i+2)*n+j : (i+2)*n+j+4 : (i+2)*n+j+4]
+	r2[0] += c20
+	r2[1] += c21
+	r2[2] += c22
+	r2[3] += c23
+	r3 := c[(i+3)*n+j : (i+3)*n+j+4 : (i+3)*n+j+4]
+	r3[0] += c30
+	r3[1] += c31
+	r3[2] += c32
+	r3[3] += c33
+}
+
+// Gemv runs each row's reduction with four independent accumulators to
+// break the add dependency chain.
+func (blockedBackend) Gemv(m, n int, a, x, y []float64) {
+	for i := 0; i < m; i++ {
+		y[i] = dotUnrolled(a[i*n:(i+1)*n], x)
+	}
+}
+
+func dotUnrolled(a, x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= len(a); j += 4 {
+		s0 += a[j] * x[j]
+		s1 += a[j+1] * x[j+1]
+		s2 += a[j+2] * x[j+2]
+		s3 += a[j+3] * x[j+3]
+	}
+	for ; j < len(a); j++ {
+		s0 += a[j] * x[j]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func (blockedBackend) HybridRow(dst, bg, x []float64, kept []int) {
+	copy(dst, bg)
+	k := 0
+	for ; k+4 <= len(kept); k += 4 {
+		j0, j1, j2, j3 := kept[k], kept[k+1], kept[k+2], kept[k+3]
+		dst[j0] = x[j0]
+		dst[j1] = x[j1]
+		dst[j2] = x[j2]
+		dst[j3] = x[j3]
+	}
+	for ; k < len(kept); k++ {
+		dst[kept[k]] = x[kept[k]]
+	}
+}
+
+func (blockedBackend) WeightedGram(rows, n int, a, b, w []float64, lambda float64, gram, rhs []float64) {
+	weightedGramUpper(rows, n, a, b, w, gram, rhs, true)
+	finishGram(n, lambda, gram)
+}
+
+func (blockedBackend) SolveSPDInPlace(n int, g, rhs, dst []float64) error {
+	return solveSPDInPlace(n, g, rhs, dst)
+}
+
+// ---- shared normal-equations kernels ----
+
+// weightedGramUpper accumulates the upper triangle of AᵀWA into gram and
+// AᵀWb into rhs. The unrolled variant splits the rank-1 update's inner
+// loop four ways; both variants sum rows in order, so they differ only
+// by reassociation within a row.
+func weightedGramUpper(rows, n int, a, b, w []float64, gram, rhs []float64, unroll bool) {
+	clear(gram[:n*n])
+	clear(rhs[:n])
+	for i := 0; i < rows; i++ {
+		wi := w[i]
+		if wi == 0 {
+			continue
+		}
+		row := a[i*n : (i+1)*n]
+		wb := wi * b[i]
+		for p := 0; p < n; p++ {
+			ap := row[p]
+			if ap == 0 {
+				continue
+			}
+			wap := wi * ap
+			rhs[p] += ap * wb
+			g := gram[p*n:]
+			if unroll {
+				q := p
+				for ; q+4 <= n; q += 4 {
+					g[q] += wap * row[q]
+					g[q+1] += wap * row[q+1]
+					g[q+2] += wap * row[q+2]
+					g[q+3] += wap * row[q+3]
+				}
+				for ; q < n; q++ {
+					g[q] += wap * row[q]
+				}
+			} else {
+				for q := p; q < n; q++ {
+					g[q] += wap * row[q]
+				}
+			}
+		}
+	}
+}
+
+// finishGram mirrors the upper triangle into the lower and adds the
+// ridge term to the diagonal.
+func finishGram(n int, lambda float64, gram []float64) {
+	for p := 0; p < n; p++ {
+		gram[p*n+p] += lambda
+		for q := p + 1; q < n; q++ {
+			gram[q*n+p] = gram[p*n+q]
+		}
+	}
+}
+
+// solveSPDInPlace factors g = L·Lᵀ in place (L overwrites g's lower
+// triangle) and solves by forward/back substitution through dst. No
+// allocations: this is the steady-state ridge-solve path, and the
+// poolalloc analyzer holds it to zero.
+func solveSPDInPlace(n int, g, rhs, dst []float64) error {
+	// In-place Cholesky, lower triangle.
+	for i := 0; i < n; i++ {
+		gi := g[i*n:]
+		for j := 0; j <= i; j++ {
+			gj := g[j*n:]
+			sum := gi[j]
+			for p := 0; p < j; p++ {
+				sum -= gi[p] * gj[p]
+			}
+			if i == j {
+				if sum <= 0 || sum != sum { // non-positive or NaN pivot
+					return ErrSingular
+				}
+				gi[i] = math.Sqrt(sum)
+			} else {
+				gi[j] = sum / gj[j]
+			}
+		}
+	}
+	// Forward substitution L·y = rhs (y in dst).
+	for i := 0; i < n; i++ {
+		s := rhs[i]
+		gi := g[i*n:]
+		for p := 0; p < i; p++ {
+			s -= gi[p] * dst[p]
+		}
+		dst[i] = s / gi[i]
+	}
+	// Back substitution Lᵀ·x = y, in place over dst.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for p := i + 1; p < n; p++ {
+			s -= g[p*n+i] * dst[p]
+		}
+		dst[i] = s / g[i*n+i]
+	}
+	return nil
+}

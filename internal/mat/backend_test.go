@@ -1,0 +1,348 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kernelBackends returns both registered backends; the parity suite runs
+// every kernel through each and bounds their disagreement. This suite is
+// what the CI matblocked smoke step relies on: it passes identically
+// whichever backend the build tag made the default.
+func kernelBackends(t *testing.T) (Backend, Backend) {
+	t.Helper()
+	backendMu.Lock()
+	g, okG := backends["go"]
+	bl, okB := backends["blocked"]
+	backendMu.Unlock()
+	if !okG || !okB {
+		t.Fatalf("expected go and blocked backends registered, have %v", BackendNames())
+	}
+	return g, bl
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func maxAbsDiffSlice(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := BackendNames()
+	if len(names) < 2 {
+		t.Fatalf("BackendNames = %v, want at least go and blocked", names)
+	}
+	orig := Active().Name()
+	defer func() {
+		if err := Use(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := Use("blocked"); err != nil {
+		t.Fatal(err)
+	}
+	if got := Active().Name(); got != "blocked" {
+		t.Fatalf("Active after Use(blocked) = %q", got)
+	}
+	if err := Use("no-such-backend"); err == nil {
+		t.Fatal("Use of unknown backend succeeded")
+	}
+}
+
+// TestGemmParity bounds go-vs-blocked GEMM disagreement at reassociation
+// scale across shapes, including non-multiple-of-tile edges.
+func TestGemmParity(t *testing.T) {
+	g, bl := kernelBackends(t)
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 4}, {4, 4, 4}, {7, 9, 5}, {65, 66, 67}, {128, 31, 70}}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		a[0] = 0 // exercise the zero-skip branch
+		cg := make([]float64, m*n)
+		cb := make([]float64, m*n)
+		g.Gemm(m, n, k, a, b, cg)
+		bl.Gemm(m, n, k, a, b, cb)
+		if d := maxAbsDiffSlice(cg, cb); d > 1e-10 {
+			t.Errorf("Gemm %dx%dx%d backend divergence %g", m, n, k, d)
+		}
+	}
+}
+
+func TestGemvParity(t *testing.T) {
+	g, bl := kernelBackends(t)
+	rng := rand.New(rand.NewSource(8))
+	for _, s := range [][2]int{{1, 1}, {3, 7}, {16, 16}, {33, 65}} {
+		m, n := s[0], s[1]
+		a := randSlice(rng, m*n)
+		x := randSlice(rng, n)
+		yg := make([]float64, m)
+		yb := make([]float64, m)
+		g.Gemv(m, n, a, x, yg)
+		bl.Gemv(m, n, a, x, yb)
+		if d := maxAbsDiffSlice(yg, yb); d > 1e-10 {
+			t.Errorf("Gemv %dx%d backend divergence %g", m, n, d)
+		}
+	}
+}
+
+func TestHybridRowParity(t *testing.T) {
+	g, bl := kernelBackends(t)
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []int{1, 4, 9, 17} {
+		bg := randSlice(rng, d)
+		x := randSlice(rng, d)
+		var kept []int
+		for j := 0; j < d; j++ {
+			if rng.Intn(2) == 0 {
+				kept = append(kept, j)
+			}
+		}
+		rg := make([]float64, d)
+		rb := make([]float64, d)
+		g.HybridRow(rg, bg, x, kept)
+		bl.HybridRow(rb, bg, x, kept)
+		for j := range rg {
+			if rg[j] != rb[j] {
+				t.Fatalf("d=%d HybridRow mismatch at %d", d, j)
+			}
+		}
+	}
+}
+
+// TestWeightedGramParity checks both backends assemble the same normal
+// equations, and that they match the reference AᵀWA + λI computed naively.
+func TestWeightedGramParity(t *testing.T) {
+	g, bl := kernelBackends(t)
+	rng := rand.New(rand.NewSource(10))
+	rows, n := 40, 9
+	lambda := 0.01
+	a := randSlice(rng, rows*n)
+	b := randSlice(rng, rows)
+	w := make([]float64, rows)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	w[3] = 0 // exercise the zero-weight skip
+
+	gramG := make([]float64, n*n)
+	rhsG := make([]float64, n)
+	gramB := make([]float64, n*n)
+	rhsB := make([]float64, n)
+	g.WeightedGram(rows, n, a, b, w, lambda, gramG, rhsG)
+	bl.WeightedGram(rows, n, a, b, w, lambda, gramB, rhsB)
+	if d := maxAbsDiffSlice(gramG, gramB); d > 1e-10 {
+		t.Errorf("gram backend divergence %g", d)
+	}
+	if d := maxAbsDiffSlice(rhsG, rhsB); d > 1e-10 {
+		t.Errorf("rhs backend divergence %g", d)
+	}
+
+	// Naive reference.
+	ref := make([]float64, n*n)
+	refRHS := make([]float64, n)
+	for i := 0; i < rows; i++ {
+		for p := 0; p < n; p++ {
+			refRHS[p] += w[i] * a[i*n+p] * b[i]
+			for q := 0; q < n; q++ {
+				ref[p*n+q] += w[i] * a[i*n+p] * a[i*n+q]
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		ref[p*n+p] += lambda
+	}
+	if d := maxAbsDiffSlice(gramG, ref); d > 1e-9 {
+		t.Errorf("gram vs naive reference diff %g", d)
+	}
+	if d := maxAbsDiffSlice(rhsG, refRHS); d > 1e-9 {
+		t.Errorf("rhs vs naive reference diff %g", d)
+	}
+}
+
+// TestMulIntoMatchesMul pins that Mul (the default go backend) and
+// MulInto produce identical bytes, and that MulInto reuses its
+// destination across backends.
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewDenseData(5, 7, randSlice(rng, 35))
+	b := NewDenseData(7, 3, randSlice(rng, 21))
+	want := Mul(a, b)
+	dst := NewDense(5, 3)
+	got := MulInto(a, b, dst)
+	if got != dst {
+		t.Fatal("MulInto did not return its destination")
+	}
+	if d := MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("MulInto differs from Mul by %g", d)
+	}
+	// Dirty destination must be fully overwritten.
+	for i := range dst.data {
+		dst.data[i] = math.NaN()
+	}
+	MulInto(a, b, dst)
+	if d := MaxAbsDiff(want, dst); d != 0 {
+		t.Fatalf("MulInto with dirty destination differs by %g", d)
+	}
+}
+
+func TestMulVecInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewDenseData(6, 4, randSlice(rng, 24))
+	x := randSlice(rng, 4)
+	want := m.MulVec(x)
+	dst := make([]float64, 6)
+	for i := range dst {
+		dst[i] = math.NaN()
+	}
+	m.MulVecInto(x, dst)
+	if d := maxAbsDiffSlice(want, dst); d != 0 {
+		t.Fatalf("MulVecInto differs from MulVec by %g", d)
+	}
+}
+
+// TestSolveWeightedRidgeInto checks the normal-equations fast path
+// against the well-understood QR route on a well-conditioned system, for
+// both backends.
+func TestSolveWeightedRidgeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows, n := 60, 8
+	a := NewDenseData(rows, n, randSlice(rng, rows*n))
+	xTrue := randSlice(rng, n)
+	b := a.MulVec(xTrue)
+	w := make([]float64, rows)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()
+	}
+	orig := Active().Name()
+	defer func() { _ = Use(orig) }()
+	for _, name := range []string{"go", "blocked"} {
+		if err := Use(name); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, n)
+		if err := SolveWeightedRidgeInto(a, b, w, 1e-9, dst); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := maxAbsDiffSlice(dst, xTrue); d > 1e-6 {
+			t.Errorf("%s: solution error %g", name, d)
+		}
+		// And the allocating wrapper agrees bit-for-bit.
+		got, err := SolveWeightedRidge(a, b, w, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != dst[i] {
+				t.Fatalf("%s: wrapper diverges from Into at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestSolveWeightedRidgeSingularFallback drives the rank-deficient path:
+// a duplicated column makes AᵀWA singular, and the QR fallback must still
+// return a least-squares solution (matching historical semantics).
+func TestSolveWeightedRidgeSingularFallback(t *testing.T) {
+	rows, n := 20, 3
+	rng := rand.New(rand.NewSource(14))
+	data := make([]float64, rows*n)
+	for i := 0; i < rows; i++ {
+		v := rng.NormFloat64()
+		data[i*n] = v
+		data[i*n+1] = v // duplicate column: singular gram
+		data[i*n+2] = rng.NormFloat64()
+	}
+	a := NewDenseData(rows, n, data)
+	b := randSlice(rng, rows)
+	w := make([]float64, rows)
+	for i := range w {
+		w[i] = 1
+	}
+	dst := make([]float64, n)
+	err := SolveWeightedRidgeInto(a, b, w, 0, dst)
+	// QR also rejects exactly-singular systems; the contract is just that
+	// the error (if any) is ErrSingular, never a panic or garbage result.
+	if err != nil && err != ErrSingular {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// TestSolveWeightedRidgeIntoZeroAlloc is the tentpole's invariant: the
+// steady-state ridge solve performs zero heap allocations.
+func TestSolveWeightedRidgeIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	rows, n := 120, 10
+	a := NewDenseData(rows, n, randSlice(rng, rows*n))
+	b := randSlice(rng, rows)
+	w := make([]float64, rows)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()
+	}
+	dst := make([]float64, n)
+	// Warm the pool once.
+	if err := SolveWeightedRidgeInto(a, b, w, 1e-6, dst); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := SolveWeightedRidgeInto(a, b, w, 1e-6, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("SolveWeightedRidgeInto allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func BenchmarkGemmGo(b *testing.B)      { benchGemm(b, "go") }
+func BenchmarkGemmBlocked(b *testing.B) { benchGemm(b, "blocked") }
+
+func benchGemm(b *testing.B, name string) {
+	var bk Backend
+	backendMu.Lock()
+	bk = backends[name]
+	backendMu.Unlock()
+	rng := rand.New(rand.NewSource(1))
+	const m, n, k = 128, 128, 128
+	av := randSlice(rng, m*k)
+	bv := randSlice(rng, k*n)
+	cv := make([]float64, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk.Gemm(m, n, k, av, bv, cv)
+	}
+}
+
+func BenchmarkSolveWeightedRidgeInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rows, n := 1024, 16
+	a := NewDenseData(rows, n, randSlice(rng, rows*n))
+	bb := randSlice(rng, rows)
+	w := make([]float64, rows)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()
+	}
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SolveWeightedRidgeInto(a, bb, w, 1e-9, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build matblocked
+
+package mat
+
+// defaultBackendName under -tags matblocked: the blocked/unrolled
+// kernels become the build-time default. Runtime selection via Use
+// (explaind -matbackend) still works either way.
+const defaultBackendName = "blocked"

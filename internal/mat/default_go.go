@@ -1,0 +1,7 @@
+//go:build !matblocked
+
+package mat
+
+// defaultBackendName is the build-time kernel backend: the pure-Go
+// loops unless the binary is built with -tags matblocked.
+const defaultBackendName = "go"

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Dense is a row-major dense matrix.
@@ -50,6 +51,25 @@ func Identity(n int) *Dense {
 // Dims returns the matrix dimensions.
 func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
 
+// Reshape resizes m to rows×cols in place, reusing the backing array
+// when it has capacity (growing it otherwise) and returns m. Contents
+// are undefined after a reshape — callers must fully overwrite before
+// reading. This is the pooled-workspace primitive: explainer hot paths
+// keep a Dense in a sync.Pool and Reshape it per call instead of
+// allocating with NewDense.
+func (m *Dense) Reshape(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n) //lint:allow poolalloc workspace growth; amortized by pooled reuse
+	}
+	m.data = m.data[:n]
+	m.rows, m.cols = rows, cols
+	return m
+}
+
 // At returns the element at (i, j).
 func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
 
@@ -61,6 +81,7 @@ func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
 
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
+	//lint:allow poolalloc result escapes to the caller; a copy is the contract
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
 		out[i] = m.data[i*m.cols+j]
@@ -70,6 +91,7 @@ func (m *Dense) Col(j int) []float64 {
 
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
+	//lint:allow poolalloc clone by definition allocates its own backing
 	d := make([]float64, len(m.data))
 	copy(d, m.data)
 	return &Dense{rows: m.rows, cols: m.cols, data: d}
@@ -87,38 +109,45 @@ func (m *Dense) T() *Dense {
 	return t
 }
 
-// Mul returns the matrix product a*b.
+// Mul returns the matrix product a*b. Hot paths should prefer MulInto
+// with a pooled destination; Mul allocates the result.
 func Mul(a, b *Dense) *Dense {
+	return MulInto(a, b, NewDense(a.rows, b.cols))
+}
+
+// MulInto computes dst = a*b through the active kernel backend, reusing
+// the caller-provided destination (dst must be a.rows × b.cols, and may
+// not alias a or b). It returns dst.
+func MulInto(a, b, dst *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := NewDense(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto destination is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
 	}
+	Active().Gemm(a.rows, b.cols, a.cols, a.data, b.data, dst.data)
+	return dst
+}
+
+// MulVec returns the matrix-vector product m*x. Hot paths should prefer
+// MulVecInto with a pooled destination; MulVec allocates the result.
+func (m *Dense) MulVec(x []float64) []float64 {
+	//lint:allow poolalloc result escapes to the caller; pooled callers use MulVecInto
+	out := make([]float64, m.rows)
+	m.MulVecInto(x, out)
 	return out
 }
 
-// MulVec returns the matrix-vector product m*x.
-func (m *Dense) MulVec(x []float64) []float64 {
+// MulVecInto computes dst = m*x through the active kernel backend into
+// the caller-provided destination (len m.rows).
+func (m *Dense) MulVecInto(x, dst []float64) {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", m.rows, m.cols, len(x)))
 	}
-	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Dot(m.Row(i), x)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecInto destination length %d, want %d", len(dst), m.rows))
 	}
-	return out
+	Active().Gemv(m.rows, m.cols, m.data, x, dst)
 }
 
 // Add returns a+b elementwise.
@@ -215,6 +244,7 @@ func AXPY(alpha float64, x, y []float64) {
 
 // VecClone returns a copy of x.
 func VecClone(x []float64) []float64 {
+	//lint:allow poolalloc clone by definition allocates its own backing
 	out := make([]float64, len(x))
 	copy(out, x)
 	return out
@@ -260,6 +290,7 @@ func SolveCholesky(l *Dense, b []float64) []float64 {
 		panic("mat: SolveCholesky dimension mismatch")
 	}
 	// Forward substitution: L*y = b.
+	//lint:allow poolalloc solution escapes to the caller; factor-based solves are off the steady-state path
 	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
@@ -269,6 +300,7 @@ func SolveCholesky(l *Dense, b []float64) []float64 {
 		y[i] = s / l.At(i, i)
 	}
 	// Back substitution: Lᵀ*x = y.
+	//lint:allow poolalloc solution escapes to the caller; factor-based solves are off the steady-state path
 	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
@@ -306,6 +338,7 @@ func QRFactor(a *Dense) *QR {
 		panic("mat: QRFactor requires rows >= cols")
 	}
 	qr := a.Clone()
+	//lint:allow poolalloc one-time factorization state, owned by the returned QR
 	rdiag := make([]float64, n)
 	for k := 0; k < n; k++ {
 		// Compute the norm of column k at and below the diagonal.
@@ -363,6 +396,7 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 	}
 	// Back-substitute R*x = y[:n]; R's off-diagonal lives in qr's upper
 	// triangle, its diagonal in rdiag.
+	//lint:allow poolalloc solution escapes to the caller; QR solves back only the rare singular fallback
 	x := make([]float64, f.n)
 	for i := f.n - 1; i >= 0; i-- {
 		d := f.rdiag[i]
@@ -404,13 +438,82 @@ func SolveRidge(a *Dense, b []float64, lambda float64) ([]float64, error) {
 
 // SolveWeightedRidge solves the weighted ridge regression
 // (Aᵀ W A + lambda*I) x = Aᵀ W b where W = diag(w). Used by LIME and
-// KernelSHAP. Weights must be non-negative.
+// KernelSHAP. Weights must be non-negative. It allocates the solution;
+// hot paths should call SolveWeightedRidgeInto with a pooled or reused
+// destination.
 func SolveWeightedRidge(a *Dense, b, w []float64, lambda float64) ([]float64, error) {
+	//lint:allow poolalloc result escapes to the caller; pooled callers use SolveWeightedRidgeInto
+	dst := make([]float64, a.cols)
+	if err := SolveWeightedRidgeInto(a, b, w, lambda, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// solveWS is the pooled normal-equations workspace: the n×n gram matrix
+// (factored in place) and the n-vector right-hand side.
+type solveWS struct {
+	gram []float64
+	rhs  []float64
+}
+
+var solvePool = sync.Pool{New: func() any { return new(solveWS) }}
+
+// getSolveWS returns a workspace with capacity for an n-column system.
+// Contents are undefined: WeightedGram fully overwrites both buffers.
+func getSolveWS(n int) *solveWS {
+	ws := solvePool.Get().(*solveWS)
+	if cap(ws.gram) < n*n {
+		ws.gram = make([]float64, n*n)
+	}
+	ws.gram = ws.gram[:n*n]
+	if cap(ws.rhs) < n {
+		ws.rhs = make([]float64, n)
+	}
+	ws.rhs = ws.rhs[:n]
+	return ws
+}
+
+func putSolveWS(ws *solveWS) { solvePool.Put(ws) }
+
+// SolveWeightedRidgeInto solves the weighted ridge regression directly
+// through the normal equations into the caller-provided dst (len
+// a.cols): the gram matrix AᵀWA + lambda·I and right-hand side AᵀWb are
+// accumulated by the active backend into pooled workspace and the system
+// is solved by an in-place Cholesky factorization — zero steady-state
+// allocations, which is what empties the ridge-solve alloc hotspot PR 9
+// left behind. A (numerically) non-positive-definite system falls back
+// to QR on the sqrt(w)-scaled rows, matching the historical SolveRidge
+// fallback (that path allocates; it is rare and ErrSingular-driven).
+func SolveWeightedRidgeInto(a *Dense, b, w []float64, lambda float64, dst []float64) error {
 	if len(w) != a.rows || len(b) != a.rows {
 		panic("mat: SolveWeightedRidge dimension mismatch")
 	}
-	// Scale rows of A and entries of b by sqrt(w), then ridge-solve.
+	n := a.cols
+	if len(dst) != n {
+		panic(fmt.Sprintf("mat: SolveWeightedRidgeInto destination length %d, want %d", len(dst), n))
+	}
+	ws := getSolveWS(n)
+	defer putSolveWS(ws)
+	bk := Active()
+	bk.WeightedGram(a.rows, n, a.data, b, w, lambda, ws.gram, ws.rhs)
+	if err := bk.SolveSPDInPlace(n, ws.gram, ws.rhs, dst); err == nil {
+		return nil
+	}
+	x, err := weightedQRFallback(a, b, w)
+	if err != nil {
+		return err
+	}
+	copy(dst, x)
+	return nil
+}
+
+// weightedQRFallback is the rare-path least-squares solve on the
+// sqrt(w)-scaled system, reproducing the pre-backend fallback semantics
+// (the ridge term is dropped, exactly as SolveRidge's QR fallback did).
+func weightedQRFallback(a *Dense, b, w []float64) ([]float64, error) {
 	scaled := a.Clone()
+	//lint:allow poolalloc rare ErrSingular fallback, not a steady-state path
 	sb := make([]float64, len(b))
 	for i := 0; i < a.rows; i++ {
 		sw := math.Sqrt(w[i])
@@ -420,5 +523,5 @@ func SolveWeightedRidge(a *Dense, b, w []float64, lambda float64) ([]float64, er
 		}
 		sb[i] = b[i] * sw
 	}
-	return SolveRidge(scaled, sb, lambda)
+	return LstSq(scaled, sb)
 }

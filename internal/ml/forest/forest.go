@@ -10,9 +10,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/ml/tree"
+	"nfvxai/internal/sched"
 )
 
 // RandomForest is a bootstrap-aggregated ensemble of CART trees with
@@ -31,8 +33,20 @@ type RandomForest struct {
 	Task dataset.Task
 	// Seed drives bootstrap and feature subsampling.
 	Seed int64
+	// Quantize opts batch prediction into the float32/SoA tree kernels.
+	// The first quantized batch is fully parity-checked against the exact
+	// path (and served from it); the ensemble permanently falls back to
+	// exact evaluation if any probed row deviates by more than
+	// quantRelTol relative error. Not serialized: it is a runtime knob,
+	// not model state, and it never changes Predict or serialized bytes.
+	Quantize bool
 
 	Trees []*tree.Tree
+
+	// quantVerdict is the cached probe outcome (quantUnknown/Accepted/
+	// Rejected), accessed atomically. A plain int32 rather than an
+	// atomic.Int32 so the struct stays copyable (serialize does *f = nf).
+	quantVerdict int32
 }
 
 // Fit trains the ensemble on d.
@@ -125,6 +139,7 @@ func (f *RandomForest) Fit(d *dataset.Dataset) error {
 		f.Trees = nil
 		return fitErr
 	}
+	atomic.StoreInt32(&f.quantVerdict, quantUnknown) // new trees: re-probe
 	return nil
 }
 
@@ -139,12 +154,31 @@ func (f *RandomForest) Predict(x []float64) float64 {
 	return s / float64(len(f.Trees))
 }
 
-// PredictBatch implements ml.BatchPredictor: rows are sharded across a
-// goroutine pool, and each shard sums the trees' flattened batch outputs
-// in ensemble order (so every row gets the same addition order — and thus
-// bit-identical output — as a Predict loop).
+// PredictBatch implements ml.BatchPredictor: rows are sharded over the
+// shared sched pool, and each shard sums the trees' flattened batch
+// outputs in ensemble order (so every row gets the same addition order —
+// and thus bit-identical output — as a Predict loop). With Quantize set
+// the float32 kernel path may take over after its parity probe; see
+// quant.go.
 func (f *RandomForest) PredictBatch(X [][]float64, out []float64) {
-	shardEnsemble(len(f.Trees), X, out, func(lo, hi int) {
+	if f.Quantize && len(X) > 0 {
+		switch atomic.LoadInt32(&f.quantVerdict) {
+		case quantAccepted:
+			if f.predictBatchQuant(X, out) {
+				return
+			}
+			atomic.StoreInt32(&f.quantVerdict, quantRejected)
+		case quantUnknown:
+			f.predictBatchExact(X, out)
+			probeQuant(&f.quantVerdict, X, out, f.predictBatchQuant)
+			return
+		}
+	}
+	f.predictBatchExact(X, out)
+}
+
+func (f *RandomForest) predictBatchExact(X [][]float64, out []float64) {
+	shardEnsemble(len(f.Trees), X, func(w *sched.Worker, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = 0
 		}
@@ -204,9 +238,15 @@ type GradientBoosting struct {
 	Task dataset.Task
 	// Seed drives subsampling.
 	Seed int64
+	// Quantize opts batch prediction into the float32/SoA tree kernels;
+	// same probe-then-commit contract as RandomForest.Quantize.
+	Quantize bool
 
 	Trees []*tree.Tree
 	Base  float64 // initial prediction (mean target / prior log-odds)
+
+	// quantVerdict mirrors RandomForest.quantVerdict.
+	quantVerdict int32
 }
 
 // Fit trains the ensemble on d.
@@ -298,6 +338,7 @@ func (g *GradientBoosting) Fit(d *dataset.Dataset) error {
 		}
 		g.Trees = append(g.Trees, tr)
 	}
+	atomic.StoreInt32(&g.quantVerdict, quantUnknown) // new trees: re-probe
 	return nil
 }
 
@@ -327,11 +368,28 @@ func newtonLeaves(tr *tree.Tree, d *dataset.Dataset, score []float64, idx []int)
 // for the sharding scheme. Accumulation starts at Base and adds the
 // shrunk tree outputs in boosting order, matching RawScore exactly.
 func (g *GradientBoosting) PredictBatch(X [][]float64, out []float64) {
+	if g.Quantize && len(X) > 0 {
+		switch atomic.LoadInt32(&g.quantVerdict) {
+		case quantAccepted:
+			if g.predictBatchQuant(X, out) {
+				return
+			}
+			atomic.StoreInt32(&g.quantVerdict, quantRejected)
+		case quantUnknown:
+			g.predictBatchExact(X, out)
+			probeQuant(&g.quantVerdict, X, out, g.predictBatchQuant)
+			return
+		}
+	}
+	g.predictBatchExact(X, out)
+}
+
+func (g *GradientBoosting) predictBatchExact(X [][]float64, out []float64) {
 	lr := g.LearningRate
 	if lr <= 0 {
 		lr = 0.1
 	}
-	shardEnsemble(len(g.Trees), X, out, func(lo, hi int) {
+	shardEnsemble(len(g.Trees), X, func(w *sched.Worker, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = g.Base
 		}
@@ -346,37 +404,18 @@ func (g *GradientBoosting) PredictBatch(X [][]float64, out []float64) {
 	})
 }
 
-// shardEnsemble splits the rows of X into contiguous chunks across a
-// goroutine pool and runs eval on each. Small batches (or tiny ensembles)
-// run inline: below ~16k tree·row evaluations the goroutine handoff costs
+// shardEnsemble splits the rows of X into contiguous chunks over the
+// shared sched pool. The minimum chunk keeps small batches (or tiny
+// ensembles) inline: below ~16k tree·row evaluations the dispatch costs
 // more than the traversals.
-func shardEnsemble(nTrees int, X [][]float64, out []float64, eval func(lo, hi int)) {
-	n := len(X)
-	workers := runtime.GOMAXPROCS(0)
-	if nTrees > 0 && n*nTrees < 16384 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		eval(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+func shardEnsemble(nTrees int, X [][]float64, eval func(w *sched.Worker, lo, hi int)) {
+	minChunk := 1
+	if nTrees > 0 {
+		if mc := 8192 / nTrees; mc > 1 {
+			minChunk = mc
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			eval(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+	sched.ParallelFor(len(X), minChunk, eval)
 }
 
 // RawScore returns the additive ensemble output before any link function.

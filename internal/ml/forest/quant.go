@@ -1,0 +1,171 @@
+// Quantized batch inference: the float32/SoA kernel path behind the
+// Quantize knob on both ensembles.
+//
+// The sweep is tree-major over float32 row blocks: each sched worker
+// carves a per-block float32 copy of its rows from its arena, then every
+// tree's quantized slabs stream over the whole block before the next
+// tree is touched — the routing slabs stay hot in cache across rows
+// instead of being re-fetched per row. Accumulation is float64
+// throughout (leaf values are never narrowed), so the only precision
+// loss is the float32 rounding of the input rows; floor-rounded
+// thresholds make tree routing exact for those rounded rows (see
+// tree.flatTree32).
+//
+// Accuracy contract: quantized output must stay within quantRelTol
+// (1e-6) relative error of the exact path. The first quantized batch is
+// served from the exact path while every row is probed against the
+// quantized result; any deviation beyond tolerance permanently rejects
+// the quantized path for that ensemble (until the next Fit/decode), so
+// callers never observe an out-of-contract result.
+package forest
+
+import (
+	"math"
+	"sync/atomic"
+
+	"nfvxai/internal/dataset"
+	"nfvxai/internal/sched"
+)
+
+const (
+	quantUnknown  int32 = 0 // not yet probed
+	quantAccepted int32 = 1 // probe passed; quantized path serves batches
+	quantRejected int32 = 2 // probe failed; permanent exact fallback
+
+	// quantRelTol is the documented relative-error bound for the
+	// quantized path versus exact evaluation.
+	quantRelTol = 1e-6
+
+	// quantBlock is the number of rows converted to float32 at a time;
+	// bounds each worker's arena to quantBlock·d float32s.
+	quantBlock = 128
+)
+
+// quantWithin reports |q-e| <= quantRelTol·max(1, |e|).
+func quantWithin(q, e float64) bool {
+	if q == e {
+		return true // covers ±Inf and exact matches
+	}
+	if q != q || e != e {
+		return q != q && e != e // NaN only matches NaN
+	}
+	return math.Abs(q-e) <= quantRelTol*math.Max(1, math.Abs(e))
+}
+
+// probeQuant runs the quantized path over X and compares every row with
+// the exact results already in out, storing the verdict. The exact
+// results are left untouched, so the probing batch itself is always
+// bit-identical to the exact path.
+func probeQuant(verdict *int32, X [][]float64, out []float64, quant func(X [][]float64, out []float64) bool) {
+	q := make([]float64, len(X))
+	if !quant(X, q) {
+		storeVerdict(verdict, quantRejected)
+		return
+	}
+	for i := range q {
+		if !quantWithin(q[i], out[i]) {
+			storeVerdict(verdict, quantRejected)
+			return
+		}
+	}
+	storeVerdict(verdict, quantAccepted)
+}
+
+func storeVerdict(verdict *int32, v int32) { atomic.StoreInt32(verdict, v) }
+
+// QuantActive reports whether the quantized kernels are serving batches:
+// Quantize is set and the parity probe accepted. False both before the
+// probing batch and after a rejection, so operators (and benchmarks) can
+// tell which path a measurement actually exercised.
+func (f *RandomForest) QuantActive() bool {
+	return f.Quantize && atomic.LoadInt32(&f.quantVerdict) == quantAccepted
+}
+
+// QuantActive mirrors RandomForest.QuantActive.
+func (g *GradientBoosting) QuantActive() bool {
+	return g.Quantize && atomic.LoadInt32(&g.quantVerdict) == quantAccepted
+}
+
+// quantSweep runs the shared tree-major block sweep for one shard:
+// out[i] starts at init, accumulates wTree·tree(X[i]) over all trees,
+// then finish (may be nil) maps each accumulated value.
+func quantSweep(trees []treeAdder32, init, wTree float64, X [][]float64, out []float64, w *sched.Worker, lo, hi int, finish func(float64) float64) {
+	d := 0
+	if hi > lo {
+		d = len(X[lo])
+	}
+	for blo := lo; blo < hi; blo += quantBlock {
+		bhi := blo + quantBlock
+		if bhi > hi {
+			bhi = hi
+		}
+		rows := bhi - blo
+		xb := w.Floats32(0, rows*d)
+		for i := 0; i < rows; i++ {
+			row := X[blo+i]
+			base := i * d
+			for j, v := range row {
+				xb[base+j] = float32(v)
+			}
+		}
+		for i := blo; i < bhi; i++ {
+			out[i] = init
+		}
+		for _, t := range trees {
+			t.PredictBatchAdd32(xb, rows, d, out[blo:bhi], wTree)
+		}
+		if finish != nil {
+			for i := blo; i < bhi; i++ {
+				out[i] = finish(out[i])
+			}
+		}
+	}
+}
+
+// treeAdder32 is the slice-element view quantSweep needs of a tree.
+type treeAdder32 interface {
+	PredictBatchAdd32(xb []float32, rows, stride int, out []float64, w float64) bool
+	Quantizable() bool
+}
+
+// predictBatchQuant evaluates the forest over the quantized kernels.
+// Returns false (leaving out unspecified) when any tree has no
+// representable quantized form; the caller falls back to exact.
+func (f *RandomForest) predictBatchQuant(X [][]float64, out []float64) bool {
+	trees := make([]treeAdder32, len(f.Trees))
+	for i, t := range f.Trees {
+		if !t.Quantizable() {
+			return false
+		}
+		trees[i] = t
+	}
+	nt := float64(len(f.Trees))
+	shardEnsemble(len(f.Trees), X, func(w *sched.Worker, lo, hi int) {
+		quantSweep(trees, 0, 1, X, out, w, lo, hi, func(v float64) float64 { return v / nt })
+	})
+	return true
+}
+
+// predictBatchQuant evaluates the boosted ensemble over the quantized
+// kernels: Base + lr·Σtree, through the sigmoid link for classification.
+func (g *GradientBoosting) predictBatchQuant(X [][]float64, out []float64) bool {
+	trees := make([]treeAdder32, len(g.Trees))
+	for i, t := range g.Trees {
+		if !t.Quantizable() {
+			return false
+		}
+		trees[i] = t
+	}
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	var finish func(float64) float64
+	if g.Task == dataset.Classification {
+		finish = sigmoid
+	}
+	shardEnsemble(len(g.Trees), X, func(w *sched.Worker, lo, hi int) {
+		quantSweep(trees, g.Base, lr, X, out, w, lo, hi, finish)
+	})
+	return true
+}

@@ -1,0 +1,158 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"nfvxai/internal/dataset"
+)
+
+// quantScenarios is the seeded property-test matrix: a spread of target
+// shapes, feature scales (including values near float32 resolution
+// limits) and dataset sizes.
+func quantScenarios() map[string]*dataset.Dataset {
+	scale := func(d *dataset.Dataset, s float64) *dataset.Dataset {
+		for _, row := range d.X {
+			for j := range row {
+				row[j] *= s
+			}
+		}
+		return d
+	}
+	return map[string]*dataset.Dataset{
+		"friedman":       nonlinearRegression(800, 11),
+		"friedman-big":   scale(nonlinearRegression(800, 12), 1e6),
+		"friedman-tiny":  scale(nonlinearRegression(800, 13), 1e-6),
+		"circle":         circleClassification(900, 14),
+		"circle-shifted": scale(circleClassification(900, 15), 37.5),
+	}
+}
+
+func relErr(q, e float64) float64 {
+	return math.Abs(q-e) / math.Max(1, math.Abs(e))
+}
+
+// TestQuantParityForest: for every seeded scenario, a Quantize-enabled
+// forest's batch output must stay within the documented 1e-6 relative
+// error of the exact path — either because the quantized kernels honor
+// the bound, or because the probe rejected them and the exact path
+// serves the batch.
+func TestQuantParityForest(t *testing.T) {
+	for name, d := range quantScenarios() {
+		train, test := d.Split(rand.New(rand.NewSource(21)), 0.8)
+		f := &RandomForest{NumTrees: 25, MaxDepth: 8, Task: d.Task, Seed: 7, Quantize: true}
+		if err := f.Fit(train); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		exact := make([]float64, test.Len())
+		for i, x := range test.X {
+			exact[i] = f.Predict(x)
+		}
+		// Two batches: the first is the probing batch (served exact), the
+		// second exercises whichever path the verdict selected.
+		for pass := 0; pass < 2; pass++ {
+			got := make([]float64, test.Len())
+			f.PredictBatch(test.X, got)
+			for i := range got {
+				if re := relErr(got[i], exact[i]); re > quantRelTol {
+					t.Fatalf("%s pass %d row %d: quantized %v exact %v relerr %v (verdict %d)",
+						name, pass, i, got[i], exact[i], re, atomic.LoadInt32(&f.quantVerdict))
+				}
+			}
+		}
+		if v := atomic.LoadInt32(&f.quantVerdict); v == quantUnknown {
+			t.Fatalf("%s: probe did not run", name)
+		}
+	}
+}
+
+// TestQuantParityGBT is TestQuantParityForest for the boosted ensemble
+// (margin accumulation plus the sigmoid link for classification).
+func TestQuantParityGBT(t *testing.T) {
+	for name, d := range quantScenarios() {
+		train, test := d.Split(rand.New(rand.NewSource(22)), 0.8)
+		g := &GradientBoosting{NumRounds: 40, MaxDepth: 3, Task: d.Task, Seed: 9, Quantize: true}
+		if err := g.Fit(train); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		exact := make([]float64, test.Len())
+		for i, x := range test.X {
+			exact[i] = g.Predict(x)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got := make([]float64, test.Len())
+			g.PredictBatch(test.X, got)
+			for i := range got {
+				if re := relErr(got[i], exact[i]); re > quantRelTol {
+					t.Fatalf("%s pass %d row %d: quantized %v exact %v relerr %v (verdict %d)",
+						name, pass, i, got[i], exact[i], re, atomic.LoadInt32(&g.quantVerdict))
+				}
+			}
+		}
+	}
+}
+
+// TestQuantDefaultBitExact pins the compatibility contract: with
+// Quantize unset (the default), PredictBatch is bit-identical to a
+// Predict loop — the quantized plane changes nothing unless opted into.
+// The first batch of a Quantize-enabled ensemble (the probing batch)
+// must be equally bit-exact.
+func TestQuantDefaultBitExact(t *testing.T) {
+	for name, d := range quantScenarios() {
+		train, test := d.Split(rand.New(rand.NewSource(23)), 0.8)
+		f := &RandomForest{NumTrees: 20, MaxDepth: 8, Task: d.Task, Seed: 3}
+		if err := f.Fit(train); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g := &GradientBoosting{NumRounds: 30, MaxDepth: 3, Task: d.Task, Seed: 4}
+		if err := g.Fit(train); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		check := func(kind string, predict func(x []float64) float64, batch func(X [][]float64, out []float64)) {
+			got := make([]float64, test.Len())
+			batch(test.X, got)
+			for i, x := range test.X {
+				if want := predict(x); got[i] != want {
+					t.Fatalf("%s %s row %d: batch %v predict %v (must be bit-identical)", name, kind, i, got[i], want)
+				}
+			}
+		}
+		check("forest-default", f.Predict, f.PredictBatch)
+		check("gbt-default", g.Predict, g.PredictBatch)
+
+		fq := &RandomForest{NumTrees: 20, MaxDepth: 8, Task: d.Task, Seed: 3, Quantize: true}
+		if err := fq.Fit(train); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		check("forest-probe-batch", fq.Predict, fq.PredictBatch)
+	}
+}
+
+// TestQuantOverflowFallsBack: thresholds beyond float32 range have no
+// quantized form; the ensemble must silently serve exact results.
+func TestQuantOverflowFallsBack(t *testing.T) {
+	d := dataset.New(dataset.Regression, "x")
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 1e39 // splits land beyond MaxFloat32
+		d.Add([]float64{x}, x/1e39)
+	}
+	f := &RandomForest{NumTrees: 5, MaxDepth: 4, Task: dataset.Regression, Seed: 1, Quantize: true}
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got := make([]float64, d.Len())
+		f.PredictBatch(d.X, got)
+		for i, x := range d.X {
+			if want := f.Predict(x); got[i] != want {
+				t.Fatalf("pass %d row %d: %v != exact %v", pass, i, got[i], want)
+			}
+		}
+	}
+	if v := atomic.LoadInt32(&f.quantVerdict); v != quantRejected {
+		t.Fatalf("verdict = %d, want rejected", v)
+	}
+}

@@ -91,6 +91,7 @@ func (f *RandomForest) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("forest: decode: %w", err)
 	}
 	nf.Trees = trees
+	nf.Quantize = f.Quantize // runtime knob, not model state: survives decode
 	*f = nf
 	return nil
 }
@@ -139,6 +140,7 @@ func (g *GradientBoosting) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("forest: decode: %w", err)
 	}
 	ng.Trees = trees
+	ng.Quantize = g.Quantize // runtime knob, not model state: survives decode
 	*g = ng
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"nfvxai/internal/dataset"
 	"nfvxai/internal/mat"
+	"nfvxai/internal/sched"
 )
 
 // Regression is a linear least-squares model y = wᵀx + b with optional
@@ -73,11 +74,15 @@ func (m *Regression) Predict(x []float64) float64 {
 	return mat.Dot(m.Weights, x) + m.Intercept
 }
 
-// PredictBatch implements ml.BatchPredictor: one mat-vec sweep X·w + b.
+// PredictBatch implements ml.BatchPredictor: a mat-vec sweep X·w + b,
+// sharded over the shared sched pool for large batches (rows are
+// independent dot products, so output stays bit-identical to Predict).
 func (m *Regression) PredictBatch(X [][]float64, out []float64) {
-	for i, x := range X {
-		out[i] = mat.Dot(m.Weights, x) + m.Intercept
-	}
+	sched.ParallelFor(len(X), 256, func(w *sched.Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = mat.Dot(m.Weights, X[i]) + m.Intercept
+		}
+	})
 }
 
 // Gradient returns ∂Predict/∂x = w (constant for a linear model), making
@@ -183,12 +188,14 @@ func (m *Logistic) Predict(x []float64) float64 {
 	return sigmoid(mat.Dot(m.Weights, x) + m.Intercept)
 }
 
-// PredictBatch implements ml.BatchPredictor: one mat-vec sweep through the
-// link function.
+// PredictBatch implements ml.BatchPredictor: a mat-vec sweep through the
+// link function, sharded like Regression.PredictBatch.
 func (m *Logistic) PredictBatch(X [][]float64, out []float64) {
-	for i, x := range X {
-		out[i] = sigmoid(mat.Dot(m.Weights, x) + m.Intercept)
-	}
+	sched.ParallelFor(len(X), 256, func(w *sched.Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = sigmoid(mat.Dot(m.Weights, X[i]) + m.Intercept)
+		}
+	})
 }
 
 // Gradient returns ∂P(y=1|x)/∂x = p(1−p)·w, making the model

@@ -14,10 +14,8 @@
 package ml
 
 import (
-	"runtime"
-	"sync"
-
 	"nfvxai/internal/dataset"
+	"nfvxai/internal/sched"
 )
 
 // Predictor is the minimal model interface the explainers consume.
@@ -76,48 +74,31 @@ func PredictBatchInto(m Predictor, X [][]float64, out []float64) {
 const minParallelRows = 256
 
 // PredictBatchParallel is PredictBatchInto with worker fan-out for models
-// that lack a native batch path: the rows are split into contiguous chunks
-// evaluated concurrently, so Predict must be safe for concurrent use —
-// the same requirement xai.ExplainBatch already places on any served
-// model. A Predictor that mutates shared state per call must either
-// implement BatchPredictor or be wrapped before reaching the explainer
-// hot paths. Native BatchPredictors are invoked with a single
-// PredictBatch call (ensemble models shard internally), so the two
-// parallel layers never nest. workers <= 0 selects GOMAXPROCS.
+// that lack a native batch path: the rows are split into contiguous
+// chunks evaluated over the shared sched pool, so Predict must be safe
+// for concurrent use — the same requirement xai.ExplainBatch already
+// places on any served model. A Predictor that mutates shared state per
+// call must either implement BatchPredictor or be wrapped before
+// reaching the explainer hot paths. Native BatchPredictors are invoked
+// with a single PredictBatch call (ensemble models shard internally over
+// the same pool, which composes instead of deadlocking — see sched).
+//
+// workers is retained for API compatibility but ignored: the shared
+// pool's size (sched.Configure) governs fan-out. Batches below
+// minParallelRows run inline either way.
 func PredictBatchParallel(m Predictor, X [][]float64, out []float64, workers int) {
 	if bp, ok := m.(BatchPredictor); ok {
 		bp.PredictBatch(X, out)
 		return
 	}
-	n := len(X)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if n < minParallelRows || workers <= 1 {
-		for i, x := range X {
-			out[i] = m.Predict(x)
+	_ = workers
+	// minChunk of half the threshold keeps the historical cutoff: n >=
+	// minParallelRows dispatches, anything smaller runs inline.
+	sched.ParallelFor(len(X), minParallelRows/2, func(w *sched.Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Predict(X[i])
 		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = m.Predict(X[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // Classify thresholds a probability-output model at 0.5.

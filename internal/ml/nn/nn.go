@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"nfvxai/internal/dataset"
+	"nfvxai/internal/sched"
 )
 
 // Activation selects the hidden-layer nonlinearity.
@@ -273,10 +274,13 @@ const batchChunk = 512
 
 // PredictBatch implements ml.BatchPredictor with a layer-wise forward
 // pass: instead of allocating a fresh activation stack per row (what
-// Predict does), the whole chunk advances through each weight matrix
-// together — one matrix-matrix product per layer over two reused buffers.
-// The per-row accumulation order matches forward exactly, so outputs are
-// bit-identical to Predict.
+// Predict does), each chunk advances through each weight matrix together
+// — one matrix-matrix product per layer over two reused buffers. Chunks
+// are distributed over the shared sched pool, with the two activation
+// buffers carved from each worker's arena so steady-state batches stop
+// allocating. Rows are independent and each chunk writes only its own
+// out range, so outputs stay bit-identical to Predict regardless of
+// worker count.
 func (m *MLP) PredictBatch(X [][]float64, out []float64) {
 	if len(m.weights) == 0 {
 		panic("nn: PredictBatch before Fit")
@@ -287,53 +291,51 @@ func (m *MLP) PredictBatch(X [][]float64, out []float64) {
 			maxDim = w
 		}
 	}
-	chunk := batchChunk
-	if len(X) < chunk {
-		chunk = len(X)
-	}
-	cur := make([]float64, chunk*maxDim)
-	nxt := make([]float64, chunk*maxDim)
-	for lo := 0; lo < len(X); lo += batchChunk {
-		hi := lo + batchChunk
-		if hi > len(X) {
-			hi = len(X)
-		}
-		rows := hi - lo
-		for r := 0; r < rows; r++ {
-			x := X[lo+r]
-			if len(x) != m.dims[0] {
-				panic(fmt.Sprintf("nn: input width %d != %d", len(x), m.dims[0]))
+	sched.ParallelFor(len(X), batchChunk, func(wk *sched.Worker, plo, phi int) {
+		cur := wk.Floats(0, batchChunk*maxDim)
+		nxt := wk.Floats(1, batchChunk*maxDim)
+		for lo := plo; lo < phi; lo += batchChunk {
+			hi := lo + batchChunk
+			if hi > phi {
+				hi = phi
 			}
-			copy(cur[r*maxDim:], x)
-		}
-		for l, w := range m.weights {
-			in, outW := m.dims[l], m.dims[l+1]
-			last := l == len(m.weights)-1
+			rows := hi - lo
 			for r := 0; r < rows; r++ {
-				src := cur[r*maxDim : r*maxDim+in]
-				dst := nxt[r*maxDim : r*maxDim+outW]
-				for j := 0; j < outW; j++ {
-					z := w[in*outW+j] // bias row
-					for i := 0; i < in; i++ {
-						z += src[i] * w[i*outW+j]
-					}
-					if last {
-						dst[j] = z
-					} else {
-						dst[j] = m.activate(z)
+				x := X[lo+r]
+				if len(x) != m.dims[0] {
+					panic(fmt.Sprintf("nn: input width %d != %d", len(x), m.dims[0]))
+				}
+				copy(cur[r*maxDim:], x)
+			}
+			for l, w := range m.weights {
+				in, outW := m.dims[l], m.dims[l+1]
+				last := l == len(m.weights)-1
+				for r := 0; r < rows; r++ {
+					src := cur[r*maxDim : r*maxDim+in]
+					dst := nxt[r*maxDim : r*maxDim+outW]
+					for j := 0; j < outW; j++ {
+						z := w[in*outW+j] // bias row
+						for i := 0; i < in; i++ {
+							z += src[i] * w[i*outW+j]
+						}
+						if last {
+							dst[j] = z
+						} else {
+							dst[j] = m.activate(z)
+						}
 					}
 				}
+				cur, nxt = nxt, cur
 			}
-			cur, nxt = nxt, cur
-		}
-		for r := 0; r < rows; r++ {
-			raw := cur[r*maxDim]
-			if m.Task == dataset.Classification {
-				raw = sigmoid(raw)
+			for r := 0; r < rows; r++ {
+				raw := cur[r*maxDim]
+				if m.Task == dataset.Classification {
+					raw = sigmoid(raw)
+				}
+				out[lo+r] = raw
 			}
-			out[lo+r] = raw
 		}
-	}
+	})
 }
 
 // Gradient returns ∂Predict/∂x at x — for classification the gradient of

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForCoversRange checks every index is visited exactly once
+// across chunk boundaries, pool sizes and input sizes.
+func TestParallelForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers, false)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000, 4097} {
+			hits := make([]int32, n)
+			p.ParallelFor(n, 8, func(w *Worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForNested drives the deadlock scenario the shared pool
+// exists to survive: every chunk of an outer call starts an inner
+// ParallelFor on the same saturated pool. Caller participation must keep
+// everything progressing.
+func TestParallelForNested(t *testing.T) {
+	p := New(2, false)
+	var total atomic.Int64
+	outer := 64
+	inner := 256
+	p.ParallelFor(outer, 1, func(w *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.ParallelFor(inner, 16, func(w *Worker, lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		}
+	})
+	if got := total.Load(); got != int64(outer*inner) {
+		t.Fatalf("nested total = %d, want %d", got, outer*inner)
+	}
+}
+
+// TestParallelForDeterministic pins that chunked execution produces the
+// same output slice as a sequential loop (each chunk owns its range).
+func TestParallelForDeterministic(t *testing.T) {
+	p := New(4, false)
+	n := 10000
+	out := make([]float64, n)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i) * 1.5
+	}
+	for rep := 0; rep < 10; rep++ {
+		clear(out)
+		p.ParallelFor(n, 64, func(w *Worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("rep %d: out[%d] = %g, want %g", rep, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWorkerArena checks slot isolation and reuse of per-worker scratch.
+func TestWorkerArena(t *testing.T) {
+	w := &Worker{}
+	a := w.Floats(0, 16)
+	b := w.Floats(1, 16)
+	a[0], b[0] = 1, 2
+	if a[0] != 1 || b[0] != 2 {
+		t.Fatal("slots alias")
+	}
+	a2 := w.Floats(0, 8)
+	if &a2[0] != &a[0] {
+		t.Fatal("slot 0 not reused at smaller size")
+	}
+	f := w.Floats32(0, 4)
+	f[0] = 3
+	if w.Floats32(0, 4)[0] != 3 {
+		t.Fatal("float32 slot not reused")
+	}
+}
+
+// TestWorkerArenaNoSteadyStateAllocs: reusing a warmed arena slot must
+// not allocate.
+func TestWorkerArenaNoSteadyStateAllocs(t *testing.T) {
+	w := &Worker{}
+	w.Floats(0, 1024)
+	w.Floats32(1, 1024)
+	avg := testing.AllocsPerRun(100, func() {
+		_ = w.Floats(0, 1024)
+		_ = w.Floats32(1, 1024)
+	})
+	if avg != 0 {
+		t.Fatalf("warmed arena allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	old := Default()
+	defer defaultPool.Store(old)
+	Configure(3, true)
+	p := Default()
+	if p.Workers() != 3 || !p.Pinned() {
+		t.Fatalf("Configure(3, true) -> workers=%d pinned=%v", p.Workers(), p.Pinned())
+	}
+	var count atomic.Int64
+	p.ParallelFor(100, 1, func(w *Worker, lo, hi int) { count.Add(int64(hi - lo)) })
+	if count.Load() != 100 {
+		t.Fatalf("pinned pool covered %d of 100", count.Load())
+	}
+}

@@ -3,54 +3,40 @@ package xai
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
+
+	"nfvxai/internal/sched"
 )
 
-// ExplainBatch explains every instance in xs with e, fanning the work out
-// over a pool of workers. Attributions are returned in input order. The
-// explainer must be safe for concurrent use (the repository's explainers
-// are: they keep no mutable state across Explain calls). workers <= 0
-// selects GOMAXPROCS.
+// ExplainBatch explains every instance in xs with e, fanning the work
+// out over the shared sched pool. Attributions are returned in input
+// order. The explainer must be safe for concurrent use (the repository's
+// explainers are: they keep no mutable state across Explain calls).
+// workers is retained for API compatibility but ignored: the shared
+// pool's size (sched.Configure) governs fan-out, and an explainer whose
+// inner hot loops also use the pool composes with this outer layer
+// instead of multiplying goroutines.
 //
 // All instances are attempted even when some fail; the first error (by
-// input order) is returned alongside the successful attributions, with the
-// failed slots left as zero values. When ctx is cancelled mid-batch,
-// undispatched instances are skipped and the context error is reported.
+// input order) is returned alongside the successful attributions, with
+// the failed slots left as zero values. When ctx is cancelled mid-batch,
+// unstarted instances are skipped with the context error.
 func ExplainBatch(ctx context.Context, e Explainer, xs [][]float64, workers int) ([]Attribution, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
+	_ = workers
 	attrs := make([]Attribution, len(xs))
 	errs := make([]error, len(xs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				attrs[i], errs[i] = e.Explain(ctx, xs[i])
+	sched.ParallelFor(len(xs), 1, func(w *sched.Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
 			}
-		}()
-	}
-dispatch:
-	for i := range xs {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			errs[i] = ctx.Err()
-			break dispatch
+			attrs[i], errs[i] = e.Explain(ctx, xs[i])
 		}
-	}
-	close(next)
-	wg.Wait()
+	})
 	return attrs, firstError(errs)
 }
 

@@ -10,18 +10,24 @@
 // on reuse.
 package lime
 
-import "sync"
+import (
+	"math/rand"
+	"sync"
+)
 
 // neighborhoodBuf holds one call's neighborhood storage: the flat
 // design-matrix backing (wrapped by mat.NewDenseData), the targets and
-// kernel weights, and the perturbation matrix (flat backing plus row
-// headers, re-carved per call because d varies between pooled users).
+// kernel weights, the perturbation matrix (flat backing plus row
+// headers, re-carved per call because d varies between pooled users),
+// and the surrogate coefficient vector (phi copies out of it before
+// release).
 type neighborhoodBuf struct {
 	aData    []float64
 	y        []float64
 	w        []float64
 	zBacking []float64
 	zRows    [][]float64
+	coef     []float64
 }
 
 var neighborhoodPool = sync.Pool{New: func() any { return new(neighborhoodBuf) }}
@@ -53,6 +59,10 @@ func getNeighborhood(rows, d int) *neighborhoodBuf {
 	for i := range b.zRows {
 		b.zRows[i] = b.zBacking[i*d : (i+1)*d]
 	}
+	if cap(b.coef) < d+1 {
+		b.coef = make([]float64, d+1)
+	}
+	b.coef = b.coef[:d+1]
 	return b
 }
 
@@ -60,3 +70,24 @@ func getNeighborhood(rows, d int) *neighborhoodBuf {
 // the design matrix and every slice handed out: they alias the pooled
 // storage and will be scribbled over by the next call.
 func (b *neighborhoodBuf) release() { neighborhoodPool.Put(b) }
+
+// seededRand is a pooled deterministic rng; re-seeding through the
+// rand.Source interface resets the stream exactly as a fresh
+// rand.NewSource(seed) would, so pooling never changes a seed's draws.
+type seededRand struct {
+	src rand.Source
+	*rand.Rand
+}
+
+var rngPool = sync.Pool{New: func() any {
+	src := rand.NewSource(0)
+	return &seededRand{src: src, Rand: rand.New(src)}
+}}
+
+func getRNG(seed int64) *seededRand {
+	r := rngPool.Get().(*seededRand)
+	r.src.Seed(seed)
+	return r
+}
+
+func putRNG(r *seededRand) { rngPool.Put(r) }

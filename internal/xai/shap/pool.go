@@ -15,16 +15,24 @@
 // every use and are handed out dirty.
 package shap
 
-import "sync"
+import (
+	"math/rand"
+	"sync"
+
+	"nfvxai/internal/mat"
+)
 
 // coalitionBuf holds one sampling draw's storage: the flat bool backing
-// the masks are carved from, the mask and weight headers, and the
-// coalition-value vector sized to the draw.
+// the masks are carved from, the mask and weight headers, the
+// coalition-value vector sized to the draw, and the draw's small
+// per-call scratch (size distribution and permutation).
 type coalitionBuf struct {
 	backing []bool
 	masks   [][]bool
 	weights []float64
 	vals    []float64
+	sizeW   []float64
+	perm    []int
 }
 
 var coalitionPool = sync.Pool{New: func() any { return new(coalitionBuf) }}
@@ -47,11 +55,13 @@ func (b *coalitionBuf) valsFor(n int) []float64 {
 
 // evalBuf is the generic batched evaluator's block scratch: the flat
 // row backing, the row headers re-carved per call (d varies between
-// models sharing the pool), and the prediction vector.
+// models sharing the pool), the prediction vector, and the kept-feature
+// index list rebuilt per coalition.
 type evalBuf struct {
 	backing []float64
 	rows    [][]float64
 	preds   []float64
+	kept    []int
 }
 
 var evalPool = sync.Pool{New: func() any { return new(evalBuf) }}
@@ -74,3 +84,43 @@ func getAcc(n int) *[]float64 {
 }
 
 func putAcc(p *[]float64) { accPool.Put(p) }
+
+// reducedPool recycles the masked tree evaluator's divergence-tree
+// storage: the four parallel arrays grow by append to the largest
+// (tree, background) reduction seen, then serve every later Explain
+// without touching the heap.
+var reducedPool = sync.Pool{New: func() any { return new(reduced) }}
+
+// seededRand is a pooled deterministic rng: the source is re-seeded on
+// checkout through the rand.Source interface, which resets its state
+// exactly as rand.NewSource(seed) would, so the value stream for a given
+// seed is identical to a freshly built rand.New(rand.NewSource(seed)) —
+// pooling never changes which coalitions a seed draws.
+type seededRand struct {
+	src rand.Source
+	*rand.Rand
+}
+
+var rngPool = sync.Pool{New: func() any {
+	src := rand.NewSource(0)
+	return &seededRand{src: src, Rand: rand.New(src)}
+}}
+
+func getRNG(seed int64) *seededRand {
+	r := rngPool.Get().(*seededRand)
+	r.src.Seed(seed)
+	return r
+}
+
+func putRNG(r *seededRand) { rngPool.Put(r) }
+
+// solveBuf holds the WLS design matrix, target and solution scratch for
+// solvePhi. The attribution vector itself is excluded: it escapes to the
+// caller and must be a fresh allocation.
+type solveBuf struct {
+	a   *mat.Dense
+	b   []float64
+	sol []float64
+}
+
+var solvePool = sync.Pool{New: func() any { return &solveBuf{a: mat.NewDense(1, 1)} }}

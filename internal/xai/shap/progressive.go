@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"math"
-	"math/rand"
 	"time"
 
 	"nfvxai/internal/xai"
@@ -45,6 +44,7 @@ func (k *Kernel) explainProgressive(ctx context.Context, x []float64, base, fx f
 	// noise, converged by construction.
 	if total := (1 << uint(d)) - 2; d <= 20 && total <= budget {
 		masks, weights := enumerateCoalitions(d)
+		//lint:allow poolalloc one-shot enumeration path; the sampling loop below is the pooled steady state
 		vals := make([]float64, len(masks))
 		if err := k.evalCoalitions(ctx, x, masks, vals); err != nil {
 			return xai.Attribution{}, err
@@ -70,13 +70,18 @@ func (k *Kernel) explainProgressive(ctx context.Context, x []float64, base, fx f
 	}
 	deadline, _ := ctx.Deadline()
 
-	rng := rand.New(rand.NewSource(k.Seed + 0x9E3779B9))
-	// One pooled draw buffer serves every block: each sampleCoalitionsBuf
+	// Pooled rng (identical stream to a fresh source at this seed) and
+	// one pooled draw buffer serving every block: each sampleCoalitionsBuf
 	// call clears and re-carves it, and no block reads a predecessor's
 	// masks or vals.
+	srng := getRNG(k.Seed + 0x9E3779B9)
+	defer putRNG(srng)
+	rng := srng.Rand
 	buf := getCoalitionBuf()
 	defer buf.release()
+	//lint:allow poolalloc mean escapes as Attribution.Phi
 	mean := make([]float64, d)
+	//lint:allow poolalloc per-call Welford state, same shape as the escaping mean
 	m2 := make([]float64, d)
 	blocks, used := 0, 0
 	converged := false
@@ -141,6 +146,7 @@ func (k *Kernel) explainProgressive(ctx context.Context, x []float64, base, fx f
 // ciHalfWidths converts Welford m2 accumulators over n block estimates
 // into 95% confidence half-widths of the mean.
 func ciHalfWidths(m2 []float64, n int) []float64 {
+	//lint:allow poolalloc CI half-widths escape into Diag.CIHalf
 	out := make([]float64, len(m2))
 	denom := float64(n) * float64(n-1)
 	for j, v := range m2 {

@@ -141,9 +141,11 @@ func (k *Kernel) Explain(ctx context.Context, x []float64) (xai.Attribution, err
 	var masks [][]bool
 	var weights []float64
 	if total := (1 << uint(d)) - 2; d <= 20 && total <= budget {
-		masks, weights = enumerateCoalitions(d)
+		masks, weights = enumerateCoalitionsBuf(d, buf)
 	} else {
-		masks, weights = sampleCoalitionsBuf(rand.New(rand.NewSource(k.Seed+0x9E3779B9)), d, budget, buf)
+		rng := getRNG(k.Seed + 0x9E3779B9)
+		masks, weights = sampleCoalitionsBuf(rng.Rand, d, budget, buf)
+		putRNG(rng)
 	}
 
 	// Evaluate the value function for every coalition.
@@ -180,8 +182,15 @@ func (k *Kernel) ridge() float64 {
 // fx − base.
 func solvePhi(masks [][]bool, weights, vals []float64, base, fx, ridge float64) ([]float64, error) {
 	d := len(masks[0])
-	a := mat.NewDense(len(masks), d-1)
-	b := make([]float64, len(masks))
+	// Design matrix, target and solution come from pooled scratch; only
+	// phi (the returned attribution) is allocated.
+	sb := solvePool.Get().(*solveBuf)
+	defer solvePool.Put(sb)
+	a := sb.a.Reshape(len(masks), d-1)
+	if cap(sb.b) < len(masks) {
+		sb.b = make([]float64, len(masks))
+	}
+	b := sb.b[:len(masks)]
 	for i, m := range masks {
 		zd := 0.0
 		if m[d-1] {
@@ -197,10 +206,14 @@ func solvePhi(masks [][]bool, weights, vals []float64, base, fx, ridge float64) 
 		}
 		b[i] = vals[i] - base - zd*(fx-base)
 	}
-	sol, err := mat.SolveWeightedRidge(a, b, weights, ridge)
-	if err != nil {
+	if cap(sb.sol) < d-1 {
+		sb.sol = make([]float64, d-1)
+	}
+	sol := sb.sol[:d-1]
+	if err := mat.SolveWeightedRidgeInto(a, b, weights, ridge, sol); err != nil {
 		return nil, fmt.Errorf("shap: WLS solve: %w", err)
 	}
+	//lint:allow poolalloc phi escapes into the returned Attribution
 	phi := make([]float64, d)
 	copy(phi, sol)
 	var sum float64
@@ -226,6 +239,7 @@ func (k *Kernel) computeBase() float64 {
 			s += k.Model.Predict(b)
 		}
 	} else {
+		//lint:allow poolalloc base-value scratch, once per explainer lifetime
 		preds := make([]float64, len(k.Background))
 		ml.PredictBatchParallel(k.Model, k.Background, preds, 0)
 		for _, p := range preds {
@@ -239,6 +253,7 @@ func (k *Kernel) computeBase() float64 {
 // and the background row elsewhere — the row-at-a-time reference
 // implementation kept as the benchmark/parity baseline.
 func (k *Kernel) coalitionValue(x []float64, mask []bool) float64 {
+	//lint:allow poolalloc single-coalition probe, not on the batched hot path
 	z := make([]float64, len(x))
 	var s float64
 	for _, bg := range k.Background {
@@ -301,7 +316,10 @@ func (k *Kernel) evalCoalitions(ctx context.Context, x []float64, masks [][]bool
 		eb.preds = make([]float64, rowsCap)
 	}
 	preds := eb.preds[:rowsCap]
-	kept := make([]int, 0, d) // mask-true feature indices, rebuilt per coalition
+	if cap(eb.kept) < d {
+		eb.kept = make([]int, 0, d)
+	}
+	kept := eb.kept[:0] // mask-true feature indices, rebuilt per coalition
 	for lo := 0; lo < len(masks); lo += perBlock {
 		if err := xai.Canceled(ctx, "shap"); err != nil {
 			return err
@@ -319,11 +337,7 @@ func (k *Kernel) evalCoalitions(ctx context.Context, x []float64, masks [][]bool
 				}
 			}
 			for _, bg := range k.Background {
-				row := rows[r]
-				copy(row, bg)
-				for _, j := range kept {
-					row[j] = x[j]
-				}
+				mat.HybridRow(rows[r], bg, x, kept)
 				r++
 			}
 		}
@@ -364,11 +378,40 @@ func binom(n, k int) float64 {
 // enumerateCoalitions returns every non-trivial mask with its Shapley
 // kernel weight.
 func enumerateCoalitions(d int) ([][]bool, []float64) {
+	return enumerateCoalitionsBuf(d, nil)
+}
+
+// enumerateCoalitionsBuf is enumerateCoalitions carving masks and
+// weights out of buf's pooled storage when buf is non-nil. The returned
+// slices alias the buffer and are valid only until it is released.
+func enumerateCoalitionsBuf(d int, buf *coalitionBuf) ([][]bool, []float64) {
 	total := (1 << uint(d)) - 2
-	masks := make([][]bool, 0, total)
-	weights := make([]float64, 0, total)
+	var masks [][]bool
+	var weights []float64
+	var backing []bool
+	if buf != nil {
+		if cap(buf.backing) < total*d {
+			buf.backing = make([]bool, total*d)
+		}
+		// The loop only SETS true bits; reused backing must come in clear.
+		backing = buf.backing[:total*d]
+		clear(backing)
+		if cap(buf.masks) < total {
+			buf.masks = make([][]bool, 0, total)
+		}
+		if cap(buf.weights) < total {
+			buf.weights = make([]float64, 0, total)
+		}
+		masks, weights = buf.masks[:0], buf.weights[:0]
+	} else {
+		masks = make([][]bool, 0, total)
+		//lint:allow poolalloc nil-buf fallback for one-shot callers; pooled callers hit the branch above
+		weights = make([]float64, 0, total)
+		backing = make([]bool, total*d)
+	}
 	for bits := 1; bits < (1<<uint(d))-1; bits++ {
-		m := make([]bool, d)
+		m := backing[:d:d]
+		backing = backing[d:]
 		s := 0
 		for j := 0; j < d; j++ {
 			if bits&(1<<uint(j)) != 0 {
@@ -378,6 +421,9 @@ func enumerateCoalitions(d int) ([][]bool, []float64) {
 		}
 		masks = append(masks, m)
 		weights = append(weights, shapleyKernelWeight(d, s))
+	}
+	if buf != nil {
+		buf.masks, buf.weights = masks, weights
 	}
 	return masks, weights
 }
@@ -405,8 +451,21 @@ func sampleCoalitionsFrom(rng *rand.Rand, d, budget int) ([][]bool, []float64) {
 // is released. The draw itself is identical either way: storage reuse
 // never changes which coalitions a given rng stream produces.
 func sampleCoalitionsBuf(rng *rand.Rand, d, budget int, buf *coalitionBuf) ([][]bool, []float64) {
-	// Size distribution p(s) ∝ (d−1)/(s(d−s)) for s in 1..d−1.
-	sizeW := make([]float64, d)
+	// Size distribution p(s) ∝ (d−1)/(s(d−s)) for s in 1..d−1; the
+	// scratch (and the permutation below) comes from the buffer when one
+	// is supplied. sizeW[0] is never written by the fill loop, so a
+	// reused slice is cleared first.
+	var sizeW []float64
+	if buf != nil {
+		if cap(buf.sizeW) < d {
+			buf.sizeW = make([]float64, d)
+		}
+		sizeW = buf.sizeW[:d]
+		clear(sizeW)
+	} else {
+		//lint:allow poolalloc nil-buf fallback for one-shot callers; pooled callers hit the branch above
+		sizeW = make([]float64, d)
+	}
 	for s := 1; s < d; s++ {
 		sizeW[s] = float64(d-1) / (float64(s) * float64(d-s))
 	}
@@ -431,6 +490,7 @@ func sampleCoalitionsBuf(rng *rand.Rand, d, budget int, buf *coalitionBuf) ([][]
 		masks, weights = buf.masks[:0], buf.weights[:0]
 	} else {
 		masks = make([][]bool, 0, budget)
+		//lint:allow poolalloc nil-buf fallback for one-shot callers; pooled callers hit the branch above
 		weights = make([]float64, 0, budget)
 		// One backing array carved into per-mask slices: a single allocation
 		// for the whole draw instead of one (or two) per iteration.
@@ -441,7 +501,15 @@ func sampleCoalitionsBuf(rng *rand.Rand, d, budget int, buf *coalitionBuf) ([][]
 		backing = backing[d:]
 		return m
 	}
-	perm := make([]int, d)
+	var perm []int
+	if buf != nil {
+		if cap(buf.perm) < d {
+			buf.perm = make([]int, d)
+		}
+		perm = buf.perm[:d]
+	} else {
+		perm = make([]int, d)
+	}
 	for i := range perm {
 		perm[i] = i
 	}
@@ -502,6 +570,7 @@ func Exact(ctx context.Context, model ml.Predictor, background [][]float64, x []
 	k := &Kernel{Model: model, Background: background}
 	// Precompute v(S) for all subsets, batched through the model's fast path.
 	n := 1 << uint(d)
+	//lint:allow poolalloc Exact is the one-shot reference API, not a serving path
 	vals := make([]float64, n)
 	masks := make([][]bool, n)
 	backing := make([]bool, n*d)
@@ -515,6 +584,7 @@ func Exact(ctx context.Context, model ml.Predictor, background [][]float64, x []
 	if err := k.evalCoalitions(ctx, x, masks, vals); err != nil {
 		return xai.Attribution{}, err
 	}
+	//lint:allow poolalloc Exact is the one-shot reference API, not a serving path
 	phi := make([]float64, d)
 	for j := 0; j < d; j++ {
 		bit := 1 << uint(j)

@@ -171,7 +171,10 @@ func (e *maskedEvaluator) evalCoalitions(ctx context.Context, x []float64, bg []
 	accp := getAcc(nb * nc)
 	defer putAcc(accp)
 	acc := *accp
-	var r reduced
+	// Pooled divergence-tree storage: reset (not reallocated) per
+	// (tree, background) pair, retained across Explain calls.
+	r := reducedPool.Get().(*reduced)
+	defer reducedPool.Put(r)
 	for bi, b := range bg {
 		if err := xai.Canceled(ctx, "shap"); err != nil {
 			return err

@@ -4,6 +4,9 @@
 #   ./scripts/benchdiff.sh                 # audit committed BENCH_*.json history
 #   ./scripts/benchdiff.sh old.txt new.txt # diff two `go test -bench` outputs
 #
+# Capture the two-file inputs with -benchmem and allocs/op is gated too:
+#   go test -bench . -benchmem -count 3 ./internal/xai/... > old.txt
+#
 # THRESHOLD (percent, default 10) tunes how much regression is tolerated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
